@@ -1,0 +1,103 @@
+// Ablation: NEPTUNE's 2-tier thread model vs Storm's 4-hop per-message
+// path (paper §IV-C: "every message [goes] through four different threads
+// from the point of entry to exit"). We move the same number of messages
+// (a) through a single bounded queue between two threads, batched, and
+// (b) through a chain of three queues and four threads, one message at a
+// time — and report per-message cost and total wall time.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/queues.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+
+namespace {
+
+constexpr uint64_t kMessages = 400'000;
+
+double run_two_tier(size_t batch) {
+  BoundedQueue<uint64_t> q(8192);
+  Stopwatch sw;
+  std::thread consumer([&] {
+    std::vector<uint64_t> buf;
+    uint64_t got = 0;
+    while (got < kMessages) {
+      buf.clear();
+      size_t n = q.pop_batch(buf, batch);
+      if (n == 0) {
+        if (auto v = q.pop()) {
+          ++got;
+          continue;
+        }
+        break;
+      }
+      got += n;
+    }
+  });
+  for (uint64_t i = 0; i < kMessages; ++i) {
+    while (q.try_push(i) != QueueResult::kOk) std::this_thread::yield();
+  }
+  consumer.join();
+  return sw.elapsed_s();
+}
+
+double run_four_hop() {
+  // receive thread -> executor queue -> executor thread -> send queue ->
+  // send thread -> transfer queue -> transfer thread (consumes).
+  BoundedQueue<uint64_t> q1(8192), q2(8192), q3(8192);
+  Stopwatch sw;
+  std::thread t1([&] {  // executor
+    for (uint64_t got = 0; got < kMessages; ++got) {
+      auto v = q1.pop();
+      if (!v) return;
+      while (q2.try_push(*v) != QueueResult::kOk) std::this_thread::yield();
+    }
+  });
+  std::thread t2([&] {  // executor send thread
+    for (uint64_t got = 0; got < kMessages; ++got) {
+      auto v = q2.pop();
+      if (!v) return;
+      while (q3.try_push(*v) != QueueResult::kOk) std::this_thread::yield();
+    }
+  });
+  std::thread t3([&] {  // worker transfer thread
+    for (uint64_t got = 0; got < kMessages; ++got) {
+      auto v = q3.pop();
+      if (!v) return;
+    }
+  });
+  for (uint64_t i = 0; i < kMessages; ++i) {  // worker receive thread (this thread)
+    while (q1.try_push(i) != QueueResult::kOk) std::this_thread::yield();
+  }
+  t1.join();
+  t2.join();
+  t3.join();
+  return sw.elapsed_s();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NEPTUNE bench: ablation — 2-tier thread model vs 4-hop message path\n");
+  print_header("moving 400k messages between threads");
+  print_row({"model", "seconds", "ns/msg", "Mmsg/s"});
+
+  double two_tier_batched = run_two_tier(256);
+  double two_tier_single = run_two_tier(1);
+  double four_hop = run_four_hop();
+
+  auto row = [&](const char* model, double secs) {
+    print_row({model, fmt("%.3f", secs), fmt("%.0f", secs / kMessages * 1e9),
+               fmt("%.2f", kMessages / secs / 1e6)});
+  };
+  row("2-tier, batch=256", two_tier_batched);
+  row("2-tier, batch=1", two_tier_single);
+  row("4-hop chain", four_hop);
+
+  std::printf("\n4-hop / 2-tier-batched cost ratio: %.1fx\n", four_hop / two_tier_batched);
+  std::printf("(the paper attributes Storm's higher CPU use to this extra hop count)\n");
+  return 0;
+}

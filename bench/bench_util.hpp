@@ -1,0 +1,121 @@
+// Shared helpers for the figure/table reproduction benches: aligned table
+// printing and a canned three-stage relay runner over the real NEPTUNE
+// runtime (paper Figure 1 — the workhorse of Figures 2 and 7).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/histogram.hpp"
+#include "neptune/runtime.hpp"
+#include "neptune/workload.hpp"
+
+namespace neptune::bench {
+
+/// Print a row of right-aligned columns under a fixed width.
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return std::string(buf);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Latency snapshot captured from a sink's histogram.
+struct LatencySummary {
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+struct RelayResult {
+  double seconds = 0;
+  uint64_t packets = 0;
+  double throughput_pps = 0;
+  double goodput_bytes_per_s = 0;   ///< application payload bytes/s at the sink
+  double wire_bytes_per_s = 0;      ///< framed (post-compression) bytes/s
+  LatencySummary latency;
+  uint64_t flushes = 0;
+  uint64_t timer_flushes = 0;
+  uint64_t blocked_sends = 0;
+  uint64_t seq_violations = 0;
+};
+
+struct RelayOptions {
+  uint64_t packets = 200'000;
+  size_t payload_bytes = 50;
+  size_t buffer_bytes = 1 << 20;
+  int64_t flush_interval_ns = 5'000'000;
+  size_t channel_bytes = 8 << 20;
+  workload::PayloadKind payload_kind = workload::PayloadKind::kText;
+  CompressionPolicy compression = {};
+  size_t resources = 2;  ///< sender+receiver on res 0, relay on res 1 (paper's layout)
+};
+
+/// Run the Figure-1 relay (source -> relay -> sink) on the real runtime and
+/// collect the paper's three metrics.
+class LatencyTapSink;  // fwd
+
+inline RelayResult run_relay(const RelayOptions& opt) {
+  using namespace workload;
+  GraphConfig cfg;
+  cfg.buffer.capacity_bytes = opt.buffer_bytes;
+  cfg.buffer.flush_interval_ns = opt.flush_interval_ns;
+  cfg.channel.capacity_bytes = opt.channel_bytes;
+  cfg.channel.low_watermark_bytes = opt.channel_bytes / 4;
+
+  Runtime rt(opt.resources, {.worker_threads = 1, .io_threads = 1});
+  StreamGraph g("relay-bench", cfg);
+  uint64_t total = opt.packets;
+  size_t payload = opt.payload_bytes;
+  auto kind = opt.payload_kind;
+  g.add_source("sender", [=] { return std::make_unique<BytesSource>(total, payload, kind); }, 1,
+               0);
+  g.add_processor("relay", [] { return std::make_unique<RelayProcessor>(); }, 1, 1);
+  g.add_processor("receiver", [] { return std::make_unique<CountingSink>(); }, 1, 0);
+  g.connect("sender", "relay", nullptr, opt.compression);
+  g.connect("relay", "receiver", nullptr, opt.compression);
+
+  auto job = rt.submit(g);
+  Stopwatch sw;
+  job->start();
+  job->wait(std::chrono::minutes(10));
+  double secs = sw.elapsed_s();
+
+  auto m = job->metrics();
+  RelayResult r;
+  r.seconds = secs;
+  r.packets = m.total("receiver", &OperatorMetricsSnapshot::packets_in);
+  r.throughput_pps = static_cast<double>(r.packets) / secs;
+  r.goodput_bytes_per_s =
+      r.throughput_pps * static_cast<double>(opt.payload_bytes);
+  r.wire_bytes_per_s =
+      static_cast<double>(m.total(&OperatorMetricsSnapshot::bytes_out)) / secs / 2.0;
+  r.flushes = m.total(&OperatorMetricsSnapshot::flushes);
+  r.timer_flushes = m.total(&OperatorMetricsSnapshot::timer_flushes);
+  r.blocked_sends = m.total(&OperatorMetricsSnapshot::blocked_sends);
+  r.seq_violations = m.total(&OperatorMetricsSnapshot::seq_violations);
+
+  for (const auto& op : m.operators) {
+    if (op.operator_id == "receiver" && op.sink_latency_count > 0) {
+      r.latency.mean_ms = op.sink_latency_mean_ns * 1e-6;
+      r.latency.p50_ms = static_cast<double>(op.sink_latency_p50_ns) * 1e-6;
+      r.latency.p99_ms = static_cast<double>(op.sink_latency_p99_ns) * 1e-6;
+      r.latency.max_ms = static_cast<double>(op.sink_latency_max_ns) * 1e-6;
+    }
+  }
+  return r;
+}
+
+}  // namespace neptune::bench

@@ -1,0 +1,121 @@
+// §III-B5 reproduction: entropy-based selective compression, evaluated on
+// (a) a DEBS-style manufacturing sensor stream (low entropy — readings
+// change rarely) and (b) a synthetic random stream of the same packet size
+// (high entropy). Compression modes off / always / selective are compared
+// on throughput, latency and wire volume; per-dataset differences are
+// validated with Tukey's HSD, as in the paper.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/tukey.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+
+namespace {
+
+struct RunOutcome {
+  double throughput_pps = 0;
+  double wire_mb_s = 0;
+  double wire_bytes_per_packet = 0;
+  double latency_mean_ms = 0;
+};
+
+RunOutcome run_once(bool low_entropy, CompressionMode mode, uint64_t seed) {
+  using namespace workload;
+  GraphConfig cfg;
+  cfg.buffer.capacity_bytes = 256 << 10;
+  cfg.buffer.flush_interval_ns = 5'000'000;
+
+  Runtime rt(2, {.worker_threads = 1, .io_threads = 1});
+  StreamGraph g("compression", cfg);
+  static constexpr uint64_t kReadings = 30'000;
+  if (low_entropy) {
+    g.add_source("sender", [seed] {
+      ManufacturingConfig mc;
+      mc.total_readings = kReadings;
+      mc.low_entropy_aux = true;
+      mc.seed = seed;
+      return std::make_unique<ManufacturingSource>(mc);
+    }, 1, 0);
+  } else {
+    g.add_source("sender", [seed] {
+      // Random payload sized like a serialized manufacturing reading.
+      return std::make_unique<BytesSource>(kReadings, 260, PayloadKind::kRandom, seed);
+    }, 1, 0);
+  }
+  g.add_processor("relay", [] { return std::make_unique<RelayProcessor>(); }, 1, 1);
+  g.add_processor("receiver", [] { return std::make_unique<CountingSink>(); }, 1, 0);
+  CompressionPolicy policy{.mode = mode, .entropy_threshold = 6.0};
+  g.connect("sender", "relay", nullptr, policy);
+  g.connect("relay", "receiver", nullptr, policy);
+
+  auto job = rt.submit(g);
+  Stopwatch sw;
+  job->start();
+  job->wait(std::chrono::minutes(5));
+  double secs = sw.elapsed_s();
+  auto m = job->metrics();
+
+  RunOutcome out;
+  uint64_t delivered = m.total("receiver", &OperatorMetricsSnapshot::packets_in);
+  out.throughput_pps = static_cast<double>(delivered) / secs;
+  double wire = static_cast<double>(m.total(&OperatorMetricsSnapshot::bytes_out)) / 2.0;
+  out.wire_mb_s = wire / secs / 1e6;
+  out.wire_bytes_per_packet = wire / static_cast<double>(delivered);
+  for (const auto& op : m.operators) {
+    if (op.operator_id == "receiver" && op.sink_latency_count > 0)
+      out.latency_mean_ms = op.sink_latency_mean_ns * 1e-6;
+  }
+  return out;
+}
+
+const char* mode_name(CompressionMode m) {
+  switch (m) {
+    case CompressionMode::kOff: return "off";
+    case CompressionMode::kAlways: return "always";
+    case CompressionMode::kSelective: return "selective";
+  }
+  return "?";
+}
+
+void study(bool low_entropy, const char* dataset) {
+  constexpr int kReps = 5;
+  const CompressionMode modes[] = {CompressionMode::kOff, CompressionMode::kAlways,
+                                   CompressionMode::kSelective};
+
+  print_header(std::string("dataset: ") + dataset);
+  print_row({"mode", "kpkt/s", "wire-B/pkt", "lat-mean-ms"});
+
+  std::vector<std::vector<double>> throughput_groups(3);
+  for (int mi = 0; mi < 3; ++mi) {
+    RunOutcome last{};
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto out = run_once(low_entropy, modes[mi], 1000 + static_cast<uint64_t>(rep));
+      throughput_groups[static_cast<size_t>(mi)].push_back(out.throughput_pps);
+      last = out;
+    }
+    print_row({mode_name(modes[mi]), fmt("%.1f", last.throughput_pps / 1e3),
+               fmt("%.1f", last.wire_bytes_per_packet), fmt("%.3f", last.latency_mean_ms)});
+  }
+
+  auto hsd = tukey_hsd(throughput_groups);
+  std::printf("  Tukey HSD on throughput (off vs always vs selective):\n");
+  const char* names[] = {"off", "always", "selective"};
+  for (const auto& c : hsd.comparisons) {
+    std::printf("    %-9s vs %-9s  q=%6.2f  p=%.4f %s\n", names[c.group_a], names[c.group_b],
+                c.q_stat, c.p_value, c.significant_05 ? "(significant)" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NEPTUNE bench: compression study (paper §III-B5)\n");
+  std::printf("paper: random data — compression clearly hurts (p < 0.0001);\n");
+  std::printf("sensor data — no significant effect (p > 0.1561).\n");
+  study(true, "manufacturing sensor readings (low entropy)");
+  study(false, "synthetic random stream (high entropy)");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 10 reproduction: cluster-wide CPU and memory consumption, NEPTUNE
+// vs Storm, with 50 concurrent manufacturing jobs on 50 nodes. Paper
+// findings: NEPTUNE's CPU is consistently lower (one-tailed t-test
+// p < 0.0001); memory shows no significant difference (two-tailed
+// p = 0.0863).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "sim/cluster.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+
+int main() {
+  std::printf("NEPTUNE bench: Figure 10 — cluster-wide CPU and memory, 50 jobs / 50 nodes\n");
+  sim::ClusterSpec cluster;
+  sim::CostModel costs;
+  std::vector<sim::JobSpec> jobs(50, sim::manufacturing_job(cluster));
+
+  auto nep = sim::simulate_cluster(cluster, costs, sim::Engine::kNeptune, jobs, 1.0);
+  auto storm = sim::simulate_cluster(cluster, costs, sim::Engine::kStorm, jobs, 1.0);
+
+  print_header("per-node averages over the 50-node cluster");
+  print_row({"engine", "cpu% (8 cores)", "memory%", "Mpkt/s"});
+  print_row({"neptune", fmt("%.1f", nep.avg_cpu_utilization * 800),
+             fmt("%.1f", nep.avg_memory_fraction * 100),
+             fmt("%.2f", nep.source_throughput_pps / 1e6)});
+  print_row({"storm", fmt("%.1f", storm.avg_cpu_utilization * 800),
+             fmt("%.1f", storm.avg_memory_fraction * 100),
+             fmt("%.2f", storm.source_throughput_pps / 1e6)});
+  std::printf("(cpu%% is cumulative over 8 virtual cores, as in the paper's figure)\n");
+
+  // Per-delivered-packet CPU normalization — Storm also moves fewer
+  // packets, so raw utilization alone understates its overhead.
+  double nep_eff = nep.avg_cpu_utilization / nep.source_throughput_pps * 1e6;
+  double storm_eff = storm.avg_cpu_utilization / storm.source_throughput_pps * 1e6;
+  std::printf("\ncpu per Mpkt: neptune %.4f, storm %.4f (%.1fx)\n", nep_eff, storm_eff,
+              storm_eff / nep_eff);
+
+  // Statistical validation over the 50 per-node samples, as in the paper.
+  auto cpu_test = welch_t_test(storm.per_node_cpu, nep.per_node_cpu);
+  std::printf("\none-tailed t-test, H1: storm CPU > neptune CPU: t=%.2f p=%.2e %s\n",
+              cpu_test.t, cpu_test.p_one_tailed,
+              cpu_test.p_one_tailed < 1e-4 ? "(matches paper p<0.0001)" : "");
+  auto mem_test = welch_t_test(storm.per_node_memory, nep.per_node_memory);
+  std::printf("two-tailed t-test on memory: t=%.2f p=%.4f %s\n", mem_test.t,
+              mem_test.p_two_tailed,
+              mem_test.p_two_tailed > 0.05 ? "(no significant difference, as in paper)" : "");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 4 reproduction: backpressure demonstration. The stage-C processor
+// of the 3-stage graph (Figure 3) varies its per-packet delay in a
+// 0 -> 1 -> 2 -> 3 ms cycle; the source's emission rate must track the
+// inverse of the delay — throttled by the backpressure chain, with zero
+// loss. The bench prints a (time, stage-C delay, source rate) series.
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+
+int main() {
+  using namespace workload;
+  std::printf("NEPTUNE bench: Figure 4 — backpressure tracking a variable-rate stage\n");
+
+  GraphConfig cfg;
+  cfg.buffer.capacity_bytes = 2 << 10;  // small buffers: fine-grained throttling
+  cfg.buffer.flush_interval_ns = 1'000'000;
+  cfg.channel.capacity_bytes = 8 << 10;  // small channels: pressure propagates fast
+  cfg.channel.low_watermark_bytes = 2 << 10;
+  cfg.source_batch_budget = 16;
+
+  Runtime rt(2, {.worker_threads = 1, .io_threads = 1});
+  // Delay steps cycle 0,1,2,3 ms (paper); advance once per second.
+  auto sink = std::make_shared<VariableRateSink>(
+      std::vector<int64_t>{0, 1'000'000, 2'000'000, 3'000'000}, 0, 1'000'000'000);
+
+  StreamGraph g("fig4", cfg);
+  g.add_source("A", [] { return std::make_unique<BytesSource>(0, 100); }, 1, 0);
+  g.add_processor("B", [] { return std::make_unique<RelayProcessor>(); }, 1, 1);
+  g.add_processor("C", [sink]() -> std::unique_ptr<StreamProcessor> {
+    struct Fwd : StreamProcessor {
+      std::shared_ptr<VariableRateSink> inner;
+      explicit Fwd(std::shared_ptr<VariableRateSink> s) : inner(std::move(s)) {}
+      void process(StreamPacket& p, Emitter& out) override { inner->process(p, out); }
+    };
+    return std::make_unique<Fwd>(sink);
+  }, 1, 0);
+  g.connect("A", "B");
+  g.connect("B", "C");
+
+  auto job = rt.submit(g);
+  job->start();
+
+  print_header("time series: source rate vs stage-C per-packet delay");
+  print_row({"t_ms", "C-delay-ms", "src-kpkt/s", "C-kpkt/s"});
+
+  Stopwatch sw;
+  uint64_t last_emitted = 0;
+  uint64_t last_processed = 0;
+  constexpr int kSamples = 40;
+  constexpr double kSampleS = 0.25;
+  double min_rate = 1e18, max_rate = 0;
+  for (int s = 0; s < kSamples; ++s) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(kSampleS));
+    auto m = job->metrics();
+    uint64_t emitted = m.total("A", &OperatorMetricsSnapshot::packets_out);
+    uint64_t processed = sink->count();
+    double src_rate = static_cast<double>(emitted - last_emitted) / kSampleS;
+    double sink_rate = static_cast<double>(processed - last_processed) / kSampleS;
+    double delay_ms = static_cast<double>(sink->current_delay_ns()) * 1e-6;
+    print_row({fmt("%.0f", sw.elapsed_ms()), fmt("%.0f", delay_ms),
+               fmt("%.2f", src_rate / 1e3), fmt("%.2f", sink_rate / 1e3)});
+    if (s > 2) {  // skip warm-up
+      min_rate = std::min(min_rate, src_rate);
+      max_rate = std::max(max_rate, src_rate);
+    }
+    last_emitted = emitted;
+    last_processed = processed;
+  }
+
+  auto m = job->metrics();
+  job->stop();
+  job->wait(std::chrono::seconds(30));
+
+  std::printf("\nsource rate range: %.1f .. %.1f kpkt/s (max/min = %.1fx)\n", min_rate / 1e3,
+              max_rate / 1e3, max_rate / std::max(1.0, min_rate));
+  std::printf("blocked sends at A (throttle engagements): %llu\n",
+              static_cast<unsigned long long>(
+                  m.total("A", &OperatorMetricsSnapshot::blocked_sends)));
+  std::printf("sequence violations (must be 0): %llu\n",
+              static_cast<unsigned long long>(m.total(&OperatorMetricsSnapshot::seq_violations)));
+  std::printf("paper shape: source throughput is inversely proportional to the\n"
+              "stage-C sleep interval, stepping with the 0..3 ms cycle.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 5 reproduction: cumulative throughput and cumulative bandwidth of
+// a 50-node NEPTUNE cluster as the number of concurrent 2-stage all-pairs
+// jobs grows. Paper shape: both metrics rise until #jobs == #nodes
+// (adequate provisioning), then decline once the cluster is overprovisioned.
+// Runs on the calibrated discrete-event cluster simulator (DESIGN.md §3).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/cluster.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+
+int main() {
+  std::printf("NEPTUNE bench: Figure 5 — cumulative throughput/bandwidth vs #jobs\n");
+  sim::ClusterSpec cluster;  // 50 nodes, 8 cores, 1 Gbps — the paper's testbed
+  sim::CostModel costs;
+
+  print_header("50-node cluster, 2-stage all-pairs jobs");
+  print_row({"jobs", "Mpkt/s", "Gbps", "avg-cpu%", "p99-lat-ms"});
+
+  double peak = 0;
+  size_t peak_jobs = 0;
+  double at_50 = 0, at_100 = 0;
+  for (size_t jobs_n : {1u, 5u, 10u, 20u, 30u, 40u, 50u, 60u, 75u, 100u}) {
+    std::vector<sim::JobSpec> jobs(jobs_n, sim::scalability_job(cluster));
+    auto r = sim::simulate_cluster(cluster, costs, sim::Engine::kNeptune, jobs, 1.0);
+    print_row({fmt("%.0f", static_cast<double>(jobs_n)), fmt("%.2f", r.throughput_pps / 1e6),
+               fmt("%.2f", r.bandwidth_bps / 1e9), fmt("%.1f", r.avg_cpu_utilization * 100),
+               fmt("%.2f", r.latency_p99_ms)});
+    if (r.throughput_pps > peak) {
+      peak = r.throughput_pps;
+      peak_jobs = jobs_n;
+    }
+    if (jobs_n == 50) at_50 = r.throughput_pps;
+    if (jobs_n == 100) at_100 = r.throughput_pps;
+  }
+  std::printf("\npeak cumulative throughput: %.2f Mpkt/s at %zu jobs\n", peak / 1e6, peak_jobs);
+  std::printf("throughput at 100 jobs / at 50 jobs = %.2f (paper: declines past ~50)\n",
+              at_100 / at_50);
+  return 0;
+}

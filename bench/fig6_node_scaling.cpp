@@ -1,0 +1,36 @@
+// Figure 6 reproduction: cumulative throughput and bandwidth with 50
+// concurrent jobs as the cluster grows from 5 to 50 nodes. Paper shape:
+// both metrics scale linearly with cluster size.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/cluster.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+
+int main() {
+  std::printf("NEPTUNE bench: Figure 6 — cumulative throughput/bandwidth vs cluster size\n");
+  sim::CostModel costs;
+
+  print_header("50 concurrent jobs, growing cluster");
+  print_row({"nodes", "Mpkt/s", "Gbps", "avg-cpu%"});
+
+  double first_per_node = 0;
+  double last_per_node = 0;
+  for (size_t nodes : {5u, 10u, 20u, 30u, 40u, 50u}) {
+    sim::ClusterSpec cluster;
+    cluster.nodes = nodes;
+    std::vector<sim::JobSpec> jobs(50, sim::scalability_job(cluster));
+    auto r = sim::simulate_cluster(cluster, costs, sim::Engine::kNeptune, jobs, 1.0);
+    print_row({fmt("%.0f", static_cast<double>(nodes)), fmt("%.2f", r.throughput_pps / 1e6),
+               fmt("%.2f", r.bandwidth_bps / 1e9), fmt("%.1f", r.avg_cpu_utilization * 100)});
+    double per_node = r.throughput_pps / static_cast<double>(nodes);
+    if (nodes == 5) first_per_node = per_node;
+    if (nodes == 50) last_per_node = per_node;
+  }
+  std::printf("\nper-node throughput at 50 nodes / at 5 nodes = %.2f "
+              "(paper: ~1.0 — linear scaling)\n",
+              last_per_node / first_per_node);
+  return 0;
+}

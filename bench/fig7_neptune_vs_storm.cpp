@@ -1,0 +1,111 @@
+// Figure 7 reproduction: NEPTUNE vs Storm on the 3-stage message relay,
+// sweeping message size 50 B .. 10 KB. Both engines are the *real*
+// implementations in this repository (NEPTUNE runtime vs the faithful
+// Storm-0.9.x-architecture baseline), running in-process.
+//
+// Paper shape: NEPTUNE wins throughput, latency and bandwidth at every
+// message size; Storm's latency blows up (no backpressure: the spout
+// outruns the relay bolt and queues build).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "storm/storm.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+
+namespace {
+
+struct StormOutcome {
+  double throughput_pps = 0;
+  double latency_p50_ms = 0;
+  double latency_p99_ms = 0;
+};
+
+class BenchSpout : public storm::Spout {
+ public:
+  BenchSpout(uint64_t total, size_t payload) : total_(total), payload_(payload) {}
+  bool next_tuple(storm::OutputCollector& out) override {
+    if (emitted_ >= total_) return false;
+    storm::Tuple t;
+    t.add_i64(static_cast<int64_t>(emitted_));
+    t.add_bytes(std::vector<uint8_t>(payload_, static_cast<uint8_t>(emitted_)));
+    ++emitted_;
+    out.emit(std::move(t));
+    return true;
+  }
+
+ private:
+  uint64_t total_, emitted_ = 0;
+  size_t payload_;
+};
+
+class BenchRelayBolt : public storm::Bolt {
+ public:
+  void execute(storm::Tuple& t, storm::OutputCollector& out) override {
+    storm::Tuple copy = t;
+    out.emit(std::move(copy));
+  }
+};
+
+class BenchSinkBolt : public storm::Bolt {
+ public:
+  void execute(storm::Tuple&, storm::OutputCollector&) override {}
+};
+
+StormOutcome run_storm(uint64_t packets, size_t payload) {
+  storm::TopologyBuilder tb;
+  tb.set_spout("sender", [=] { return std::make_unique<BenchSpout>(packets, payload); });
+  tb.set_bolt("relay", [] { return std::make_unique<BenchRelayBolt>(); })
+      .shuffle_grouping("sender");
+  tb.set_bolt("receiver", [] { return std::make_unique<BenchSinkBolt>(); })
+      .shuffle_grouping("relay");
+
+  storm::LocalCluster cluster({.workers = 2});
+  Stopwatch sw;
+  auto topo = cluster.submit(tb);
+  bool drained = topo->wait_for_drain(std::chrono::minutes(5));
+  double secs = sw.elapsed_s();
+  auto m = topo->metrics();
+  StormOutcome out;
+  out.throughput_pps = static_cast<double>(m.tuples_in("receiver")) / secs;
+  out.latency_p50_ms = static_cast<double>(topo->sink_latency_p50_ns()) * 1e-6;
+  out.latency_p99_ms = static_cast<double>(topo->sink_latency_p99_ns()) * 1e-6;
+  topo->kill();
+  if (!drained) std::printf("  (storm run timed out before draining)\n");
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NEPTUNE bench: Figure 7 — NEPTUNE vs Storm, relay, message-size sweep\n");
+  print_header("both engines real, in-process, 2 resources/workers");
+  print_row({"msg_B", "engine", "kpkt/s", "MB/s", "lat-p50-ms", "lat-p99-ms"});
+
+  const size_t sizes[] = {50, 200, 1024, 10 * 1024};
+  for (size_t msg : sizes) {
+    uint64_t packets = std::max<uint64_t>(10'000, 2'000'000 / msg);
+
+    RelayOptions opt;
+    opt.payload_bytes = msg;
+    opt.packets = packets;
+    auto nep = run_relay(opt);
+    print_row({fmt("%.0f", static_cast<double>(msg)), "neptune",
+               fmt("%.1f", nep.throughput_pps / 1e3),
+               fmt("%.1f", nep.throughput_pps * static_cast<double>(msg) / 1e6),
+               fmt("%.3f", nep.latency.p50_ms), fmt("%.3f", nep.latency.p99_ms)});
+
+    auto storm_r = run_storm(packets, msg);
+    print_row({fmt("%.0f", static_cast<double>(msg)), "storm",
+               fmt("%.1f", storm_r.throughput_pps / 1e3),
+               fmt("%.1f", storm_r.throughput_pps * static_cast<double>(msg) / 1e6),
+               fmt("%.3f", storm_r.latency_p50_ms), fmt("%.3f", storm_r.latency_p99_ms)});
+
+    std::printf("%14s throughput ratio neptune/storm: %.1fx\n", "",
+                nep.throughput_pps / std::max(1.0, storm_r.throughput_pps));
+  }
+  std::printf("\npaper shape: NEPTUNE ahead on all three metrics at every size;\n"
+              "Storm latency grows drastically with message size (no backpressure).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// §III-B1 latency bound: "each buffer is equipped with a timer that
+// guarantees flushing of the buffer after a certain time period since
+// arrival of the first message. This allows NEPTUNE to set a soft upper
+// bound on expected end-to-end latency even in the presence of buffering."
+//
+// This bench runs a LOW-RATE stream (the hard case: buffers never fill)
+// through the relay with a huge 1 MB buffer and sweeps the flush interval;
+// the observed p99 latency must track the configured bound.
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+
+namespace {
+
+/// ~2k pkt/s trickle source: at this rate a 1 MB buffer would take minutes
+/// to fill; without the timer, latency would be unbounded.
+class TrickleSource : public StreamSource {
+ public:
+  explicit TrickleSource(uint64_t total) : total_(total) {}
+  bool next(Emitter& out, size_t budget) override {
+    (void)budget;
+    if (emitted_ >= total_) return false;
+    StreamPacket p;
+    p.add_i64(static_cast<int64_t>(emitted_++));
+    p.add_bytes(std::vector<uint8_t>(100, 0x33));
+    out.emit(std::move(p));
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    return emitted_ < total_;
+  }
+
+ private:
+  uint64_t total_, emitted_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace workload;
+  std::printf("NEPTUNE bench: flush-timer latency bound (low-rate stream, 1 MB buffers)\n");
+  print_header("p99 end-to-end latency vs configured flush interval");
+  print_row({"flush-ms", "lat-p50-ms", "lat-p99-ms", "timer-flushes"});
+
+  for (int64_t flush_ms : {1, 2, 5, 10, 25, 50}) {
+    GraphConfig cfg;
+    cfg.buffer.capacity_bytes = 1 << 20;  // never fills at trickle rates
+    cfg.buffer.flush_interval_ns = flush_ms * 1'000'000;
+
+    Runtime rt(2, {.worker_threads = 1, .io_threads = 1});
+    StreamGraph g("trickle", cfg);
+    g.add_source("sender", [] { return std::make_unique<TrickleSource>(3000); }, 1, 0);
+    g.add_processor("relay", [] { return std::make_unique<RelayProcessor>(); }, 1, 1);
+    g.add_processor("receiver", [] { return std::make_unique<CountingSink>(); }, 1, 0);
+    g.connect("sender", "relay");
+    g.connect("relay", "receiver");
+
+    auto job = rt.submit(g);
+    job->start();
+    job->wait(std::chrono::minutes(2));
+    auto m = job->metrics();
+    double p50 = 0, p99 = 0;
+    for (const auto& op : m.operators) {
+      if (op.operator_id == "receiver" && op.sink_latency_count > 0) {
+        p50 = static_cast<double>(op.sink_latency_p50_ns) * 1e-6;
+        p99 = static_cast<double>(op.sink_latency_p99_ns) * 1e-6;
+      }
+    }
+    print_row({fmt("%.0f", static_cast<double>(flush_ms)), fmt("%.2f", p50), fmt("%.2f", p99),
+               fmt("%.0f", static_cast<double>(
+                               m.total(&OperatorMetricsSnapshot::timer_flushes)))});
+  }
+  std::printf("\npaper shape: with buffering that would otherwise wait on capacity,\n"
+              "latency is soft-bounded by ~2x the per-hop flush interval.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Headline results (paper §VI):
+//   * single node: ~2 M stream packets/s on the 3-stage relay with 1 MB
+//     buffers and 93.7% bandwidth utilization,
+//   * 50-node cluster: ~100 M packets/s cumulative,
+//   * 99th-percentile latency for 10 KB packets under 87.8 ms even when
+//     configured for throughput.
+// The single-process number is measured on the real runtime; the cluster
+// number on the calibrated simulator.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/cluster.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+
+int main() {
+  std::printf("NEPTUNE bench: headline throughput numbers\n");
+
+  {
+    print_header("single node (real runtime): relay, 50 B packets, 1 MB buffers");
+    RelayOptions opt;
+    opt.payload_bytes = 50;
+    opt.buffer_bytes = 1 << 20;
+    opt.packets = 2'000'000;
+    auto r = run_relay(opt);
+    print_row({"kpkt/s", "MB/s-wire", "lat-p50-ms", "lat-p99-ms", "seq-viol"});
+    print_row({fmt("%.0f", r.throughput_pps / 1e3), fmt("%.1f", r.wire_bytes_per_s / 1e6),
+               fmt("%.2f", r.latency.p50_ms), fmt("%.2f", r.latency.p99_ms),
+               fmt("%.0f", static_cast<double>(r.seq_violations))});
+    std::printf("(paper single-node: ~2 Mpkt/s on a Xeon E5620 with real 1 GbE;\n"
+                " this machine runs all three stages plus framing on shared cores)\n");
+  }
+
+  {
+    print_header("99p latency with 10 KB packets, throughput-optimized config");
+    RelayOptions opt;
+    opt.payload_bytes = 10 * 1024;
+    opt.buffer_bytes = 1 << 20;
+    opt.packets = 100'000;
+    auto r = run_relay(opt);
+    print_row({"kpkt/s", "lat-p99-ms"});
+    print_row({fmt("%.1f", r.throughput_pps / 1e3), fmt("%.2f", r.latency.p99_ms)});
+    std::printf("(paper: p99 < 87.8 ms for 10 KB packets)\n");
+  }
+
+  {
+    print_header("50-node cluster (simulator): 50 all-pairs jobs, 50 B packets, saturating");
+    sim::ClusterSpec cluster;
+    sim::CostModel costs;
+    sim::JobSpec headline_job = sim::scalability_job(cluster, /*packet_bytes=*/50);
+    headline_job.offered_pps = 0;  // saturating sources: peak sustainable rate
+    std::vector<sim::JobSpec> jobs(50, headline_job);
+    auto r = sim::simulate_cluster(cluster, costs, sim::Engine::kNeptune, jobs, 1.0);
+    print_row({"Mpkt/s", "Gbps", "Gbps/node", "util-of-1GbE"});
+    double per_node = r.bandwidth_bps / 1e9 / static_cast<double>(cluster.nodes);
+    print_row({fmt("%.1f", r.throughput_pps / 1e6), fmt("%.1f", r.bandwidth_bps / 1e9),
+               fmt("%.3f", per_node), fmt("%.1f%%", per_node * 100)});
+    std::printf("(paper: ~100 Mpkt/s cumulative with near-optimal bandwidth use)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Microbenchmark: frame encode (with CRC) and incremental decode — the
+// fixed per-flush costs that application-level buffering amortizes over a
+// whole batch (paper §III-B1).
+#include <benchmark/benchmark.h>
+
+#include "common/crc32.hpp"
+#include "net/frame.hpp"
+
+namespace {
+
+using neptune::ByteBuffer;
+using neptune::FrameDecoder;
+using neptune::FrameHeader;
+
+std::vector<uint8_t> payload_of(size_t n) {
+  std::vector<uint8_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<uint8_t>(i * 131);
+  return v;
+}
+
+void BM_FrameEncode(benchmark::State& state) {
+  auto payload = payload_of(static_cast<size_t>(state.range(0)));
+  ByteBuffer out;
+  FrameHeader h;
+  h.raw_size = static_cast<uint32_t>(payload.size());
+  h.batch_count = 100;
+  for (auto _ : state) {
+    out.clear();
+    encode_frame(h, payload, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_FrameEncode)->Arg(128)->Arg(4096)->Arg(1 << 20);
+
+void BM_FrameDecodeWhole(benchmark::State& state) {
+  auto payload = payload_of(static_cast<size_t>(state.range(0)));
+  ByteBuffer wire;
+  FrameHeader h;
+  h.raw_size = static_cast<uint32_t>(payload.size());
+  encode_frame(h, payload, wire);
+  for (auto _ : state) {
+    auto decoded = neptune::decode_frame(wire.contents());
+    benchmark::DoNotOptimize(decoded.has_value());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_FrameDecodeWhole)->Arg(128)->Arg(4096)->Arg(1 << 20);
+
+void BM_FrameDecoderChunked(benchmark::State& state) {
+  // Reassembly path: frames arriving in 1460-byte TCP-segment-sized chunks.
+  auto payload = payload_of(65536);
+  ByteBuffer wire;
+  FrameHeader h;
+  h.raw_size = static_cast<uint32_t>(payload.size());
+  encode_frame(h, payload, wire);
+  for (auto _ : state) {
+    FrameDecoder dec;
+    int frames = 0;
+    size_t pos = 0;
+    while (pos < wire.size()) {
+      size_t n = std::min<size_t>(1460, wire.size() - pos);
+      dec.feed({wire.data() + pos, n},
+               [&](const FrameHeader&, std::span<const uint8_t>) { ++frames; });
+      pos += n;
+    }
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_FrameDecoderChunked);
+
+void BM_Crc32(benchmark::State& state) {
+  auto payload = payload_of(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(neptune::crc32(payload.data(), payload.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_Crc32)->Arg(128)->Arg(65536)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

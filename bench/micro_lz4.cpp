@@ -1,0 +1,77 @@
+// Microbenchmark: LZ4 codec throughput on payloads of different entropy,
+// plus the entropy estimator itself. Calibrates the compression-related
+// constants used in the cluster simulator's cost model.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/entropy.hpp"
+#include "compress/lz4.hpp"
+
+namespace {
+
+using neptune::Xoshiro256;
+
+std::vector<uint8_t> payload(size_t n, int kind) {
+  Xoshiro256 rng(7);
+  std::vector<uint8_t> v(n);
+  switch (kind) {
+    case 0:  // constant
+      std::fill(v.begin(), v.end(), 0x41);
+      break;
+    case 1:  // sensor-ish: long runs with rare changes
+      for (size_t i = 0; i < n; ++i) v[i] = static_cast<uint8_t>(100 + (i / 512) % 4);
+      break;
+    default:  // random
+      for (auto& b : v) b = static_cast<uint8_t>(rng.next_u64());
+  }
+  return v;
+}
+
+void BM_Lz4Compress(benchmark::State& state) {
+  auto src = payload(static_cast<size_t>(state.range(0)), static_cast<int>(state.range(1)));
+  std::vector<uint8_t> dst(neptune::lz4::max_compressed_size(src.size()));
+  size_t out = 0;
+  for (auto _ : state) {
+    out = neptune::lz4::compress(src, dst.data());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size()));
+  state.counters["ratio"] = static_cast<double>(src.size()) / static_cast<double>(out);
+}
+BENCHMARK(BM_Lz4Compress)
+    ->Args({64 * 1024, 0})
+    ->Args({64 * 1024, 1})
+    ->Args({64 * 1024, 2})
+    ->Args({1024 * 1024, 1});
+
+void BM_Lz4Decompress(benchmark::State& state) {
+  auto src = payload(static_cast<size_t>(state.range(0)), static_cast<int>(state.range(1)));
+  std::vector<uint8_t> compressed;
+  neptune::lz4::compress(src, compressed);
+  std::vector<uint8_t> out(src.size());
+  for (auto _ : state) {
+    auto n = neptune::lz4::decompress(compressed, out.data(), out.size());
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size()));
+}
+BENCHMARK(BM_Lz4Decompress)->Args({64 * 1024, 1})->Args({64 * 1024, 2});
+
+void BM_ByteEntropy(benchmark::State& state) {
+  auto src = payload(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    double h = neptune::byte_entropy_bits(src);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size()));
+}
+BENCHMARK(BM_ByteEntropy)->Arg(4096)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Microbenchmark: inter-thread queue primitives — the cost of one queue
+// hop, which multiplied by Storm's four thread hops per message explains
+// the §IV-C CPU gap.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/queues.hpp"
+
+namespace {
+
+using neptune::BoundedQueue;
+using neptune::QueueResult;
+using neptune::SpscRing;
+
+void BM_SpscPushPopSingleThread(benchmark::State& state) {
+  SpscRing<int> q(1024);
+  int v = 0;
+  for (auto _ : state) {
+    q.try_push(v++);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscPushPopSingleThread);
+
+void BM_BoundedQueuePushPopSingleThread(benchmark::State& state) {
+  BoundedQueue<int> q(1024);
+  int v = 0;
+  for (auto _ : state) {
+    q.try_push(v++);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BoundedQueuePushPopSingleThread);
+
+void BM_BoundedQueueBatchDrain(benchmark::State& state) {
+  // Batched consumption (pop_batch) vs item-at-a-time: the §III-B2 effect
+  // at the queue level.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  BoundedQueue<int> q(8192);
+  std::vector<int> out;
+  out.reserve(batch);
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) q.try_push(static_cast<int>(i));
+    out.clear();
+    q.pop_batch(out, batch);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_BoundedQueueBatchDrain)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SpscCrossThread(benchmark::State& state) {
+  // Steady-state producer/consumer handoff rate across two threads.
+  SpscRing<int> q(4096);
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      while (q.try_pop()) {
+      }
+    }
+    while (q.try_pop()) {
+    }
+  });
+  int v = 0;
+  for (auto _ : state) {
+    while (!q.try_push(v)) {
+    }
+    ++v;
+  }
+  stop.store(true, std::memory_order_release);
+  consumer.join();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscCrossThread);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Microbenchmark: stream packet serialization and deserialization — the
+// source of the ser/deser cost constants in the simulator's CostModel.
+#include <benchmark/benchmark.h>
+
+#include "neptune/packet.hpp"
+
+namespace {
+
+using neptune::ByteBuffer;
+using neptune::ByteReader;
+using neptune::StreamPacket;
+
+StreamPacket small_packet() {
+  // ~50 B IoT reading: timestamp, id, 2 sensor states, a float reading.
+  StreamPacket p;
+  p.set_event_time_ns(1234567890123);
+  p.add_i64(42);
+  p.add_bool(true);
+  p.add_bool(false);
+  p.add_f64(21.5);
+  p.add_string("sensor-a");
+  return p;
+}
+
+StreamPacket wide_packet() {
+  // 66-field manufacturing reading.
+  StreamPacket p;
+  p.set_event_time_ns(1234567890123);
+  p.add_i64(99);
+  for (int i = 0; i < 6; ++i) p.add_bool(i % 2 == 0);
+  for (int i = 0; i < 59; ++i) p.add_i32(i * 37);
+  return p;
+}
+
+void BM_SerializeSmall(benchmark::State& state) {
+  StreamPacket p = small_packet();
+  ByteBuffer buf;
+  for (auto _ : state) {
+    buf.clear();
+    p.serialize(buf);
+    benchmark::DoNotOptimize(buf.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SerializeSmall);
+
+void BM_SerializeWide(benchmark::State& state) {
+  StreamPacket p = wide_packet();
+  ByteBuffer buf;
+  for (auto _ : state) {
+    buf.clear();
+    p.serialize(buf);
+    benchmark::DoNotOptimize(buf.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SerializeWide);
+
+void BM_DeserializeSmallReused(benchmark::State& state) {
+  StreamPacket p = small_packet();
+  ByteBuffer buf;
+  p.serialize(buf);
+  StreamPacket q;  // reused across iterations (the object-reuse scheme)
+  for (auto _ : state) {
+    ByteReader r(buf.contents());
+    q.deserialize(r);
+    benchmark::DoNotOptimize(q.field_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeserializeSmallReused);
+
+void BM_DeserializeSmallFresh(benchmark::State& state) {
+  StreamPacket p = small_packet();
+  ByteBuffer buf;
+  p.serialize(buf);
+  for (auto _ : state) {
+    ByteReader r(buf.contents());
+    StreamPacket q;  // fresh object per message (what reuse avoids)
+    q.deserialize(r);
+    benchmark::DoNotOptimize(q.field_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeserializeSmallFresh);
+
+void BM_DeserializeWideReused(benchmark::State& state) {
+  StreamPacket p = wide_packet();
+  ByteBuffer buf;
+  p.serialize(buf);
+  StreamPacket q;
+  for (auto _ : state) {
+    ByteReader r(buf.contents());
+    q.deserialize(r);
+    benchmark::DoNotOptimize(q.field_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeserializeWideReused);
+
+}  // namespace
+
+BENCHMARK_MAIN();

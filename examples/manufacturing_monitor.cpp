@@ -1,0 +1,87 @@
+// Manufacturing equipment monitoring — the paper's Figure 8 application,
+// built from the workload library's reference operators:
+//
+//   readings (66-field sensor stream, DEBS-2012 style)
+//     -> extract (project to timestamp + 3 sensors + 3 valves)
+//     -> detect  (emit an event per state change)
+//     -> monitor (sensor-change -> valve-actuation delay over a window)
+//
+// The link into `monitor` is key-grouped by sensor index so each monitor
+// instance owns a consistent slice of the sensors, and the raw 66-field
+// link uses entropy-gated LZ4 (the readings change rarely, so the stream
+// compresses well — paper §III-B5).
+#include <cstdio>
+#include <memory>
+
+#include "neptune/runtime.hpp"
+#include "neptune/workload.hpp"
+
+using namespace neptune;
+using namespace neptune::workload;
+
+int main() {
+  Runtime runtime(/*resources=*/2);
+
+  GraphConfig config;
+  config.buffer.capacity_bytes = 128 << 10;
+  config.buffer.flush_interval_ns = 5'000'000;
+
+  auto monitor = std::make_shared<ActuationDelayMonitor>(/*window_ms=*/24LL * 3600 * 1000);
+
+  StreamGraph graph("manufacturing-monitor", config);
+  graph.add_source("readings", [] {
+    ManufacturingConfig mc;
+    mc.total_readings = 200'000;
+    mc.sensor_flip_probability = 0.005;
+    mc.actuation_lag_readings = 5;  // valve follows its sensor after 5 ticks
+    return std::make_unique<ManufacturingSource>(mc);
+  });
+  // NOTE: ordering is guaranteed per edge (per upstream instance). Change
+  // detection needs the plant stream in total order, so the extract stage
+  // keeps parallelism 1; scaling it out would require key-partitioning the
+  // readings per sensor at the source.
+  graph.add_processor("extract", [] { return std::make_unique<SensorStateExtractor>(); });
+  graph.add_processor("detect", [] { return std::make_unique<ChangeDetector>(); });
+  graph.add_processor("monitor", [monitor]() -> std::unique_ptr<StreamProcessor> {
+    struct Fwd : StreamProcessor {
+      std::shared_ptr<ActuationDelayMonitor> inner;
+      explicit Fwd(std::shared_ptr<ActuationDelayMonitor> m) : inner(std::move(m)) {}
+      void process(StreamPacket& p, Emitter& out) override { inner->process(p, out); }
+    };
+    return std::make_unique<Fwd>(monitor);
+  });
+
+  CompressionPolicy sensor_link_compression{.mode = CompressionMode::kSelective,
+                                            .entropy_threshold = 6.0};
+  graph.connect("readings", "extract", make_partitioning("shuffle"), sensor_link_compression);
+  graph.connect("extract", "detect");
+  graph.connect("detect", "monitor", make_partitioning("fields-hash", /*field=*/1));
+
+  auto job = runtime.submit(graph);
+  job->start();
+  if (!job->wait(std::chrono::minutes(5))) {
+    std::fprintf(stderr, "job did not complete\n");
+    return 1;
+  }
+
+  auto m = job->metrics();
+  std::printf("readings processed:    %llu\n",
+              static_cast<unsigned long long>(
+                  m.total("extract", &OperatorMetricsSnapshot::packets_in)));
+  std::printf("state-change events:   %llu\n",
+              static_cast<unsigned long long>(
+                  m.total("monitor", &OperatorMetricsSnapshot::packets_in)));
+  std::printf("actuation delays seen: %llu, mean delay %.2f ms of plant time\n",
+              static_cast<unsigned long long>(monitor->delays_observed()),
+              monitor->mean_delay_ms());
+  double raw_bytes =
+      static_cast<double>(m.total("readings", &OperatorMetricsSnapshot::packets_out)) * 260.0;
+  double wire_bytes =
+      static_cast<double>(m.total("readings", &OperatorMetricsSnapshot::bytes_out));
+  std::printf("sensor link compression: ~%.0f raw MB -> %.1f MB on the wire (%.1fx)\n",
+              raw_bytes / 1e6, wire_bytes / 1e6, raw_bytes / wire_bytes);
+  std::printf("throughput: %.0f readings/s end-to-end\n",
+              static_cast<double>(m.total("extract", &OperatorMetricsSnapshot::packets_in)) /
+                  m.seconds());
+  return 0;
+}

@@ -1,0 +1,5 @@
+#include "common/bytes.hpp"
+
+// Header-only today; the translation unit pins the vtable-free classes into
+// the common library and gives a home for future out-of-line definitions.
+namespace neptune {}

@@ -1,0 +1,66 @@
+// Time utilities. All engine-internal timestamps are steady-clock nanoseconds
+// so latency math is immune to wall-clock adjustments; a pluggable Clock
+// interface lets tests and the discrete-event simulator substitute virtual
+// time for real time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace neptune {
+
+/// Steady-clock nanoseconds since an arbitrary epoch.
+inline int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline int64_t now_us() { return now_ns() / 1000; }
+inline int64_t now_ms() { return now_ns() / 1000000; }
+
+/// Abstract time source. Production code uses SteadyClock; tests and the
+/// cluster simulator use ManualClock to make timer behaviour deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t now_ns() const = 0;
+};
+
+class SteadyClock final : public Clock {
+ public:
+  int64_t now_ns() const override { return neptune::now_ns(); }
+  /// Process-wide shared instance (stateless, safe to share).
+  static const SteadyClock& instance() {
+    static SteadyClock c;
+    return c;
+  }
+};
+
+/// Deterministic, manually advanced clock for tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(int64_t start_ns = 0) : t_(start_ns) {}
+  int64_t now_ns() const override { return t_.load(std::memory_order_acquire); }
+  void advance_ns(int64_t dt) { t_.fetch_add(dt, std::memory_order_acq_rel); }
+  void set_ns(int64_t t) { t_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<int64_t> t_;
+};
+
+/// Simple start/elapsed stopwatch over the steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(neptune::now_ns()) {}
+  void reset() { start_ = neptune::now_ns(); }
+  int64_t elapsed_ns() const { return neptune::now_ns() - start_; }
+  double elapsed_s() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) * 1e-6; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace neptune

@@ -1,0 +1,46 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace neptune {
+namespace {
+
+constexpr uint32_t kPoly = 0xEDB88320u;  // reflected IEEE 802.3
+
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t{};
+  constexpr Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1) ? kPoly : 0);
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~seed;
+  // Slicing-by-4: fold 4 bytes per iteration through the four tables.
+  while (len >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+    c = kTables.t[3][c & 0xFF] ^ kTables.t[2][(c >> 8) & 0xFF] ^ kTables.t[1][(c >> 16) & 0xFF] ^
+        kTables.t[0][c >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len--) c = (c >> 8) ^ kTables.t[0][(c ^ *p++) & 0xFF];
+  return ~c;
+}
+
+}  // namespace neptune

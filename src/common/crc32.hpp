@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for frame integrity checks.
+// Table-driven, 8 bytes per iteration via the slicing-by-4 technique.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace neptune {
+
+/// CRC-32 of a byte range. `seed` allows incremental computation:
+/// crc32(ab) == crc32(b, crc32(a)).
+uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t crc32(std::span<const uint8_t> s, uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace neptune

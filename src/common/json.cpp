@@ -1,0 +1,276 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace neptune {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw JsonError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  char next() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't': parse_literal("true"); return JsonValue(true);
+      case 'f': parse_literal("false"); return JsonValue(false);
+      case 'n': parse_literal("null"); return JsonValue(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  void parse_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) fail("invalid literal");
+    pos_ += lit.size();
+  }
+
+  JsonValue parse_number() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    double d = 0;
+    auto [ptr, ec] = std::from_chars(s_.data() + start, s_.data() + pos_, d);
+    if (ec != std::errc{} || ptr != s_.data() + pos_) fail("invalid number");
+    return JsonValue(d);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      char c = next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        char e = next();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = next();
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid \\u escape");
+            }
+            // UTF-8 encode (BMP only).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: fail("invalid escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      char c = next();
+      if (c == ']') return JsonValue(std::move(arr));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      char c = next();
+      if (c == '}') return JsonValue(std::move(obj));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  }
+}
+
+void dump_value(const JsonValue& v, std::string& out, int indent, int depth);
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+}
+
+void dump_value(const JsonValue& v, std::string& out, int indent, int depth) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    dump_number(v.as_number(), out);
+  } else if (v.is_string()) {
+    dump_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    const auto& a = v.as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const auto& e : a) {
+      if (!first) out += ',';
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      dump_value(e, out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& o = v.as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [k, e] : o) {
+      if (!first) out += ',';
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      dump_string(k, out);
+      out += indent > 0 ? ": " : ":";
+      dump_value(e, out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+JsonValue JsonValue::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace neptune

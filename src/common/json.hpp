@@ -1,0 +1,102 @@
+// Minimal JSON DOM, parser and writer — enough for NEPTUNE's stream graph
+// descriptor files (paper §III-A7: "a stream processing graph can be
+// created ... through a JSON descriptor file"). Supports the full JSON
+// grammar except surrogate-pair \u escapes beyond the BMP.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace neptune {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class JsonValue {
+ public:
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}
+  JsonValue(bool b) : v_(b) {}
+  JsonValue(double d) : v_(d) {}
+  JsonValue(int i) : v_(static_cast<double>(i)) {}
+  JsonValue(int64_t i) : v_(static_cast<double>(i)) {}
+  JsonValue(size_t i) : v_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : v_(std::string(s)) {}
+  JsonValue(std::string s) : v_(std::move(s)) {}
+  JsonValue(JsonArray a) : v_(std::move(a)) {}
+  JsonValue(JsonObject o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(v_); }
+
+  bool as_bool() const { return get<bool>("bool"); }
+  double as_number() const { return get<double>("number"); }
+  int64_t as_int() const { return static_cast<int64_t>(as_number()); }
+  const std::string& as_string() const { return get<std::string>("string"); }
+  const JsonArray& as_array() const { return get<JsonArray>("array"); }
+  JsonArray& as_array() { return get<JsonArray>("array"); }
+  const JsonObject& as_object() const { return get<JsonObject>("object"); }
+  JsonObject& as_object() { return get<JsonObject>("object"); }
+
+  /// Object member access; throws JsonError when missing.
+  const JsonValue& at(const std::string& key) const {
+    const auto& o = as_object();
+    auto it = o.find(key);
+    if (it == o.end()) throw JsonError("missing key: " + key);
+    return it->second;
+  }
+  bool contains(const std::string& key) const {
+    return is_object() && as_object().count(key) > 0;
+  }
+  /// Object member with default.
+  double number_or(const std::string& key, double dflt) const {
+    return contains(key) ? at(key).as_number() : dflt;
+  }
+  std::string string_or(const std::string& key, const std::string& dflt) const {
+    return contains(key) ? at(key).as_string() : dflt;
+  }
+  bool bool_or(const std::string& key, bool dflt) const {
+    return contains(key) ? at(key).as_bool() : dflt;
+  }
+
+  /// Serialize; `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document (trailing non-space input is an error).
+  static JsonValue parse(std::string_view text);
+
+  bool operator==(const JsonValue& o) const { return v_ == o.v_; }
+
+ private:
+  template <typename T>
+  const T& get(const char* name) const {
+    if (auto* p = std::get_if<T>(&v_)) return *p;
+    throw JsonError(std::string("JSON value is not a ") + name);
+  }
+  template <typename T>
+  T& get(const char* name) {
+    if (auto* p = std::get_if<T>(&v_)) return *p;
+    throw JsonError(std::string("JSON value is not a ") + name);
+  }
+  Storage v_;
+};
+
+}  // namespace neptune

@@ -1,0 +1,25 @@
+// Minimal leveled logger. Stream processing hot paths must never log, so
+// this is deliberately simple: a global level, printf-style formatting, and
+// a mutex around the single write() to keep lines intact across threads.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace neptune {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; drops the message cheaply when below the level.
+void log_at(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define NEPTUNE_LOG_TRACE(...) ::neptune::log_at(::neptune::LogLevel::kTrace, __VA_ARGS__)
+#define NEPTUNE_LOG_DEBUG(...) ::neptune::log_at(::neptune::LogLevel::kDebug, __VA_ARGS__)
+#define NEPTUNE_LOG_INFO(...) ::neptune::log_at(::neptune::LogLevel::kInfo, __VA_ARGS__)
+#define NEPTUNE_LOG_WARN(...) ::neptune::log_at(::neptune::LogLevel::kWarn, __VA_ARGS__)
+#define NEPTUNE_LOG_ERROR(...) ::neptune::log_at(::neptune::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace neptune

@@ -1,0 +1,251 @@
+// Inter-thread queues used throughout the two-tier thread model
+// (paper §III, "reduced queue contention").
+//
+//  * SpscRing        — lock-free bounded single-producer/single-consumer ring,
+//                      used between a worker thread and its IO thread.
+//  * BoundedQueue    — mutex+condvar bounded MPMC queue with high/low
+//                      watermark callbacks; the building block for the
+//                      backpressure chain (paper §III-B4).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <vector>
+
+namespace neptune {
+
+// Fixed rather than std::hardware_destructive_interference_size: the value
+// must be ABI-stable across translation units (GCC warns otherwise).
+inline constexpr size_t kCacheLine = 64;
+
+/// Lock-free bounded SPSC ring buffer. Capacity is rounded up to a power of
+/// two. Producer calls try_push from exactly one thread, consumer calls
+/// try_pop from exactly one (possibly different) thread.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Approximate occupancy; exact only from the owning threads' views.
+  size_t size_approx() const noexcept {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+  bool try_push(T v) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) > mask_) return false;  // full
+    slots_[head & mask_] = std::move(v);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;  // empty
+    std::optional<T> v{std::move(slots_[tail & mask_])};
+    tail_.store(tail + 1, std::memory_order_release);
+    return v;
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<size_t> head_{0};
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};
+};
+
+/// Reason a push or pop returned without transferring an element.
+enum class QueueResult { kOk, kFull, kEmpty, kClosed, kTimeout };
+
+/// Bounded blocking MPMC queue with optional high/low watermark callbacks.
+///
+/// The watermark callbacks fire with the queue's mutex *released* and are
+/// edge-triggered: `on_high` fires when occupancy rises to >= high_watermark
+/// having previously been below it; `on_low` fires when occupancy falls to
+/// <= low_watermark having previously been above it. This hysteresis is what
+/// keeps the backpressure chain from oscillating (paper §III-B4: "high and
+/// low watermarks ... set sufficiently apart").
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity, size_t high_watermark = 0, size_t low_watermark = 0)
+      : capacity_(capacity),
+        high_(high_watermark == 0 ? capacity : high_watermark),
+        low_(low_watermark == 0 ? capacity / 2 : low_watermark) {}
+
+  void set_watermark_callbacks(std::function<void()> on_high, std::function<void()> on_low) {
+    std::lock_guard lk(mu_);
+    on_high_ = std::move(on_high);
+    on_low_ = std::move(on_low);
+  }
+
+  size_t capacity() const noexcept { return capacity_; }
+  size_t size() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  /// Blocking push; waits while full. Returns kClosed if the queue was closed.
+  QueueResult push(T v) {
+    bool fire_high = false;
+    {
+      std::unique_lock lk(mu_);
+      not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+      if (closed_) return QueueResult::kClosed;
+      q_.push_back(std::move(v));
+      fire_high = crossed_high_locked();
+      not_empty_.notify_one();
+    }
+    if (fire_high) fire(on_high_);
+    return QueueResult::kOk;
+  }
+
+  QueueResult try_push(T v) {
+    bool fire_high = false;
+    {
+      std::lock_guard lk(mu_);
+      if (closed_) return QueueResult::kClosed;
+      if (q_.size() >= capacity_) return QueueResult::kFull;
+      q_.push_back(std::move(v));
+      fire_high = crossed_high_locked();
+      not_empty_.notify_one();
+    }
+    if (fire_high) fire(on_high_);
+    return QueueResult::kOk;
+  }
+
+  /// Blocking pop; waits while empty. Returns nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::optional<T> v;
+    bool fire_low = false;
+    {
+      std::unique_lock lk(mu_);
+      not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+      if (q_.empty()) return std::nullopt;  // closed and drained
+      v.emplace(std::move(q_.front()));
+      q_.pop_front();
+      fire_low = crossed_low_locked();
+      not_full_.notify_one();
+    }
+    if (fire_low) fire(on_low_);
+    return v;
+  }
+
+  std::optional<T> try_pop() {
+    std::optional<T> v;
+    bool fire_low = false;
+    {
+      std::lock_guard lk(mu_);
+      if (q_.empty()) return std::nullopt;
+      v.emplace(std::move(q_.front()));
+      q_.pop_front();
+      fire_low = crossed_low_locked();
+      not_full_.notify_one();
+    }
+    if (fire_low) fire(on_low_);
+    return v;
+  }
+
+  /// Pop with deadline; nullopt on timeout or on closed-and-drained.
+  std::optional<T> pop_for(std::chrono::nanoseconds timeout) {
+    std::optional<T> v;
+    bool fire_low = false;
+    {
+      std::unique_lock lk(mu_);
+      if (!not_empty_.wait_for(lk, timeout, [&] { return !q_.empty() || closed_; }))
+        return std::nullopt;
+      if (q_.empty()) return std::nullopt;
+      v.emplace(std::move(q_.front()));
+      q_.pop_front();
+      fire_low = crossed_low_locked();
+      not_full_.notify_one();
+    }
+    if (fire_low) fire(on_low_);
+    return v;
+  }
+
+  /// Drain up to `max_items` elements in one lock acquisition — the batched
+  /// consumption primitive behind batched scheduling (paper §III-B2).
+  size_t pop_batch(std::vector<T>& out, size_t max_items) {
+    size_t n = 0;
+    bool fire_low = false;
+    {
+      std::lock_guard lk(mu_);
+      while (n < max_items && !q_.empty()) {
+        out.push_back(std::move(q_.front()));
+        q_.pop_front();
+        ++n;
+      }
+      if (n > 0) {
+        fire_low = crossed_low_locked();
+        not_full_.notify_all();
+      }
+    }
+    if (fire_low) fire(on_low_);
+    return n;
+  }
+
+  /// Close the queue: pending/blocked pushes fail, pops drain the remainder.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  bool crossed_high_locked() {
+    if (!above_high_ && q_.size() >= high_) {
+      above_high_ = true;
+      return on_high_ != nullptr;
+    }
+    return false;
+  }
+  bool crossed_low_locked() {
+    if (above_high_ && q_.size() <= low_) {
+      above_high_ = false;
+      return on_low_ != nullptr;
+    }
+    return false;
+  }
+  static void fire(const std::function<void()>& f) {
+    if (f) f();
+  }
+
+  const size_t capacity_;
+  const size_t high_;
+  const size_t low_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> q_;
+  bool closed_ = false;
+  bool above_high_ = false;
+  std::function<void()> on_high_;
+  std::function<void()> on_low_;
+};
+
+}  // namespace neptune

@@ -1,0 +1,65 @@
+// xoshiro256** PRNG (Blackman & Vigna). Chosen over std::mt19937_64 for the
+// hot workload-generation paths: ~4x faster, 256-bit state, passes BigCrush.
+// Not cryptographic; used only for synthetic stream payloads and sampling.
+#pragma once
+
+#include <cstdint>
+
+namespace neptune {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 expansion of the seed into the full state, per the
+    // reference implementation's recommendation.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  uint32_t next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). Unbiased enough for workload generation
+  /// (Lemire's multiply-shift without the rejection step).
+  uint64_t next_below(uint64_t bound) {
+    if (bound == 0) return 0;
+    return static_cast<uint64_t>((static_cast<__uint128_t>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+  // UniformRandomBitGenerator interface, so <algorithm>/<random> accept us.
+  using result_type = uint64_t;
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return next_u64(); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace neptune

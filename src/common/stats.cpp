@@ -1,0 +1,107 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neptune {
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+OnlineStats summarize(std::span<const double> xs) {
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta (Numerical Recipes
+// style modified Lentz method).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_bt = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) + a * std::log(x) +
+                 b * std::log(1.0 - x);
+  double bt = std::exp(ln_bt);
+  // Use the continued fraction directly where it converges fast, and the
+  // symmetry relation elsewhere.
+  if (x < (a + 1.0) / (a + b + 2.0)) return bt * betacf(a, b, x) / a;
+  return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0) throw std::invalid_argument("student_t_cdf: df must be > 0");
+  double x = df / (df + t * t);
+  double p = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+  return t >= 0 ? 1.0 - p : p;
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  OnlineStats sa = summarize(a);
+  OnlineStats sb = summarize(b);
+  if (sa.count() < 2 || sb.count() < 2)
+    throw std::invalid_argument("welch_t_test: need >= 2 samples per group");
+
+  double va = sa.variance() / static_cast<double>(sa.count());
+  double vb = sb.variance() / static_cast<double>(sb.count());
+  TTestResult r;
+  if (va + vb == 0.0) {
+    // Degenerate constant samples: identical means -> p = 1, else p = 0.
+    r.t = sa.mean() == sb.mean() ? 0.0 : std::numeric_limits<double>::infinity();
+    r.df = static_cast<double>(sa.count() + sb.count() - 2);
+    r.p_two_tailed = sa.mean() == sb.mean() ? 1.0 : 0.0;
+    r.p_one_tailed = sa.mean() > sb.mean() ? 0.0 : 1.0;
+    return r;
+  }
+  r.t = (sa.mean() - sb.mean()) / std::sqrt(va + vb);
+  double na1 = static_cast<double>(sa.count() - 1);
+  double nb1 = static_cast<double>(sb.count() - 1);
+  r.df = (va + vb) * (va + vb) / (va * va / na1 + vb * vb / nb1);
+  double cdf = student_t_cdf(r.t, r.df);
+  r.p_one_tailed = 1.0 - cdf;  // H1: mean(a) > mean(b)
+  double tail = r.t >= 0 ? 1.0 - cdf : cdf;
+  r.p_two_tailed = 2.0 * tail;
+  if (r.p_two_tailed > 1.0) r.p_two_tailed = 1.0;
+  return r;
+}
+
+}  // namespace neptune

@@ -1,0 +1,87 @@
+// Statistics used by the evaluation harness: Welford online moments,
+// summary statistics, and Welch's t-test with exact Student-t p-values
+// (regularized incomplete beta). The paper reports one- and two-tailed
+// t-tests for the Figure 10 resource-usage comparison.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace neptune {
+
+/// Welford single-pass accumulator for mean/variance/min/max.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void merge(const OnlineStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    double d = o.mean_ - mean_;
+    uint64_t n = n_ + o.n_;
+    m2_ += o.m2_ + d * d * static_cast<double>(n_) * static_cast<double>(o.n_) / static_cast<double>(n);
+    mean_ += d * static_cast<double>(o.n_) / static_cast<double>(n);
+    n_ = n;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator).
+  double variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1); }
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void reset() { *this = OnlineStats{}; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Mean/stddev over a sample in one call.
+OnlineStats summarize(std::span<const double> xs);
+
+// --- special functions ------------------------------------------------------
+
+/// Regularized incomplete beta function I_x(a, b) via the Lentz continued
+/// fraction; |error| < 1e-12 over the parameter ranges used here.
+double incomplete_beta(double a, double b, double x);
+
+/// Student-t CDF with `df` degrees of freedom.
+double student_t_cdf(double t, double df);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+// --- hypothesis tests ---------------------------------------------------------
+
+struct TTestResult {
+  double t = 0;            ///< test statistic
+  double df = 0;           ///< Welch-Satterthwaite degrees of freedom
+  double p_two_tailed = 1;  ///< P(|T| >= |t|)
+  double p_one_tailed = 1;  ///< P(T >= t)  (H1: mean(a) > mean(b))
+};
+
+/// Welch's unequal-variance t-test of H0: mean(a) == mean(b).
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+}  // namespace neptune

@@ -1,0 +1,78 @@
+#include "common/thread_util.hpp"
+
+#include <dirent.h>
+#include <pthread.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#endif
+
+namespace neptune {
+namespace {
+
+ContextSwitches parse_status_file(const char* path) {
+  ContextSwitches cs;
+  FILE* f = std::fopen(path, "r");
+  if (!f) return cs;
+  char line[256];
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::strncmp(line, "voluntary_ctxt_switches:", 24) == 0) {
+      std::sscanf(line + 24, "%" SCNu64, &cs.voluntary);
+    } else if (std::strncmp(line, "nonvoluntary_ctxt_switches:", 27) == 0) {
+      std::sscanf(line + 27, "%" SCNu64, &cs.nonvoluntary);
+    }
+  }
+  std::fclose(f);
+  return cs;
+}
+
+}  // namespace
+
+void set_thread_name(const std::string& name) {
+#ifdef __linux__
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%s", name.c_str());
+  pthread_setname_np(pthread_self(), buf);
+#else
+  (void)name;
+#endif
+}
+
+ContextSwitches read_context_switches() {
+#ifdef __linux__
+  // /proc/self/status reports only the main thread; aggregate every task.
+  ContextSwitches total;
+  DIR* dir = opendir("/proc/self/task");
+  if (!dir) return parse_status_file("/proc/self/status");
+  while (dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    char path[80];
+    std::snprintf(path, sizeof path, "/proc/self/task/%s/status", entry->d_name);
+    ContextSwitches cs = parse_status_file(path);
+    total.voluntary += cs.voluntary;
+    total.nonvoluntary += cs.nonvoluntary;
+  }
+  closedir(dir);
+  return total;
+#else
+  return parse_status_file("/proc/self/status");
+#endif
+}
+
+ContextSwitches read_thread_context_switches() {
+#ifdef __linux__
+  char path[64];
+  long tid = syscall(SYS_gettid);
+  std::snprintf(path, sizeof path, "/proc/self/task/%ld/status", tid);
+  return parse_status_file(path);
+#else
+  return {};
+#endif
+}
+
+}  // namespace neptune

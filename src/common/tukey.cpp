@@ -1,0 +1,163 @@
+#include "common/tukey.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace neptune {
+namespace {
+
+// 40-point Gauss-Legendre nodes/weights on [-1, 1]; generated once at
+// startup by Newton iteration on the Legendre recurrence.
+struct GaussLegendre {
+  static constexpr int kN = 40;
+  double x[kN];
+  double w[kN];
+
+  GaussLegendre() {
+    const int n = kN;
+    for (int i = 0; i < (n + 1) / 2; ++i) {
+      // Initial guess (Chebyshev-like), then Newton.
+      double z = std::cos(M_PI * (i + 0.75) / (n + 0.5));
+      double pp = 0;
+      for (int iter = 0; iter < 100; ++iter) {
+        double p0 = 1.0, p1 = 0.0;
+        for (int j = 0; j < n; ++j) {
+          double p2 = p1;
+          p1 = p0;
+          p0 = ((2.0 * j + 1.0) * z * p1 - j * p2) / (j + 1.0);
+        }
+        pp = n * (z * p0 - p1) / (z * z - 1.0);
+        double z1 = z;
+        z = z1 - p0 / pp;
+        if (std::fabs(z - z1) < 1e-15) break;
+      }
+      x[i] = -z;
+      x[n - 1 - i] = z;
+      w[i] = 2.0 / ((1.0 - z * z) * pp * pp);
+      w[n - 1 - i] = w[i];
+    }
+  }
+};
+
+const GaussLegendre& gl() {
+  static GaussLegendre g;
+  return g;
+}
+
+double phi(double z) { return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI); }
+
+// Integrate f over [a, b] with panels of 40-point Gauss-Legendre.
+template <typename F>
+double integrate(F f, double a, double b, int panels) {
+  const auto& g = gl();
+  double total = 0;
+  double h = (b - a) / panels;
+  for (int p = 0; p < panels; ++p) {
+    double lo = a + p * h;
+    double mid = lo + 0.5 * h;
+    double half = 0.5 * h;
+    double acc = 0;
+    for (int i = 0; i < GaussLegendre::kN; ++i) acc += g.w[i] * f(mid + half * g.x[i]);
+    total += acc * half;
+  }
+  return total;
+}
+
+}  // namespace
+
+double normal_range_cdf(double w, int k) {
+  if (k < 2) throw std::invalid_argument("normal_range_cdf: k >= 2 required");
+  if (w <= 0) return 0.0;
+  // F_W(w) = k ∫ φ(u) [Φ(u + w) − Φ(u)]^{k−1} du, u = the minimum.
+  auto integrand = [w, k](double u) {
+    double d = normal_cdf(u + w) - normal_cdf(u);
+    if (d <= 0) return 0.0;
+    return phi(u) * std::pow(d, k - 1);
+  };
+  // The integrand is negligible outside u in [-8-w, 8].
+  double lo = -8.0 - w;
+  double hi = 8.0;
+  double v = k * integrate(integrand, lo, hi, 8);
+  if (v < 0) v = 0;
+  if (v > 1) v = 1;
+  return v;
+}
+
+double studentized_range_cdf(double q, int k, double df) {
+  if (q <= 0) return 0.0;
+  if (df > 1e5) return normal_range_cdf(q, k);
+  if (df < 1) throw std::invalid_argument("studentized_range_cdf: df >= 1 required");
+
+  // Density of s = chi_df / sqrt(df):
+  //   f(s) = C * s^{df-1} * exp(-df s^2 / 2),
+  //   ln C = (df/2) ln(df/2) - lgamma(df/2) + ln 2 ... derived below in log
+  // space to stay finite for large df.
+  double half_df = 0.5 * df;
+  double ln_c = half_df * std::log(half_df) - std::lgamma(half_df) + std::log(2.0);
+  auto s_density = [&](double s) {
+    if (s <= 0) return 0.0;
+    double ln_f = ln_c + (df - 1.0) * std::log(s) - half_df * s * s;
+    return std::exp(ln_f);
+  };
+  auto integrand = [&](double s) { return s_density(s) * normal_range_cdf(q * s, k); };
+
+  // s concentrates around 1 with stddev ~ 1/sqrt(2 df); integrate a window
+  // wide enough for small df too.
+  double spread = 10.0 / std::sqrt(2.0 * df);
+  double lo = std::max(1e-9, 1.0 - spread);
+  double hi = 1.0 + spread;
+  if (df < 6) {  // heavy-tailed at small df: widen
+    lo = 1e-9;
+    hi = 1.0 + 14.0 / std::sqrt(2.0 * df);
+  }
+  double v = integrate(integrand, lo, hi, 12);
+  if (v < 0) v = 0;
+  if (v > 1) v = 1;
+  return v;
+}
+
+TukeyResult tukey_hsd(std::span<const std::vector<double>> groups) {
+  size_t k = groups.size();
+  if (k < 2) throw std::invalid_argument("tukey_hsd: need >= 2 groups");
+
+  std::vector<OnlineStats> gs(k);
+  double ss_within = 0;
+  double n_total = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (groups[i].size() < 2) throw std::invalid_argument("tukey_hsd: each group needs >= 2 samples");
+    for (double x : groups[i]) gs[i].add(x);
+    ss_within += gs[i].variance() * static_cast<double>(gs[i].count() - 1);
+    n_total += static_cast<double>(gs[i].count());
+  }
+
+  TukeyResult r;
+  r.df_within = n_total - static_cast<double>(k);
+  r.ms_within = ss_within / r.df_within;
+
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      TukeyComparison c;
+      c.group_a = i;
+      c.group_b = j;
+      c.mean_diff = gs[i].mean() - gs[j].mean();
+      // Tukey-Kramer SE for (possibly) unequal group sizes.
+      double se = std::sqrt(r.ms_within / 2.0 *
+                            (1.0 / static_cast<double>(gs[i].count()) +
+                             1.0 / static_cast<double>(gs[j].count())));
+      if (se == 0) {
+        c.q_stat = c.mean_diff == 0 ? 0 : std::numeric_limits<double>::infinity();
+        c.p_value = c.mean_diff == 0 ? 1.0 : 0.0;
+      } else {
+        c.q_stat = std::fabs(c.mean_diff) / se;
+        c.p_value = 1.0 - studentized_range_cdf(c.q_stat, static_cast<int>(k), r.df_within);
+      }
+      c.significant_05 = c.p_value < 0.05;
+      r.comparisons.push_back(c);
+    }
+  }
+  return r;
+}
+
+}  // namespace neptune

@@ -1,0 +1,47 @@
+// Tukey's HSD multiple-comparison procedure (paper §III-B5: compression
+// results "statistically validated using a Tukey's HSD multiple comparison
+// procedure"). Requires the CDF of the studentized range distribution,
+// which we evaluate by direct Gauss-Legendre quadrature of
+//
+//   F_Q(q; k, v) = ∫_0^∞ f_s(s; v) · F_W(q·s; k) ds
+//   F_W(w; k)    = k ∫_{-∞}^{∞} φ(u) [Φ(u + w) − Φ(u)]^{k−1} du
+//
+// where F_W is the CDF of the range of k iid standard normals and s is a
+// chi_v / sqrt(v) scale variable. Accuracy is ~1e-6, ample for reporting
+// p-values against the paper's thresholds.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace neptune {
+
+/// CDF of the range of k iid standard normal variables, P(W <= w).
+double normal_range_cdf(double w, int k);
+
+/// CDF of the studentized range, P(Q <= q) with k groups and df degrees of
+/// freedom. df >= 1; df > 1e5 is treated as infinite.
+double studentized_range_cdf(double q, int k, double df);
+
+/// One pairwise comparison from a Tukey HSD procedure.
+struct TukeyComparison {
+  size_t group_a = 0;
+  size_t group_b = 0;
+  double mean_diff = 0;  ///< mean(a) - mean(b)
+  double q_stat = 0;     ///< studentized range statistic
+  double p_value = 1;    ///< familywise-adjusted p-value
+  bool significant_05 = false;
+};
+
+struct TukeyResult {
+  double ms_within = 0;  ///< pooled within-group mean square (error MS)
+  double df_within = 0;
+  std::vector<TukeyComparison> comparisons;  ///< all unordered pairs
+};
+
+/// Tukey(-Kramer) HSD over >= 2 groups of samples; each group needs >= 2
+/// observations. Unequal group sizes use the Tukey-Kramer standard error.
+TukeyResult tukey_hsd(std::span<const std::vector<double>> groups);
+
+}  // namespace neptune

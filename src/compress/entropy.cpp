@@ -1,0 +1,30 @@
+#include "compress/entropy.hpp"
+
+#include <cmath>
+
+namespace neptune {
+namespace {
+
+double entropy_from_counts(const std::array<uint64_t, 256>& counts, uint64_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  double inv = 1.0 / static_cast<double>(total);
+  for (uint64_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) * inv;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double byte_entropy_bits(std::span<const uint8_t> data) {
+  std::array<uint64_t, 256> counts{};
+  for (uint8_t b : data) ++counts[b];
+  return entropy_from_counts(counts, data.size());
+}
+
+double EntropyEstimator::bits_per_byte() const { return entropy_from_counts(counts_, total_); }
+
+}  // namespace neptune

@@ -1,0 +1,39 @@
+// Shannon byte-entropy estimation driving NEPTUNE's selective compression
+// (paper §III-B5): a flushed buffer is compressed only when its estimated
+// entropy is below a configurable threshold, because compressing
+// high-entropy (e.g. random or already-compressed) payloads wastes CPU and
+// can expand the data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace neptune {
+
+/// Shannon entropy of the byte distribution, in bits per byte in [0, 8].
+/// 0 = constant data, 8 = uniform random bytes.
+double byte_entropy_bits(std::span<const uint8_t> data);
+
+/// Streaming entropy estimator: feed chunks, query, reset — avoids
+/// recomputing the 256-bin histogram per flush when a stream's entropy is
+/// tracked over time.
+class EntropyEstimator {
+ public:
+  void add(std::span<const uint8_t> data) {
+    for (uint8_t b : data) ++counts_[b];
+    total_ += data.size();
+  }
+  double bits_per_byte() const;
+  uint64_t total_bytes() const { return total_; }
+  void reset() {
+    counts_.fill(0);
+    total_ = 0;
+  }
+
+ private:
+  std::array<uint64_t, 256> counts_{};
+  uint64_t total_ = 0;
+};
+
+}  // namespace neptune

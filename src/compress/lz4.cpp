@@ -1,0 +1,216 @@
+#include "compress/lz4.hpp"
+
+#include <cstring>
+
+namespace neptune::lz4 {
+namespace {
+
+constexpr int kHashLog = 13;                    // 8 K entries, like LZ4 fast mode
+constexpr size_t kHashSize = 1u << kHashLog;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMfLimit = 12;     // matches cannot start in the last 12 bytes
+constexpr size_t kLastLiterals = 5;  // last 5 bytes are always literals
+constexpr size_t kMaxOffset = 65535;
+
+inline uint32_t read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t hash4(uint32_t v) { return (v * 2654435761u) >> (32 - kHashLog); }
+
+/// Length of the common prefix of [a..limit) and [b..), a trails b.
+inline size_t match_length(const uint8_t* a, const uint8_t* b, const uint8_t* limit) {
+  const uint8_t* start = a;
+  while (a + 8 <= limit) {
+    uint64_t x, y;
+    std::memcpy(&x, a, 8);
+    std::memcpy(&y, b, 8);
+    uint64_t diff = x ^ y;
+    if (diff != 0) return static_cast<size_t>(a - start) + (__builtin_ctzll(diff) >> 3);
+    a += 8;
+    b += 8;
+  }
+  while (a < limit && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return static_cast<size_t>(a - start);
+}
+
+inline uint8_t* write_length(uint8_t* op, size_t len) {
+  while (len >= 255) {
+    *op++ = 255;
+    len -= 255;
+  }
+  *op++ = static_cast<uint8_t>(len);
+  return op;
+}
+
+}  // namespace
+
+size_t compress(std::span<const uint8_t> src, uint8_t* dst) {
+  const uint8_t* ip = src.data();
+  const uint8_t* const ibase = ip;
+  const uint8_t* const iend = ip + src.size();
+  uint8_t* op = dst;
+
+  auto emit_final_literals = [&](const uint8_t* anchor) {
+    size_t lit = static_cast<size_t>(iend - anchor);
+    if (lit >= 15) {
+      *op++ = 15 << 4;
+      op = write_length(op, lit - 15);
+    } else {
+      *op++ = static_cast<uint8_t>(lit << 4);
+    }
+    std::memcpy(op, anchor, lit);
+    op += lit;
+  };
+
+  if (src.size() < kMfLimit + 1) {
+    emit_final_literals(ip);
+    return static_cast<size_t>(op - dst);
+  }
+
+  uint32_t table[kHashSize];
+  std::memset(table, 0, sizeof table);
+
+  const uint8_t* const mflimit = iend - kMfLimit;
+  const uint8_t* anchor = ip;
+  // Seed the table so position 0 is never confused with "empty": store
+  // offsets + 1, 0 means unset.
+  for (;;) {
+    // --- find a match, stepping faster through incompressible regions ----
+    const uint8_t* match = nullptr;
+    size_t step = 1;
+    size_t search_acc = 1 << 6;  // accelerates after ~64 misses
+    for (;;) {
+      if (ip > mflimit) {
+        emit_final_literals(anchor);
+        return static_cast<size_t>(op - dst);
+      }
+      uint32_t h = hash4(read32(ip));
+      uint32_t cand = table[h];
+      table[h] = static_cast<uint32_t>(ip - ibase) + 1;
+      if (cand != 0) {
+        const uint8_t* cptr = ibase + (cand - 1);
+        if (static_cast<size_t>(ip - cptr) <= kMaxOffset && read32(cptr) == read32(ip)) {
+          match = cptr;
+          break;
+        }
+      }
+      ip += step;
+      step = search_acc++ >> 6;
+    }
+
+    // --- extend backwards over literals shared with the match -----------
+    while (ip > anchor && match > ibase && ip[-1] == match[-1]) {
+      --ip;
+      --match;
+    }
+
+    // --- emit token ------------------------------------------------------
+    size_t lit = static_cast<size_t>(ip - anchor);
+    uint8_t* token = op++;
+    if (lit >= 15) {
+      *token = 15 << 4;
+      op = write_length(op, lit - 15);
+    } else {
+      *token = static_cast<uint8_t>(lit << 4);
+    }
+    std::memcpy(op, anchor, lit);
+    op += lit;
+
+    size_t mlen =
+        kMinMatch + match_length(ip + kMinMatch, match + kMinMatch, iend - kLastLiterals);
+    size_t offset = static_cast<size_t>(ip - match);
+    *op++ = static_cast<uint8_t>(offset & 0xFF);
+    *op++ = static_cast<uint8_t>(offset >> 8);
+    size_t mcode = mlen - kMinMatch;
+    if (mcode >= 15) {
+      *token |= 15;
+      op = write_length(op, mcode - 15);
+    } else {
+      *token |= static_cast<uint8_t>(mcode);
+    }
+
+    ip += mlen;
+    anchor = ip;
+    if (ip > mflimit) {
+      emit_final_literals(anchor);
+      return static_cast<size_t>(op - dst);
+    }
+    // Refresh the table at the position just behind us to catch repeats.
+    table[hash4(read32(ip - 2))] = static_cast<uint32_t>(ip - 2 - ibase) + 1;
+  }
+}
+
+void compress(std::span<const uint8_t> src, std::vector<uint8_t>& dst) {
+  dst.resize(max_compressed_size(src.size()));
+  size_t n = compress(src, dst.data());
+  dst.resize(n);
+}
+
+ptrdiff_t decompress(std::span<const uint8_t> src, uint8_t* dst, size_t dst_size) {
+  const uint8_t* ip = src.data();
+  const uint8_t* const iend = ip + src.size();
+  uint8_t* op = dst;
+  uint8_t* const oend = dst + dst_size;
+
+  auto read_length = [&](size_t base) -> ptrdiff_t {
+    size_t len = base;
+    if (base == 15) {
+      uint8_t b;
+      do {
+        if (ip >= iend) return -1;
+        b = *ip++;
+        len += b;
+      } while (b == 255);
+    }
+    return static_cast<ptrdiff_t>(len);
+  };
+
+  while (ip < iend) {
+    uint8_t token = *ip++;
+
+    // Literals.
+    ptrdiff_t lit = read_length(token >> 4);
+    if (lit < 0) return -1;
+    if (ip + lit > iend || op + lit > oend) return -1;
+    std::memcpy(op, ip, static_cast<size_t>(lit));
+    ip += lit;
+    op += lit;
+    if (ip == iend) break;  // final literal run
+
+    // Match.
+    if (ip + 2 > iend) return -1;
+    size_t offset = static_cast<size_t>(ip[0]) | (static_cast<size_t>(ip[1]) << 8);
+    ip += 2;
+    if (offset == 0 || static_cast<size_t>(op - dst) < offset) return -1;
+    ptrdiff_t mcode = read_length(token & 0x0F);
+    if (mcode < 0) return -1;
+    size_t mlen = static_cast<size_t>(mcode) + kMinMatch;
+    if (op + mlen > oend) return -1;
+    const uint8_t* mp = op - offset;
+    if (offset >= 8) {
+      // Non-overlapping enough for 8-byte chunks.
+      uint8_t* o = op;
+      const uint8_t* m = mp;
+      size_t left = mlen;
+      while (left >= 8) {
+        std::memcpy(o, m, 8);
+        o += 8;
+        m += 8;
+        left -= 8;
+      }
+      while (left--) *o++ = *m++;
+    } else {
+      for (size_t i = 0; i < mlen; ++i) op[i] = mp[i];  // overlapped copy
+    }
+    op += mlen;
+  }
+  return op - dst;
+}
+
+}  // namespace neptune::lz4

@@ -1,0 +1,31 @@
+// From-scratch implementation of the LZ4 block format (the paper uses LZ4
+// for its selective compression, §III-B5; lz4.org is unavailable offline so
+// we implement the codec ourselves). Single-pass greedy match finder with a
+// 4-byte hash table, 64 KB match window, standard token/extended-length
+// encoding. Compatible with the documented LZ4 block format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace neptune::lz4 {
+
+/// Worst-case compressed size for an `n`-byte input (incompressible data
+/// expands by the literal-run length bytes).
+constexpr size_t max_compressed_size(size_t n) { return n + n / 255 + 16; }
+
+/// Compress `src` into `dst` (which must have at least
+/// max_compressed_size(src.size()) bytes). Returns the compressed size.
+size_t compress(std::span<const uint8_t> src, uint8_t* dst);
+
+/// Convenience: compress into (and resize) a vector.
+void compress(std::span<const uint8_t> src, std::vector<uint8_t>& dst);
+
+/// Decompress `src` into exactly `dst_size` bytes at `dst`. Returns the
+/// number of bytes produced, or -1 on malformed input. Never writes outside
+/// [dst, dst + dst_size).
+ptrdiff_t decompress(std::span<const uint8_t> src, uint8_t* dst, size_t dst_size);
+
+}  // namespace neptune::lz4

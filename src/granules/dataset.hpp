@@ -1,0 +1,36 @@
+// Granules datasets (paper §II): the abstraction through which tasks access
+// data — files, streams, or databases — with availability notifications
+// that drive data-driven scheduling. NEPTUNE's stream datasets are the only
+// implementation exercised here, but the interface keeps the Granules
+// generality.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace neptune::granules {
+
+/// Fired when a dataset transitions from empty to non-empty; the resource
+/// uses it to mark the owning task runnable.
+using DataAvailableCallback = std::function<void()>;
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// True when a data-driven task reading this dataset has work to do.
+  virtual bool has_data() const = 0;
+
+  /// Register the scheduler's availability hook. Called once at deploy
+  /// time; implementations must invoke it on every empty->non-empty edge.
+  virtual void set_data_available_callback(DataAvailableCallback cb) = 0;
+
+  /// Lifecycle: the framework "manages the initializations and closures of
+  /// datasets" (paper §II).
+  virtual void open() {}
+  virtual void close() {}
+};
+
+}  // namespace neptune::granules

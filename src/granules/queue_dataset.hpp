@@ -1,0 +1,88 @@
+// A concrete Granules dataset (paper §II): an in-memory queue of byte
+// records with data-availability notifications driving data-driven task
+// scheduling. NEPTUNE's stream edges subsume this role inside the stream
+// runtime; QueueDataset keeps the general Granules abstraction usable on
+// its own (e.g. feeding a periodic task from an external ingest thread).
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "granules/dataset.hpp"
+
+namespace neptune::granules {
+
+class QueueDataset final : public Dataset {
+ public:
+  explicit QueueDataset(std::string dataset_name, size_t capacity = 0)
+      : name_(std::move(dataset_name)), capacity_(capacity) {}
+
+  const std::string& name() const override { return name_; }
+
+  bool has_data() const override {
+    std::lock_guard lk(mu_);
+    return !q_.empty();
+  }
+
+  void set_data_available_callback(DataAvailableCallback cb) override {
+    std::lock_guard lk(mu_);
+    on_data_ = std::move(cb);
+  }
+
+  void open() override {
+    std::lock_guard lk(mu_);
+    open_ = true;
+  }
+
+  void close() override {
+    std::lock_guard lk(mu_);
+    open_ = false;
+  }
+  bool is_open() const {
+    std::lock_guard lk(mu_);
+    return open_;
+  }
+
+  /// Append one record. Returns false when the dataset is closed or at
+  /// capacity. Fires the availability callback on the empty -> non-empty
+  /// edge (outside the lock).
+  bool put(std::vector<uint8_t> record) {
+    DataAvailableCallback cb;
+    {
+      std::lock_guard lk(mu_);
+      if (!open_) return false;
+      if (capacity_ != 0 && q_.size() >= capacity_) return false;
+      bool was_empty = q_.empty();
+      q_.push_back(std::move(record));
+      if (was_empty) cb = on_data_;
+    }
+    if (cb) cb();
+    return true;
+  }
+
+  /// Pop the oldest record, if any.
+  std::optional<std::vector<uint8_t>> take() {
+    std::lock_guard lk(mu_);
+    if (q_.empty()) return std::nullopt;
+    std::vector<uint8_t> r = std::move(q_.front());
+    q_.erase(q_.begin());
+    return r;
+  }
+
+  size_t size() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  const std::string name_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<uint8_t>> q_;
+  DataAvailableCallback on_data_;
+  bool open_ = true;
+};
+
+}  // namespace neptune::granules

@@ -1,0 +1,119 @@
+// A Granules resource (paper §II): the container process-within-a-process
+// that hosts computational tasks, runs the two-tier thread model (worker
+// pool + IO pool, paper §III: "a simplified 2-tier thread model"), and
+// schedules tasks per their strategies.
+//
+// Scheduling state machine per task (lock-free fast path):
+//
+//        notify()                 worker picks up             execute returns
+//   Idle ---------> Queued ------------------------> Running -----------------> Idle
+//                     ^                                 | notify() while running
+//                     +------ re-enqueued <--- RunningDirty
+//
+// The Running/RunningDirty split guarantees (a) at most one thread runs a
+// task instance at any time and (b) no lost wakeups — both are required
+// for NEPTUNE's in-order, exactly-once packet processing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queues.hpp"
+#include "granules/task.hpp"
+#include "net/event_loop.hpp"
+
+namespace neptune::granules {
+
+struct ResourceConfig {
+  std::string name = "resource";
+  /// 0 = one per hardware thread (the paper: "thread pool sizes are
+  /// determined automatically depending on the number of cores").
+  size_t worker_threads = 0;
+  size_t io_threads = 1;
+  /// Capacity of the runnable-task queue (tasks, not packets).
+  size_t run_queue_capacity = 4096;
+};
+
+struct ResourceStats {
+  uint64_t task_executions = 0;   ///< scheduled executions across all tasks
+  uint64_t scheduler_wakeups = 0;  ///< worker dequeue operations
+};
+
+class Resource {
+ public:
+  explicit Resource(ResourceConfig config = {});
+  ~Resource();
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Register a task; returns its id. Must be called before start(), or
+  /// while running (dynamic deployment).
+  uint64_t deploy(std::shared_ptr<ComputationalTask> task, ScheduleSpec schedule);
+
+  void start();
+  /// Graceful stop: drains nothing further, terminates tasks, joins threads.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Mark a task runnable because data arrived for it (dataset callback).
+  void notify_data(uint64_t task_id);
+
+  /// IO event loops (the second thread tier).
+  EventLoop* io_loop(size_t i = 0) { return io_loops_.at(i % io_loops_.size()).get(); }
+  size_t io_loop_count() const { return io_loops_.size(); }
+
+  size_t worker_count() const { return worker_threads_.size(); }
+  const std::string& name() const { return config_.name; }
+
+  ResourceStats stats() const;
+
+ private:
+  enum class RunState : uint8_t { kIdle, kQueued, kRunning, kRunningDirty, kTerminated };
+
+  struct TaskEntry : TaskContext {
+    // TaskContext
+    uint64_t task_id() const override { return id; }
+    uint64_t execution_count() const override {
+      return executions.load(std::memory_order_relaxed);
+    }
+    void request_reschedule() override;
+    void request_termination() override;
+
+    uint64_t id = 0;
+    std::shared_ptr<ComputationalTask> task;
+    ScheduleSpec schedule;
+    std::atomic<RunState> state{RunState::kIdle};
+    std::atomic<uint64_t> executions{0};
+    std::atomic<bool> initialized{false};
+    std::atomic<bool> terminate_requested{false};
+    EventLoop::TimerId timer_id = 0;
+    Resource* owner = nullptr;
+  };
+
+  void worker_main(size_t worker_index);
+  void enqueue(TaskEntry* entry);
+  void run_task(TaskEntry* entry);
+  void arm_periodic_timer(TaskEntry* entry);
+
+  ResourceConfig config_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex tasks_mu_;
+  std::vector<std::unique_ptr<TaskEntry>> tasks_;
+  std::atomic<uint64_t> next_task_id_{1};
+
+  BoundedQueue<TaskEntry*> run_queue_;
+  std::vector<std::thread> worker_threads_;
+  std::vector<std::unique_ptr<EventLoop>> io_loops_;
+  std::vector<std::thread> io_threads_;
+
+  std::atomic<uint64_t> task_executions_{0};
+  std::atomic<uint64_t> scheduler_wakeups_{0};
+};
+
+}  // namespace neptune::granules

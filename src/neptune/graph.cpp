@@ -1,0 +1,137 @@
+#include "neptune/graph.hpp"
+
+#include <algorithm>
+
+namespace neptune {
+
+StreamGraph::StreamGraph(std::string name, GraphConfig config)
+    : name_(std::move(name)), config_(config) {}
+
+StreamGraph& StreamGraph::add_source(const std::string& id, SourceFactory factory,
+                                     uint32_t parallelism, int resource) {
+  for (const auto& op : operators_) {
+    if (op.id == id) throw GraphError("duplicate operator id: " + id);
+  }
+  if (parallelism == 0) throw GraphError("parallelism must be >= 1 for " + id);
+  OperatorDecl d;
+  d.id = id;
+  d.kind = OperatorKind::kSource;
+  d.source_factory = std::move(factory);
+  d.parallelism = parallelism;
+  d.resource = resource;
+  operators_.push_back(std::move(d));
+  return *this;
+}
+
+StreamGraph& StreamGraph::add_processor(const std::string& id, ProcessorFactory factory,
+                                        uint32_t parallelism, int resource) {
+  for (const auto& op : operators_) {
+    if (op.id == id) throw GraphError("duplicate operator id: " + id);
+  }
+  if (parallelism == 0) throw GraphError("parallelism must be >= 1 for " + id);
+  OperatorDecl d;
+  d.id = id;
+  d.kind = OperatorKind::kProcessor;
+  d.processor_factory = std::move(factory);
+  d.parallelism = parallelism;
+  d.resource = resource;
+  operators_.push_back(std::move(d));
+  return *this;
+}
+
+size_t StreamGraph::operator_index(const std::string& id) const {
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    if (operators_[i].id == id) return i;
+  }
+  throw GraphError("unknown operator id: " + id);
+}
+
+size_t StreamGraph::connect(const std::string& from, const std::string& to,
+                            std::shared_ptr<PartitioningScheme> partitioning,
+                            CompressionPolicy compression,
+                            std::optional<StreamBufferConfig> buffer_override) {
+  LinkDecl link;
+  link.link_id = static_cast<uint32_t>(links_.size());
+  link.from_op = operator_index(from);
+  link.to_op = operator_index(to);
+  if (operators_[link.to_op].kind == OperatorKind::kSource)
+    throw GraphError("cannot link into a source: " + to);
+  link.output_index = outputs_of(link.from_op).size();
+  link.partitioning = partitioning ? std::move(partitioning)
+                                   : std::make_shared<ShufflePartitioning>();
+  link.compression = compression;
+  link.buffer_override = buffer_override;
+  links_.push_back(std::move(link));
+  return links_.back().output_index;
+}
+
+std::vector<const LinkDecl*> StreamGraph::outputs_of(size_t op) const {
+  std::vector<const LinkDecl*> out;
+  for (const auto& l : links_) {
+    if (l.from_op == op) out.push_back(&l);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LinkDecl* a, const LinkDecl* b) { return a->output_index < b->output_index; });
+  return out;
+}
+
+std::vector<const LinkDecl*> StreamGraph::inputs_of(size_t op) const {
+  std::vector<const LinkDecl*> in;
+  for (const auto& l : links_) {
+    if (l.to_op == op) in.push_back(&l);
+  }
+  return in;
+}
+
+std::string StreamGraph::to_dot() const {
+  std::string out = "digraph \"" + name_ + "\" {\n  rankdir=LR;\n";
+  for (const auto& op : operators_) {
+    out += "  \"" + op.id + "\" [shape=" +
+           (op.kind == OperatorKind::kSource ? std::string("invhouse") : std::string("box")) +
+           ", label=\"" + op.id + "\\nx" + std::to_string(op.parallelism) + "\"];\n";
+  }
+  for (const auto& l : links_) {
+    out += "  \"" + operators_[l.from_op].id + "\" -> \"" + operators_[l.to_op].id +
+           "\" [label=\"" + l.partitioning->name();
+    if (l.compression.mode != CompressionMode::kOff) out += "+lz4";
+    out += "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+void StreamGraph::validate() const {
+  if (operators_.empty()) throw GraphError("graph has no operators");
+  bool has_source = false;
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    const auto& op = operators_[i];
+    if (op.kind == OperatorKind::kSource) {
+      has_source = true;
+      if (!op.source_factory) throw GraphError("source " + op.id + " has no factory");
+      if (!inputs_of(i).empty()) throw GraphError("source " + op.id + " has inputs");
+      if (outputs_of(i).empty()) throw GraphError("source " + op.id + " has no outputs");
+    } else {
+      if (!op.processor_factory) throw GraphError("processor " + op.id + " has no factory");
+      if (inputs_of(i).empty()) throw GraphError("processor " + op.id + " has no inputs");
+    }
+  }
+  if (!has_source) throw GraphError("graph has no stream source");
+
+  // Cycle check (DFS three-color).
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(operators_.size(), Color::kWhite);
+  auto dfs = [&](auto&& self, size_t v) -> void {
+    color[v] = Color::kGray;
+    for (const auto* l : outputs_of(v)) {
+      if (color[l->to_op] == Color::kGray)
+        throw GraphError("graph has a cycle through " + operators_[l->to_op].id);
+      if (color[l->to_op] == Color::kWhite) self(self, l->to_op);
+    }
+    color[v] = Color::kBlack;
+  };
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    if (color[i] == Color::kWhite) dfs(dfs, i);
+  }
+}
+
+}  // namespace neptune

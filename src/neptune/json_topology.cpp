@@ -1,0 +1,117 @@
+#include "neptune/json_topology.hpp"
+
+namespace neptune {
+
+OperatorRegistry& OperatorRegistry::register_source(const std::string& type,
+                                                    SourceFactory factory) {
+  sources_[type] = std::move(factory);
+  return *this;
+}
+
+OperatorRegistry& OperatorRegistry::register_processor(const std::string& type,
+                                                       ProcessorFactory factory) {
+  processors_[type] = std::move(factory);
+  return *this;
+}
+
+const SourceFactory* OperatorRegistry::find_source(const std::string& type) const {
+  auto it = sources_.find(type);
+  return it == sources_.end() ? nullptr : &it->second;
+}
+
+const ProcessorFactory* OperatorRegistry::find_processor(const std::string& type) const {
+  auto it = processors_.find(type);
+  return it == processors_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+CompressionPolicy compression_from_json(const JsonValue& link) {
+  CompressionPolicy p;
+  std::string mode = link.string_or("compression", "off");
+  if (mode == "off") {
+    p.mode = CompressionMode::kOff;
+  } else if (mode == "always") {
+    p.mode = CompressionMode::kAlways;
+  } else if (mode == "selective") {
+    p.mode = CompressionMode::kSelective;
+  } else {
+    throw GraphError("unknown compression mode: " + mode);
+  }
+  p.entropy_threshold = link.number_or("entropy_threshold", p.entropy_threshold);
+  p.min_payload_bytes = static_cast<size_t>(link.number_or(
+      "min_payload_bytes", static_cast<double>(p.min_payload_bytes)));
+  return p;
+}
+
+}  // namespace
+
+StreamGraph graph_from_json(const JsonValue& doc, const OperatorRegistry& registry) {
+  GraphConfig cfg;
+  if (doc.contains("config")) {
+    const JsonValue& c = doc.at("config");
+    cfg.buffer.capacity_bytes = static_cast<size_t>(
+        c.number_or("buffer_bytes", static_cast<double>(cfg.buffer.capacity_bytes)));
+    cfg.buffer.flush_interval_ns = static_cast<int64_t>(
+        c.number_or("flush_interval_ms",
+                    static_cast<double>(cfg.buffer.flush_interval_ns) / 1e6) *
+        1e6);
+    cfg.channel.capacity_bytes = static_cast<size_t>(
+        c.number_or("channel_bytes", static_cast<double>(cfg.channel.capacity_bytes)));
+    cfg.channel.low_watermark_bytes = static_cast<size_t>(c.number_or(
+        "channel_low_watermark", static_cast<double>(cfg.channel.capacity_bytes) / 4));
+    cfg.source_batch_budget = static_cast<size_t>(
+        c.number_or("source_batch", static_cast<double>(cfg.source_batch_budget)));
+    cfg.max_batches_per_execution = static_cast<size_t>(c.number_or(
+        "max_batches_per_execution", static_cast<double>(cfg.max_batches_per_execution)));
+  }
+
+  StreamGraph graph(doc.string_or("name", "anonymous"), cfg);
+
+  for (const JsonValue& op : doc.at("operators").as_array()) {
+    std::string id = op.at("id").as_string();
+    std::string type = op.at("type").as_string();
+    std::string kind = op.string_or("kind", "processor");
+    uint32_t parallelism = static_cast<uint32_t>(op.number_or("parallelism", 1));
+    int resource = static_cast<int>(op.number_or("resource", -1));
+    if (kind == "source") {
+      const SourceFactory* f = registry.find_source(type);
+      if (!f) throw GraphError("unregistered source type: " + type);
+      graph.add_source(id, *f, parallelism, resource);
+    } else if (kind == "processor") {
+      const ProcessorFactory* f = registry.find_processor(type);
+      if (!f) throw GraphError("unregistered processor type: " + type);
+      graph.add_processor(id, *f, parallelism, resource);
+    } else {
+      throw GraphError("unknown operator kind: " + kind);
+    }
+  }
+
+  if (doc.contains("links")) {
+    for (const JsonValue& link : doc.at("links").as_array()) {
+      std::string scheme = link.string_or("partitioning", "shuffle");
+      int field = static_cast<int>(link.number_or("field", 0));
+      std::optional<StreamBufferConfig> buf_override;
+      if (link.contains("buffer_bytes") || link.contains("flush_interval_ms")) {
+        StreamBufferConfig b = graph.config().buffer;
+        b.capacity_bytes = static_cast<size_t>(
+            link.number_or("buffer_bytes", static_cast<double>(b.capacity_bytes)));
+        b.flush_interval_ns = static_cast<int64_t>(
+            link.number_or("flush_interval_ms", static_cast<double>(b.flush_interval_ns) / 1e6) *
+            1e6);
+        buf_override = b;
+      }
+      graph.connect(link.at("from").as_string(), link.at("to").as_string(),
+                    make_partitioning(scheme, field), compression_from_json(link), buf_override);
+    }
+  }
+
+  graph.validate();
+  return graph;
+}
+
+StreamGraph graph_from_json(std::string_view text, const OperatorRegistry& registry) {
+  return graph_from_json(JsonValue::parse(text), registry);
+}
+
+}  // namespace neptune

@@ -1,0 +1,58 @@
+// JSON stream-graph descriptors (paper §III-A7: "a stream processing graph
+// can be created by directly invoking the NEPTUNE API or through a JSON
+// descriptor file"). Operator implementations are looked up by type name in
+// an OperatorRegistry.
+//
+// Descriptor shape:
+// {
+//   "name": "relay",
+//   "config": { "buffer_bytes": 1048576, "flush_interval_ms": 5,
+//               "channel_bytes": 4194304, "source_batch": 512 },
+//   "operators": [
+//     { "id": "src",   "type": "sensor-source", "kind": "source",
+//       "parallelism": 2, "resource": 0 },
+//     { "id": "relay", "type": "relay",          "kind": "processor" }
+//   ],
+//   "links": [
+//     { "from": "src", "to": "relay", "partitioning": "fields-hash",
+//       "field": 0, "compression": "selective", "entropy_threshold": 6.0 }
+//   ]
+// }
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/json.hpp"
+#include "neptune/graph.hpp"
+
+namespace neptune {
+
+/// Maps descriptor `type` names to operator factories.
+class OperatorRegistry {
+ public:
+  OperatorRegistry& register_source(const std::string& type, SourceFactory factory);
+  OperatorRegistry& register_processor(const std::string& type, ProcessorFactory factory);
+
+  const SourceFactory* find_source(const std::string& type) const;
+  const ProcessorFactory* find_processor(const std::string& type) const;
+
+ private:
+  std::map<std::string, SourceFactory> sources_;
+  std::map<std::string, ProcessorFactory> processors_;
+};
+
+/// Build a StreamGraph from a parsed descriptor. Throws GraphError or
+/// JsonError on malformed input.
+StreamGraph graph_from_json(const JsonValue& doc, const OperatorRegistry& registry);
+
+/// Convenience: parse text then build.
+StreamGraph graph_from_json(std::string_view text, const OperatorRegistry& registry);
+
+/// Disambiguation for string literals (a const char* would otherwise
+/// convert equally well to JsonValue and std::string_view).
+inline StreamGraph graph_from_json(const char* text, const OperatorRegistry& registry) {
+  return graph_from_json(std::string_view(text), registry);
+}
+
+}  // namespace neptune

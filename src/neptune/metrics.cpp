@@ -1,0 +1,61 @@
+#include "neptune/metrics.hpp"
+
+#include <cstdio>
+
+namespace neptune {
+
+std::string format_metrics(const JobMetricsSnapshot& snap) {
+  // Aggregate instances per operator id, preserving first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, OperatorMetricsSnapshot> agg;
+  for (const auto& m : snap.operators) {
+    auto [it, inserted] = agg.try_emplace(m.operator_id);
+    if (inserted) {
+      order.push_back(m.operator_id);
+      it->second.operator_id = m.operator_id;
+    }
+    OperatorMetricsSnapshot& a = it->second;
+    a.packets_in += m.packets_in;
+    a.packets_out += m.packets_out;
+    a.bytes_in += m.bytes_in;
+    a.bytes_out += m.bytes_out;
+    a.flushes += m.flushes;
+    a.timer_flushes += m.timer_flushes;
+    a.blocked_sends += m.blocked_sends;
+    a.seq_violations += m.seq_violations;
+    a.executions += m.executions;
+    // Keep the worst sink percentile across instances.
+    a.sink_latency_p99_ns = std::max(a.sink_latency_p99_ns, m.sink_latency_p99_ns);
+    a.sink_latency_p50_ns = std::max(a.sink_latency_p50_ns, m.sink_latency_p50_ns);
+    a.sink_latency_count += m.sink_latency_count;
+  }
+
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-14s %12s %12s %12s %10s %8s %9s\n", "operator", "pkts-in",
+                "pkts-out", "wire-out-B", "flushes", "blocked", "seq-viol");
+  out += line;
+  for (const auto& id : order) {
+    const auto& a = agg[id];
+    std::snprintf(line, sizeof line, "%-14s %12llu %12llu %12llu %10llu %8llu %9llu\n",
+                  id.c_str(), static_cast<unsigned long long>(a.packets_in),
+                  static_cast<unsigned long long>(a.packets_out),
+                  static_cast<unsigned long long>(a.bytes_out),
+                  static_cast<unsigned long long>(a.flushes),
+                  static_cast<unsigned long long>(a.blocked_sends),
+                  static_cast<unsigned long long>(a.seq_violations));
+    out += line;
+    if (a.sink_latency_count > 0) {
+      std::snprintf(line, sizeof line, "%-14s   sink latency p50=%.3f ms p99=%.3f ms (n=%llu)\n",
+                    "", static_cast<double>(a.sink_latency_p50_ns) * 1e-6,
+                    static_cast<double>(a.sink_latency_p99_ns) * 1e-6,
+                    static_cast<unsigned long long>(a.sink_latency_count));
+      out += line;
+    }
+  }
+  std::snprintf(line, sizeof line, "wall time: %.3f s\n", snap.seconds());
+  out += line;
+  return out;
+}
+
+}  // namespace neptune

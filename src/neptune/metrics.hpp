@@ -1,0 +1,101 @@
+// Per-operator and per-job metrics: throughput, end-to-end latency and
+// bandwidth — the paper's three evaluation metrics (§IV).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace neptune {
+
+/// Live counters for one operator instance. All relaxed atomics: metrics
+/// must never serialize the hot path.
+struct OperatorMetrics {
+  std::atomic<uint64_t> packets_in{0};
+  std::atomic<uint64_t> packets_out{0};
+  std::atomic<uint64_t> bytes_in{0};    ///< wire bytes received (after framing)
+  std::atomic<uint64_t> bytes_out{0};   ///< wire bytes sent (frames, post-compression)
+  std::atomic<uint64_t> batches_in{0};
+  std::atomic<uint64_t> flushes{0};          ///< buffer flushes (threshold or timer)
+  std::atomic<uint64_t> timer_flushes{0};    ///< flushes forced by the latency timer
+  std::atomic<uint64_t> blocked_sends{0};    ///< flush attempts rejected by flow control
+  std::atomic<uint64_t> seq_violations{0};   ///< ordering/exactly-once breaches (must stay 0)
+  std::atomic<uint64_t> executions{0};       ///< scheduled executions of the instance task
+
+  /// End-to-end latency, recorded at sink operators (no output links).
+  LatencyHistogram sink_latency;
+};
+
+/// Immutable snapshot used by benches/reports.
+struct OperatorMetricsSnapshot {
+  std::string operator_id;
+  uint32_t instance = 0;
+  uint64_t packets_in = 0;
+  uint64_t packets_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t batches_in = 0;
+  uint64_t flushes = 0;
+  uint64_t timer_flushes = 0;
+  uint64_t blocked_sends = 0;
+  uint64_t seq_violations = 0;
+  uint64_t executions = 0;
+  // Sink end-to-end latency percentiles (ns); zero for non-sink operators.
+  uint64_t sink_latency_p50_ns = 0;
+  uint64_t sink_latency_p99_ns = 0;
+  uint64_t sink_latency_max_ns = 0;
+  double sink_latency_mean_ns = 0;
+  uint64_t sink_latency_count = 0;
+};
+
+struct JobMetricsSnapshot {
+  std::vector<OperatorMetricsSnapshot> operators;
+  int64_t wall_time_ns = 0;
+
+  uint64_t total(const std::string& op_id, uint64_t OperatorMetricsSnapshot::* field) const {
+    uint64_t sum = 0;
+    for (const auto& m : operators) {
+      if (m.operator_id == op_id) sum += m.*field;
+    }
+    return sum;
+  }
+  uint64_t total(uint64_t OperatorMetricsSnapshot::* field) const {
+    uint64_t sum = 0;
+    for (const auto& m : operators) sum += m.*field;
+    return sum;
+  }
+  double seconds() const { return static_cast<double>(wall_time_ns) * 1e-9; }
+};
+
+/// Multi-line human-readable report of a job snapshot — one row per
+/// operator (instances aggregated) plus totals. For logs and examples.
+std::string format_metrics(const JobMetricsSnapshot& snap);
+
+inline OperatorMetricsSnapshot snapshot_of(const OperatorMetrics& m) {
+  OperatorMetricsSnapshot s;
+  s.packets_in = m.packets_in.load(std::memory_order_relaxed);
+  s.packets_out = m.packets_out.load(std::memory_order_relaxed);
+  s.bytes_in = m.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = m.bytes_out.load(std::memory_order_relaxed);
+  s.batches_in = m.batches_in.load(std::memory_order_relaxed);
+  s.flushes = m.flushes.load(std::memory_order_relaxed);
+  s.timer_flushes = m.timer_flushes.load(std::memory_order_relaxed);
+  s.blocked_sends = m.blocked_sends.load(std::memory_order_relaxed);
+  s.seq_violations = m.seq_violations.load(std::memory_order_relaxed);
+  s.executions = m.executions.load(std::memory_order_relaxed);
+  s.sink_latency_count = m.sink_latency.count();
+  if (s.sink_latency_count > 0) {
+    s.sink_latency_p50_ns = m.sink_latency.percentile(50);
+    s.sink_latency_p99_ns = m.sink_latency.percentile(99);
+    s.sink_latency_max_ns = m.sink_latency.max();
+    s.sink_latency_mean_ns = m.sink_latency.mean();
+  }
+  return s;
+}
+
+}  // namespace neptune

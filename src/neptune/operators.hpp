@@ -1,0 +1,86 @@
+// The NEPTUNE stream-processing programming model (paper §III-A): stream
+// sources ingest external streams; stream processors encapsulate
+// domain-specific per-packet logic. Users write logic for a *single*
+// packet; the framework transparently manages batched execution
+// (§III-B2), buffering (§III-B1) and backpressure (§III-B4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "neptune/packet.hpp"
+
+namespace neptune {
+
+/// Result of an emit. The packet is *always* accepted (buffered); the
+/// status is advice: kBackpressured means a downstream edge is
+/// flow-controlled and the operator should stop producing — the framework
+/// also stops scheduling it until the edge drains.
+enum class EmitStatus { kOk, kBackpressured };
+
+/// Emission interface handed to operators. Within a stream operator "users
+/// can configure the link to use when emitting packets" (§III-A4): the
+/// `link` argument indexes this operator's output links in declaration
+/// order.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+
+  /// Emit on the first (default) output link.
+  virtual EmitStatus emit(StreamPacket&& packet) = 0;
+  /// Emit on a specific output link.
+  virtual EmitStatus emit(size_t link, StreamPacket&& packet) = 0;
+
+  virtual size_t output_link_count() const = 0;
+  /// Index of this operator instance within its parallel group.
+  virtual uint32_t instance() const = 0;
+  virtual uint64_t packets_emitted() const = 0;
+};
+
+/// Ingests external data into the stream processing graph (§III-A2).
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Called once before the first next(), with this instance's position in
+  /// the parallel group (used e.g. to split an external partition space).
+  virtual void open(uint32_t instance, uint32_t parallelism) {
+    (void)instance;
+    (void)parallelism;
+  }
+
+  /// Produce up to `budget` packets via `out`. Return false when the
+  /// source is exhausted (finite replay); infinite sources always return
+  /// true. The framework stops calling next() while the source's outputs
+  /// are backpressured — this is the throttle of §III-B4.
+  virtual bool next(Emitter& out, size_t budget) = 0;
+
+  virtual void close() {}
+};
+
+/// Domain-specific per-packet processing logic (§III-A3).
+class StreamProcessor {
+ public:
+  virtual ~StreamProcessor() = default;
+
+  virtual void open(uint32_t instance, uint32_t parallelism) {
+    (void)instance;
+    (void)parallelism;
+  }
+
+  /// Process one packet, optionally emitting downstream. Called from a
+  /// single thread at a time per instance, in arrival order — the
+  /// framework's in-order, exactly-once contract.
+  virtual void process(StreamPacket& packet, Emitter& out) = 0;
+
+  /// Called after all input streams have been fully consumed. May emit
+  /// final packets (e.g. window aggregates) through `out`.
+  virtual void close(Emitter& out) { (void)out; }
+};
+
+using SourceFactory = std::function<std::unique_ptr<StreamSource>()>;
+using ProcessorFactory = std::function<std::unique_ptr<StreamProcessor>()>;
+
+}  // namespace neptune

@@ -1,0 +1,145 @@
+// Composable building-block operators, so common stages don't need a
+// hand-written StreamProcessor subclass: map, filter, flat-map, sample and
+// rate-limit. All are thin adapters over user lambdas; the framework's
+// batching/backpressure/ordering guarantees apply unchanged.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "neptune/operators.hpp"
+
+namespace neptune::ops {
+
+/// 1:1 transform. The function receives the input packet (mutable — it may
+/// be transformed in place and returned by move) and returns the packet to
+/// emit.
+class MapProcessor final : public StreamProcessor {
+ public:
+  using Fn = std::function<StreamPacket(StreamPacket&)>;
+  explicit MapProcessor(Fn fn) : fn_(std::move(fn)) {}
+
+  void process(StreamPacket& packet, Emitter& out) override {
+    StreamPacket mapped = fn_(packet);
+    if (mapped.event_time_ns() == 0) mapped.set_event_time_ns(packet.event_time_ns());
+    out.emit(std::move(mapped));
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Emits only packets for which the predicate holds.
+class FilterProcessor final : public StreamProcessor {
+ public:
+  using Fn = std::function<bool(const StreamPacket&)>;
+  explicit FilterProcessor(Fn predicate) : predicate_(std::move(predicate)) {}
+
+  void process(StreamPacket& packet, Emitter& out) override {
+    if (!predicate_(packet)) return;
+    StreamPacket copy = packet;
+    out.emit(std::move(copy));
+  }
+
+  uint64_t passed() const { return passed_; }
+
+ private:
+  Fn predicate_;
+  uint64_t passed_ = 0;
+};
+
+/// 1:N transform: the function pushes zero or more packets into `emit`.
+class FlatMapProcessor final : public StreamProcessor {
+ public:
+  using EmitFn = std::function<void(StreamPacket&&)>;
+  using Fn = std::function<void(StreamPacket&, const EmitFn&)>;
+  explicit FlatMapProcessor(Fn fn) : fn_(std::move(fn)) {}
+
+  void process(StreamPacket& packet, Emitter& out) override {
+    fn_(packet, [&](StreamPacket&& p) {
+      if (p.event_time_ns() == 0) p.set_event_time_ns(packet.event_time_ns());
+      out.emit(std::move(p));
+    });
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Uniform random sampling: forwards each packet with probability `rate`.
+/// (The paper argues backpressure "obviates the need to resort to
+/// sampling"; the operator exists for pipelines that want it anyway.)
+class SampleProcessor final : public StreamProcessor {
+ public:
+  explicit SampleProcessor(double rate, uint64_t seed = 17) : rate_(rate), rng_(seed) {}
+
+  void process(StreamPacket& packet, Emitter& out) override {
+    if (!rng_.next_bool(rate_)) return;
+    StreamPacket copy = packet;
+    out.emit(std::move(copy));
+  }
+
+ private:
+  double rate_;
+  Xoshiro256 rng_;
+};
+
+/// Token-bucket rate limiter: forwards at most `rate_pps` packets/s
+/// (burst up to `burst` tokens); excess packets are *dropped* — use only
+/// where shedding is acceptable, backpressure handles the usual case.
+class RateLimitProcessor final : public StreamProcessor {
+ public:
+  RateLimitProcessor(double rate_pps, double burst = 100,
+                     const Clock* clock = &SteadyClock::instance())
+      : rate_pps_(rate_pps), burst_(burst), clock_(clock), tokens_(burst) {}
+
+  void process(StreamPacket& packet, Emitter& out) override {
+    int64_t now = clock_->now_ns();
+    if (primed_) {
+      tokens_ = std::min(burst_, tokens_ + static_cast<double>(now - last_ns_) * 1e-9 * rate_pps_);
+    }
+    primed_ = true;
+    last_ns_ = now;
+    if (tokens_ < 1.0) {
+      ++dropped_;
+      return;
+    }
+    tokens_ -= 1.0;
+    StreamPacket copy = packet;
+    out.emit(std::move(copy));
+  }
+
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  const double rate_pps_;
+  const double burst_;
+  const Clock* clock_;
+  double tokens_;
+  int64_t last_ns_ = 0;
+  bool primed_ = false;
+  uint64_t dropped_ = 0;
+};
+
+/// Stateless passthrough with a tap: calls `observe` for every packet and
+/// forwards unchanged. Useful for inline metrics/debugging stages.
+class TapProcessor final : public StreamProcessor {
+ public:
+  using Fn = std::function<void(const StreamPacket&)>;
+  explicit TapProcessor(Fn observe) : observe_(std::move(observe)) {}
+
+  void process(StreamPacket& packet, Emitter& out) override {
+    observe_(packet);
+    if (out.output_link_count() > 0) {
+      StreamPacket copy = packet;
+      out.emit(std::move(copy));
+    }
+  }
+
+ private:
+  Fn observe_;
+};
+
+}  // namespace neptune::ops

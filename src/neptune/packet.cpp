@@ -1,0 +1,181 @@
+#include "neptune/packet.hpp"
+
+namespace neptune {
+
+const char* field_type_name(FieldType t) {
+  switch (t) {
+    case FieldType::kI32: return "i32";
+    case FieldType::kI64: return "i64";
+    case FieldType::kF32: return "f32";
+    case FieldType::kF64: return "f64";
+    case FieldType::kBool: return "bool";
+    case FieldType::kString: return "string";
+    case FieldType::kBytes: return "bytes";
+  }
+  return "?";
+}
+
+FieldType value_type(const Value& v) { return static_cast<FieldType>(v.index()); }
+
+Schema::Schema(std::initializer_list<Field> fields) : fields_(fields) {}
+
+Schema& Schema::add(std::string name, FieldType type) {
+  fields_.push_back({std::move(name), type});
+  return *this;
+}
+
+int Schema::index_of(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+size_t varint_size(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+size_t svarint_size(int64_t v) {
+  return varint_size((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+}
+
+}  // namespace
+
+size_t StreamPacket::serialized_size() const {
+  size_t n = svarint_size(event_time_ns_) + varint_size(fields_.size());
+  for (const auto& v : fields_) {
+    n += 1;  // type tag
+    switch (value_type(v)) {
+      case FieldType::kI32: n += svarint_size(std::get<int32_t>(v)); break;
+      case FieldType::kI64: n += svarint_size(std::get<int64_t>(v)); break;
+      case FieldType::kF32: n += 4; break;
+      case FieldType::kF64: n += 8; break;
+      case FieldType::kBool: n += 1; break;
+      case FieldType::kString: {
+        const auto& s = std::get<std::string>(v);
+        n += varint_size(s.size()) + s.size();
+        break;
+      }
+      case FieldType::kBytes: {
+        const auto& b = std::get<std::vector<uint8_t>>(v);
+        n += varint_size(b.size()) + b.size();
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+void StreamPacket::serialize(ByteBuffer& out) const {
+  out.write_svarint(event_time_ns_);
+  out.write_varint(fields_.size());
+  for (const auto& v : fields_) {
+    FieldType t = value_type(v);
+    out.write_u8(static_cast<uint8_t>(t));
+    switch (t) {
+      case FieldType::kI32: out.write_svarint(std::get<int32_t>(v)); break;
+      case FieldType::kI64: out.write_svarint(std::get<int64_t>(v)); break;
+      case FieldType::kF32: out.write_f32(std::get<float>(v)); break;
+      case FieldType::kF64: out.write_f64(std::get<double>(v)); break;
+      case FieldType::kBool: out.write_bool(std::get<bool>(v)); break;
+      case FieldType::kString: out.write_string(std::get<std::string>(v)); break;
+      case FieldType::kBytes: {
+        const auto& b = std::get<std::vector<uint8_t>>(v);
+        out.write_block(b);
+        break;
+      }
+    }
+  }
+}
+
+void StreamPacket::deserialize(ByteReader& in) {
+  clear();
+  event_time_ns_ = in.read_svarint();
+  uint64_t n = in.read_varint();
+  if (n > 1u << 20) throw PacketFormatError("absurd field count");
+  fields_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t tag = in.read_u8();
+    switch (static_cast<FieldType>(tag)) {
+      case FieldType::kI32:
+        fields_.emplace_back(static_cast<int32_t>(in.read_svarint()));
+        break;
+      case FieldType::kI64: fields_.emplace_back(in.read_svarint()); break;
+      case FieldType::kF32: fields_.emplace_back(in.read_f32()); break;
+      case FieldType::kF64: fields_.emplace_back(in.read_f64()); break;
+      case FieldType::kBool: fields_.emplace_back(in.read_bool()); break;
+      case FieldType::kString: fields_.emplace_back(in.read_string()); break;
+      case FieldType::kBytes: {
+        auto s = in.read_block();
+        fields_.emplace_back(std::vector<uint8_t>(s.begin(), s.end()));
+        break;
+      }
+      default: throw PacketFormatError("unknown field type tag");
+    }
+  }
+}
+
+uint64_t StreamPacket::field_hash(size_t i) const {
+  // FNV-1a over the value's canonical bytes.
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  auto mix = [](uint64_t h, const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    for (size_t j = 0; j < n; ++j) {
+      h ^= b[j];
+      h *= kPrime;
+    }
+    return h;
+  };
+  const Value& v = field(i);
+  uint64_t h = kOffset;
+  switch (value_type(v)) {
+    case FieldType::kI32: {
+      // Hash integers through their i64 widening so that the same logical
+      // key in an i32 or i64 field lands on the same partition.
+      int64_t x = std::get<int32_t>(v);
+      h = mix(h, &x, sizeof x);
+      break;
+    }
+    case FieldType::kI64: {
+      int64_t x = std::get<int64_t>(v);
+      h = mix(h, &x, sizeof x);
+      break;
+    }
+    case FieldType::kF32: {
+      float x = std::get<float>(v);
+      h = mix(h, &x, sizeof x);
+      break;
+    }
+    case FieldType::kF64: {
+      double x = std::get<double>(v);
+      h = mix(h, &x, sizeof x);
+      break;
+    }
+    case FieldType::kBool: {
+      uint8_t x = std::get<bool>(v) ? 1 : 0;
+      h = mix(h, &x, 1);
+      break;
+    }
+    case FieldType::kString: {
+      const auto& s = std::get<std::string>(v);
+      h = mix(h, s.data(), s.size());
+      break;
+    }
+    case FieldType::kBytes: {
+      const auto& b = std::get<std::vector<uint8_t>>(v);
+      h = mix(h, b.data(), b.size());
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace neptune

@@ -1,0 +1,134 @@
+// Stream packets (paper §III-A1): the most fine-grained element of data in
+// NEPTUNE. A packet is an ordered set of typed data fields plus an event
+// timestamp stamped at ingest (used for end-to-end latency accounting).
+//
+// The wire encoding is self-describing (a one-byte type tag per field) and
+// varint-compressed. Serde goes through reusable ByteBuffers and packets are
+// recycled through ObjectPools — the object-reuse scheme of §III-B3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/object_pool.hpp"
+
+namespace neptune {
+
+enum class FieldType : uint8_t {
+  kI32 = 0,
+  kI64 = 1,
+  kF32 = 2,
+  kF64 = 3,
+  kBool = 4,
+  kString = 5,
+  kBytes = 6,
+};
+
+const char* field_type_name(FieldType t);
+
+/// One typed field value. The variant order must match FieldType.
+using Value = std::variant<int32_t, int64_t, float, double, bool, std::string,
+                           std::vector<uint8_t>>;
+
+FieldType value_type(const Value& v);
+
+/// Optional schema: a named, ordered field layout. Packets do not carry
+/// their schema on the wire (the encoding is self-describing); schemas give
+/// operators name-based field access and validation.
+class Schema {
+ public:
+  struct Field {
+    std::string name;
+    FieldType type;
+  };
+
+  Schema() = default;
+  Schema(std::initializer_list<Field> fields);
+
+  Schema& add(std::string name, FieldType type);
+
+  size_t field_count() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_.at(i); }
+  /// Index of a named field, or -1.
+  int index_of(const std::string& name) const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+class StreamPacket {
+ public:
+  StreamPacket() = default;
+
+  /// Event timestamp (steady-clock ns), stamped when the packet entered the
+  /// system at a stream source.
+  int64_t event_time_ns() const { return event_time_ns_; }
+  void set_event_time_ns(int64_t t) { event_time_ns_ = t; }
+
+  size_t field_count() const { return fields_.size(); }
+  const Value& field(size_t i) const { return fields_.at(i); }
+  Value& field(size_t i) { return fields_.at(i); }
+
+  StreamPacket& add(Value v) {
+    fields_.push_back(std::move(v));
+    return *this;
+  }
+  StreamPacket& add_i32(int32_t v) { return add(Value(v)); }
+  StreamPacket& add_i64(int64_t v) { return add(Value(v)); }
+  StreamPacket& add_f32(float v) { return add(Value(v)); }
+  StreamPacket& add_f64(double v) { return add(Value(v)); }
+  StreamPacket& add_bool(bool v) { return add(Value(v)); }
+  StreamPacket& add_string(std::string v) { return add(Value(std::move(v))); }
+  StreamPacket& add_bytes(std::vector<uint8_t> v) { return add(Value(std::move(v))); }
+
+  int32_t i32(size_t i) const { return std::get<int32_t>(field(i)); }
+  int64_t i64(size_t i) const { return std::get<int64_t>(field(i)); }
+  float f32(size_t i) const { return std::get<float>(field(i)); }
+  double f64(size_t i) const { return std::get<double>(field(i)); }
+  bool boolean(size_t i) const { return std::get<bool>(field(i)); }
+  const std::string& str(size_t i) const { return std::get<std::string>(field(i)); }
+  const std::vector<uint8_t>& bytes(size_t i) const {
+    return std::get<std::vector<uint8_t>>(field(i));
+  }
+
+  /// Reset for reuse; keeps the field vector's capacity (object reuse).
+  void clear() {
+    fields_.clear();
+    event_time_ns_ = 0;
+  }
+
+  /// Wire size of this packet if serialized now.
+  size_t serialized_size() const;
+
+  /// Append the packet to `out`.
+  void serialize(ByteBuffer& out) const;
+
+  /// Read one packet from `in`, *reusing* this object's storage.
+  /// Throws BufferUnderflow / PacketFormatError on malformed input.
+  void deserialize(ByteReader& in);
+
+  /// Stable 64-bit hash of a field's value (for fields-hash partitioning).
+  uint64_t field_hash(size_t i) const;
+
+  bool operator==(const StreamPacket& o) const {
+    return event_time_ns_ == o.event_time_ns_ && fields_ == o.fields_;
+  }
+
+ private:
+  int64_t event_time_ns_ = 0;
+  std::vector<Value> fields_;
+};
+
+class PacketFormatError : public std::runtime_error {
+ public:
+  explicit PacketFormatError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Pool of reusable packets (paper §III-B3). One per operator instance.
+using PacketPool = ObjectPool<StreamPacket>;
+
+}  // namespace neptune

@@ -1,0 +1,35 @@
+#include "neptune/partitioning.hpp"
+
+#include <stdexcept>
+
+namespace neptune {
+
+uint32_t ShufflePartitioning::select(const StreamPacket&, uint32_t src_instance, uint32_t n) {
+  if (src_instance >= cursors_.size()) cursors_.resize(src_instance + 1);  // unprepared use
+  uint32_t& next = cursors_[src_instance].next;
+  uint32_t pick = next % n;
+  next = (next + 1) % n;
+  return pick;
+}
+
+uint32_t RandomPartitioning::select(const StreamPacket&, uint32_t src_instance, uint32_t n) {
+  if (src_instance >= states_.size()) prepare(src_instance + 1);  // unprepared use
+  // xorshift64* per sender lane.
+  uint64_t& s = states_[src_instance].s;
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return static_cast<uint32_t>((s * 2685821657736338717ULL) % n);
+}
+
+std::shared_ptr<PartitioningScheme> make_partitioning(const std::string& scheme, int field_index) {
+  if (scheme == "shuffle") return std::make_shared<ShufflePartitioning>();
+  if (scheme == "random") return std::make_shared<RandomPartitioning>();
+  if (scheme == "fields-hash")
+    return std::make_shared<FieldsHashPartitioning>(static_cast<size_t>(field_index));
+  if (scheme == "broadcast") return std::make_shared<BroadcastPartitioning>();
+  if (scheme == "direct") return std::make_shared<DirectPartitioning>();
+  throw std::invalid_argument("unknown partitioning scheme: " + scheme);
+}
+
+}  // namespace neptune

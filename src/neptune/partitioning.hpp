@@ -1,0 +1,124 @@
+// Stream partitioning schemes (paper §III-A6): given a packet emitted by a
+// source instance, pick the destination instance of the downstream
+// operator. NEPTUNE "supports a set of partitioning schemes natively and
+// also allows users to design custom partitioning schemes".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "neptune/packet.hpp"
+
+namespace neptune {
+
+/// Sentinel returned by a scheme to request delivery to *every* instance.
+inline constexpr uint32_t kBroadcastInstance = ~0u;
+
+class PartitioningScheme {
+ public:
+  virtual ~PartitioningScheme() = default;
+  virtual const char* name() const = 0;
+
+  /// Called once at wiring time with the upstream parallelism, before any
+  /// select(). Lets stateful schemes preallocate one lane per sender so
+  /// that concurrent select() calls from *distinct* src_instance values
+  /// are race-free.
+  virtual void prepare(uint32_t src_instances) { (void)src_instances; }
+
+  /// Destination instance in [0, instance_count), or kBroadcastInstance.
+  /// `src_instance` allows per-sender state (e.g. round-robin cursors) to
+  /// stay contention-free.
+  virtual uint32_t select(const StreamPacket& packet, uint32_t src_instance,
+                          uint32_t instance_count) = 0;
+};
+
+/// Round-robin per sender instance — NEPTUNE's default ("shuffle").
+class ShufflePartitioning final : public PartitioningScheme {
+ public:
+  const char* name() const override { return "shuffle"; }
+  void prepare(uint32_t src_instances) override { cursors_.resize(src_instances); }
+  uint32_t select(const StreamPacket&, uint32_t src_instance, uint32_t n) override;
+
+ private:
+  struct Cursor {
+    alignas(64) uint32_t next = 0;
+  };
+  std::vector<Cursor> cursors_;
+};
+
+/// Uniform random instance selection.
+class RandomPartitioning final : public PartitioningScheme {
+ public:
+  explicit RandomPartitioning(uint64_t seed = 0x9E3779B97F4A7C15ULL) : seed_(seed) {}
+  const char* name() const override { return "random"; }
+  void prepare(uint32_t src_instances) override {
+    states_.resize(src_instances);
+    for (uint32_t i = 0; i < src_instances; ++i) states_[i].s = (seed_ + i * 0x9E37u) | 1;
+  }
+  uint32_t select(const StreamPacket&, uint32_t src_instance, uint32_t n) override;
+
+ private:
+  struct Lane {
+    alignas(64) uint64_t s = 1;
+  };
+  uint64_t seed_;
+  std::vector<Lane> states_;
+};
+
+/// Key-grouped: hash of one field picks the instance, so all packets with
+/// the same key reach the same instance (stateful operators rely on this).
+class FieldsHashPartitioning final : public PartitioningScheme {
+ public:
+  explicit FieldsHashPartitioning(size_t field_index) : field_(field_index) {}
+  const char* name() const override { return "fields-hash"; }
+  uint32_t select(const StreamPacket& p, uint32_t, uint32_t n) override {
+    return static_cast<uint32_t>(p.field_hash(field_) % n);
+  }
+  size_t field_index() const { return field_; }
+
+ private:
+  size_t field_;
+};
+
+/// Every instance receives a copy of every packet.
+class BroadcastPartitioning final : public PartitioningScheme {
+ public:
+  const char* name() const override { return "broadcast"; }
+  uint32_t select(const StreamPacket&, uint32_t, uint32_t) override {
+    return kBroadcastInstance;
+  }
+};
+
+/// Sender instance i delivers to destination instance i % n (pipelines with
+/// matched parallelism become contention-free lanes).
+class DirectPartitioning final : public PartitioningScheme {
+ public:
+  const char* name() const override { return "direct"; }
+  uint32_t select(const StreamPacket&, uint32_t src_instance, uint32_t n) override {
+    return src_instance % n;
+  }
+};
+
+/// User-supplied function (paper: "custom partitioning schemes").
+class CustomPartitioning final : public PartitioningScheme {
+ public:
+  using Fn = std::function<uint32_t(const StreamPacket&, uint32_t src, uint32_t n)>;
+  explicit CustomPartitioning(Fn fn, std::string scheme_name = "custom")
+      : fn_(std::move(fn)), name_(std::move(scheme_name)) {}
+  const char* name() const override { return name_.c_str(); }
+  uint32_t select(const StreamPacket& p, uint32_t src, uint32_t n) override {
+    return fn_(p, src, n);
+  }
+
+ private:
+  Fn fn_;
+  std::string name_;
+};
+
+/// Factory used by the JSON topology loader.
+std::shared_ptr<PartitioningScheme> make_partitioning(const std::string& scheme,
+                                                      int field_index = 0);
+
+}  // namespace neptune

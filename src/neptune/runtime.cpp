@@ -1,0 +1,631 @@
+#include "neptune/runtime.hpp"
+
+#include <deque>
+#include <future>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+#include "compress/lz4.hpp"
+#include "net/frame.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace neptune {
+namespace detail {
+
+/// A decoded inbound batch of packets, recycled through an object pool —
+/// both the batch and the StreamPacket objects inside it are reused
+/// (paper §III-B3).
+struct Batch {
+  std::vector<StreamPacket> packets;
+  size_t count = 0;   ///< valid packets in `packets`
+  size_t cursor = 0;  ///< next packet to process (partial progress under backpressure)
+
+  void reset() {
+    count = 0;
+    cursor = 0;  // packet objects retained for reuse
+  }
+};
+
+/// Receiving half of one (link, src-instance) edge at a destination
+/// instance.
+struct InEdge {
+  std::shared_ptr<ChannelReceiver> rx;
+  FrameDecoder decoder;
+  uint64_t expected_seq = 0;
+  uint32_t link_id = 0;
+  uint32_t src_instance = 0;
+  bool drained = false;
+};
+
+/// Sending half of one output link: one StreamBuffer per destination
+/// instance, plus the link's partitioning scheme.
+struct OutLink {
+  const LinkDecl* decl = nullptr;
+  std::shared_ptr<PartitioningScheme> partitioning;
+  std::vector<std::unique_ptr<StreamBuffer>> dst;
+};
+
+/// One parallel instance of a stream operator: a Granules task + Emitter.
+class InstanceRuntime : public granules::ComputationalTask, public Emitter {
+ public:
+  InstanceRuntime(std::string op_id, uint32_t inst, uint32_t par, OperatorKind k,
+                  const GraphConfig& cfg, Job* job)
+      : op_id_(std::move(op_id)),
+        instance_(inst),
+        parallelism_(par),
+        kind_(k),
+        cfg_(cfg),
+        job_(job),
+        batch_pool_(ObjectPool<Batch>::create(/*max_idle=*/64)) {
+    task_name_ = op_id_ + "[" + std::to_string(instance_) + "]";
+  }
+
+  // --- wiring (called by Runtime::submit, before start) ----------------------
+  std::unique_ptr<StreamSource> source;
+  std::unique_ptr<StreamProcessor> processor;
+  std::vector<OutLink> outputs;
+  std::vector<InEdge> inputs;
+  granules::Resource* resource = nullptr;
+  uint64_t task_id = 0;
+
+  OperatorMetrics& metrics() { return metrics_; }
+  const OperatorMetrics& metrics() const { return metrics_; }
+  const std::string& op_id() const { return op_id_; }
+  uint32_t instance_index() const { return instance_; }
+  void request_stop() { stop_requested_.store(true, std::memory_order_release); }
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+  /// Checkpoint support: pause/resume source emission (processors drain
+  /// naturally once sources are quiet).
+  void set_paused(bool paused) { paused_.store(paused, std::memory_order_release); }
+
+  /// The Checkpointable view of the user operator, or nullptr.
+  Checkpointable* checkpointable() {
+    if (source) return dynamic_cast<Checkpointable*>(source.get());
+    return dynamic_cast<Checkpointable*>(processor.get());
+  }
+  const Checkpointable* checkpointable() const {
+    return const_cast<InstanceRuntime*>(this)->checkpointable();
+  }
+
+  // --- Emitter ---------------------------------------------------------------
+  EmitStatus emit(StreamPacket&& packet) override { return emit(0, std::move(packet)); }
+
+  EmitStatus emit(size_t link, StreamPacket&& packet) override {
+    if (link >= outputs.size())
+      throw GraphError(task_name_ + ": emit on unknown output link " + std::to_string(link));
+    if (packet.event_time_ns() == 0) packet.set_event_time_ns(now_ns());
+    OutLink& out = outputs[link];
+    uint32_t n = static_cast<uint32_t>(out.dst.size());
+    uint32_t pick = out.partitioning->select(packet, instance_, n);
+    if (pick == kBroadcastInstance) {
+      for (auto& buf : out.dst) {
+        if (!buf->add(packet)) output_blocked_ = true;
+        packets_emitted_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.packets_out.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      if (!out.dst[pick % n]->add(packet)) output_blocked_ = true;
+      packets_emitted_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.packets_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    return output_blocked_ ? EmitStatus::kBackpressured : EmitStatus::kOk;
+  }
+
+  size_t output_link_count() const override { return outputs.size(); }
+  uint32_t instance() const override { return instance_; }
+  uint64_t packets_emitted() const override {
+    return packets_emitted_.load(std::memory_order_relaxed);
+  }
+
+  // --- granules::ComputationalTask ---------------------------------------------
+  const std::string& name() const override { return task_name_; }
+
+  void initialize(granules::TaskContext&) override {
+    if (kind_ == OperatorKind::kSource) {
+      source->open(instance_, parallelism_);
+    } else {
+      processor->open(instance_, parallelism_);
+    }
+  }
+
+  void execute(granules::TaskContext& ctx) override {
+    metrics_.executions.fetch_add(1, std::memory_order_relaxed);
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      finalize(ctx, /*discard=*/true);
+      return;
+    }
+    if (!retry_blocked_outputs()) return;  // writable callback will re-notify
+    if (kind_ == OperatorKind::kSource) {
+      run_source(ctx);
+    } else {
+      run_processor(ctx);
+    }
+  }
+
+  /// IO-thread flush timer hook (paper §III-B1 latency bound).
+  void on_flush_timer() {
+    bool was_blocked = output_blocked_;
+    for (auto& out : outputs) {
+      for (auto& buf : out.dst) buf->on_timer();
+    }
+    if (was_blocked) {
+      // A parked frame may have been sent by the timer retry; let the task
+      // re-check (cheap no-op when still blocked).
+      resource->notify_data(task_id);
+    }
+  }
+
+ private:
+  // --- source path -----------------------------------------------------------
+  void run_source(granules::TaskContext& ctx) {
+    if (source_exhausted_) {
+      finalize(ctx, false);
+      return;
+    }
+    if (paused_.load(std::memory_order_acquire)) return;  // resume() re-notifies
+    bool more = source->next(*this, cfg_.source_batch_budget);
+    if (!more) {
+      source_exhausted_ = true;
+      finalize(ctx, false);
+      return;
+    }
+    if (output_blocked_) return;  // throttled (paper §III-B4)
+    ctx.request_reschedule();
+  }
+
+  // --- processor path ----------------------------------------------------------
+  void run_processor(granules::TaskContext& ctx) {
+    if (!drain_ready_batches()) return;  // output blocked mid-batch
+    size_t rounds = 0;
+    while (rounds < cfg_.max_batches_per_execution) {
+      if (!fetch_some_frames()) break;
+      ++rounds;
+      if (!drain_ready_batches()) return;
+    }
+    if (all_inputs_drained() && ready_.empty()) {
+      finalize(ctx, false);
+      return;
+    }
+    // When the per-execution budget was hit there may be more data; yield
+    // the worker (batched scheduling fairness) and reschedule. An edge that
+    // refills after our empty scan re-notifies via its data callback, and
+    // the Running->RunningDirty state machine guarantees no lost wakeup.
+    if (rounds == cfg_.max_batches_per_execution) ctx.request_reschedule();
+  }
+
+  /// Pull one chunk from the next input edge that has data; decode frames
+  /// into ready batches. Returns false when no edge had data.
+  bool fetch_some_frames() {
+    size_t n = inputs.size();
+    for (size_t step = 0; step < n; ++step) {
+      InEdge& e = inputs[(next_edge_ + step) % n];
+      if (e.drained) continue;
+      auto chunk = e.rx->try_receive();
+      if (!chunk) {
+        if (e.rx->closed() && e.decoder.pending_bytes() == 0) e.drained = true;
+        continue;
+      }
+      next_edge_ = (next_edge_ + step + 1) % n;
+      metrics_.bytes_in.fetch_add(chunk->size(), std::memory_order_relaxed);
+      FrameDecodeStatus s = e.decoder.feed(
+          *chunk, [&](const FrameHeader& h, std::span<const uint8_t> payload) {
+            ingest_frame(e, h, payload);
+          });
+      if (s == FrameDecodeStatus::kBadMagic || s == FrameDecodeStatus::kBadChecksum ||
+          s == FrameDecodeStatus::kBadLength) {
+        NEPTUNE_LOG_ERROR("%s: corrupt frame on link %u (status %d)", task_name_.c_str(),
+                          e.link_id, static_cast<int>(s));
+        metrics_.seq_violations.fetch_add(1, std::memory_order_relaxed);
+        e.decoder.reset();
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void ingest_frame(InEdge& e, const FrameHeader& h, std::span<const uint8_t> payload) {
+    std::span<const uint8_t> raw = payload;
+    if (h.compressed()) {
+      decompress_scratch_.resize(h.raw_size);
+      ptrdiff_t dn = lz4::decompress(payload, decompress_scratch_.data(), h.raw_size);
+      if (dn < 0 || static_cast<uint32_t>(dn) != h.raw_size) {
+        NEPTUNE_LOG_ERROR("%s: LZ4 decode failure on link %u", task_name_.c_str(), e.link_id);
+        metrics_.seq_violations.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      raw = {decompress_scratch_.data(), h.raw_size};
+    }
+    ByteReader r(raw);
+    uint32_t src_inst = r.read_u32();
+    uint64_t base_seq = r.read_u64();
+    // Exactly-once, in-order validation (paper §I-B).
+    if (h.link_id != e.link_id || src_inst != e.src_instance || base_seq != e.expected_seq) {
+      NEPTUNE_LOG_ERROR("%s: sequence violation on link %u src %u: base %llu expected %llu",
+                        task_name_.c_str(), e.link_id, src_inst,
+                        static_cast<unsigned long long>(base_seq),
+                        static_cast<unsigned long long>(e.expected_seq));
+      metrics_.seq_violations.fetch_add(1, std::memory_order_relaxed);
+    }
+    e.expected_seq = base_seq + h.batch_count;
+
+    auto batch = batch_pool_->acquire();
+    batch->reset();
+    if (batch->packets.size() < h.batch_count) batch->packets.resize(h.batch_count);
+    for (uint32_t i = 0; i < h.batch_count; ++i) {
+      batch->packets[i].deserialize(r);  // reuses packet storage
+    }
+    batch->count = h.batch_count;
+    metrics_.batches_in.fetch_add(1, std::memory_order_relaxed);
+    ready_.push_back(std::move(batch));
+  }
+
+  /// Process ready batches; stops (returning false) when an output edge
+  /// becomes flow-controlled. Partial progress is kept via the cursor.
+  bool drain_ready_batches() {
+    bool is_sink = outputs.empty();
+    while (!ready_.empty()) {
+      Batch& b = *ready_.front();
+      while (b.cursor < b.count) {
+        StreamPacket& p = b.packets[b.cursor];
+        metrics_.packets_in.fetch_add(1, std::memory_order_relaxed);
+        processor->process(p, *this);
+        if (is_sink && p.event_time_ns() > 0) {
+          int64_t lat = now_ns() - p.event_time_ns();
+          if (lat > 0) metrics_.sink_latency.record(static_cast<uint64_t>(lat));
+        }
+        ++b.cursor;
+        if (output_blocked_) return false;
+      }
+      ready_.pop_front();  // PoolPtr destructor recycles the batch
+    }
+    return true;
+  }
+
+  bool all_inputs_drained() {
+    for (auto& e : inputs) {
+      if (!e.drained) {
+        if (e.rx->closed() && e.decoder.pending_bytes() == 0) {
+          e.drained = true;
+        } else {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Retry every flow-controlled buffer. True when none remain blocked.
+  bool retry_blocked_outputs() {
+    if (!output_blocked_) return true;
+    bool all_ok = true;
+    for (auto& out : outputs) {
+      for (auto& buf : out.dst) {
+        if (buf->blocked()) all_ok &= buf->drain(false);
+      }
+    }
+    if (all_ok) output_blocked_ = false;
+    return all_ok;
+  }
+
+  void finalize(granules::TaskContext& ctx, bool discard) {
+    if (done_.load(std::memory_order_acquire)) {
+      ctx.request_termination();
+      return;
+    }
+    if (kind_ == OperatorKind::kProcessor && !close_called_ && !discard) {
+      close_called_ = true;
+      processor->close(*this);  // may emit final window aggregates
+    }
+    if (!discard) {
+      bool all_flushed = true;
+      for (auto& out : outputs) {
+        for (auto& buf : out.dst) all_flushed &= buf->drain(/*force=*/true);
+      }
+      if (!all_flushed) {
+        output_blocked_ = true;
+        return;  // finalize resumes when the writable callback fires
+      }
+    }
+    for (auto& out : outputs) {
+      for (auto& buf : out.dst) buf->close_channel();
+    }
+    if (kind_ == OperatorKind::kSource && source) source->close();
+    done_.store(true, std::memory_order_release);
+    ctx.request_termination();
+    job_->on_instance_done();
+  }
+
+  const std::string op_id_;
+  std::string task_name_;
+  const uint32_t instance_;
+  const uint32_t parallelism_;
+  const OperatorKind kind_;
+  const GraphConfig cfg_;
+  Job* job_;
+
+  OperatorMetrics metrics_;
+  std::atomic<uint64_t> packets_emitted_{0};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> done_{false};
+
+  // Worker-thread-only state (one thread at a time by the task contract).
+  bool output_blocked_ = false;
+  bool source_exhausted_ = false;
+  bool close_called_ = false;
+  size_t next_edge_ = 0;
+  std::shared_ptr<ObjectPool<Batch>> batch_pool_;
+  std::deque<ObjectPool<Batch>::PoolPtr> ready_;
+  std::vector<uint8_t> decompress_scratch_;
+};
+
+}  // namespace detail
+
+// --- Job -----------------------------------------------------------------------
+
+Job::~Job() {
+  for (size_t i = 0; i < timers_.size(); ++i) timer_loops_[i]->cancel_timer(timers_[i]);
+}
+
+void Job::start() {
+  start_ns_ = now_ns();
+  // Kick every source instance once; they self-reschedule from then on.
+  for (auto& inst : instances_) {
+    inst->resource->notify_data(inst->task_id);
+  }
+}
+
+void Job::on_instance_done() {
+  std::lock_guard lk(done_mu_);
+  ++done_count_;
+  if (done_count_ == instances_.size()) {
+    end_ns_.store(now_ns(), std::memory_order_release);
+    done_cv_.notify_all();
+  }
+}
+
+bool Job::wait(std::chrono::nanoseconds timeout) {
+  std::unique_lock lk(done_mu_);
+  return done_cv_.wait_for(lk, timeout, [&] { return done_count_ == instances_.size(); });
+}
+
+bool Job::completed() const {
+  std::lock_guard lk(done_mu_);
+  return done_count_ == instances_.size();
+}
+
+void Job::stop() {
+  for (auto& inst : instances_) {
+    inst->request_stop();
+    inst->resource->notify_data(inst->task_id);
+  }
+}
+
+void Job::pause() {
+  for (auto& inst : instances_) inst->set_paused(true);
+}
+
+void Job::resume() {
+  for (auto& inst : instances_) {
+    inst->set_paused(false);
+    inst->resource->notify_data(inst->task_id);
+  }
+}
+
+bool Job::quiesce(std::chrono::nanoseconds timeout) {
+  // With sources paused, the pipeline is drained once no counter moves
+  // across several consecutive samples (flush timers push out any partial
+  // buffers within their interval, which the sampling window covers).
+  int64_t deadline = now_ns() + timeout.count();
+  uint64_t last_signature = ~0ULL;
+  int stable = 0;
+  while (now_ns() < deadline) {
+    auto m = metrics();
+    uint64_t signature = m.total(&OperatorMetricsSnapshot::packets_in) * 1315423911u +
+                         m.total(&OperatorMetricsSnapshot::packets_out) * 2654435761u +
+                         m.total(&OperatorMetricsSnapshot::flushes);
+    if (signature == last_signature) {
+      if (++stable >= 5) return true;
+    } else {
+      stable = 0;
+      last_signature = signature;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+JobSnapshot Job::checkpoint_state() const {
+  JobSnapshot snap;
+  for (const auto& inst : instances_) {
+    if (const Checkpointable* c = inst->checkpointable()) {
+      ByteBuffer buf;
+      c->snapshot_state(buf);
+      snap.put(inst->op_id(), inst->instance_index(),
+               std::vector<uint8_t>(buf.contents().begin(), buf.contents().end()));
+    }
+  }
+  return snap;
+}
+
+void Job::restore_state(const JobSnapshot& snapshot) {
+  for (auto& inst : instances_) {
+    if (Checkpointable* c = inst->checkpointable()) {
+      if (const std::vector<uint8_t>* state =
+              snapshot.find(inst->op_id(), inst->instance_index())) {
+        ByteReader r(*state);
+        c->restore_state(r);
+      }
+    }
+  }
+}
+
+JobMetricsSnapshot Job::metrics() const {
+  JobMetricsSnapshot snap;
+  for (const auto& inst : instances_) {
+    OperatorMetricsSnapshot m = snapshot_of(inst->metrics());
+    m.operator_id = inst->op_id();
+    m.instance = inst->instance_index();
+    snap.operators.push_back(std::move(m));
+  }
+  int64_t end = end_ns_.load(std::memory_order_acquire);
+  snap.wall_time_ns = (end != 0 ? end : now_ns()) - start_ns_;
+  return snap;
+}
+
+// --- Runtime ----------------------------------------------------------------------
+
+Runtime::Runtime(size_t resources, granules::ResourceConfig base_config, RuntimeOptions options)
+    : options_(options) {
+  if (resources == 0) resources = 1;
+  for (size_t i = 0; i < resources; ++i) {
+    granules::ResourceConfig cfg = base_config;
+    if (cfg.name == "resource") cfg.name = "res" + std::to_string(i);
+    resources_.push_back(std::make_unique<granules::Resource>(cfg));
+    resources_.back()->start();
+  }
+}
+
+Runtime::~Runtime() { shutdown(); }
+
+void Runtime::shutdown() {
+  {
+    std::lock_guard lk(jobs_mu_);
+    for (auto& job : jobs_) {
+      if (!job->completed()) job->stop();
+    }
+    jobs_.clear();
+  }
+  for (auto& r : resources_) r->stop();
+}
+
+Runtime::EdgeChannel Runtime::make_edge_channel(granules::Resource* src, granules::Resource* dst,
+                                                const ChannelConfig& config) {
+  if (src == dst || options_.cross_resource_transport == EdgeTransport::kInproc) {
+    InprocPipe pipe = make_inproc_pipe(config);
+    return {pipe.sender, pipe.receiver};
+  }
+  // Real loopback TCP: one ephemeral-port listener per edge on the
+  // destination resource's IO loop; the source resource connects. The
+  // listener is discarded once the edge's connection is accepted.
+  auto accepted = std::make_shared<std::promise<std::shared_ptr<TcpConnection>>>();
+  auto accepted_future = accepted->get_future();
+  EventLoop* dst_loop = dst->io_loop(0);
+  TcpListener listener(dst_loop, /*port=*/0, [accepted, dst_loop, config](int fd) {
+    auto conn = TcpConnection::create(dst_loop, fd, config);
+    conn->start();
+    accepted->set_value(std::move(conn));
+  });
+
+  int fd = tcp_connect_blocking(listener.port());
+  if (fd < 0) throw GraphError("TCP edge setup failed: connect()");
+  auto client = TcpConnection::create(src->io_loop(0), fd, config);
+  client->start();
+  if (accepted_future.wait_for(std::chrono::seconds(5)) != std::future_status::ready)
+    throw GraphError("TCP edge setup failed: accept timeout");
+  return {client, accepted_future.get()};
+}
+
+std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
+  graph.validate();
+  const GraphConfig& cfg = graph.config();
+
+  auto job = std::shared_ptr<Job>(new Job());
+  job->name_ = graph.name();
+  for (auto& r : resources_) job->resources_.push_back(r.get());
+
+  // 1. Instantiate operator instances.
+  //    op_instances[op_index][instance] -> InstanceRuntime.
+  std::vector<std::vector<std::shared_ptr<detail::InstanceRuntime>>> op_instances;
+  size_t placement_cursor = 0;
+  for (size_t oi = 0; oi < graph.operators().size(); ++oi) {
+    const OperatorDecl& op = graph.operators()[oi];
+    std::vector<std::shared_ptr<detail::InstanceRuntime>> instances;
+    for (uint32_t inst = 0; inst < op.parallelism; ++inst) {
+      auto rt = std::make_shared<detail::InstanceRuntime>(op.id, inst, op.parallelism, op.kind,
+                                                          cfg, job.get());
+      if (op.kind == OperatorKind::kSource) {
+        rt->source = op.source_factory();
+      } else {
+        rt->processor = op.processor_factory();
+      }
+      // Placement: explicit resource pin, or round-robin over resources.
+      size_t res_index = op.resource >= 0 ? static_cast<size_t>(op.resource) % resources_.size()
+                                          : placement_cursor++ % resources_.size();
+      rt->resource = resources_[res_index].get();
+      instances.push_back(std::move(rt));
+    }
+    op_instances.push_back(std::move(instances));
+  }
+
+  // 2. Wire links: one channel + StreamBuffer per (src-instance, dst-instance).
+  for (const LinkDecl& link : graph.links()) {
+    auto& srcs = op_instances[link.from_op];
+    auto& dsts = op_instances[link.to_op];
+    link.partitioning->prepare(static_cast<uint32_t>(srcs.size()));
+    StreamBufferConfig buf_cfg = link.buffer_override.value_or(cfg.buffer);
+
+    for (auto& src : srcs) {
+      if (src->outputs.size() <= link.output_index) src->outputs.resize(link.output_index + 1);
+      detail::OutLink& out = src->outputs[link.output_index];
+      out.decl = &link;
+      out.partitioning = link.partitioning;
+      for (auto& dst : dsts) {
+        EdgeChannel pipe = make_edge_channel(src->resource, dst->resource, cfg.channel);
+        auto codec = std::make_shared<SelectiveCodec>(link.compression);
+        // Backpressure wiring (paper §III-B4): when the edge drains below
+        // its low watermark, re-notify the *sending* task; when data lands
+        // on an empty edge, notify the *receiving* task. Raw pointers are
+        // safe: both instances are owned by the Job that owns the channel.
+        detail::InstanceRuntime* src_raw = src.get();
+        pipe.sender->set_writable_callback(
+            [src_raw] { src_raw->resource->notify_data(src_raw->task_id); });
+        detail::InstanceRuntime* dst_raw = dst.get();
+        pipe.receiver->set_data_callback(
+            [dst_raw] { dst_raw->resource->notify_data(dst_raw->task_id); });
+        out.dst.push_back(std::make_unique<StreamBuffer>(link.link_id, src->instance_index(),
+                                                         pipe.sender, codec, buf_cfg,
+                                                         &src->metrics()));
+        detail::InEdge edge;
+        edge.rx = pipe.receiver;
+        edge.link_id = link.link_id;
+        edge.src_instance = src->instance_index();
+        dst->inputs.push_back(std::move(edge));
+      }
+    }
+  }
+
+  // 3. Deploy tasks (the callbacks above read task_id at fire time, and
+  //    nothing fires before start()).
+  for (auto& group : op_instances) {
+    for (auto& inst : group) {
+      inst->task_id = inst->resource->deploy(inst, granules::ScheduleSpec::on_data());
+      job->instances_.push_back(inst);
+    }
+  }
+
+  // 4. Flush timers: one periodic timer per instance on its resource's IO
+  //    loop (half the flush interval for Nyquist-ish timeliness).
+  for (auto& inst : job->instances_) {
+    int64_t interval = cfg.buffer.flush_interval_ns;
+    if (interval > 0) {
+      EventLoop* loop = inst->resource->io_loop(0);
+      auto weak = std::weak_ptr<detail::InstanceRuntime>(inst);
+      EventLoop::TimerId id = loop->run_every(std::max<int64_t>(interval / 2, 500'000), [weak] {
+        if (auto p = weak.lock()) p->on_flush_timer();
+      });
+      job->timers_.push_back(id);
+      job->timer_loops_.push_back(loop);
+    }
+  }
+
+  {
+    std::lock_guard lk(jobs_mu_);
+    jobs_.push_back(job);
+  }
+  return job;
+}
+
+}  // namespace neptune

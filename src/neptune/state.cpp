@@ -1,0 +1,44 @@
+#include "neptune/state.hpp"
+
+#include <stdexcept>
+
+#include "common/crc32.hpp"
+
+namespace neptune {
+
+void JobSnapshot::serialize(ByteBuffer& out) const {
+  ByteBuffer body;
+  body.write_varint(entries_.size());
+  for (const auto& [key, state] : entries_) {
+    body.write_string(key.first);
+    body.write_u32(key.second);
+    body.write_block(state);
+  }
+  out.write_u32(kMagic);
+  out.write_u8(1);  // version
+  out.write_u32(crc32(body.contents()));
+  out.write_block(body.contents());
+}
+
+JobSnapshot JobSnapshot::deserialize(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.read_u32() != kMagic) throw std::runtime_error("JobSnapshot: bad magic");
+  uint8_t version = r.read_u8();
+  if (version != 1) throw std::runtime_error("JobSnapshot: unsupported version");
+  uint32_t crc = r.read_u32();
+  auto body = r.read_block();
+  if (crc32(body) != crc) throw std::runtime_error("JobSnapshot: CRC mismatch");
+
+  JobSnapshot snap;
+  ByteReader br(body);
+  uint64_t n = br.read_varint();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string op = br.read_string();
+    uint32_t instance = br.read_u32();
+    auto state = br.read_block();
+    snap.put(op, instance, std::vector<uint8_t>(state.begin(), state.end()));
+  }
+  return snap;
+}
+
+}  // namespace neptune

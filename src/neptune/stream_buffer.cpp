@@ -1,0 +1,129 @@
+#include "neptune/stream_buffer.hpp"
+
+#include "net/frame.hpp"
+
+namespace neptune {
+
+StreamBuffer::StreamBuffer(uint32_t link_id, uint32_t src_instance,
+                           std::shared_ptr<ChannelSender> sender,
+                           std::shared_ptr<SelectiveCodec> codec, StreamBufferConfig config,
+                           OperatorMetrics* metrics, const Clock* clock)
+    : link_id_(link_id),
+      src_instance_(src_instance),
+      sender_(std::move(sender)),
+      codec_(std::move(codec)),
+      config_(config),
+      metrics_(metrics),
+      clock_(clock) {
+  accum_.reserve(config_.capacity_bytes + 4096);
+}
+
+bool StreamBuffer::add(const StreamPacket& packet) {
+  std::lock_guard lk(mu_);
+  if (accum_count_ == 0) {
+    // Start of a new batch: stamp the header placeholder and remember the
+    // arrival time of the first message (for the flush timer).
+    accum_.clear();
+    accum_.write_u32(src_instance_);
+    accum_.write_u64(next_seq_);
+    first_packet_ns_ = clock_->now_ns();
+  }
+  packet.serialize(accum_);
+  ++accum_count_;
+  ++next_seq_;
+
+  if (accum_.size() >= config_.capacity_bytes + BatchHeader::kSize) {
+    if (pending_.empty()) {
+      flush_locked();
+    } else {
+      // Previous frame still parked: retry it; only if that clears can the
+      // new content go out.
+      if (retry_pending_locked()) flush_locked();
+    }
+  }
+  return !blocked_;
+}
+
+bool StreamBuffer::flush_locked() {
+  // Payload = [BatchHeader][packets...], optionally compressed.
+  bool compressed = codec_->encode(accum_.contents(), codec_scratch_);
+
+  FrameHeader h;
+  h.link_id = link_id_;
+  h.batch_count = accum_count_;
+  h.raw_size = static_cast<uint32_t>(accum_.size());
+  if (compressed) h.flags |= FrameHeader::kFlagCompressed;
+
+  pending_.clear();
+  encode_frame(h, codec_scratch_, pending_);
+
+  accum_.clear();
+  accum_count_ = 0;
+  first_packet_ns_ = 0;
+  if (metrics_) metrics_->flushes.fetch_add(1, std::memory_order_relaxed);
+
+  return retry_pending_locked();
+}
+
+bool StreamBuffer::retry_pending_locked() {
+  if (pending_.empty()) return true;
+  SendStatus s = sender_->try_send(pending_.contents());
+  switch (s) {
+    case SendStatus::kOk:
+      if (metrics_) metrics_->bytes_out.fetch_add(pending_.size(), std::memory_order_relaxed);
+      pending_.clear();
+      blocked_ = false;
+      return true;
+    case SendStatus::kBlocked:
+      blocked_ = true;
+      if (metrics_) metrics_->blocked_sends.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    case SendStatus::kClosed:
+      // Downstream is gone; drop the frame to avoid wedging shutdown.
+      pending_.clear();
+      blocked_ = false;
+      return true;
+  }
+  return false;
+}
+
+void StreamBuffer::on_timer() {
+  std::lock_guard lk(mu_);
+  if (!pending_.empty()) {
+    retry_pending_locked();
+    return;
+  }
+  if (accum_count_ == 0 || config_.flush_interval_ns <= 0) return;
+  if (clock_->now_ns() - first_packet_ns_ < config_.flush_interval_ns) return;
+  if (metrics_) metrics_->timer_flushes.fetch_add(1, std::memory_order_relaxed);
+  flush_locked();
+}
+
+bool StreamBuffer::drain(bool force) {
+  std::lock_guard lk(mu_);
+  if (!retry_pending_locked()) return false;
+  if (accum_count_ > 0 &&
+      (force || accum_.size() >= config_.capacity_bytes + BatchHeader::kSize)) {
+    return flush_locked();
+  }
+  return accum_count_ == 0 || !force;
+}
+
+bool StreamBuffer::has_unflushed() const {
+  std::lock_guard lk(mu_);
+  return accum_count_ > 0 || !pending_.empty();
+}
+
+bool StreamBuffer::blocked() const {
+  std::lock_guard lk(mu_);
+  return blocked_;
+}
+
+void StreamBuffer::close_channel() { sender_->close(); }
+
+uint64_t StreamBuffer::next_seq() const {
+  std::lock_guard lk(mu_);
+  return next_seq_;
+}
+
+}  // namespace neptune

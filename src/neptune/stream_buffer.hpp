@@ -1,0 +1,106 @@
+// Application-level outbound buffer (paper §III-B1), one per
+// (link, source-instance, destination-instance) edge.
+//
+//  * Capacity is defined in *bytes*, not messages — "flush the buffer as
+//    soon as the required threshold is reached irrespective of the number
+//    of the messages in the buffer and their sizes".
+//  * A flush timer bounds queueing delay: "each buffer is equipped with a
+//    timer that guarantees flushing of the buffer after a certain time
+//    period since arrival of the first message".
+//  * Flushes pass through the link's SelectiveCodec (entropy-gated LZ4,
+//    §III-B5), are framed with a CRC, and are handed to the edge's
+//    ChannelSender. A rejected flush (flow control) parks the frame in
+//    `pending_` — the packet data is never dropped; the owning operator is
+//    descheduled until the channel's writable callback fires (§III-B4).
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "compress/selective.hpp"
+#include "net/channel.hpp"
+#include "neptune/metrics.hpp"
+#include "neptune/packet.hpp"
+
+namespace neptune {
+
+struct StreamBufferConfig {
+  /// Flush threshold in bytes (paper default configuration: 1 MB).
+  size_t capacity_bytes = 1 << 20;
+  /// Soft latency bound: flush this long after the first buffered packet
+  /// even if under capacity. 0 disables timer flushing (tests).
+  int64_t flush_interval_ns = 5'000'000;  // 5 ms
+};
+
+/// Per-edge batch header carried inside every frame payload, ahead of the
+/// serialized packets.
+struct BatchHeader {
+  static constexpr size_t kSize = 4 + 8;
+  uint32_t src_instance = 0;
+  uint64_t base_seq = 0;
+};
+
+class StreamBuffer {
+ public:
+  StreamBuffer(uint32_t link_id, uint32_t src_instance, std::shared_ptr<ChannelSender> sender,
+               std::shared_ptr<SelectiveCodec> codec, StreamBufferConfig config,
+               OperatorMetrics* metrics, const Clock* clock = &SteadyClock::instance());
+
+  StreamBuffer(const StreamBuffer&) = delete;
+  StreamBuffer& operator=(const StreamBuffer&) = delete;
+
+  /// Serialize one packet into the buffer, assigning the edge sequence
+  /// number. Triggers a flush attempt when the capacity threshold is
+  /// crossed. Returns false when the edge is now flow-controlled (caller
+  /// should stop producing).
+  bool add(const StreamPacket& packet);
+
+  /// Timer hook: flush if the oldest buffered packet has waited past the
+  /// interval. Called from the IO thread.
+  void on_timer();
+
+  /// Retry a parked frame and/or flush remaining content. `force` flushes
+  /// even below capacity (used at end-of-stream). Returns true when
+  /// nothing remains unflushed.
+  bool drain(bool force);
+
+  /// True if a parked frame or buffered bytes exist.
+  bool has_unflushed() const;
+
+  /// True when the edge would currently accept a flush.
+  bool blocked() const;
+
+  void close_channel();
+
+  uint32_t link_id() const { return link_id_; }
+  uint32_t src_instance() const { return src_instance_; }
+  uint64_t next_seq() const;
+
+ private:
+  /// Build a frame from the accumulation buffer and try to send it.
+  /// Pre: lock held, accum non-empty, no pending frame.
+  bool flush_locked();
+  /// Try to send the parked frame. Pre: lock held.
+  bool retry_pending_locked();
+
+  const uint32_t link_id_;
+  const uint32_t src_instance_;
+  std::shared_ptr<ChannelSender> sender_;
+  std::shared_ptr<SelectiveCodec> codec_;
+  const StreamBufferConfig config_;
+  OperatorMetrics* metrics_;
+  const Clock* clock_;
+
+  mutable std::mutex mu_;
+  ByteBuffer accum_;          // batch header + serialized packets
+  uint32_t accum_count_ = 0;  // packets in accum_
+  uint64_t next_seq_ = 0;     // seq of the next packet added
+  int64_t first_packet_ns_ = 0;
+  ByteBuffer pending_;        // fully framed bytes rejected by flow control
+  std::vector<uint8_t> codec_scratch_;
+  bool blocked_ = false;
+};
+
+}  // namespace neptune

@@ -1,0 +1,245 @@
+#include "neptune/window.hpp"
+
+#include <cmath>
+
+namespace neptune::window {
+
+double numeric_field(const StreamPacket& packet, size_t index) {
+  const Value& v = packet.field(index);
+  switch (value_type(v)) {
+    case FieldType::kI32: return static_cast<double>(std::get<int32_t>(v));
+    case FieldType::kI64: return static_cast<double>(std::get<int64_t>(v));
+    case FieldType::kF32: return static_cast<double>(std::get<float>(v));
+    case FieldType::kF64: return std::get<double>(v);
+    case FieldType::kBool: return std::get<bool>(v) ? 1.0 : 0.0;
+    default: throw PacketFormatError("window: field is not numeric");
+  }
+}
+
+// --- TumblingAggregator ----------------------------------------------------------
+
+TumblingAggregator::TumblingAggregator(WindowConfig config) : config_(config) {}
+
+std::string TumblingAggregator::key_of(const StreamPacket& packet) const {
+  if (config_.key_field < 0) return "";
+  const Value& v = packet.field(static_cast<size_t>(config_.key_field));
+  if (value_type(v) == FieldType::kString) return std::get<std::string>(v);
+  // Integer-ish keys stringify; keeps one map type for all key kinds.
+  return std::to_string(static_cast<int64_t>(numeric_field(packet, static_cast<size_t>(
+                                                               config_.key_field))));
+}
+
+void TumblingAggregator::emit_window(const std::string& key, const WindowStats& w, Emitter& out) {
+  StreamPacket p;
+  p.add_i64(w.window_start_ms);
+  p.add_string(key);
+  p.add_i64(static_cast<int64_t>(w.count));
+  p.add_f64(w.sum);
+  p.add_f64(w.mean());
+  p.add_f64(w.min);
+  p.add_f64(w.max);
+  ++windows_emitted_;
+  out.emit(std::move(p));
+}
+
+void TumblingAggregator::advance_watermark(int64_t event_ms, Emitter& out) {
+  if (event_ms <= watermark_ms_) return;
+  watermark_ms_ = event_ms;
+  // Close every window whose end is at or before the watermark.
+  for (auto& [key, windows] : open_) {
+    while (!windows.empty() &&
+           windows.begin()->first + config_.window_ms <= watermark_ms_) {
+      emit_window(key, windows.begin()->second, out);
+      windows.erase(windows.begin());
+    }
+  }
+}
+
+void TumblingAggregator::process(StreamPacket& packet, Emitter& out) {
+  int64_t t = std::get<int64_t>(packet.field(config_.time_field));
+  double v = numeric_field(packet, config_.value_field);
+  int64_t start = t - ((t % config_.window_ms) + config_.window_ms) % config_.window_ms;
+
+  // Late data: its window already closed.
+  if (watermark_ms_ != INT64_MIN && start + config_.window_ms <= watermark_ms_) {
+    ++late_packets_;
+    return;
+  }
+
+  auto& windows = open_[key_of(packet)];
+  auto [it, inserted] = windows.try_emplace(start);
+  WindowStats& w = it->second;
+  if (inserted) {
+    w.window_start_ms = start;
+    w.min = v;
+    w.max = v;
+  }
+  ++w.count;
+  w.sum += v;
+  if (v < w.min) w.min = v;
+  if (v > w.max) w.max = v;
+
+  advance_watermark(t, out);
+}
+
+void TumblingAggregator::close(Emitter& out) {
+  for (auto& [key, windows] : open_) {
+    for (auto& [start, w] : windows) emit_window(key, w, out);
+  }
+  open_.clear();
+}
+
+void TumblingAggregator::snapshot_state(ByteBuffer& out) const {
+  out.write_svarint(watermark_ms_);
+  out.write_varint(late_packets_);
+  out.write_varint(windows_emitted_);
+  out.write_varint(open_.size());
+  for (const auto& [key, windows] : open_) {
+    out.write_string(key);
+    out.write_varint(windows.size());
+    for (const auto& [start, w] : windows) {
+      out.write_svarint(start);
+      out.write_varint(w.count);
+      out.write_f64(w.sum);
+      out.write_f64(w.min);
+      out.write_f64(w.max);
+    }
+  }
+}
+
+void TumblingAggregator::restore_state(ByteReader& in) {
+  open_.clear();
+  watermark_ms_ = in.read_svarint();
+  late_packets_ = in.read_varint();
+  windows_emitted_ = in.read_varint();
+  uint64_t keys = in.read_varint();
+  for (uint64_t k = 0; k < keys; ++k) {
+    std::string key = in.read_string();
+    uint64_t windows = in.read_varint();
+    auto& per_key = open_[key];
+    for (uint64_t i = 0; i < windows; ++i) {
+      WindowStats w;
+      w.window_start_ms = in.read_svarint();
+      w.count = in.read_varint();
+      w.sum = in.read_f64();
+      w.min = in.read_f64();
+      w.max = in.read_f64();
+      per_key[w.window_start_ms] = w;
+    }
+  }
+}
+
+// --- SlidingAggregator ---------------------------------------------------------
+
+SlidingAggregator::SlidingAggregator(WindowConfig config) : config_(config) {}
+
+void SlidingAggregator::evict(int64_t now_ms) {
+  int64_t horizon = now_ms - config_.window_ms;
+  while (!samples_.empty() && samples_.front().first < horizon) {
+    sum_ -= samples_.front().second;
+    samples_.pop_front();
+  }
+  while (!min_q_.empty() && min_q_.front().first < horizon) min_q_.pop_front();
+  while (!max_q_.empty() && max_q_.front().first < horizon) max_q_.pop_front();
+}
+
+void SlidingAggregator::process(StreamPacket& packet, Emitter& out) {
+  int64_t t = std::get<int64_t>(packet.field(config_.time_field));
+  double v = numeric_field(packet, config_.value_field);
+  samples_.emplace_back(t, v);
+  sum_ += v;
+  while (!min_q_.empty() && min_q_.back().second >= v) min_q_.pop_back();
+  min_q_.emplace_back(t, v);
+  while (!max_q_.empty() && max_q_.back().second <= v) max_q_.pop_back();
+  max_q_.emplace_back(t, v);
+  evict(t);
+
+  StreamPacket o;
+  o.set_event_time_ns(packet.event_time_ns());
+  o.add_i64(t);
+  o.add_i64(static_cast<int64_t>(samples_.size()));
+  o.add_f64(sum_);
+  o.add_f64(samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size()));
+  o.add_f64(min_q_.empty() ? 0.0 : min_q_.front().second);
+  o.add_f64(max_q_.empty() ? 0.0 : max_q_.front().second);
+  out.emit(std::move(o));
+}
+
+// --- CountWindowAggregator --------------------------------------------------------
+
+CountWindowAggregator::CountWindowAggregator(uint64_t count, size_t value_field, int key_field)
+    : count_(count == 0 ? 1 : count), value_field_(value_field), key_field_(key_field) {}
+
+std::string CountWindowAggregator::key_of(const StreamPacket& packet) const {
+  if (key_field_ < 0) return "";
+  const Value& v = packet.field(static_cast<size_t>(key_field_));
+  if (value_type(v) == FieldType::kString) return std::get<std::string>(v);
+  return std::to_string(
+      static_cast<int64_t>(numeric_field(packet, static_cast<size_t>(key_field_))));
+}
+
+void CountWindowAggregator::emit_bucket(const std::string& key, Emitter& out) {
+  Bucket& b = buckets_[key];
+  if (b.n == 0) return;
+  StreamPacket o;
+  o.add_string(key);
+  o.add_i64(static_cast<int64_t>(b.n));
+  o.add_f64(b.sum);
+  o.add_f64(b.sum / static_cast<double>(b.n));
+  o.add_f64(b.min);
+  o.add_f64(b.max);
+  b = Bucket{};
+  out.emit(std::move(o));
+}
+
+void CountWindowAggregator::process(StreamPacket& packet, Emitter& out) {
+  std::string key = key_of(packet);
+  double v = numeric_field(packet, value_field_);
+  Bucket& b = buckets_[key];
+  if (b.n == 0) {
+    b.min = v;
+    b.max = v;
+  }
+  ++b.n;
+  b.sum += v;
+  if (v < b.min) b.min = v;
+  if (v > b.max) b.max = v;
+  if (b.n >= count_) emit_bucket(key, out);
+}
+
+void CountWindowAggregator::close(Emitter& out) {
+  for (auto& [key, b] : buckets_) {
+    if (b.n > 0) emit_bucket(key, out);
+  }
+}
+
+// --- SlidingChangeDetector ------------------------------------------------------
+
+SlidingChangeDetector::SlidingChangeDetector(WindowConfig config, double threshold)
+    : config_(config), threshold_(threshold) {}
+
+void SlidingChangeDetector::process(StreamPacket& packet, Emitter& out) {
+  int64_t t = std::get<int64_t>(packet.field(config_.time_field));
+  double v = numeric_field(packet, config_.value_field);
+  samples_.emplace_back(t, v);
+  sum_ += v;
+  ++count_;
+  while (!samples_.empty() && samples_.front().first < t - config_.window_ms) {
+    sum_ -= samples_.front().second;
+    --count_;
+    samples_.pop_front();
+  }
+  double mean = sum_ / static_cast<double>(count_);
+  if (!emitted_once_ || std::fabs(mean - last_emitted_mean_) >= threshold_) {
+    emitted_once_ = true;
+    last_emitted_mean_ = mean;
+    ++emissions_;
+    StreamPacket p;
+    p.set_event_time_ns(packet.event_time_ns());
+    p.add_i64(t);
+    p.add_f64(mean);
+    out.emit(std::move(p));
+  }
+}
+
+}  // namespace neptune::window

@@ -1,0 +1,385 @@
+#include "neptune/workload.hpp"
+
+#include "common/clock.hpp"
+
+#include <fstream>
+
+namespace neptune::workload {
+
+// --- BytesSource -------------------------------------------------------------
+
+BytesSource::BytesSource(uint64_t total_packets, size_t payload_bytes, PayloadKind kind,
+                         uint64_t seed)
+    : total_packets_(total_packets), payload_bytes_(payload_bytes), kind_(kind), rng_(seed) {}
+
+void BytesSource::open(uint32_t instance, uint32_t parallelism) {
+  if (total_packets_ == 0) {
+    quota_ = 0;  // unbounded
+    return;
+  }
+  // Split the packet budget across instances; earlier instances absorb the
+  // remainder so the totals add up exactly.
+  uint64_t base = total_packets_ / parallelism;
+  uint64_t extra = instance < total_packets_ % parallelism ? 1 : 0;
+  quota_ = base + extra;
+  // Decorrelate instances' payload streams.
+  rng_ = Xoshiro256(rng_.next_u64() ^ (0x9E3779B97F4A7C15ULL * (instance + 1)));
+}
+
+void BytesSource::fill_payload(std::vector<uint8_t>& payload) {
+  payload.resize(payload_bytes_);
+  switch (kind_) {
+    case PayloadKind::kZero:
+      std::fill(payload.begin(), payload.end(), 0);
+      break;
+    case PayloadKind::kText: {
+      // Repetitive telemetry text; a fresh reading id every packet keeps it
+      // from being *perfectly* constant.
+      static constexpr char kTemplate[] = "id=0000,temp=21.5,hum=40.2,valve=open,flow=ok;";
+      uint32_t id = static_cast<uint32_t>(rng_.next_below(10000));
+      for (size_t i = 0; i < payload.size(); ++i) {
+        char c = kTemplate[i % (sizeof kTemplate - 1)];
+        payload[i] = static_cast<uint8_t>(c);
+      }
+      if (payload.size() >= 7) {
+        payload[3] = static_cast<uint8_t>('0' + id / 1000 % 10);
+        payload[4] = static_cast<uint8_t>('0' + id / 100 % 10);
+        payload[5] = static_cast<uint8_t>('0' + id / 10 % 10);
+        payload[6] = static_cast<uint8_t>('0' + id % 10);
+      }
+      break;
+    }
+    case PayloadKind::kRandom:
+      for (auto& b : payload) b = static_cast<uint8_t>(rng_.next_u64());
+      break;
+  }
+}
+
+bool BytesSource::next(Emitter& out, size_t budget) {
+  std::vector<uint8_t> payload;
+  for (size_t i = 0; i < budget; ++i) {
+    if (total_packets_ != 0 && emitted_ >= quota_) return false;
+    fill_payload(payload);
+    StreamPacket p;
+    p.set_event_time_ns(now_ns());
+    p.add_i64(static_cast<int64_t>(emitted_));
+    p.add_bytes(std::move(payload));
+    ++emitted_;
+    payload.clear();
+    if (out.emit(std::move(p)) == EmitStatus::kBackpressured) break;
+  }
+  return total_packets_ == 0 || emitted_ < quota_;
+}
+
+// --- RelayProcessor / CountingSink --------------------------------------------
+
+void RelayProcessor::process(StreamPacket& packet, Emitter& out) {
+  StreamPacket copy = packet;  // keep arrival timestamp for latency tracking
+  out.emit(std::move(copy));
+}
+
+void CountingSink::process(StreamPacket& packet, Emitter&) {
+  (void)packet;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (delay_ns_ > 0) {
+    int64_t until = now_ns() + delay_ns_;
+    while (now_ns() < until) {
+      // spin: emulates CPU-bound per-packet work
+    }
+  }
+}
+
+// --- VariableRateSink ------------------------------------------------------------
+
+VariableRateSink::VariableRateSink(std::vector<int64_t> sleep_steps_ns,
+                                   uint64_t step_every_packets, int64_t step_every_ns)
+    : sleep_steps_ns_(std::move(sleep_steps_ns)),
+      step_every_(step_every_packets),
+      step_every_ns_(step_every_ns) {}
+
+void VariableRateSink::advance_step() {
+  size_t steps = sleep_steps_ns_.empty() ? 1 : sleep_steps_ns_.size();
+  step_.store((step_.load(std::memory_order_relaxed) + 1) % steps, std::memory_order_relaxed);
+}
+
+void VariableRateSink::process(StreamPacket&, Emitter&) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  int64_t delay = current_delay_ns();
+  if (delay > 0) {
+    int64_t until = now_ns() + delay;
+    while (now_ns() < until) {
+    }
+  }
+  if (step_every_ns_ > 0) {
+    int64_t now = now_ns();
+    if (step_started_ns_ == 0) step_started_ns_ = now;
+    if (now - step_started_ns_ >= step_every_ns_) {
+      step_started_ns_ = now;
+      advance_step();
+    }
+  } else if (++in_step_ >= step_every_) {
+    in_step_ = 0;
+    advance_step();
+  }
+}
+
+// --- ManufacturingSource ----------------------------------------------------------
+
+ManufacturingSource::ManufacturingSource(ManufacturingConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void ManufacturingSource::open(uint32_t instance, uint32_t parallelism) {
+  if (config_.total_readings != 0) {
+    uint64_t base = config_.total_readings / parallelism;
+    quota_ = base + (instance < config_.total_readings % parallelism ? 1 : 0);
+  }
+  rng_ = Xoshiro256(config_.seed ^ (0x6A09E667F3BCC909ULL * (instance + 1)));
+  for (auto& a : aux_) a = static_cast<int32_t>(rng_.next_below(1000));
+}
+
+bool ManufacturingSource::next(Emitter& out, size_t budget) {
+  using S = ManufacturingSchema;
+  for (size_t i = 0; i < budget; ++i) {
+    if (config_.total_readings != 0 && emitted_ >= quota_) return false;
+
+    // Advance the plant state: rare sensor flips, lagged valve actuation.
+    for (size_t s = 0; s < S::kSensors; ++s) {
+      if (pending_actuation_[s] > 0) {
+        if (--pending_actuation_[s] == 0) valves_[s] = sensors_[s];
+      }
+      if (rng_.next_bool(config_.sensor_flip_probability)) {
+        sensors_[s] = !sensors_[s];
+        pending_actuation_[s] = config_.actuation_lag_readings;
+      }
+    }
+    // Aux channels: slow drift (low entropy) or white noise (high entropy).
+    for (size_t a = S::kAuxBase; a < S::kTotalFields; ++a) {
+      if (config_.low_entropy_aux) {
+        if (rng_.next_bool(0.01))
+          aux_[a] += static_cast<int32_t>(rng_.next_below(3)) - 1;
+      } else {
+        aux_[a] = static_cast<int32_t>(rng_.next_u64());
+      }
+    }
+    sim_time_ms_ += 1;
+
+    StreamPacket p;
+    p.set_event_time_ns(now_ns());
+    p.add_i64(sim_time_ms_);
+    for (size_t s = 0; s < S::kSensors; ++s) p.add_bool(sensors_[s]);
+    for (size_t s = 0; s < S::kSensors; ++s) p.add_bool(valves_[s]);
+    for (size_t a = S::kAuxBase; a < S::kTotalFields; ++a) p.add_i32(aux_[a]);
+    ++emitted_;
+    if (out.emit(std::move(p)) == EmitStatus::kBackpressured) break;
+  }
+  return config_.total_readings == 0 || emitted_ < quota_;
+}
+
+// --- SensorStateExtractor ------------------------------------------------------------
+
+void SensorStateExtractor::process(StreamPacket& packet, Emitter& out) {
+  using S = ManufacturingSchema;
+  StreamPacket slim;
+  slim.set_event_time_ns(packet.event_time_ns());
+  slim.add_i64(packet.i64(S::kTimestamp));
+  for (size_t s = 0; s < S::kSensors; ++s) slim.add_bool(packet.boolean(S::kSensorBase + s));
+  for (size_t s = 0; s < S::kSensors; ++s) slim.add_bool(packet.boolean(S::kValveBase + s));
+  out.emit(std::move(slim));
+}
+
+// --- ChangeDetector ------------------------------------------------------------------
+
+void ChangeDetector::process(StreamPacket& packet, Emitter& out) {
+  using S = ManufacturingSchema;
+  int64_t ts = packet.i64(0);
+  for (size_t s = 0; s < S::kSensors; ++s) {
+    bool sensor = packet.boolean(1 + s);
+    bool valve = packet.boolean(1 + S::kSensors + s);
+    if (primed_) {
+      if (sensor != last_sensor_[s]) {
+        StreamPacket ev;
+        ev.set_event_time_ns(packet.event_time_ns());
+        ev.add_i64(ts);
+        ev.add_i32(static_cast<int32_t>(s));
+        ev.add_i32(0);  // 0 = sensor change
+        ev.add_bool(sensor);
+        out.emit(std::move(ev));
+      }
+      if (valve != last_valve_[s]) {
+        StreamPacket ev;
+        ev.set_event_time_ns(packet.event_time_ns());
+        ev.add_i64(ts);
+        ev.add_i32(static_cast<int32_t>(s));
+        ev.add_i32(1);  // 1 = valve actuation
+        ev.add_bool(valve);
+        out.emit(std::move(ev));
+      }
+    }
+    last_sensor_[s] = sensor;
+    last_valve_[s] = valve;
+  }
+  primed_ = true;
+}
+
+// --- ActuationDelayMonitor ---------------------------------------------------------------
+
+ActuationDelayMonitor::ActuationDelayMonitor(int64_t window_ms) : window_ms_(window_ms) {
+  for (auto& p : pending_change_ms_) p = -1;
+}
+
+void ActuationDelayMonitor::expire(int64_t now_ms) {
+  while (!window_.empty() && window_.front().first < now_ms - window_ms_) {
+    window_delay_sum_ -= static_cast<double>(window_.front().second);
+    window_.pop_front();
+  }
+}
+
+void ActuationDelayMonitor::process(StreamPacket& packet, Emitter&) {
+  int64_t ts = packet.i64(0);
+  auto sensor = static_cast<size_t>(packet.i32(1));
+  int32_t kind = packet.i32(2);
+  if (sensor >= ManufacturingSchema::kSensors) return;
+  if (kind == 0) {  // sensor change: remember when
+    pending_change_ms_[sensor] = ts;
+  } else if (pending_change_ms_[sensor] >= 0) {  // valve actuated
+    int64_t delay = ts - pending_change_ms_[sensor];
+    pending_change_ms_[sensor] = -1;
+    expire(ts);
+    window_.emplace_back(ts, delay);
+    window_delay_sum_ += static_cast<double>(delay);
+    delays_observed_.fetch_add(1, std::memory_order_relaxed);
+    delay_sum_ms_.fetch_add(static_cast<uint64_t>(delay), std::memory_order_relaxed);
+  }
+}
+
+void ActuationDelayMonitor::close(Emitter& out) {
+  if (out.output_link_count() == 0) return;
+  StreamPacket summary;
+  summary.add_i64(static_cast<int64_t>(delays_observed_.load()));
+  summary.add_f64(mean_delay_ms());
+  out.emit(std::move(summary));
+}
+
+double ActuationDelayMonitor::mean_delay_ms() const {
+  uint64_t n = delays_observed_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  return static_cast<double>(delay_sum_ms_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+// --- CSV replay --------------------------------------------------------------
+
+StreamPacket parse_csv_row(const std::string& line, const Schema& schema) {
+  StreamPacket p;
+  size_t pos = 0;
+  for (size_t f = 0; f < schema.field_count(); ++f) {
+    size_t comma = line.find(',', pos);
+    bool last = f + 1 == schema.field_count();
+    if (!last && comma == std::string::npos)
+      throw PacketFormatError("csv row has too few columns: " + line);
+    std::string cell = last ? line.substr(pos)
+                            : line.substr(pos, comma - pos);
+    pos = comma == std::string::npos ? line.size() : comma + 1;
+    try {
+      switch (schema.field(f).type) {
+        case FieldType::kI32: p.add_i32(static_cast<int32_t>(std::stol(cell))); break;
+        case FieldType::kI64: p.add_i64(std::stoll(cell)); break;
+        case FieldType::kF32: p.add_f32(std::stof(cell)); break;
+        case FieldType::kF64: p.add_f64(std::stod(cell)); break;
+        case FieldType::kBool:
+          p.add_bool(cell == "1" || cell == "true" || cell == "TRUE");
+          break;
+        case FieldType::kString: p.add_string(std::move(cell)); break;
+        case FieldType::kBytes:
+          throw PacketFormatError("csv replay does not support bytes columns");
+      }
+    } catch (const std::invalid_argument&) {
+      throw PacketFormatError("csv cell not parseable as " +
+                              std::string(field_type_name(schema.field(f).type)) + ": '" +
+                              cell + "'");
+    } catch (const std::out_of_range&) {
+      throw PacketFormatError("csv cell out of range: '" + cell + "'");
+    }
+  }
+  return p;
+}
+
+struct CsvReplaySource::FileState {
+  std::ifstream in;
+};
+
+CsvReplaySource::CsvReplaySource(std::string path, Schema schema, uint64_t max_rows)
+    : path_(std::move(path)), schema_(std::move(schema)), max_rows_(max_rows) {}
+
+CsvReplaySource::~CsvReplaySource() = default;
+
+void CsvReplaySource::open(uint32_t instance, uint32_t parallelism) {
+  instance_ = instance;
+  parallelism_ = parallelism == 0 ? 1 : parallelism;
+  file_ = std::make_unique<FileState>();
+  file_->in.open(path_);
+  if (!file_->in) throw std::runtime_error("CsvReplaySource: cannot open " + path_);
+}
+
+bool CsvReplaySource::next(Emitter& out, size_t budget) {
+  if (!file_ || !file_->in) return false;
+  std::string line;
+  // Restored from a checkpoint: skip rows the previous run already emitted.
+  while (row_index_ < resume_from_row_) {
+    if (!std::getline(file_->in, line)) return false;
+    ++row_index_;
+  }
+  size_t produced = 0;
+  while (produced < budget) {
+    if (max_rows_ != 0 && row_index_ >= max_rows_) return false;
+    if (!std::getline(file_->in, line)) return false;  // EOF: source done
+    uint64_t row = row_index_++;
+    if (line.empty()) continue;
+    if (row % parallelism_ != instance_) continue;  // another instance's row
+    StreamPacket p = parse_csv_row(line, schema_);
+    p.set_event_time_ns(now_ns());
+    ++emitted_;
+    ++produced;
+    if (out.emit(std::move(p)) == EmitStatus::kBackpressured) break;
+  }
+  return true;
+}
+
+void CsvReplaySource::close() { file_.reset(); }
+
+struct CsvFileSink::FileState {
+  std::ofstream out;
+};
+
+CsvFileSink::CsvFileSink(std::string path) : path_(std::move(path)) {
+  file_ = std::make_unique<FileState>();
+  file_->out.open(path_);
+  if (!file_->out) throw std::runtime_error("CsvFileSink: cannot open " + path_);
+}
+
+CsvFileSink::~CsvFileSink() = default;
+
+void CsvFileSink::process(StreamPacket& packet, Emitter&) {
+  auto& out = file_->out;
+  for (size_t f = 0; f < packet.field_count(); ++f) {
+    if (f > 0) out << ',';
+    const Value& v = packet.field(f);
+    switch (value_type(v)) {
+      case FieldType::kI32: out << std::get<int32_t>(v); break;
+      case FieldType::kI64: out << std::get<int64_t>(v); break;
+      case FieldType::kF32: out << std::get<float>(v); break;
+      case FieldType::kF64: out << std::get<double>(v); break;
+      case FieldType::kBool: out << (std::get<bool>(v) ? 1 : 0); break;
+      case FieldType::kString: out << std::get<std::string>(v); break;
+      case FieldType::kBytes: out << "<bytes>"; break;
+    }
+  }
+  out << '\n';
+  ++rows_;
+}
+
+void CsvFileSink::close(Emitter&) {
+  if (file_) file_->out.flush();
+}
+
+}  // namespace neptune::workload

@@ -1,0 +1,81 @@
+// Transport abstraction between two Granules resources. A Channel is a
+// lossless FIFO byte-batch pipe with bounded buffering on both ends:
+//
+//   sender --try_send--> [outbound budget] ~~~> [inbound queue] --receive--> receiver
+//
+// Backpressure contract (paper §III-B4):
+//   * try_send returns kBlocked once the in-flight byte budget is exhausted
+//     (the analogue of a full TCP send buffer / closed sliding window).
+//   * The receiver drains via receive(); when it stops draining (its
+//     application buffer hit the high watermark) the in-flight budget stays
+//     consumed and senders stay blocked.
+//   * When occupancy falls to the low watermark the channel invokes the
+//     sender's writable callback, resuming upstream scheduling.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace neptune {
+
+enum class SendStatus {
+  kOk,       ///< accepted into the outbound buffer
+  kBlocked,  ///< flow-controlled; retry after the writable callback
+  kClosed    ///< channel closed; data not accepted
+};
+
+/// Sending endpoint.
+class ChannelSender {
+ public:
+  virtual ~ChannelSender() = default;
+
+  /// Enqueue one framed batch. Never partially accepts: either the whole
+  /// span is queued (kOk) or nothing is (kBlocked/kClosed).
+  virtual SendStatus try_send(std::span<const uint8_t> frame) = 0;
+
+  /// Invoked (possibly from another thread) when a previously blocked
+  /// sender may retry.
+  virtual void set_writable_callback(std::function<void()> cb) = 0;
+
+  /// True if a try_send of `bytes` would currently be accepted.
+  virtual bool writable(size_t bytes) const = 0;
+
+  virtual void close() = 0;
+  virtual uint64_t bytes_sent() const = 0;
+};
+
+/// Receiving endpoint (pull model: the resource's IO thread drains it; not
+/// draining *is* the backpressure signal).
+class ChannelReceiver {
+ public:
+  virtual ~ChannelReceiver() = default;
+
+  /// Blocking pop with timeout; nullopt on timeout or closed-and-drained.
+  virtual std::optional<std::vector<uint8_t>> receive(std::chrono::nanoseconds timeout) = 0;
+
+  /// Non-blocking pop.
+  virtual std::optional<std::vector<uint8_t>> try_receive() = 0;
+
+  /// Invoked (possibly from the sender's or an IO thread) whenever the
+  /// channel transitions empty -> non-empty, and once on close. Drives the
+  /// receiving task's data-driven scheduling.
+  virtual void set_data_callback(std::function<void()> cb) = 0;
+
+  virtual bool closed() const = 0;
+  virtual uint64_t bytes_received() const = 0;
+};
+
+struct ChannelConfig {
+  /// In-flight byte budget — the analogue of the TCP window plus socket
+  /// buffers. try_send blocks (returns kBlocked) beyond this.
+  size_t capacity_bytes = 4 << 20;
+  /// Writable callback fires when occupancy falls back to this level.
+  size_t low_watermark_bytes = 1 << 20;
+};
+
+}  // namespace neptune

@@ -1,0 +1,196 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace neptune {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
+  event_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (event_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::runtime_error("eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = event_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) < 0)
+    throw std::runtime_error("epoll_ctl(eventfd) failed");
+}
+
+EventLoop::~EventLoop() {
+  ::close(event_fd_);
+  ::close(epoll_fd_);
+}
+
+bool EventLoop::in_loop_thread() const {
+  return running_.load(std::memory_order_acquire) &&
+         loop_thread_id_.load(std::memory_order_acquire) == std::this_thread::get_id();
+}
+
+void EventLoop::run() {
+  loop_thread_id_.store(std::this_thread::get_id(), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    int64_t next_ns = process_timers();
+    int timeout_ms;
+    if (next_ns < 0) {
+      timeout_ms = 100;  // idle heartbeat; stop() also wakes via eventfd
+    } else {
+      timeout_ms = static_cast<int>((next_ns + 999999) / 1000000);
+      if (timeout_ms < 0) timeout_ms = 0;
+    }
+    int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      NEPTUNE_LOG_ERROR("epoll_wait failed: %s", std::strerror(errno));
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == event_fd_) {
+        uint64_t buf;
+        while (::read(event_fd_, &buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      auto it = fd_callbacks_.find(fd);
+      if (it != fd_callbacks_.end()) {
+        // Copy: the callback may del_fd(fd) and invalidate the iterator.
+        IoCallback cb = it->second;
+        cb(events[i].events);
+      }
+    }
+    drain_tasks();
+    process_timers();
+  }
+  drain_tasks();
+  running_.store(false, std::memory_order_release);
+  stop_requested_.store(false, std::memory_order_release);
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wakeup();
+}
+
+void EventLoop::wakeup() {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof one);
+}
+
+void EventLoop::post(Task task) {
+  if (in_loop_thread()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard lk(task_mu_);
+    pending_tasks_.push_back(std::move(task));
+  }
+  wakeup();
+}
+
+void EventLoop::drain_tasks() {
+  std::vector<Task> tasks;
+  {
+    std::lock_guard lk(task_mu_);
+    tasks.swap(pending_tasks_);
+  }
+  for (auto& t : tasks) t();
+}
+
+void EventLoop::add_fd(int fd, uint32_t events, IoCallback cb) {
+  fd_callbacks_[fd] = std::move(cb);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0)
+    throw std::runtime_error("epoll_ctl ADD failed");
+}
+
+void EventLoop::mod_fd(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0)
+    throw std::runtime_error("epoll_ctl MOD failed");
+}
+
+void EventLoop::del_fd(int fd) {
+  fd_callbacks_.erase(fd);
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+EventLoop::TimerId EventLoop::run_after(int64_t delay_ns, Task task) {
+  TimerId id = next_timer_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(timer_mu_);
+    timers_.push(Timer{now_ns() + delay_ns, 0, id});
+    timer_tasks_[id] = std::move(task);
+  }
+  wakeup();  // re-evaluate the epoll timeout
+  return id;
+}
+
+EventLoop::TimerId EventLoop::run_every(int64_t interval_ns, Task task) {
+  TimerId id = next_timer_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(timer_mu_);
+    timers_.push(Timer{now_ns() + interval_ns, interval_ns, id});
+    timer_tasks_[id] = std::move(task);
+  }
+  wakeup();
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  std::lock_guard lk(timer_mu_);
+  timer_tasks_.erase(id);  // heap entry becomes a tombstone, skipped on fire
+}
+
+int64_t EventLoop::process_timers() {
+  std::vector<Task> due;
+  int64_t next = -1;
+  {
+    std::lock_guard lk(timer_mu_);
+    int64_t now = now_ns();
+    while (!timers_.empty()) {
+      Timer t = timers_.top();
+      auto it = timer_tasks_.find(t.id);
+      if (it == timer_tasks_.end()) {  // cancelled
+        timers_.pop();
+        continue;
+      }
+      if (t.deadline_ns > now) {
+        next = t.deadline_ns - now;
+        break;
+      }
+      timers_.pop();
+      due.push_back(it->second);
+      if (t.interval_ns > 0) {
+        t.deadline_ns = now + t.interval_ns;
+        timers_.push(t);
+      } else {
+        timer_tasks_.erase(it);
+      }
+    }
+  }
+  for (auto& t : due) t();
+  return next;
+}
+
+}  // namespace neptune

@@ -1,0 +1,87 @@
+// Single-threaded epoll event loop — NEPTUNE's asynchronous IO substrate
+// (the paper builds on Java NIO/Netty; this is the C++ analogue). One
+// EventLoop instance is owned and run by exactly one IO thread of the
+// two-tier thread model. Cross-thread interaction goes through post(),
+// which is wait-free for the caller (eventfd wakeup).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace neptune {
+
+class EventLoop {
+ public:
+  using IoCallback = std::function<void(uint32_t epoll_events)>;
+  using Task = std::function<void()>;
+  using TimerId = uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Run until stop(); must be called from the (single) IO thread.
+  void run();
+  /// Request loop exit; safe from any thread.
+  void stop();
+
+  /// True when called from the thread currently inside run().
+  bool in_loop_thread() const;
+
+  /// Execute `task` on the loop thread. Runs inline when already on it.
+  void post(Task task);
+
+  /// Register interest in `events` (EPOLLIN/EPOLLOUT/...) for `fd`.
+  /// Loop thread only.
+  void add_fd(int fd, uint32_t events, IoCallback cb);
+  void mod_fd(int fd, uint32_t events);
+  void del_fd(int fd);
+
+  /// One-shot timer; fires on the loop thread. Safe from any thread.
+  TimerId run_after(int64_t delay_ns, Task task);
+  /// Periodic timer; keeps firing until cancelled.
+  TimerId run_every(int64_t interval_ns, Task task);
+  void cancel_timer(TimerId id);
+
+  /// Number of times epoll_wait returned — an observability hook used by
+  /// benchmarks to cross-check IO-thread wakeup behaviour.
+  uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Timer {
+    int64_t deadline_ns;
+    int64_t interval_ns;  // 0 for one-shot
+    TimerId id;
+    bool operator>(const Timer& o) const { return deadline_ns > o.deadline_ns; }
+  };
+
+  void wakeup();
+  void drain_tasks();
+  int64_t process_timers();  // returns ns until next deadline, or -1
+
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::thread::id> loop_thread_id_{};
+  std::atomic<uint64_t> wakeups_{0};
+
+  std::mutex task_mu_;
+  std::vector<Task> pending_tasks_;
+
+  std::mutex timer_mu_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::unordered_map<TimerId, Task> timer_tasks_;
+  std::atomic<TimerId> next_timer_id_{1};
+
+  std::unordered_map<int, IoCallback> fd_callbacks_;
+};
+
+}  // namespace neptune

@@ -1,0 +1,106 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "common/crc32.hpp"
+
+namespace neptune {
+
+void encode_frame(const FrameHeader& h, std::span<const uint8_t> payload, ByteBuffer& out) {
+  out.write_u16(FrameHeader::kMagic);
+  out.write_u8(h.flags);
+  out.write_u32(h.link_id);
+  out.write_u32(h.batch_count);
+  out.write_u32(h.raw_size);
+  out.write_u32(static_cast<uint32_t>(payload.size()));
+  out.write_u32(crc32(payload));
+  out.write_bytes(payload);
+}
+
+namespace {
+
+FrameDecodeStatus parse_header(const uint8_t* p, FrameHeader& h) {
+  uint16_t magic;
+  std::memcpy(&magic, p, 2);
+  if (magic != FrameHeader::kMagic) return FrameDecodeStatus::kBadMagic;
+  h.flags = p[2];
+  std::memcpy(&h.link_id, p + 3, 4);
+  std::memcpy(&h.batch_count, p + 7, 4);
+  std::memcpy(&h.raw_size, p + 11, 4);
+  std::memcpy(&h.payload_size, p + 15, 4);
+  std::memcpy(&h.payload_crc, p + 19, 4);
+  if (h.payload_size > FrameHeader::kMaxPayload) return FrameDecodeStatus::kBadLength;
+  return FrameDecodeStatus::kFrame;
+}
+
+}  // namespace
+
+FrameDecodeStatus FrameDecoder::feed(std::span<const uint8_t> chunk, const FrameHandler& handler) {
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+  FrameDecodeStatus last = FrameDecodeStatus::kNeedMore;
+  for (;;) {
+    bool produced = false;
+    FrameDecodeStatus s = try_decode(handler, produced);
+    if (s != FrameDecodeStatus::kFrame && s != FrameDecodeStatus::kNeedMore) return s;
+    if (!produced) {
+      // Compact: drop consumed prefix once it dominates the buffer.
+      if (consumed_ > 0 && (consumed_ >= buf_.size() || consumed_ > 1 << 20)) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(consumed_));
+        consumed_ = 0;
+      }
+      return last;
+    }
+    last = FrameDecodeStatus::kFrame;
+  }
+}
+
+FrameDecodeStatus FrameDecoder::try_decode(const FrameHandler& handler, bool& produced) {
+  produced = false;
+  size_t avail = buf_.size() - consumed_;
+  if (avail < FrameHeader::kSize) return FrameDecodeStatus::kNeedMore;
+  const uint8_t* p = buf_.data() + consumed_;
+  FrameHeader h;
+  FrameDecodeStatus s = parse_header(p, h);
+  if (s != FrameDecodeStatus::kFrame) return s;
+  if (avail < FrameHeader::kSize + h.payload_size) return FrameDecodeStatus::kNeedMore;
+  std::span<const uint8_t> payload{p + FrameHeader::kSize, h.payload_size};
+  if (crc32(payload) != h.payload_crc) return FrameDecodeStatus::kBadChecksum;
+  consumed_ += FrameHeader::kSize + h.payload_size;
+  produced = true;
+  if (handler) handler(h, payload);
+  return FrameDecodeStatus::kFrame;
+}
+
+void FrameDecoder::reset() {
+  buf_.clear();
+  consumed_ = 0;
+}
+
+std::optional<DecodedFrame> decode_frame(std::span<const uint8_t> bytes, FrameDecodeStatus* status) {
+  auto set = [&](FrameDecodeStatus s) {
+    if (status) *status = s;
+  };
+  if (bytes.size() < FrameHeader::kSize) {
+    set(FrameDecodeStatus::kNeedMore);
+    return std::nullopt;
+  }
+  DecodedFrame f;
+  FrameDecodeStatus s = parse_header(bytes.data(), f.header);
+  if (s != FrameDecodeStatus::kFrame) {
+    set(s);
+    return std::nullopt;
+  }
+  if (bytes.size() < FrameHeader::kSize + f.header.payload_size) {
+    set(FrameDecodeStatus::kNeedMore);
+    return std::nullopt;
+  }
+  f.payload = bytes.subspan(FrameHeader::kSize, f.header.payload_size);
+  if (crc32(f.payload) != f.header.payload_crc) {
+    set(FrameDecodeStatus::kBadChecksum);
+    return std::nullopt;
+  }
+  set(FrameDecodeStatus::kFrame);
+  return f;
+}
+
+}  // namespace neptune

@@ -1,0 +1,87 @@
+// Wire frame format. A frame carries one flushed application-level buffer —
+// i.e. a *batch* of serialized stream packets (paper §III-B1: buffers, not
+// individual packets, traverse the network). Layout (little-endian):
+//
+//   u16  magic            0x4E50 ("NP")
+//   u8   flags            bit 0: payload is LZ4-compressed
+//   u32  link_id          which logical link this batch belongs to
+//   u32  batch_count      number of stream packets inside the payload
+//   u32  raw_size         payload size before compression
+//   u32  payload_size     payload size on the wire
+//   u32  payload_crc      CRC-32 of the wire payload
+//   u8[payload_size]      payload
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace neptune {
+
+struct FrameHeader {
+  static constexpr uint16_t kMagic = 0x4E50;
+  static constexpr size_t kSize = 2 + 1 + 4 + 4 + 4 + 4 + 4;
+  static constexpr uint8_t kFlagCompressed = 0x01;
+  /// Sanity cap: no single buffer flush may exceed this (64 MB).
+  static constexpr uint32_t kMaxPayload = 64u << 20;
+
+  uint8_t flags = 0;
+  uint32_t link_id = 0;
+  uint32_t batch_count = 0;
+  uint32_t raw_size = 0;
+  uint32_t payload_size = 0;
+  uint32_t payload_crc = 0;
+
+  bool compressed() const { return (flags & kFlagCompressed) != 0; }
+};
+
+/// Append a full frame (header + payload) to `out`. Computes the CRC.
+void encode_frame(const FrameHeader& h, std::span<const uint8_t> payload, ByteBuffer& out);
+
+enum class FrameDecodeStatus {
+  kNeedMore,    ///< not enough bytes buffered yet
+  kFrame,       ///< a complete frame was produced
+  kBadMagic,    ///< stream corruption: wrong magic
+  kBadLength,   ///< declared payload exceeds the sanity cap
+  kBadChecksum  ///< payload CRC mismatch
+};
+
+/// Incremental frame reassembler for a byte-stream transport. Feed arbitrary
+/// chunks; it emits complete frames. The payload span passed to the handler
+/// is valid only for the duration of the callback (zero-copy into the
+/// internal buffer, which is recycled — object-reuse scheme §III-B3).
+class FrameDecoder {
+ public:
+  using FrameHandler = std::function<void(const FrameHeader&, std::span<const uint8_t> payload)>;
+
+  /// Consume a chunk, invoking `handler` for every complete frame. Returns
+  /// the first error status encountered (decoding stops there) or
+  /// kNeedMore/kFrame on success.
+  FrameDecodeStatus feed(std::span<const uint8_t> chunk, const FrameHandler& handler);
+
+  /// Bytes currently buffered awaiting a complete frame.
+  size_t pending_bytes() const { return buf_.size() - consumed_; }
+
+  void reset();
+
+ private:
+  FrameDecodeStatus try_decode(const FrameHandler& handler, bool& produced);
+
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;
+};
+
+/// One-shot decode of a complete, contiguous frame (datagram-style
+/// transports). Returns nullopt + status on malformed input.
+struct DecodedFrame {
+  FrameHeader header;
+  std::span<const uint8_t> payload;
+};
+std::optional<DecodedFrame> decode_frame(std::span<const uint8_t> bytes,
+                                         FrameDecodeStatus* status = nullptr);
+
+}  // namespace neptune

@@ -1,0 +1,103 @@
+#include "net/inproc_transport.hpp"
+
+namespace neptune {
+
+InprocChannel::InprocChannel(const ChannelConfig& config) : config_(config) {}
+
+SendStatus InprocChannel::try_send(std::span<const uint8_t> frame) {
+  std::function<void()> data_cb;
+  {
+    std::lock_guard lk(mu_);
+    if (closed_) return SendStatus::kClosed;
+    // A frame larger than the whole budget is still accepted when the pipe
+    // is empty — otherwise it could never be sent at all.
+    if (in_flight_ + frame.size() > config_.capacity_bytes && in_flight_ > 0) {
+      was_blocked_ = true;
+      return SendStatus::kBlocked;
+    }
+    bool was_empty = q_.empty();
+    q_.emplace_back(frame.begin(), frame.end());
+    in_flight_ += frame.size();
+    bytes_sent_ += frame.size();
+    not_empty_.notify_one();
+    if (was_empty) data_cb = data_cb_;
+  }
+  if (data_cb) data_cb();
+  return SendStatus::kOk;
+}
+
+void InprocChannel::set_data_callback(std::function<void()> cb) {
+  std::lock_guard lk(mu_);
+  data_cb_ = std::move(cb);
+}
+
+void InprocChannel::set_writable_callback(std::function<void()> cb) {
+  std::lock_guard lk(mu_);
+  writable_cb_ = std::move(cb);
+}
+
+bool InprocChannel::writable(size_t bytes) const {
+  std::lock_guard lk(mu_);
+  if (closed_) return false;
+  return in_flight_ == 0 || in_flight_ + bytes <= config_.capacity_bytes;
+}
+
+void InprocChannel::close() {
+  std::function<void()> cb;
+  std::function<void()> data_cb;
+  {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+    cb = writable_cb_;     // wake blocked senders so they observe kClosed
+    data_cb = data_cb_;    // wake the receiver so it observes end-of-stream
+    not_empty_.notify_all();
+  }
+  if (cb) cb();
+  if (data_cb) data_cb();
+}
+
+std::optional<std::vector<uint8_t>> InprocChannel::pop_locked(std::unique_lock<std::mutex>& lk) {
+  std::vector<uint8_t> frame = std::move(q_.front());
+  q_.pop_front();
+  in_flight_ -= frame.size();
+  bytes_received_ += frame.size();
+  bool fire = was_blocked_ && in_flight_ <= config_.low_watermark_bytes;
+  std::function<void()> cb;
+  if (fire) {
+    was_blocked_ = false;
+    cb = writable_cb_;
+  }
+  lk.unlock();
+  if (cb) cb();
+  return frame;
+}
+
+std::optional<std::vector<uint8_t>> InprocChannel::receive(std::chrono::nanoseconds timeout) {
+  std::unique_lock lk(mu_);
+  if (!not_empty_.wait_for(lk, timeout, [&] { return !q_.empty() || closed_; })) return std::nullopt;
+  if (q_.empty()) return std::nullopt;  // closed and drained
+  return pop_locked(lk);
+}
+
+std::optional<std::vector<uint8_t>> InprocChannel::try_receive() {
+  std::unique_lock lk(mu_);
+  if (q_.empty()) return std::nullopt;
+  return pop_locked(lk);
+}
+
+bool InprocChannel::closed() const {
+  std::lock_guard lk(mu_);
+  return closed_ && q_.empty();
+}
+
+size_t InprocChannel::in_flight_bytes() const {
+  std::lock_guard lk(mu_);
+  return in_flight_;
+}
+
+InprocPipe make_inproc_pipe(const ChannelConfig& config) {
+  auto ch = std::make_shared<InprocChannel>(config);
+  return InprocPipe{ch, ch};
+}
+
+}  // namespace neptune

@@ -1,0 +1,65 @@
+// In-process channel: the transport used when communicating stream
+// operators are deployed in resources within one OS process (and by tests
+// and benchmarks, where its determinism matters). Semantics mirror the TCP
+// transport: bounded in-flight bytes, watermark-driven writability, FIFO,
+// lossless.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "net/channel.hpp"
+
+namespace neptune {
+
+class InprocChannel;
+
+/// Create a connected sender/receiver pair sharing one bounded byte budget.
+struct InprocPipe {
+  std::shared_ptr<ChannelSender> sender;
+  std::shared_ptr<ChannelReceiver> receiver;
+};
+InprocPipe make_inproc_pipe(const ChannelConfig& config = {});
+
+/// Shared state of an in-process pipe. Exposed for white-box tests.
+class InprocChannel final : public ChannelSender,
+                            public ChannelReceiver,
+                            public std::enable_shared_from_this<InprocChannel> {
+ public:
+  explicit InprocChannel(const ChannelConfig& config);
+
+  // ChannelSender
+  SendStatus try_send(std::span<const uint8_t> frame) override;
+  void set_writable_callback(std::function<void()> cb) override;
+  bool writable(size_t bytes) const override;
+  void close() override;
+  uint64_t bytes_sent() const override { return bytes_sent_; }
+
+  // ChannelReceiver
+  std::optional<std::vector<uint8_t>> receive(std::chrono::nanoseconds timeout) override;
+  std::optional<std::vector<uint8_t>> try_receive() override;
+  void set_data_callback(std::function<void()> cb) override;
+  bool closed() const override;
+  uint64_t bytes_received() const override { return bytes_received_; }
+
+  size_t in_flight_bytes() const;
+
+ private:
+  std::optional<std::vector<uint8_t>> pop_locked(std::unique_lock<std::mutex>& lk);
+
+  const ChannelConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<std::vector<uint8_t>> q_;
+  size_t in_flight_ = 0;
+  bool closed_ = false;
+  bool was_blocked_ = false;  // a sender hit the budget since last drain
+  std::function<void()> writable_cb_;
+  std::function<void()> data_cb_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace neptune

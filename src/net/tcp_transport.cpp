@@ -1,0 +1,343 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace neptune {
+namespace {
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+std::shared_ptr<TcpConnection> TcpConnection::create(EventLoop* loop, int fd,
+                                                     const ChannelConfig& config) {
+  return std::shared_ptr<TcpConnection>(new TcpConnection(loop, fd, config));
+}
+
+TcpConnection::TcpConnection(EventLoop* loop, int fd, const ChannelConfig& config)
+    : loop_(loop), fd_(fd), config_(config) {
+  set_nonblocking(fd_);
+  set_nodelay(fd_);
+}
+
+TcpConnection::~TcpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpConnection::start() {
+  if (started_.exchange(true)) return;
+  auto self = shared_from_this();
+  loop_->post([self] {
+    if (self->closed_.load()) return;
+    self->loop_->add_fd(self->fd_, EPOLLIN,
+                        [self](uint32_t events) { self->handle_events(events); });
+  });
+}
+
+void TcpConnection::handle_events(uint32_t events) {
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_on_loop();
+    return;
+  }
+  if (events & EPOLLIN) handle_readable();
+  if (closed_.load()) return;
+  if (events & EPOLLOUT) handle_writable();
+}
+
+void TcpConnection::handle_readable() {
+  // Drain until EAGAIN or the inbound cap. Chunks preserve arrival order;
+  // frame reassembly happens in the consumer's FrameDecoder.
+  char buf[64 * 1024];
+  for (;;) {
+    {
+      std::lock_guard lk(in_mu_);
+      if (in_bytes_ >= config_.capacity_bytes) {
+        // Inbound queue full: stop reading. This is the watermark that
+        // ultimately closes the peer's TCP window.
+        if (!reading_paused_) {
+          reading_paused_ = true;
+          update_interest();
+        }
+        return;
+      }
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      bytes_received_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      std::function<void()> data_cb;
+      {
+        std::lock_guard lk(in_mu_);
+        bool was_empty = in_q_.empty();
+        in_q_.emplace_back(buf, buf + n);
+        in_bytes_ += static_cast<size_t>(n);
+        in_cv_.notify_one();
+        if (was_empty) data_cb = data_cb_;
+      }
+      if (data_cb) data_cb();
+      continue;
+    }
+    if (n == 0) {  // orderly shutdown by peer
+      close_on_loop();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_on_loop();
+    return;
+  }
+}
+
+void TcpConnection::handle_writable() {
+  std::function<void()> cb;
+  {
+    std::unique_lock lk(out_mu_);
+    while (!out_q_.empty()) {
+      auto& front = out_q_.front();
+      size_t len = front.size() - out_head_offset_;
+      ssize_t n = ::send(fd_, front.data() + out_head_offset_, len, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        lk.unlock();
+        close_on_loop();
+        return;
+      }
+      bytes_sent_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      out_bytes_ -= static_cast<size_t>(n);
+      out_head_offset_ += static_cast<size_t>(n);
+      if (out_head_offset_ == front.size()) {
+        out_q_.pop_front();
+        out_head_offset_ = 0;
+      }
+    }
+    bool want_out = !out_q_.empty();
+    if (want_out != epollout_armed_) {
+      epollout_armed_ = want_out;
+      update_interest();
+    }
+    if (out_blocked_ && out_bytes_ <= config_.low_watermark_bytes) {
+      out_blocked_ = false;
+      cb = writable_cb_;
+    }
+  }
+  if (cb) cb();
+}
+
+void TcpConnection::update_interest() {
+  // Caller holds the relevant lock; only interest bits are computed here.
+  uint32_t events = 0;
+  if (!reading_paused_) events |= EPOLLIN;
+  if (epollout_armed_) events |= EPOLLOUT;
+  loop_->mod_fd(fd_, events);
+}
+
+SendStatus TcpConnection::try_send(std::span<const uint8_t> frame) {
+  if (closed_.load(std::memory_order_acquire)) return SendStatus::kClosed;
+  bool arm = false;
+  {
+    std::lock_guard lk(out_mu_);
+    if (out_bytes_ + frame.size() > config_.capacity_bytes && out_bytes_ > 0) {
+      out_blocked_ = true;
+      return SendStatus::kBlocked;
+    }
+    out_q_.emplace_back(frame.begin(), frame.end());
+    out_bytes_ += frame.size();
+    if (!epollout_armed_) {
+      epollout_armed_ = true;
+      arm = true;
+    }
+  }
+  if (arm) {
+    auto self = shared_from_this();
+    loop_->post([self] {
+      if (self->closed_.load()) return;
+      // Try an immediate flush; handle_writable re-arms EPOLLOUT if the
+      // kernel buffer filled before our queue drained.
+      {
+        std::lock_guard lk(self->out_mu_);
+        self->update_interest();
+      }
+      self->handle_writable();
+    });
+  }
+  return SendStatus::kOk;
+}
+
+void TcpConnection::set_writable_callback(std::function<void()> cb) {
+  std::lock_guard lk(out_mu_);
+  writable_cb_ = std::move(cb);
+}
+
+bool TcpConnection::writable(size_t bytes) const {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  std::lock_guard lk(out_mu_);
+  return out_bytes_ == 0 || out_bytes_ + bytes <= config_.capacity_bytes;
+}
+
+void TcpConnection::close() {
+  auto self = shared_from_this();
+  loop_->post([self] { self->close_on_loop(); });
+}
+
+void TcpConnection::close_on_loop() {
+  if (closed_.exchange(true)) return;
+  loop_->del_fd(fd_);
+  ::shutdown(fd_, SHUT_RDWR);
+  std::function<void()> cb;
+  std::function<void()> data_cb;
+  {
+    std::lock_guard lk(out_mu_);
+    cb = writable_cb_;  // wake blocked senders to observe kClosed
+  }
+  {
+    std::lock_guard lk(in_mu_);
+    data_cb = data_cb_;  // wake the receiver to observe end-of-stream
+    in_cv_.notify_all();
+  }
+  if (cb) cb();
+  if (data_cb) data_cb();
+}
+
+void TcpConnection::set_data_callback(std::function<void()> cb) {
+  std::lock_guard lk(in_mu_);
+  data_cb_ = std::move(cb);
+}
+
+std::optional<std::vector<uint8_t>> TcpConnection::receive(std::chrono::nanoseconds timeout) {
+  std::unique_lock lk(in_mu_);
+  if (!in_cv_.wait_for(lk, timeout, [&] { return !in_q_.empty() || closed_.load(); }))
+    return std::nullopt;
+  if (in_q_.empty()) return std::nullopt;
+  std::vector<uint8_t> chunk = std::move(in_q_.front());
+  in_q_.pop_front();
+  in_bytes_ -= chunk.size();
+  bool resume = reading_paused_ && in_bytes_ <= config_.low_watermark_bytes;
+  lk.unlock();
+  if (resume) maybe_resume_reading();
+  return chunk;
+}
+
+std::optional<std::vector<uint8_t>> TcpConnection::try_receive() {
+  std::unique_lock lk(in_mu_);
+  if (in_q_.empty()) return std::nullopt;
+  std::vector<uint8_t> chunk = std::move(in_q_.front());
+  in_q_.pop_front();
+  in_bytes_ -= chunk.size();
+  bool resume = reading_paused_ && in_bytes_ <= config_.low_watermark_bytes;
+  lk.unlock();
+  if (resume) maybe_resume_reading();
+  return chunk;
+}
+
+void TcpConnection::maybe_resume_reading() {
+  auto self = shared_from_this();
+  loop_->post([self] {
+    if (self->closed_.load()) return;
+    bool changed = false;
+    {
+      std::lock_guard lk(self->in_mu_);
+      if (self->reading_paused_ && self->in_bytes_ <= self->config_.low_watermark_bytes) {
+        self->reading_paused_ = false;
+        changed = true;
+      }
+    }
+    if (changed) {
+      std::lock_guard lk(self->out_mu_);
+      self->update_interest();
+    }
+  });
+}
+
+bool TcpConnection::closed() const {
+  if (!closed_.load(std::memory_order_acquire)) return false;
+  std::lock_guard lk(in_mu_);
+  return in_q_.empty();
+}
+
+TcpListener::TcpListener(EventLoop* loop, uint16_t port, AcceptCallback on_accept)
+    : loop_(loop), on_accept_(std::move(on_accept)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd_);
+    throw std::runtime_error("bind() failed");
+  }
+  socklen_t len = sizeof addr;
+  getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, 128) < 0) {
+    ::close(fd_);
+    throw std::runtime_error("listen() failed");
+  }
+  int fd = fd_;
+  loop_->post([this, fd] {
+    loop_->add_fd(fd, EPOLLIN, [this, fd](uint32_t) {
+      for (;;) {
+        int conn = ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (conn < 0) return;  // EAGAIN or error; either way stop for now
+        on_accept_(conn);
+      }
+    });
+  });
+}
+
+TcpListener::~TcpListener() {
+  int fd = fd_;
+  EventLoop* loop = loop_;
+  loop->post([loop, fd] {
+    loop->del_fd(fd);
+    ::close(fd);
+  });
+}
+
+int tcp_connect_blocking(uint16_t port, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  // Simple bounded retry: the listener may still be registering.
+  int waited = 0;
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    if (errno == EINTR) continue;
+    if (waited >= timeout_ms) {
+      ::close(fd);
+      return -1;
+    }
+    struct timespec ts{0, 10 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+    waited += 10;
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+}  // namespace neptune

@@ -1,0 +1,115 @@
+// TCP transport: non-blocking sockets driven by an EventLoop. A
+// TcpConnection implements the same ChannelSender/ChannelReceiver contract
+// as the in-process pipe, but backpressure is carried end-to-end by real
+// TCP flow control exactly as in the paper (§III-B4):
+//
+//   receiver stops draining -> inbound queue hits its cap -> EPOLLIN
+//   interest dropped -> kernel receive buffer fills -> TCP window closes ->
+//   sender's kernel buffer fills -> writes return EAGAIN -> outbound chain
+//   grows past the budget -> try_send returns kBlocked -> upstream operator
+//   is descheduled.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "net/channel.hpp"
+#include "net/event_loop.hpp"
+
+namespace neptune {
+
+class TcpConnection final : public ChannelSender,
+                            public ChannelReceiver,
+                            public std::enable_shared_from_this<TcpConnection> {
+ public:
+  /// Takes ownership of a connected, non-blocking fd. Must be followed by
+  /// start() (from any thread) to register with the loop.
+  static std::shared_ptr<TcpConnection> create(EventLoop* loop, int fd,
+                                               const ChannelConfig& config = {});
+  ~TcpConnection() override;
+
+  void start();
+
+  // ChannelSender
+  SendStatus try_send(std::span<const uint8_t> frame) override;
+  void set_writable_callback(std::function<void()> cb) override;
+  bool writable(size_t bytes) const override;
+  void close() override;
+  uint64_t bytes_sent() const override { return bytes_sent_.load(std::memory_order_relaxed); }
+
+  // ChannelReceiver
+  std::optional<std::vector<uint8_t>> receive(std::chrono::nanoseconds timeout) override;
+  std::optional<std::vector<uint8_t>> try_receive() override;
+  void set_data_callback(std::function<void()> cb) override;
+  bool closed() const override;
+  uint64_t bytes_received() const override {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  TcpConnection(EventLoop* loop, int fd, const ChannelConfig& config);
+
+  void handle_events(uint32_t events);      // loop thread
+  void handle_readable();                   // loop thread
+  void handle_writable();                   // loop thread
+  void update_interest();                   // loop thread
+  void close_on_loop();                     // loop thread
+  void maybe_resume_reading();
+
+  EventLoop* loop_;
+  int fd_;
+  const ChannelConfig config_;
+  std::atomic<bool> started_{false};
+
+  // --- outbound (guarded by out_mu_) ---------------------------------------
+  mutable std::mutex out_mu_;
+  std::deque<std::vector<uint8_t>> out_q_;
+  size_t out_head_offset_ = 0;  // bytes of out_q_.front() already written
+  size_t out_bytes_ = 0;
+  bool out_blocked_ = false;      // a try_send was rejected since last drain
+  bool epollout_armed_ = false;
+  std::function<void()> writable_cb_;
+
+  // --- inbound (guarded by in_mu_) -------------------------------------------
+  mutable std::mutex in_mu_;
+  std::condition_variable in_cv_;
+  std::deque<std::vector<uint8_t>> in_q_;
+  size_t in_bytes_ = 0;
+  bool reading_paused_ = false;
+  std::function<void()> data_cb_;
+
+  std::atomic<bool> closed_{false};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+};
+
+/// Listening socket; invokes the accept callback (on the loop thread) with
+/// each new connected, non-blocking fd.
+class TcpListener {
+ public:
+  using AcceptCallback = std::function<void(int fd)>;
+
+  /// Binds 127.0.0.1:`port` (port 0 picks a free port; see port()).
+  TcpListener(EventLoop* loop, uint16_t port, AcceptCallback on_accept);
+  ~TcpListener();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  EventLoop* loop_;
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  AcceptCallback on_accept_;
+};
+
+/// Blocking connect to 127.0.0.1:`port`; returns a connected non-blocking
+/// fd, or -1 on failure.
+int tcp_connect_blocking(uint16_t port, int timeout_ms = 5000);
+
+}  // namespace neptune

@@ -1,0 +1,160 @@
+// Flow-level discrete-event model of a commodity cluster running stream
+// processing jobs, with engine models for NEPTUNE and the Storm baseline.
+//
+// Purpose: reproduce the shapes of the paper's cluster-scale results
+// (Figures 5, 6, 9, 10 and the ~100 M pkt/s headline) on one machine. The
+// simulation is at *batch* granularity: one event chain per flushed buffer
+// (NEPTUNE) or per K-tuple accounting chunk (Storm), with per-packet costs
+// applied analytically inside each event. Cost constants are calibrated
+// from this repo's real single-node microbenchmarks (see
+// bench/micro_* and EXPERIMENTS.md).
+//
+// Modelled resources per node:
+//   * CPU: `cores` FIFO servers; every scheduled execution also pays a
+//     context-switch cost and a scheduler-contention term that grows with
+//     the number of runnable tasks on the node (this produces the paper's
+//     throughput decline past ~1 job/node in Figure 5).
+//   * NIC egress: a single 1 Gbps serialized resource; wire bytes include
+//     Ethernet L1+L2 (38 B/frame) and TCP/IP (40 B/segment) overhead with
+//     MTU-1500 segmentation — this is why small unbatched messages
+//     underutilize the link (paper §III-B1).
+//   * Memory: queued-bytes accounting on top of a fixed engine footprint.
+//
+// Backpressure: NEPTUNE edges carry a bounded credit window (channel
+// capacity / buffer size); sources stall when a window is exhausted. The
+// Storm model has effectively unbounded windows — overload manifests as
+// queue growth and latency, as the paper observed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "sim/des.hpp"
+
+namespace neptune::sim {
+
+enum class Engine { kNeptune, kStorm };
+
+struct ClusterSpec {
+  size_t nodes = 50;
+  int cores_per_node = 4;  ///< physical cores (E5620: 4C/8T; HT counted as ~0)
+  double nic_bps = 1e9;          ///< 1 Gbps LAN, as in the paper's testbed
+  double node_memory_gb = 12.0;  ///< HP DL160 nodes
+};
+
+/// Cost constants (ns) — defaults calibrated against this repo's real
+/// single-node runs; see EXPERIMENTS.md "Calibration".
+struct CostModel {
+  double ser_ns_per_packet = 45;     ///< serialize one small packet into a buffer
+  double deser_ns_per_packet = 55;   ///< deserialize + pool-recycled object fill
+  double proc_ns_per_packet = 30;    ///< relay-grade user logic
+  double batch_overhead_ns = 4000;   ///< one scheduled batched execution (incl. wakeup)
+  double ctx_switch_ns = 2000;       ///< one context switch
+  /// Storm: per-tuple cost of the 4-thread handoff path (queues, locks,
+  /// Kryo-style serialization, per-tuple framing) — the §IV-C "four
+  /// different threads" tax. Calibrated to Storm 0.9.x JVM workers, which
+  /// sustain only tens of thousands of tuples/s per executor chain (the
+  /// paper's Figure 9 Storm line ≈ 37 k tuples/s per job), not to this
+  /// repo's much faster C++ re-implementation.
+  double storm_per_tuple_overhead_ns = 25000;
+  /// Extra scheduler/queue contention per additional runnable task sharing
+  /// a node (fractional slowdown per task).
+  double contention_per_task = 0.012;
+  /// Engine resident footprint per worker/resource (the paper gave both
+  /// 1 GB heaps).
+  double base_memory_gb = 1.0;
+};
+
+struct NetModel {
+  double bandwidth_bps = 1e9;
+  static constexpr double kMtu = 1500;          // IP MTU
+  static constexpr double kEthOverhead = 38;    // preamble+SFD+MAC+FCS+IFG
+  static constexpr double kTcpIpHeader = 40;    // IPv4 + TCP, no options
+
+  /// Bytes on the wire for one application message/frame of `payload`
+  /// bytes, including segmentation overheads.
+  static double wire_bytes(double payload) {
+    double mss = kMtu - kTcpIpHeader;
+    double segments = payload <= mss ? 1.0 : std::ceil(payload / mss);
+    return payload + segments * (kTcpIpHeader + kEthOverhead);
+  }
+  /// Transmission time at the NIC, ns (bandwidth is in bits/s).
+  double tx_ns(double payload) const { return wire_bytes(payload) * 8.0 / bandwidth_bps * 1e9; }
+};
+
+/// One stage of a simulated job.
+struct StageSpec {
+  std::string id;
+  uint32_t parallelism = 1;
+  double proc_ns_per_packet = 30;  ///< per-packet user logic at this stage
+  /// Emitted packets per consumed packet (1 = relay; <1 = filter/detector).
+  double selectivity = 1.0;
+};
+
+struct JobSpec {
+  std::string name = "job";
+  std::vector<StageSpec> stages;  ///< stages[0] is the source
+  double packet_bytes = 100;
+  /// NEPTUNE: application-level buffer capacity (flush threshold).
+  double buffer_bytes = 1 << 20;
+  /// NEPTUNE: flush timer (bounds batch wait at low rates).
+  double flush_interval_ns = 5e6;
+  /// NEPTUNE: per-edge in-flight window in buffers (channel cap / buffer).
+  int credit_window = 4;
+  /// Source offered rate, packets/s per source instance. 0 = saturating
+  /// (emit as fast as CPU/credits allow).
+  double offered_pps = 0;
+  /// Storm scheduling constraint (paper §IV-C): a Storm worker process is
+  /// dedicated to a single job, so under Engine::kStorm the whole job is
+  /// placed on one node. NEPTUNE placement is unaffected.
+  bool storm_colocate = false;
+};
+
+struct NodeStats {
+  double cpu_busy_ns = 0;
+  double nic_busy_ns = 0;
+  uint64_t ctx_switches = 0;
+  double peak_queued_bytes = 0;
+  double queued_bytes = 0;
+  int runnable_tasks = 0;
+};
+
+struct SimResult {
+  double duration_s = 0;
+  uint64_t packets_delivered = 0;      ///< packets arriving at terminal stages
+  uint64_t packets_emitted = 0;        ///< packets leaving sources
+  double throughput_pps = 0;           ///< delivered / duration
+  double source_throughput_pps = 0;    ///< emitted / duration (Figure 9's metric)
+  double bandwidth_bps = 0;            ///< cluster-wide wire bytes / duration
+  double avg_cpu_utilization = 0;      ///< mean over nodes, 0..1 (all cores)
+  double avg_memory_fraction = 0;      ///< mean over nodes, 0..1
+  std::vector<double> per_node_cpu;    ///< per-node utilization
+  std::vector<double> per_node_memory;
+  uint64_t ctx_switches_per_node_per_5s = 0;
+  double latency_p50_ms = 0;
+  double latency_p99_ms = 0;
+  double latency_mean_ms = 0;
+};
+
+/// Simulate `jobs` running concurrently under `engine` for `duration_s` of
+/// virtual time. Placement is round-robin over nodes (per job, offset by
+/// job index), mirroring the real runtime and Storm's even scheduler.
+SimResult simulate_cluster(const ClusterSpec& cluster, const CostModel& costs, Engine engine,
+                           const std::vector<JobSpec>& jobs, double duration_s);
+
+/// The paper's 2-stage all-pairs scalability job (§IV-B): stage 1 sources
+/// spread over all nodes, stage 2 sinks spread over all nodes, shuffle
+/// partitioning => data flows between every pair of nodes.
+JobSpec scalability_job(const ClusterSpec& cluster, double packet_bytes = 100);
+
+/// The paper's 4-stage manufacturing-equipment monitoring job (Figure 8).
+JobSpec manufacturing_job(const ClusterSpec& cluster);
+
+/// The 3-stage message relay (Figure 1) pinned to 2 nodes.
+JobSpec relay_job(double packet_bytes, double buffer_bytes = 1 << 20);
+
+}  // namespace neptune::sim

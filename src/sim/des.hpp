@@ -1,0 +1,65 @@
+// Discrete-event simulation core: a time-ordered event queue with
+// deterministic FIFO tie-breaking. Substrate for the cluster simulator that
+// reproduces the paper's 50-node experiments (Figures 5, 6, 9, 10) on a
+// single machine — see DESIGN.md §3 for why this substitution preserves the
+// macro-scale behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace neptune::sim {
+
+using SimTime = int64_t;  // nanoseconds of virtual time
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t` (>= now).
+  void schedule_at(SimTime t, Handler fn) {
+    if (t < now_) t = now_;
+    heap_.push(Event{t, seq_++, std::move(fn)});
+  }
+  /// Schedule `fn` after a virtual delay.
+  void schedule_in(SimTime dt, Handler fn) { schedule_at(now_ + dt, std::move(fn)); }
+
+  /// Run until the queue is empty or virtual time would exceed `until`.
+  /// Events exactly at `until` still run. Returns events executed.
+  uint64_t run_until(SimTime until) {
+    uint64_t executed = 0;
+    while (!heap_.empty() && heap_.top().time <= until) {
+      Event ev = heap_.top();
+      heap_.pop();
+      now_ = ev.time;
+      ev.fn();
+      ++executed;
+    }
+    if (now_ < until) now_ = until;
+    return executed;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // FIFO order among same-time events
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace neptune::sim

@@ -1,0 +1,226 @@
+// Storm-0.9.x-architecture baseline ("the dominant stream-processing
+// framework", paper §IV). This is a faithful in-repo reimplementation of
+// the architectural traits the paper attributes Storm's results to:
+//
+//   * Spouts emit a single tuple per nextTuple() invocation; bolts process
+//     one tuple at a time. No application-level batching: every tuple is
+//     framed and shipped individually.
+//   * The documented 0.9.x threading model — "every message [goes] through
+//     four different threads from the point of entry to exit" (§IV-C):
+//     worker receive thread -> executor incoming queue -> executor thread
+//     -> executor outgoing queue -> executor send thread -> worker transfer
+//     queue -> worker transfer thread -> socket.
+//   * No backpressure: intermediate queues are unbounded, so a slow bolt
+//     manifests as queue build-up and latency blow-up rather than source
+//     throttling (the Figure 7 latency result).
+//   * Reliable-message acking disabled (as configured in the paper's
+//     evaluation: "reliable message processing feature disabled").
+//
+// Tuples reuse NEPTUNE's StreamPacket for serde so the comparison isolates
+// the engine architecture, not the serialization format.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "neptune/packet.hpp"
+#include "net/channel.hpp"
+
+namespace neptune::storm {
+
+using Tuple = StreamPacket;
+
+/// Collector handed to spouts and bolts; emit routes by the declared
+/// grouping of each downstream bolt.
+class OutputCollector {
+ public:
+  virtual ~OutputCollector() = default;
+  virtual void emit(Tuple&& tuple) = 0;
+};
+
+class Spout {
+ public:
+  virtual ~Spout() = default;
+  virtual void open(uint32_t task_index, uint32_t parallelism) {
+    (void)task_index;
+    (void)parallelism;
+  }
+  /// Emit at most one tuple (Storm semantics). Return false when the spout
+  /// is permanently exhausted; returning true with no emit means "no tuple
+  /// right now" and the executor sleeps 1 ms (Storm's idle strategy).
+  virtual bool next_tuple(OutputCollector& out) = 0;
+  virtual void close() {}
+};
+
+class Bolt {
+ public:
+  virtual ~Bolt() = default;
+  virtual void prepare(uint32_t task_index, uint32_t parallelism) {
+    (void)task_index;
+    (void)parallelism;
+  }
+  virtual void execute(Tuple& tuple, OutputCollector& out) = 0;
+  virtual void cleanup() {}
+};
+
+using SpoutFactory = std::function<std::unique_ptr<Spout>()>;
+using BoltFactory = std::function<std::unique_ptr<Bolt>()>;
+
+enum class Grouping : uint8_t { kShuffle, kFields, kBroadcast, kGlobal };
+
+struct GroupingDecl {
+  std::string from;
+  Grouping grouping = Grouping::kShuffle;
+  size_t field_index = 0;
+};
+
+struct ComponentDecl {
+  std::string id;
+  bool is_spout = false;
+  SpoutFactory spout_factory;
+  BoltFactory bolt_factory;
+  uint32_t parallelism = 1;
+  std::vector<GroupingDecl> inputs;  // bolts only
+};
+
+/// Storm topology description (spouts + bolts + groupings).
+class TopologyBuilder {
+ public:
+  TopologyBuilder& set_spout(const std::string& id, SpoutFactory factory,
+                             uint32_t parallelism = 1);
+
+  /// Returns a handle for declaring the bolt's input groupings.
+  class BoltHandle {
+   public:
+    BoltHandle& shuffle_grouping(const std::string& from);
+    BoltHandle& fields_grouping(const std::string& from, size_t field_index);
+    BoltHandle& broadcast_grouping(const std::string& from);
+    BoltHandle& global_grouping(const std::string& from);
+
+   private:
+    friend class TopologyBuilder;
+    BoltHandle(TopologyBuilder* b, size_t idx) : builder_(b), index_(idx) {}
+    TopologyBuilder* builder_;
+    size_t index_;
+  };
+  BoltHandle set_bolt(const std::string& id, BoltFactory factory, uint32_t parallelism = 1);
+
+  const std::vector<ComponentDecl>& components() const { return components_; }
+
+ private:
+  std::vector<ComponentDecl> components_;
+};
+
+struct StormConfig {
+  /// Storm workers (≈ JVM worker processes). The paper notes Storm
+  /// dedicates a worker to one topology; each submit spawns its own.
+  size_t workers = 1;
+  /// Per-pair channel budget. Deliberately large: Storm 0.9.x has no
+  /// end-to-end backpressure, so queue build-up must be representable.
+  size_t channel_capacity_bytes = 256u << 20;
+  /// Spout idle sleep when next_tuple produced nothing.
+  int64_t spout_idle_sleep_ns = 1'000'000;
+  /// Reliable (at-least-once) processing via Storm's XOR acker. The paper
+  /// ran with this DISABLED ("to ensure that the throughput of Storm is
+  /// not adversely affected by the additional overhead introduced by
+  /// acknowledgments"); bench/ablation_storm_acking measures that overhead.
+  bool acking_enabled = false;
+  /// With acking on: max spout tuples pending acknowledgment
+  /// (Storm's topology.max.spout.pending).
+  size_t max_spout_pending = 1024;
+};
+
+struct ComponentMetrics {
+  std::atomic<uint64_t> tuples_in{0};
+  std::atomic<uint64_t> tuples_out{0};
+  std::atomic<uint64_t> bytes_out{0};
+  LatencyHistogram sink_latency;  // recorded at bolts with no consumers
+};
+
+struct StormMetricsSnapshot {
+  struct Component {
+    std::string id;
+    uint64_t tuples_in = 0;
+    uint64_t tuples_out = 0;
+    uint64_t bytes_out = 0;
+  };
+  std::vector<Component> components;
+  int64_t wall_time_ns = 0;
+  uint64_t thread_hops = 0;  ///< cumulative cross-thread handoffs
+
+  uint64_t tuples_in(const std::string& id) const {
+    uint64_t n = 0;
+    for (auto& c : components) {
+      if (c.id == id) n += c.tuples_in;
+    }
+    return n;
+  }
+  uint64_t tuples_out(const std::string& id) const {
+    uint64_t n = 0;
+    for (auto& c : components) {
+      if (c.id == id) n += c.tuples_out;
+    }
+    return n;
+  }
+  double seconds() const { return static_cast<double>(wall_time_ns) * 1e-9; }
+};
+
+class LocalCluster;
+
+/// A running topology.
+class StormTopology {
+ public:
+  ~StormTopology();
+  StormTopology(const StormTopology&) = delete;
+  StormTopology& operator=(const StormTopology&) = delete;
+
+  /// Wait until all spouts are exhausted and all in-flight tuples have been
+  /// processed. False on timeout.
+  bool wait_for_drain(std::chrono::nanoseconds timeout = std::chrono::hours(1));
+
+  /// Hard-stop all threads (also called by the destructor).
+  void kill();
+
+  StormMetricsSnapshot metrics() const;
+
+  /// p99 end-to-end latency observed at sink bolts, in nanoseconds.
+  uint64_t sink_latency_p99_ns() const;
+  uint64_t sink_latency_p50_ns() const;
+
+  /// With acking enabled: tuple trees fully acknowledged so far.
+  uint64_t tuples_completed() const;
+  /// With acking enabled: tuple trees still pending acknowledgment.
+  uint64_t tuples_pending() const;
+
+ private:
+  friend class LocalCluster;
+  StormTopology() = default;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// In-process Storm cluster (the LocalCluster of Storm's API).
+class LocalCluster {
+ public:
+  explicit LocalCluster(StormConfig config = {});
+
+  /// Deploy and start a topology. Tasks are assigned to workers
+  /// round-robin, mirroring Storm's even scheduler.
+  std::shared_ptr<StormTopology> submit(const TopologyBuilder& topology);
+
+  const StormConfig& config() const { return config_; }
+
+ private:
+  StormConfig config_;
+};
+
+}  // namespace neptune::storm

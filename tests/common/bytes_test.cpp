@@ -1,0 +1,228 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace neptune {
+namespace {
+
+TEST(ByteBuffer, StartsEmpty) {
+  ByteBuffer b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(ByteBuffer, FixedWidthRoundTrip) {
+  ByteBuffer b;
+  b.write_u8(0xAB);
+  b.write_u16(0xBEEF);
+  b.write_u32(0xDEADBEEFu);
+  b.write_u64(0x0123456789ABCDEFULL);
+  b.write_i8(-5);
+  b.write_i16(-30000);
+  b.write_i32(-2000000000);
+  b.write_i64(std::numeric_limits<int64_t>::min());
+  b.write_f32(3.25f);
+  b.write_f64(-1.0e300);
+  b.write_bool(true);
+  b.write_bool(false);
+
+  EXPECT_EQ(b.read_u8(), 0xAB);
+  EXPECT_EQ(b.read_u16(), 0xBEEF);
+  EXPECT_EQ(b.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(b.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(b.read_i8(), -5);
+  EXPECT_EQ(b.read_i16(), -30000);
+  EXPECT_EQ(b.read_i32(), -2000000000);
+  EXPECT_EQ(b.read_i64(), std::numeric_limits<int64_t>::min());
+  EXPECT_FLOAT_EQ(b.read_f32(), 3.25f);
+  EXPECT_DOUBLE_EQ(b.read_f64(), -1.0e300);
+  EXPECT_TRUE(b.read_bool());
+  EXPECT_FALSE(b.read_bool());
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(ByteBuffer, LittleEndianLayout) {
+  ByteBuffer b;
+  b.write_u32(0x04030201u);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.data()[0], 0x01);
+  EXPECT_EQ(b.data()[1], 0x02);
+  EXPECT_EQ(b.data()[2], 0x03);
+  EXPECT_EQ(b.data()[3], 0x04);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, Unsigned) {
+  ByteBuffer b;
+  b.write_varint(GetParam());
+  EXPECT_EQ(b.read_varint(), GetParam());
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST_P(VarintRoundTrip, SignedPositiveAndNegative) {
+  int64_t v = static_cast<int64_t>(GetParam());
+  ByteBuffer b;
+  b.write_svarint(v);
+  b.write_svarint(-v);
+  EXPECT_EQ(b.read_svarint(), v);
+  EXPECT_EQ(b.read_svarint(), -v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTrip,
+                         ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 129ULL, 16383ULL, 16384ULL,
+                                           (1ULL << 32) - 1, 1ULL << 32, (1ULL << 56) + 3,
+                                           ~0ULL >> 1, ~0ULL));
+
+TEST(ByteBuffer, VarintEncodingSize) {
+  ByteBuffer b;
+  b.write_varint(127);
+  EXPECT_EQ(b.size(), 1u);
+  b.clear();
+  b.write_varint(128);
+  EXPECT_EQ(b.size(), 2u);
+  b.clear();
+  b.write_varint(~0ULL);
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(ByteBuffer, StringAndBlockRoundTrip) {
+  ByteBuffer b;
+  b.write_string("hello, \xE4\xB8\x96\xE7\x95\x8C");
+  std::vector<uint8_t> blob{1, 2, 3, 0, 255};
+  b.write_block(blob);
+  b.write_string("");
+  EXPECT_EQ(b.read_string(), "hello, \xE4\xB8\x96\xE7\x95\x8C");
+  auto view = b.read_block();
+  EXPECT_EQ(std::vector<uint8_t>(view.begin(), view.end()), blob);
+  EXPECT_EQ(b.read_string(), "");
+}
+
+TEST(ByteBuffer, UnderflowThrows) {
+  ByteBuffer b;
+  b.write_u8(7);
+  b.write_u8(5);  // will be read as a string length with no bytes behind it
+  EXPECT_NO_THROW(b.read_u8());
+  EXPECT_THROW(b.read_u32(), BufferUnderflow);
+  EXPECT_THROW(b.read_string(), BufferUnderflow);  // length 5, 0 available
+}
+
+TEST(ByteBuffer, TruncatedVarintThrows) {
+  ByteBuffer b;
+  b.write_u8(0x80);  // continuation bit set, then nothing
+  EXPECT_THROW(b.read_varint(), BufferUnderflow);
+}
+
+TEST(ByteBuffer, MalformedOverlongVarintThrows) {
+  ByteBuffer b;
+  for (int i = 0; i < 11; ++i) b.write_u8(0x80);
+  EXPECT_THROW(b.read_varint(), BufferUnderflow);
+}
+
+TEST(ByteBuffer, ClearKeepsCapacity) {
+  ByteBuffer b;
+  for (int i = 0; i < 1000; ++i) b.write_u64(static_cast<uint64_t>(i));
+  size_t cap = b.capacity();
+  ASSERT_GE(cap, 8000u);
+  b.clear();
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.capacity(), cap);  // the object-reuse property
+}
+
+TEST(ByteBuffer, PatchU32BackfillsLength) {
+  ByteBuffer b;
+  b.write_u32(0);  // placeholder
+  b.write_string("payload");
+  b.patch_u32(0, static_cast<uint32_t>(b.size() - 4));
+  EXPECT_EQ(b.read_u32(), b.size() - 4);
+  EXPECT_EQ(b.read_string(), "payload");
+}
+
+TEST(ByteBuffer, PatchOutOfRangeThrows) {
+  ByteBuffer b;
+  b.write_u16(1);
+  EXPECT_THROW(b.patch_u32(0, 5), std::out_of_range);
+}
+
+TEST(ByteBuffer, RewindRereads) {
+  ByteBuffer b;
+  b.write_i32(42);
+  EXPECT_EQ(b.read_i32(), 42);
+  b.rewind();
+  EXPECT_EQ(b.read_i32(), 42);
+}
+
+TEST(ByteBuffer, SkipAdvances) {
+  ByteBuffer b;
+  b.write_u32(1);
+  b.write_u32(2);
+  b.skip(4);
+  EXPECT_EQ(b.read_u32(), 2u);
+  EXPECT_THROW(b.skip(1), BufferUnderflow);
+}
+
+TEST(ByteReader, ReadsExternalMemory) {
+  ByteBuffer b;
+  b.write_varint(300);
+  b.write_f64(2.5);
+  b.write_string("xyz");
+  ByteReader r(b.contents());
+  EXPECT_EQ(r.read_varint(), 300u);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 2.5);
+  EXPECT_EQ(r.read_string(), "xyz");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, UnderflowThrows) {
+  uint8_t data[2] = {1, 2};
+  ByteReader r(data, 2);
+  r.skip(1);
+  EXPECT_THROW(r.read_u32(), BufferUnderflow);
+}
+
+TEST(ByteReader, SpanViewIsZeroCopy) {
+  uint8_t data[4] = {9, 8, 7, 6};
+  ByteReader r(data, 4);
+  auto s = r.read_span(4);
+  EXPECT_EQ(s.data(), data);
+}
+
+// Property sweep: random mixed-field documents survive write->read.
+TEST(ByteBuffer, RandomizedMixedRoundTrip) {
+  Xoshiro256 rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    ByteBuffer b;
+    std::vector<uint64_t> vals;
+    std::vector<int> kinds;
+    int fields = 1 + static_cast<int>(rng.next_below(30));
+    for (int i = 0; i < fields; ++i) {
+      int kind = static_cast<int>(rng.next_below(3));
+      uint64_t v = rng.next_u64();
+      kinds.push_back(kind);
+      vals.push_back(v);
+      switch (kind) {
+        case 0: b.write_varint(v); break;
+        case 1: b.write_u64(v); break;
+        case 2: b.write_svarint(static_cast<int64_t>(v)); break;
+      }
+    }
+    for (int i = 0; i < fields; ++i) {
+      switch (kinds[static_cast<size_t>(i)]) {
+        case 0: EXPECT_EQ(b.read_varint(), vals[static_cast<size_t>(i)]); break;
+        case 1: EXPECT_EQ(b.read_u64(), vals[static_cast<size_t>(i)]); break;
+        case 2:
+          EXPECT_EQ(b.read_svarint(), static_cast<int64_t>(vals[static_cast<size_t>(i)]));
+          break;
+      }
+    }
+    EXPECT_EQ(b.remaining(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace neptune

@@ -1,0 +1,123 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace neptune {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsSafe) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h(5);  // exact below 64
+  for (uint64_t v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  EXPECT_EQ(h.percentile(100), 63u);
+  EXPECT_EQ(h.percentile(50), 31u);
+}
+
+TEST(LatencyHistogram, PercentileWithinRelativeError) {
+  LatencyHistogram h(5);
+  Xoshiro256 rng(3);
+  std::vector<uint64_t> vals;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = 100 + rng.next_below(10000000);
+    vals.push_back(v);
+    h.record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    uint64_t exact = vals[static_cast<size_t>(p / 100.0 * (vals.size() - 1))];
+    uint64_t approx = h.percentile(p);
+    double rel = std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+                 static_cast<double>(exact);
+    EXPECT_LT(rel, 0.04) << "p=" << p;  // 2^-5 bucket precision ~3.1%
+  }
+}
+
+TEST(LatencyHistogram, MeanIsExact) {
+  LatencyHistogram h;
+  h.record(10);
+  h.record(20);
+  h.record(60);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+}
+
+TEST(LatencyHistogram, RecordNWeightsCounts) {
+  LatencyHistogram h;
+  h.record_n(5, 99);
+  h.record_n(1000000, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile(50), 5u);
+  EXPECT_GE(h.percentile(100), 1000000u * 97 / 100);  // within bucket bound
+}
+
+TEST(LatencyHistogram, HugeValuesDoNotOverflowBuckets) {
+  LatencyHistogram h;
+  h.record(~0ULL);
+  h.record(1ULL << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ULL);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record(123456);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
+TEST(LatencyHistogram, MergeCombinesDistributions) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 1000; ++i) a.record(100);
+  for (int i = 0; i < 1000; ++i) b.record(10000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_LE(a.percentile(49), 105u);
+  EXPECT_GE(a.percentile(51), 9000u);
+  EXPECT_EQ(a.max(), 10000u);
+  EXPECT_EQ(a.min(), 100u);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(static_cast<uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) h.record(1 + rng.next_below(1000000));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogram, SummaryStringMentionsPercentiles) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<uint64_t>(i) * 1000000);
+  std::string s = h.summary_string();
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("n=100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace neptune

@@ -1,0 +1,116 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neptune {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  auto v = JsonValue::parse(R"({
+    "graph": {
+      "name": "relay",
+      "stages": [
+        {"id": "source", "parallelism": 2},
+        {"id": "relay", "parallelism": 1}
+      ],
+      "buffered": true
+    }
+  })");
+  const auto& graph = v.at("graph");
+  EXPECT_EQ(graph.at("name").as_string(), "relay");
+  EXPECT_TRUE(graph.at("buffered").as_bool());
+  const auto& stages = graph.at("stages").as_array();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].at("id").as_string(), "source");
+  EXPECT_EQ(stages[0].at("parallelism").as_int(), 2);
+}
+
+TEST(Json, StringEscapes) {
+  auto v = JsonValue::parse(R"("a\"b\\c\nd\teAé")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA\xC3\xA9");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(JsonValue::parse("[]").as_array().empty());
+  EXPECT_TRUE(JsonValue::parse("{}").as_object().empty());
+}
+
+TEST(Json, WhitespaceTolerant) {
+  auto v = JsonValue::parse("  {  \"a\" : [ 1 , 2 ]\n}\t");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), JsonError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(JsonValue::parse("tru"), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(JsonValue::parse("1 2"), JsonError);       // trailing token
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} x"), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"bad\\q\""), JsonError);
+  EXPECT_THROW(JsonValue::parse("--4"), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  auto v = JsonValue::parse("{\"n\": 5}");
+  EXPECT_THROW(v.at("n").as_string(), JsonError);
+  EXPECT_THROW(v.at("missing"), JsonError);
+  EXPECT_THROW(v.as_array(), JsonError);
+}
+
+TEST(Json, DefaultedAccessors) {
+  auto v = JsonValue::parse("{\"p\": 4, \"s\": \"x\", \"b\": true}");
+  EXPECT_DOUBLE_EQ(v.number_or("p", 1), 4);
+  EXPECT_DOUBLE_EQ(v.number_or("q", 1), 1);
+  EXPECT_EQ(v.string_or("s", "d"), "x");
+  EXPECT_EQ(v.string_or("t", "d"), "d");
+  EXPECT_TRUE(v.bool_or("b", false));
+  EXPECT_FALSE(v.bool_or("c", false));
+}
+
+TEST(Json, DumpParsesBackIdentically) {
+  auto v = JsonValue::parse(
+      R"({"a":[1,2.5,"s",null,true],"b":{"c":[],"d":{}},"e":-0.125})");
+  auto reparsed = JsonValue::parse(v.dump());
+  EXPECT_EQ(v, reparsed);
+  auto pretty = JsonValue::parse(v.dump(2));
+  EXPECT_EQ(v, pretty);
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  // ("\x01" "c" — split so the hex escape doesn't swallow the 'c'.)
+  JsonValue v(std::string("a\nb\x01" "c"));
+  std::string d = v.dump();
+  EXPECT_EQ(d, "\"a\\nb\\u0001c\"");
+  EXPECT_EQ(JsonValue::parse(d).as_string(), std::string("a\nb\x01" "c"));
+}
+
+TEST(Json, IntegersRoundTripExactly) {
+  auto v = JsonValue::parse("[0, -1, 1048576, 123456789012]");
+  std::string d = v.dump();
+  EXPECT_EQ(d, "[0,-1,1048576,123456789012]");
+}
+
+TEST(Json, BuildDomProgrammatically) {
+  JsonObject o;
+  o["name"] = "quickstart";
+  o["parallelism"] = 4;
+  o["links"] = JsonArray{JsonValue("a->b"), JsonValue("b->c")};
+  JsonValue v(std::move(o));
+  EXPECT_EQ(v.at("parallelism").as_int(), 4);
+  EXPECT_EQ(v.at("links").as_array()[1].as_string(), "b->c");
+}
+
+}  // namespace
+}  // namespace neptune

@@ -1,0 +1,147 @@
+#include "common/object_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace neptune {
+namespace {
+
+struct Widget {
+  int value = 0;
+  std::vector<int> payload;
+};
+
+TEST(ObjectPool, AcquireCreatesWhenEmpty) {
+  auto pool = ObjectPool<Widget>::create();
+  auto p = pool->acquire();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(pool->stats().created, 1u);
+  EXPECT_EQ(pool->stats().recycled, 0u);
+}
+
+TEST(ObjectPool, ReleaseThenAcquireRecyclesSameObject) {
+  auto pool = ObjectPool<Widget>::create();
+  Widget* raw;
+  {
+    auto p = pool->acquire();
+    raw = p.get();
+    p->value = 42;
+  }  // returned to pool
+  EXPECT_EQ(pool->idle_count(), 1u);
+  auto p2 = pool->acquire();
+  EXPECT_EQ(p2.get(), raw);
+  // Recycled objects keep their state; callers own the reset protocol.
+  EXPECT_EQ(p2->value, 42);
+  EXPECT_EQ(pool->stats().recycled, 1u);
+}
+
+TEST(ObjectPool, ReuseRatioReflectsSteadyState) {
+  auto pool = ObjectPool<Widget>::create();
+  for (int i = 0; i < 100; ++i) {
+    auto p = pool->acquire();
+    p->value = i;
+  }
+  auto s = pool->stats();
+  EXPECT_EQ(s.acquires, 100u);
+  EXPECT_EQ(s.created, 1u);
+  EXPECT_EQ(s.recycled, 99u);
+  EXPECT_NEAR(s.reuse_ratio(), 0.99, 1e-9);
+}
+
+TEST(ObjectPool, MaxIdleBoundsTheFreeList) {
+  auto pool = ObjectPool<Widget>::create(/*max_idle=*/2);
+  {
+    auto a = pool->acquire();
+    auto b = pool->acquire();
+    auto c = pool->acquire();
+    auto d = pool->acquire();
+  }  // four releases, only two retained
+  EXPECT_EQ(pool->idle_count(), 2u);
+  EXPECT_EQ(pool->stats().discarded, 2u);
+}
+
+TEST(ObjectPool, WarmPrepopulates) {
+  auto pool = ObjectPool<Widget>::create();
+  pool->warm(5);
+  EXPECT_EQ(pool->idle_count(), 5u);
+  auto p = pool->acquire();
+  EXPECT_EQ(pool->stats().created, 0u);
+  EXPECT_EQ(pool->stats().recycled, 1u);
+}
+
+TEST(ObjectPool, EarlyReleaseIsIdempotent) {
+  auto pool = ObjectPool<Widget>::create();
+  auto p = pool->acquire();
+  p.release();
+  EXPECT_FALSE(p);
+  p.release();  // no-op
+  EXPECT_EQ(pool->idle_count(), 1u);
+  EXPECT_EQ(pool->stats().released, 1u);
+}
+
+TEST(ObjectPool, DetachRemovesFromPoolManagement) {
+  auto pool = ObjectPool<Widget>::create();
+  auto p = pool->acquire();
+  auto owned = p.detach();
+  ASSERT_TRUE(owned);
+  p.release();  // nothing to release
+  EXPECT_EQ(pool->idle_count(), 0u);
+}
+
+TEST(ObjectPool, MoveTransfersOwnership) {
+  auto pool = ObjectPool<Widget>::create();
+  auto p = pool->acquire();
+  Widget* raw = p.get();
+  auto q = std::move(p);
+  EXPECT_FALSE(p);  // NOLINT(bugprone-use-after-move) — testing moved-from state
+  EXPECT_EQ(q.get(), raw);
+}
+
+TEST(ObjectPool, MoveAssignReleasesPrevious) {
+  auto pool = ObjectPool<Widget>::create();
+  auto p = pool->acquire();
+  auto q = pool->acquire();
+  q = std::move(p);  // q's original object goes back to the pool
+  EXPECT_EQ(pool->idle_count(), 1u);
+}
+
+TEST(ObjectPool, ObjectsOutliveDestroyedPool) {
+  ObjectPool<Widget>::PoolPtr survivor;
+  {
+    auto pool = ObjectPool<Widget>::create();
+    survivor = pool->acquire();
+    survivor->value = 9;
+  }  // pool destroyed while object is out
+  EXPECT_EQ(survivor->value, 9);
+  survivor.release();  // falls back to plain delete; must not crash
+}
+
+TEST(ObjectPool, ConcurrentAcquireReleaseKeepsCountsConsistent) {
+  auto pool = ObjectPool<ByteBuffer>::create();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        auto p = pool->acquire();
+        p->clear();
+        p->write_u64(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto s = pool->stats();
+  EXPECT_EQ(s.acquires, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(s.created + s.recycled, s.acquires);
+  EXPECT_EQ(s.released, s.acquires);
+  // At most one live object per thread at any instant.
+  EXPECT_LE(s.created, static_cast<uint64_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace neptune

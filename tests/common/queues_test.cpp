@@ -1,0 +1,204 @@
+#include "common/queues.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace neptune {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+  SpscRing<int> q2(8);
+  EXPECT_EQ(q2.capacity(), 8u);
+}
+
+TEST(SpscRing, FifoSingleThread) {
+  SpscRing<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_EQ(q.try_pop().value(), 3);
+  EXPECT_EQ(q.try_pop().value(), 4);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscRing, RejectsWhenFull) {
+  SpscRing<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(SpscRing, CrossThreadTransfersEverythingInOrder) {
+  constexpr int kN = 200000;
+  SpscRing<int> q(1024);
+  std::thread producer([&] {
+    for (int i = 0; i < kN;) {
+      if (q.try_push(i)) ++i;
+    }
+  });
+  int expected = 0;
+  while (expected < kN) {
+    if (auto v = q.try_pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscRing, MoveOnlyPayloads) {
+  SpscRing<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(7)));
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+TEST(BoundedQueue, BasicPushPop) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.push(1), QueueResult::kOk);
+  EXPECT_EQ(q.push(2), QueueResult::kOk);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, TryPushFullAndTryPopEmpty) {
+  BoundedQueue<int> q(1);
+  EXPECT_EQ(q.try_push(1), QueueResult::kOk);
+  EXPECT_EQ(q.try_push(2), QueueResult::kFull);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, CloseUnblocksAndDrains) {
+  BoundedQueue<int> q(4);
+  q.push(10);
+  q.close();
+  EXPECT_EQ(q.push(11), QueueResult::kClosed);
+  EXPECT_EQ(q.pop().value(), 10);       // drains pre-close items
+  EXPECT_FALSE(q.pop().has_value());    // then reports closed
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] {
+    auto v = q.pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(20ms);
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, BlockedProducerResumesAfterPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_EQ(q.push(1), QueueResult::kOk);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(2), QueueResult::kOk);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, PopForTimesOut) {
+  BoundedQueue<int> q(1);
+  auto v = q.pop_for(10ms);
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(BoundedQueue, PopBatchDrainsUpToLimit) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) q.push(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.pop_batch(out, 100), 6u);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(q.pop_batch(out, 100), 0u);
+}
+
+TEST(BoundedQueue, WatermarkCallbacksFireWithHysteresis) {
+  BoundedQueue<int> q(10, /*high=*/8, /*low=*/4);
+  int highs = 0, lows = 0;
+  q.set_watermark_callbacks([&] { ++highs; }, [&] { ++lows; });
+
+  for (int i = 0; i < 7; ++i) q.push(i);
+  EXPECT_EQ(highs, 0);  // below high watermark
+  q.push(7);
+  EXPECT_EQ(highs, 1);  // crossed 8
+  q.push(8);
+  EXPECT_EQ(highs, 1);  // edge-triggered: no refire while above
+  q.pop();              // 8 left
+  q.pop();              // 7
+  q.pop();              // 6
+  q.pop();              // 5
+  EXPECT_EQ(lows, 0);   // still above low watermark
+  q.pop();              // 4 -> crossed low
+  EXPECT_EQ(lows, 1);
+  q.pop();
+  EXPECT_EQ(lows, 1);  // no refire below
+
+  // A second cycle fires both again (3 items remain; 5 more reach high=8).
+  for (int i = 0; i < 5; ++i) q.push(i);
+  EXPECT_EQ(highs, 2);
+  std::vector<int> sink;
+  q.pop_batch(sink, 100);
+  EXPECT_EQ(lows, 2);
+}
+
+TEST(BoundedQueue, MpmcStressConservesElements) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 20000;
+  BoundedQueue<int> q(64);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_EQ(q.push(p * kPerProducer + i), QueueResult::kOk);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        auto v = q.pop();
+        if (!v) return;
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<size_t>(p)].join();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[static_cast<size_t>(kProducers + c)].join();
+
+  long long n = static_cast<long long>(kProducers) * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace neptune

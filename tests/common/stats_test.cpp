@@ -1,0 +1,172 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace neptune {
+namespace {
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsSafe) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, MergeEqualsSinglePass) {
+  Xoshiro256 rng(7);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.next_range(-50, 50);
+    all.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  b.add(3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(SpecialFunctions, IncompleteBetaKnownValues) {
+  // Closed forms: I_x(2,3) = 6x^2 - 8x^3 + 3x^4; I_x(1/2,1/2) =
+  // (2/pi) asin(sqrt(x)); I_x(n,1) = x^n.
+  EXPECT_NEAR(incomplete_beta(2, 3, 0.5), 0.6875, 1e-10);
+  EXPECT_NEAR(incomplete_beta(0.5, 0.5, 0.3), 2.0 / M_PI * std::asin(std::sqrt(0.3)), 1e-9);
+  EXPECT_NEAR(incomplete_beta(5, 1, 0.8), 0.32768, 1e-10);
+  EXPECT_EQ(incomplete_beta(2, 2, 0.0), 0.0);
+  EXPECT_EQ(incomplete_beta(2, 2, 1.0), 1.0);
+}
+
+TEST(SpecialFunctions, IncompleteBetaSymmetry) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a)
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(3, 7, x), 1.0 - incomplete_beta(7, 3, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(SpecialFunctions, StudentTCdfKnownValues) {
+  // R: pt(q, df)
+  EXPECT_NEAR(student_t_cdf(0.0, 10), 0.5, 1e-12);
+  EXPECT_NEAR(student_t_cdf(1.812461, 10), 0.95, 1e-5);     // qt(0.95, 10)
+  EXPECT_NEAR(student_t_cdf(2.228139, 10), 0.975, 1e-5);    // qt(0.975, 10)
+  EXPECT_NEAR(student_t_cdf(-2.228139, 10), 0.025, 1e-5);
+  EXPECT_NEAR(student_t_cdf(1.959964, 1e6), 0.975, 1e-4);   // ~normal at huge df
+}
+
+TEST(SpecialFunctions, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.644854), 0.95, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959964), 0.025, 1e-6);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501, 1e-6);
+}
+
+TEST(WelchTTest, EqualSamplesGiveHighP) {
+  std::vector<double> a{5.1, 4.9, 5.0, 5.2, 4.8, 5.0, 5.1, 4.9};
+  auto r = welch_t_test(a, a);
+  EXPECT_NEAR(r.t, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_two_tailed, 1.0, 1e-9);
+}
+
+TEST(WelchTTest, KnownExample) {
+  // Cross-check against the Welch formulas computed independently from the
+  // sample moments, and the p-value against the verified Student-t CDF.
+  std::vector<double> a{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6,
+                        19.0, 21.7, 21.4};
+  std::vector<double> b{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1,
+                        22.9, 30.5, 25.2};
+  auto r = welch_t_test(a, b);
+
+  auto mean_var = [](const std::vector<double>& xs) {
+    double m = 0;
+    for (double x : xs) m += x;
+    m /= static_cast<double>(xs.size());
+    double v = 0;
+    for (double x : xs) v += (x - m) * (x - m);
+    v /= static_cast<double>(xs.size() - 1);
+    return std::pair{m, v};
+  };
+  auto [ma, va] = mean_var(a);
+  auto [mb, vb] = mean_var(b);
+  double sa = va / static_cast<double>(a.size());
+  double sb = vb / static_cast<double>(b.size());
+  double t_expect = (ma - mb) / std::sqrt(sa + sb);
+  double df_expect = (sa + sb) * (sa + sb) /
+                     (sa * sa / (a.size() - 1.0) + sb * sb / (b.size() - 1.0));
+  EXPECT_NEAR(r.t, t_expect, 1e-12);
+  EXPECT_NEAR(r.df, df_expect, 1e-9);
+  EXPECT_NEAR(r.p_two_tailed, 2.0 * student_t_cdf(t_expect, df_expect), 1e-12);
+  EXPECT_LT(r.t, 0);  // b's mean is visibly higher
+  EXPECT_LT(r.p_two_tailed, 0.05);
+}
+
+TEST(WelchTTest, OneTailedDirectionality) {
+  std::vector<double> hi{10.1, 10.3, 10.2, 10.4, 10.0, 10.2};
+  std::vector<double> lo{9.1, 9.0, 9.2, 8.9, 9.1, 9.05};
+  auto r = welch_t_test(hi, lo);
+  EXPECT_LT(r.p_one_tailed, 0.001);  // hi > lo strongly supported
+  auto rr = welch_t_test(lo, hi);
+  EXPECT_GT(rr.p_one_tailed, 0.999);  // reversed direction
+}
+
+TEST(WelchTTest, DetectsLargeSeparation) {
+  Xoshiro256 rng(42);
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(100 + rng.next_range(-1, 1));
+    b.push_back(90 + rng.next_range(-1, 1));
+  }
+  auto r = welch_t_test(a, b);
+  EXPECT_LT(r.p_two_tailed, 1e-10);
+}
+
+TEST(WelchTTest, RequiresTwoSamplesPerGroup) {
+  std::vector<double> one{1.0};
+  std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW(welch_t_test(one, two), std::invalid_argument);
+}
+
+TEST(WelchTTest, NoFalsePositiveOnSameDistribution) {
+  // With identical distributions the p-value should not be extreme.
+  Xoshiro256 rng(99);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.next_range(0, 1));
+    b.push_back(rng.next_range(0, 1));
+  }
+  auto r = welch_t_test(a, b);
+  EXPECT_GT(r.p_two_tailed, 0.001);
+}
+
+}  // namespace
+}  // namespace neptune

@@ -1,0 +1,135 @@
+#include "common/tukey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace neptune {
+namespace {
+
+TEST(NormalRangeCdf, MonotoneAndBounded) {
+  double prev = 0;
+  for (double w = 0.1; w < 10; w += 0.3) {
+    double c = normal_range_cdf(w, 4);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(normal_range_cdf(12.0, 3), 1.0, 1e-6);
+  EXPECT_EQ(normal_range_cdf(0.0, 3), 0.0);
+}
+
+TEST(NormalRangeCdf, TwoGroupsMatchesFoldedNormal) {
+  // For k=2, the range |X1 - X2| ~ |N(0, 2)|, so
+  // P(W <= w) = 2 Phi(w / sqrt(2)) - 1.
+  for (double w : {0.5, 1.0, 2.0, 3.0}) {
+    double expect = 2.0 * normal_cdf(w / std::sqrt(2.0)) - 1.0;
+    EXPECT_NEAR(normal_range_cdf(w, 2), expect, 1e-6) << "w=" << w;
+  }
+}
+
+struct QTableRow {
+  double q;
+  int k;
+  double df;
+  double cdf;  // expected CDF value at q
+};
+
+class StudentizedRangeTable : public ::testing::TestWithParam<QTableRow> {};
+
+TEST_P(StudentizedRangeTable, MatchesPublishedCriticalValues) {
+  const auto& row = GetParam();
+  EXPECT_NEAR(studentized_range_cdf(row.q, row.k, row.df), row.cdf, 0.004)
+      << "q=" << row.q << " k=" << row.k << " df=" << row.df;
+}
+
+// Published upper-5% and upper-1% points of the studentized range
+// (standard q tables; e.g. Harter 1960).
+INSTANTIATE_TEST_SUITE_P(
+    PublishedTables, StudentizedRangeTable,
+    ::testing::Values(QTableRow{3.151, 2, 10, 0.95}, QTableRow{3.877, 3, 10, 0.95},
+                      QTableRow{4.327, 4, 10, 0.95}, QTableRow{2.950, 2, 20, 0.95},
+                      QTableRow{3.578, 3, 20, 0.95}, QTableRow{4.232, 5, 20, 0.95},
+                      QTableRow{5.270, 3, 10, 0.99}, QTableRow{2.829, 2, 60, 0.95},
+                      QTableRow{3.737, 4, 60, 0.95}));
+
+TEST(StudentizedRangeCdf, LargeDfApproachesNormalRange) {
+  for (double q : {2.0, 3.0, 4.0}) {
+    EXPECT_NEAR(studentized_range_cdf(q, 3, 2e5), normal_range_cdf(q, 3), 1e-4);
+  }
+}
+
+TEST(StudentizedRangeCdf, MonotoneInQ) {
+  double prev = 0;
+  for (double q = 0.2; q < 8; q += 0.2) {
+    double c = studentized_range_cdf(q, 4, 12);
+    EXPECT_GE(c, prev - 1e-9);
+    prev = c;
+  }
+}
+
+TEST(TukeyHsd, DetectsClearlySeparatedGroups) {
+  Xoshiro256 rng(5);
+  std::vector<std::vector<double>> groups(3);
+  for (int i = 0; i < 20; ++i) {
+    groups[0].push_back(10.0 + rng.next_range(-0.5, 0.5));
+    groups[1].push_back(10.1 + rng.next_range(-0.5, 0.5));
+    groups[2].push_back(15.0 + rng.next_range(-0.5, 0.5));
+  }
+  auto r = tukey_hsd(groups);
+  ASSERT_EQ(r.comparisons.size(), 3u);
+  // 0 vs 1: same-ish mean -> not significant.
+  EXPECT_FALSE(r.comparisons[0].significant_05);
+  EXPECT_GT(r.comparisons[0].p_value, 0.05);
+  // 0 vs 2 and 1 vs 2: far apart -> significant.
+  EXPECT_TRUE(r.comparisons[1].significant_05);
+  EXPECT_LT(r.comparisons[1].p_value, 1e-4);
+  EXPECT_TRUE(r.comparisons[2].significant_05);
+}
+
+TEST(TukeyHsd, IdenticalGroupsNotSignificant) {
+  Xoshiro256 rng(77);
+  std::vector<std::vector<double>> groups(4);
+  for (auto& g : groups)
+    for (int i = 0; i < 15; ++i) g.push_back(rng.next_range(0, 1));
+  auto r = tukey_hsd(groups);
+  EXPECT_EQ(r.comparisons.size(), 6u);
+  int significant = 0;
+  for (const auto& c : r.comparisons) significant += c.significant_05;
+  // Familywise alpha=0.05: seeing >1 significant pair here is vanishingly
+  // unlikely with this fixed seed.
+  EXPECT_LE(significant, 1);
+}
+
+TEST(TukeyHsd, DegreesOfFreedomAndMsWithin) {
+  std::vector<std::vector<double>> groups{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  auto r = tukey_hsd(groups);
+  EXPECT_DOUBLE_EQ(r.df_within, 6.0);  // 9 samples - 3 groups
+  EXPECT_NEAR(r.ms_within, 1.0, 1e-12);  // each group variance = 1
+}
+
+TEST(TukeyHsd, RejectsDegenerateInputs) {
+  std::vector<std::vector<double>> one_group{{1, 2, 3}};
+  EXPECT_THROW(tukey_hsd(one_group), std::invalid_argument);
+  std::vector<std::vector<double>> tiny{{1.0}, {2.0, 3.0}};
+  EXPECT_THROW(tukey_hsd(tiny), std::invalid_argument);
+}
+
+TEST(TukeyHsd, UnequalGroupSizesUseTukeyKramer) {
+  Xoshiro256 rng(13);
+  std::vector<std::vector<double>> groups(2);
+  for (int i = 0; i < 8; ++i) groups[0].push_back(5.0 + rng.next_range(-1, 1));
+  for (int i = 0; i < 30; ++i) groups[1].push_back(9.0 + rng.next_range(-1, 1));
+  auto r = tukey_hsd(groups);
+  ASSERT_EQ(r.comparisons.size(), 1u);
+  EXPECT_TRUE(r.comparisons[0].significant_05);
+  EXPECT_LT(r.comparisons[0].mean_diff, 0);  // mean(a) - mean(b) < 0
+}
+
+}  // namespace
+}  // namespace neptune

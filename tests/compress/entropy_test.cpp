@@ -1,0 +1,87 @@
+#include "compress/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace neptune {
+namespace {
+
+TEST(Entropy, EmptyIsZero) {
+  std::vector<uint8_t> v;
+  EXPECT_EQ(byte_entropy_bits(v), 0.0);
+}
+
+TEST(Entropy, ConstantDataIsZero) {
+  std::vector<uint8_t> v(10000, 0x5A);
+  EXPECT_EQ(byte_entropy_bits(v), 0.0);
+}
+
+TEST(Entropy, TwoEqualSymbolsIsOneBit) {
+  std::vector<uint8_t> v;
+  for (int i = 0; i < 5000; ++i) {
+    v.push_back(0);
+    v.push_back(255);
+  }
+  EXPECT_NEAR(byte_entropy_bits(v), 1.0, 1e-12);
+}
+
+TEST(Entropy, UniformBytesApproachEight) {
+  Xoshiro256 rng(3);
+  std::vector<uint8_t> v(1 << 20);
+  for (auto& b : v) b = static_cast<uint8_t>(rng.next_u64());
+  EXPECT_GT(byte_entropy_bits(v), 7.99);
+  EXPECT_LE(byte_entropy_bits(v), 8.0);
+}
+
+TEST(Entropy, SkewedDistributionBetweenExtremes) {
+  // 90% zeros, 10% spread: entropy strictly between 0 and 8.
+  Xoshiro256 rng(4);
+  std::vector<uint8_t> v(100000);
+  for (auto& b : v) b = rng.next_bool(0.9) ? 0 : static_cast<uint8_t>(rng.next_u64());
+  double h = byte_entropy_bits(v);
+  EXPECT_GT(h, 0.4);
+  EXPECT_LT(h, 2.0);
+}
+
+TEST(Entropy, SensorStreamIsLowEntropy) {
+  // Simulated slowly-changing sensor values, the paper's target workload:
+  // a reading that dwells on a handful of states.
+  std::vector<uint8_t> v;
+  uint8_t reading = 100;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.next_bool(0.01)) reading = static_cast<uint8_t>(100 + rng.next_below(3));
+    v.push_back(reading);
+  }
+  EXPECT_LT(byte_entropy_bits(v), 1.7);  // <= log2(3) states
+}
+
+TEST(EntropyEstimator, StreamingMatchesOneShot) {
+  Xoshiro256 rng(6);
+  std::vector<uint8_t> all(30000);
+  for (auto& b : all) b = static_cast<uint8_t>(rng.next_below(17));
+  EntropyEstimator est;
+  size_t pos = 0;
+  while (pos < all.size()) {
+    size_t chunk = std::min<size_t>(all.size() - pos, 1 + rng.next_below(999));
+    est.add(std::span<const uint8_t>(all.data() + pos, chunk));
+    pos += chunk;
+  }
+  EXPECT_EQ(est.total_bytes(), all.size());
+  EXPECT_NEAR(est.bits_per_byte(), byte_entropy_bits(all), 1e-12);
+}
+
+TEST(EntropyEstimator, ResetClears) {
+  EntropyEstimator est;
+  std::vector<uint8_t> v(100, 7);
+  est.add(v);
+  est.reset();
+  EXPECT_EQ(est.total_bytes(), 0u);
+  EXPECT_EQ(est.bits_per_byte(), 0.0);
+}
+
+}  // namespace
+}  // namespace neptune

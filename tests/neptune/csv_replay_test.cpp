@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "neptune/runtime.hpp"
+#include "neptune/workload.hpp"
+
+namespace neptune::workload {
+namespace {
+
+using namespace std::chrono_literals;
+
+Schema trace_schema() {
+  return Schema{{"ts", FieldType::kI64},
+                {"device", FieldType::kString},
+                {"temp", FieldType::kF64},
+                {"alert", FieldType::kBool}};
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents) {
+    char tmpl[] = "/tmp/neptune_csv_XXXXXX";
+    int fd = mkstemp(tmpl);
+    path_ = tmpl;
+    FILE* f = fdopen(fd, "w");
+    fputs(contents.c_str(), f);
+    fclose(f);
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ParseCsvRow, ParsesTypedColumns) {
+  auto p = parse_csv_row("1700,dev-3,21.5,1", trace_schema());
+  EXPECT_EQ(p.i64(0), 1700);
+  EXPECT_EQ(p.str(1), "dev-3");
+  EXPECT_DOUBLE_EQ(p.f64(2), 21.5);
+  EXPECT_TRUE(p.boolean(3));
+}
+
+TEST(ParseCsvRow, BoolSpellings) {
+  Schema s{{"b", FieldType::kBool}};
+  EXPECT_TRUE(parse_csv_row("true", s).boolean(0));
+  EXPECT_TRUE(parse_csv_row("1", s).boolean(0));
+  EXPECT_FALSE(parse_csv_row("0", s).boolean(0));
+  EXPECT_FALSE(parse_csv_row("false", s).boolean(0));
+}
+
+TEST(ParseCsvRow, RejectsMalformedRows) {
+  EXPECT_THROW(parse_csv_row("1700,dev", trace_schema()), PacketFormatError);  // too few
+  EXPECT_THROW(parse_csv_row("abc,dev,1.0,0", trace_schema()), PacketFormatError);  // bad i64
+  EXPECT_THROW(parse_csv_row("1,dev,xyz,0", trace_schema()), PacketFormatError);  // bad f64
+}
+
+TEST(ParseCsvRow, LastColumnTakesRemainder) {
+  Schema s{{"a", FieldType::kI32}, {"msg", FieldType::kString}};
+  auto p = parse_csv_row("7,hello,with,commas", s);
+  EXPECT_EQ(p.str(1), "hello,with,commas");
+}
+
+TEST(CsvReplay, ReplaysWholeFile) {
+  TempFile f("1,a,1.0,0\n2,b,2.0,1\n3,c,3.0,0\n");
+  CsvReplaySource src(f.path(), trace_schema());
+  src.open(0, 1);
+  struct Cap : Emitter {
+    EmitStatus emit(StreamPacket&& p) override { return emit(0, std::move(p)); }
+    EmitStatus emit(size_t, StreamPacket&& p) override {
+      rows.push_back(std::move(p));
+      return EmitStatus::kOk;
+    }
+    size_t output_link_count() const override { return 1; }
+    uint32_t instance() const override { return 0; }
+    uint64_t packets_emitted() const override { return rows.size(); }
+    std::vector<StreamPacket> rows;
+  } cap;
+  while (src.next(cap, 16)) {
+  }
+  ASSERT_EQ(cap.rows.size(), 3u);
+  EXPECT_EQ(cap.rows[1].str(1), "b");
+  EXPECT_EQ(src.rows_emitted(), 3u);
+}
+
+TEST(CsvReplay, MissingFileThrowsOnOpen) {
+  CsvReplaySource src("/nonexistent/trace.csv", trace_schema());
+  EXPECT_THROW(src.open(0, 1), std::runtime_error);
+}
+
+TEST(CsvReplay, ParallelInstancesPartitionRows) {
+  std::string contents;
+  for (int i = 0; i < 100; ++i)
+    contents += std::to_string(i) + ",d" + std::to_string(i) + ",0.5,0\n";
+  TempFile f(contents);
+
+  Runtime rt(1, {.worker_threads = 2, .io_threads = 1});
+  GraphConfig cfg;
+  cfg.buffer.capacity_bytes = 1024;
+  cfg.buffer.flush_interval_ns = 1'000'000;
+  StreamGraph g("replay", cfg);
+  std::string path = f.path();
+  Schema schema = trace_schema();
+  g.add_source("trace", [path, schema] {
+    return std::make_unique<CsvReplaySource>(path, schema);
+  }, /*parallelism=*/3);
+  auto seen = std::make_shared<std::set<int64_t>>();
+  auto mu = std::make_shared<std::mutex>();
+  g.add_processor("sink", [seen, mu]() -> std::unique_ptr<StreamProcessor> {
+    struct Sink : StreamProcessor {
+      std::shared_ptr<std::set<int64_t>> seen;
+      std::shared_ptr<std::mutex> mu;
+      void process(StreamPacket& p, Emitter&) override {
+        std::lock_guard lk(*mu);
+        seen->insert(p.i64(0));
+      }
+    };
+    auto s = std::make_unique<Sink>();
+    s->seen = seen;
+    s->mu = mu;
+    return s;
+  });
+  g.connect("trace", "sink");
+  auto job = rt.submit(g);
+  job->start();
+  ASSERT_TRUE(job->wait(60s));
+  // Exactly-once across the instance group: all 100 distinct timestamps.
+  EXPECT_EQ(seen->size(), 100u);
+}
+
+TEST(CsvReplay, MaxRowsLimits) {
+  TempFile f("1,a,1.0,0\n2,b,2.0,1\n3,c,3.0,0\n4,d,4.0,1\n");
+  CsvReplaySource src(f.path(), trace_schema(), /*max_rows=*/2);
+  src.open(0, 1);
+  struct Cap : Emitter {
+    EmitStatus emit(StreamPacket&& p) override { return emit(0, std::move(p)); }
+    EmitStatus emit(size_t, StreamPacket&& p) override {
+      ++n;
+      return EmitStatus::kOk;
+    }
+    size_t output_link_count() const override { return 1; }
+    uint32_t instance() const override { return 0; }
+    uint64_t packets_emitted() const override { return n; }
+    uint64_t n = 0;
+  } cap;
+  while (src.next(cap, 16)) {
+  }
+  EXPECT_EQ(cap.n, 2u);
+}
+
+TEST(CsvFileSinkTest, WritesRowsAndRoundTrips) {
+  char tmpl[] = "/tmp/neptune_out_XXXXXX";
+  int fd = mkstemp(tmpl);
+  close(fd);
+  std::string out_path = tmpl;
+  {
+    CsvFileSink sink(out_path);
+    struct NullEmitter : Emitter {
+      EmitStatus emit(StreamPacket&&) override { return EmitStatus::kOk; }
+      EmitStatus emit(size_t, StreamPacket&&) override { return EmitStatus::kOk; }
+      size_t output_link_count() const override { return 0; }
+      uint32_t instance() const override { return 0; }
+      uint64_t packets_emitted() const override { return 0; }
+    } null_out;
+    StreamPacket p;
+    p.add_i64(42);
+    p.add_string("dev");
+    p.add_f64(1.5);
+    p.add_bool(true);
+    sink.process(p, null_out);
+    sink.close(null_out);
+    EXPECT_EQ(sink.rows_written(), 1u);
+  }
+  std::ifstream in(out_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "42,dev,1.5,1");
+  std::remove(out_path.c_str());
+}
+
+}  // namespace
+}  // namespace neptune::workload

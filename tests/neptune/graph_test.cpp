@@ -1,0 +1,165 @@
+#include "neptune/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "neptune/workload.hpp"
+
+namespace neptune {
+namespace {
+
+SourceFactory src_factory() {
+  return [] { return std::make_unique<workload::BytesSource>(10, 50); };
+}
+ProcessorFactory proc_factory() {
+  return [] { return std::make_unique<workload::RelayProcessor>(); };
+}
+
+TEST(StreamGraph, BuildsThreeStageRelay) {
+  StreamGraph g("relay");
+  g.add_source("sender", src_factory());
+  g.add_processor("relay", proc_factory());
+  g.add_processor("receiver", proc_factory());
+  size_t l0 = g.connect("sender", "relay");
+  size_t l1 = g.connect("relay", "receiver");
+  EXPECT_EQ(l0, 0u);
+  EXPECT_EQ(l1, 0u);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.operators().size(), 3u);
+  EXPECT_EQ(g.links().size(), 2u);
+}
+
+TEST(StreamGraph, OutputIndicesCountPerOperator) {
+  StreamGraph g("fanout");
+  g.add_source("src", src_factory());
+  g.add_processor("a", proc_factory());
+  g.add_processor("b", proc_factory());
+  EXPECT_EQ(g.connect("src", "a"), 0u);
+  EXPECT_EQ(g.connect("src", "b"), 1u);  // second output of src
+  auto outs = g.outputs_of(g.operator_index("src"));
+  ASSERT_EQ(outs.size(), 2u);
+  EXPECT_EQ(outs[0]->output_index, 0u);
+  EXPECT_EQ(outs[1]->output_index, 1u);
+}
+
+TEST(StreamGraph, RejectsDuplicateIds) {
+  StreamGraph g("dup");
+  g.add_source("x", src_factory());
+  EXPECT_THROW(g.add_processor("x", proc_factory()), GraphError);
+  EXPECT_THROW(g.add_source("x", src_factory()), GraphError);
+}
+
+TEST(StreamGraph, RejectsZeroParallelism) {
+  StreamGraph g("zero");
+  EXPECT_THROW(g.add_source("s", src_factory(), 0), GraphError);
+}
+
+TEST(StreamGraph, RejectsUnknownEndpoints) {
+  StreamGraph g("unknown");
+  g.add_source("s", src_factory());
+  g.add_processor("p", proc_factory());
+  EXPECT_THROW(g.connect("s", "ghost"), GraphError);
+  EXPECT_THROW(g.connect("ghost", "p"), GraphError);
+}
+
+TEST(StreamGraph, RejectsLinkIntoSource) {
+  StreamGraph g("into-source");
+  g.add_source("s", src_factory());
+  g.add_processor("p", proc_factory());
+  g.connect("s", "p");
+  EXPECT_THROW(g.connect("p", "s"), GraphError);
+}
+
+TEST(StreamGraph, ValidateRejectsSourcelessGraph) {
+  StreamGraph g("no-source");
+  g.add_processor("p", proc_factory());
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST(StreamGraph, ValidateRejectsDisconnectedProcessor) {
+  StreamGraph g("orphan");
+  g.add_source("s", src_factory());
+  g.add_processor("p", proc_factory());
+  g.add_processor("orphan", proc_factory());
+  g.connect("s", "p");
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST(StreamGraph, ValidateRejectsSourceWithoutOutputs) {
+  StreamGraph g("dangling-source");
+  g.add_source("s", src_factory());
+  g.add_source("s2", src_factory());
+  g.add_processor("p", proc_factory());
+  g.connect("s", "p");
+  EXPECT_THROW(g.validate(), GraphError);  // s2 has no outputs
+}
+
+TEST(StreamGraph, ValidateRejectsCycles) {
+  StreamGraph g("cycle");
+  g.add_source("s", src_factory());
+  g.add_processor("a", proc_factory());
+  g.add_processor("b", proc_factory());
+  g.connect("s", "a");
+  g.connect("a", "b");
+  g.connect("b", "a");  // cycle a -> b -> a
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST(StreamGraph, EmptyGraphInvalid) {
+  StreamGraph g("empty");
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST(StreamGraph, DiamondIsValid) {
+  StreamGraph g("diamond");
+  g.add_source("s", src_factory());
+  g.add_processor("a", proc_factory());
+  g.add_processor("b", proc_factory());
+  g.add_processor("sink", proc_factory());
+  g.connect("s", "a");
+  g.connect("s", "b");
+  g.connect("a", "sink");
+  g.connect("b", "sink");
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.inputs_of(g.operator_index("sink")).size(), 2u);
+}
+
+TEST(StreamGraph, LinkOverridesRecorded) {
+  StreamGraph g("overrides");
+  g.add_source("s", src_factory(), 2);
+  g.add_processor("p", proc_factory(), 3);
+  StreamBufferConfig buf;
+  buf.capacity_bytes = 1234;
+  CompressionPolicy comp{.mode = CompressionMode::kSelective, .entropy_threshold = 5.5};
+  g.connect("s", "p", make_partitioning("broadcast"), comp, buf);
+  const LinkDecl& l = g.links()[0];
+  EXPECT_STREQ(l.partitioning->name(), "broadcast");
+  EXPECT_EQ(l.compression.mode, CompressionMode::kSelective);
+  EXPECT_DOUBLE_EQ(l.compression.entropy_threshold, 5.5);
+  ASSERT_TRUE(l.buffer_override.has_value());
+  EXPECT_EQ(l.buffer_override->capacity_bytes, 1234u);
+}
+
+TEST(StreamGraph, DotExportContainsNodesAndEdges) {
+  StreamGraph g("dotted");
+  g.add_source("s", src_factory(), 2);
+  g.add_processor("p", proc_factory());
+  g.connect("s", "p", make_partitioning("fields-hash", 0),
+            CompressionPolicy{.mode = CompressionMode::kSelective});
+  std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph \"dotted\""), std::string::npos);
+  EXPECT_NE(dot.find("\"s\" [shape=invhouse"), std::string::npos);
+  EXPECT_NE(dot.find("x2"), std::string::npos);
+  EXPECT_NE(dot.find("\"s\" -> \"p\""), std::string::npos);
+  EXPECT_NE(dot.find("fields-hash+lz4"), std::string::npos);
+}
+
+TEST(StreamGraph, DefaultPartitioningIsShuffle) {
+  StreamGraph g("default-part");
+  g.add_source("s", src_factory());
+  g.add_processor("p", proc_factory());
+  g.connect("s", "p");
+  EXPECT_STREQ(g.links()[0].partitioning->name(), "shuffle");
+}
+
+}  // namespace
+}  // namespace neptune

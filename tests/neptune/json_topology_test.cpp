@@ -1,0 +1,164 @@
+#include "neptune/json_topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "neptune/runtime.hpp"
+#include "neptune/workload.hpp"
+
+namespace neptune {
+namespace {
+
+using namespace std::chrono_literals;
+
+OperatorRegistry standard_registry() {
+  OperatorRegistry reg;
+  reg.register_source("bytes-source",
+                      [] { return std::make_unique<workload::BytesSource>(1000, 50); });
+  reg.register_processor("relay", [] { return std::make_unique<workload::RelayProcessor>(); });
+  reg.register_processor("counting-sink",
+                         [] { return std::make_unique<workload::CountingSink>(); });
+  return reg;
+}
+
+constexpr const char* kRelayDescriptor = R"({
+  "name": "relay-job",
+  "config": {
+    "buffer_bytes": 8192,
+    "flush_interval_ms": 2,
+    "channel_bytes": 262144,
+    "source_batch": 128
+  },
+  "operators": [
+    {"id": "sender",   "type": "bytes-source",  "kind": "source", "parallelism": 1, "resource": 0},
+    {"id": "relay",    "type": "relay",          "kind": "processor", "parallelism": 2},
+    {"id": "receiver", "type": "counting-sink", "kind": "processor"}
+  ],
+  "links": [
+    {"from": "sender", "to": "relay", "partitioning": "shuffle"},
+    {"from": "relay", "to": "receiver", "partitioning": "shuffle",
+     "compression": "selective", "entropy_threshold": 6.5}
+  ]
+})";
+
+TEST(JsonTopology, ParsesFullDescriptor) {
+  auto g = graph_from_json(kRelayDescriptor, standard_registry());
+  EXPECT_EQ(g.name(), "relay-job");
+  EXPECT_EQ(g.config().buffer.capacity_bytes, 8192u);
+  EXPECT_EQ(g.config().buffer.flush_interval_ns, 2'000'000);
+  EXPECT_EQ(g.config().channel.capacity_bytes, 262144u);
+  EXPECT_EQ(g.config().source_batch_budget, 128u);
+  ASSERT_EQ(g.operators().size(), 3u);
+  EXPECT_EQ(g.operators()[0].kind, OperatorKind::kSource);
+  EXPECT_EQ(g.operators()[0].resource, 0);
+  EXPECT_EQ(g.operators()[1].parallelism, 2u);
+  ASSERT_EQ(g.links().size(), 2u);
+  EXPECT_EQ(g.links()[1].compression.mode, CompressionMode::kSelective);
+  EXPECT_DOUBLE_EQ(g.links()[1].compression.entropy_threshold, 6.5);
+}
+
+TEST(JsonTopology, DescriptorJobRunsEndToEnd) {
+  auto g = graph_from_json(kRelayDescriptor, standard_registry());
+  Runtime rt(1, {.worker_threads = 1, .io_threads = 1});
+  auto job = rt.submit(g);
+  job->start();
+  ASSERT_TRUE(job->wait(60s));
+  auto m = job->metrics();
+  EXPECT_EQ(m.total("receiver", &OperatorMetricsSnapshot::packets_in), 1000u);
+  EXPECT_EQ(m.total(&OperatorMetricsSnapshot::seq_violations), 0u);
+}
+
+TEST(JsonTopology, PerLinkBufferOverride) {
+  auto g = graph_from_json(R"({
+    "name": "override",
+    "operators": [
+      {"id": "s", "type": "bytes-source", "kind": "source"},
+      {"id": "p", "type": "counting-sink", "kind": "processor"}
+    ],
+    "links": [
+      {"from": "s", "to": "p", "buffer_bytes": 1024, "flush_interval_ms": 1}
+    ]
+  })",
+                           standard_registry());
+  ASSERT_TRUE(g.links()[0].buffer_override.has_value());
+  EXPECT_EQ(g.links()[0].buffer_override->capacity_bytes, 1024u);
+  EXPECT_EQ(g.links()[0].buffer_override->flush_interval_ns, 1'000'000);
+}
+
+TEST(JsonTopology, FieldsHashPartitioningWithField) {
+  auto g = graph_from_json(R"({
+    "name": "fh",
+    "operators": [
+      {"id": "s", "type": "bytes-source", "kind": "source"},
+      {"id": "p", "type": "counting-sink", "kind": "processor", "parallelism": 4}
+    ],
+    "links": [{"from": "s", "to": "p", "partitioning": "fields-hash", "field": 0}]
+  })",
+                           standard_registry());
+  EXPECT_STREQ(g.links()[0].partitioning->name(), "fields-hash");
+}
+
+TEST(JsonTopology, RejectsUnknownOperatorType) {
+  EXPECT_THROW(graph_from_json(R"({
+    "name": "bad",
+    "operators": [{"id": "s", "type": "no-such-type", "kind": "source"}],
+    "links": []
+  })",
+                               standard_registry()),
+               GraphError);
+}
+
+TEST(JsonTopology, RejectsUnknownKind) {
+  EXPECT_THROW(graph_from_json(R"({
+    "name": "bad",
+    "operators": [{"id": "s", "type": "bytes-source", "kind": "gizmo"}],
+    "links": []
+  })",
+                               standard_registry()),
+               GraphError);
+}
+
+TEST(JsonTopology, RejectsUnknownCompressionMode) {
+  EXPECT_THROW(graph_from_json(R"({
+    "name": "bad",
+    "operators": [
+      {"id": "s", "type": "bytes-source", "kind": "source"},
+      {"id": "p", "type": "counting-sink", "kind": "processor"}
+    ],
+    "links": [{"from": "s", "to": "p", "compression": "zip"}]
+  })",
+                               standard_registry()),
+               GraphError);
+}
+
+TEST(JsonTopology, RejectsStructurallyInvalidGraphs) {
+  // Cycle is caught by validate() inside graph_from_json.
+  EXPECT_THROW(graph_from_json(R"({
+    "name": "cycle",
+    "operators": [
+      {"id": "s", "type": "bytes-source", "kind": "source"},
+      {"id": "a", "type": "relay", "kind": "processor"},
+      {"id": "b", "type": "relay", "kind": "processor"}
+    ],
+    "links": [
+      {"from": "s", "to": "a"}, {"from": "a", "to": "b"}, {"from": "b", "to": "a"}
+    ]
+  })",
+                               standard_registry()),
+               GraphError);
+}
+
+TEST(JsonTopology, RejectsMalformedJson) {
+  EXPECT_THROW(graph_from_json("{not json", standard_registry()), JsonError);
+  EXPECT_THROW(graph_from_json(R"({"name": "x"})", standard_registry()), JsonError);
+}
+
+TEST(OperatorRegistryTest, LookupSemantics) {
+  auto reg = standard_registry();
+  EXPECT_NE(reg.find_source("bytes-source"), nullptr);
+  EXPECT_EQ(reg.find_source("relay"), nullptr);  // it's a processor
+  EXPECT_NE(reg.find_processor("relay"), nullptr);
+  EXPECT_EQ(reg.find_processor("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace neptune

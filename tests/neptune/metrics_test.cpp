@@ -1,0 +1,83 @@
+#include "neptune/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neptune {
+namespace {
+
+TEST(OperatorMetrics, SnapshotCopiesCounters) {
+  OperatorMetrics m;
+  m.packets_in.store(10);
+  m.packets_out.store(20);
+  m.bytes_out.store(500);
+  m.flushes.store(3);
+  m.seq_violations.store(0);
+  m.sink_latency.record(1'000'000);
+  m.sink_latency.record(2'000'000);
+  auto s = snapshot_of(m);
+  EXPECT_EQ(s.packets_in, 10u);
+  EXPECT_EQ(s.packets_out, 20u);
+  EXPECT_EQ(s.bytes_out, 500u);
+  EXPECT_EQ(s.flushes, 3u);
+  EXPECT_EQ(s.sink_latency_count, 2u);
+  EXPECT_GE(s.sink_latency_p99_ns, s.sink_latency_p50_ns);
+}
+
+TEST(JobMetricsSnapshot, TotalsSumAcrossInstances) {
+  JobMetricsSnapshot snap;
+  for (int i = 0; i < 3; ++i) {
+    OperatorMetricsSnapshot m;
+    m.operator_id = "op";
+    m.instance = static_cast<uint32_t>(i);
+    m.packets_in = 100;
+    snap.operators.push_back(m);
+  }
+  OperatorMetricsSnapshot other;
+  other.operator_id = "other";
+  other.packets_in = 7;
+  snap.operators.push_back(other);
+
+  EXPECT_EQ(snap.total("op", &OperatorMetricsSnapshot::packets_in), 300u);
+  EXPECT_EQ(snap.total("other", &OperatorMetricsSnapshot::packets_in), 7u);
+  EXPECT_EQ(snap.total(&OperatorMetricsSnapshot::packets_in), 307u);
+  EXPECT_EQ(snap.total("missing", &OperatorMetricsSnapshot::packets_in), 0u);
+}
+
+TEST(FormatMetrics, AggregatesAndReportsPerOperator) {
+  JobMetricsSnapshot snap;
+  snap.wall_time_ns = 2'000'000'000;
+  for (int i = 0; i < 2; ++i) {
+    OperatorMetricsSnapshot m;
+    m.operator_id = "src";
+    m.instance = static_cast<uint32_t>(i);
+    m.packets_out = 500;
+    m.flushes = 10;
+    snap.operators.push_back(m);
+  }
+  OperatorMetricsSnapshot sink;
+  sink.operator_id = "sink";
+  sink.packets_in = 1000;
+  sink.sink_latency_count = 1000;
+  sink.sink_latency_p50_ns = 1'500'000;
+  sink.sink_latency_p99_ns = 9'000'000;
+  snap.operators.push_back(sink);
+
+  std::string report = format_metrics(snap);
+  EXPECT_NE(report.find("src"), std::string::npos);
+  EXPECT_NE(report.find("1000"), std::string::npos);  // summed pkts
+  EXPECT_NE(report.find("sink latency p50=1.500"), std::string::npos);
+  EXPECT_NE(report.find("wall time: 2.000 s"), std::string::npos);
+  // Instances aggregated: "src" appears once as a row (plus maybe header).
+  size_t first = report.find("\nsrc");
+  EXPECT_EQ(report.find("\nsrc", first + 1), std::string::npos);
+}
+
+TEST(FormatMetrics, EmptySnapshotIsJustHeader) {
+  JobMetricsSnapshot snap;
+  std::string report = format_metrics(snap);
+  EXPECT_NE(report.find("operator"), std::string::npos);
+  EXPECT_NE(report.find("wall time"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace neptune

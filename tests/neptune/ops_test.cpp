@@ -1,0 +1,187 @@
+#include "neptune/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "neptune/runtime.hpp"
+#include "neptune/workload.hpp"
+
+namespace neptune::ops {
+namespace {
+
+using namespace std::chrono_literals;
+
+class CaptureEmitter : public Emitter {
+ public:
+  explicit CaptureEmitter(size_t links = 1) : links_(links) {}
+  EmitStatus emit(StreamPacket&& p) override { return emit(0, std::move(p)); }
+  EmitStatus emit(size_t, StreamPacket&& p) override {
+    packets.push_back(std::move(p));
+    return EmitStatus::kOk;
+  }
+  size_t output_link_count() const override { return links_; }
+  uint32_t instance() const override { return 0; }
+  uint64_t packets_emitted() const override { return packets.size(); }
+  std::vector<StreamPacket> packets;
+
+ private:
+  size_t links_;
+};
+
+StreamPacket pkt(int32_t v) {
+  StreamPacket p;
+  p.set_event_time_ns(1000);
+  p.add_i32(v);
+  return p;
+}
+
+TEST(MapProcessor, TransformsAndKeepsEventTime) {
+  MapProcessor map([](StreamPacket& in) {
+    StreamPacket out;
+    out.add_i32(in.i32(0) * 2);
+    return out;
+  });
+  CaptureEmitter out;
+  auto p = pkt(21);
+  map.process(p, out);
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.packets[0].i32(0), 42);
+  EXPECT_EQ(out.packets[0].event_time_ns(), 1000);  // lineage preserved
+}
+
+TEST(MapProcessor, ExplicitEventTimeWins) {
+  MapProcessor map([](StreamPacket&) {
+    StreamPacket out;
+    out.set_event_time_ns(7);
+    out.add_bool(true);
+    return out;
+  });
+  CaptureEmitter out;
+  auto p = pkt(1);
+  map.process(p, out);
+  EXPECT_EQ(out.packets[0].event_time_ns(), 7);
+}
+
+TEST(FilterProcessor, DropsNonMatching) {
+  FilterProcessor filter([](const StreamPacket& p) { return p.i32(0) % 2 == 0; });
+  CaptureEmitter out;
+  for (int i = 0; i < 10; ++i) {
+    auto p = pkt(i);
+    filter.process(p, out);
+  }
+  ASSERT_EQ(out.packets.size(), 5u);
+  for (const auto& p : out.packets) EXPECT_EQ(p.i32(0) % 2, 0);
+}
+
+TEST(FlatMapProcessor, EmitsZeroToN) {
+  FlatMapProcessor fm([](StreamPacket& in, const FlatMapProcessor::EmitFn& emit) {
+    for (int32_t i = 0; i < in.i32(0); ++i) {
+      StreamPacket child;
+      child.add_i32(i);
+      emit(std::move(child));
+    }
+  });
+  CaptureEmitter out;
+  auto p0 = pkt(0);
+  fm.process(p0, out);
+  EXPECT_TRUE(out.packets.empty());
+  auto p3 = pkt(3);
+  fm.process(p3, out);
+  ASSERT_EQ(out.packets.size(), 3u);
+  EXPECT_EQ(out.packets[2].i32(0), 2);
+  EXPECT_EQ(out.packets[0].event_time_ns(), 1000);  // inherited
+}
+
+TEST(SampleProcessor, RateIsRoughlyHonored) {
+  SampleProcessor sample(0.25, /*seed=*/5);
+  CaptureEmitter out;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    auto p = pkt(i);
+    sample.process(p, out);
+  }
+  double rate = static_cast<double>(out.packets.size()) / kN;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(RateLimitProcessor, EnforcesTokenBucket) {
+  ManualClock clock(0);
+  RateLimitProcessor limiter(/*rate_pps=*/1000, /*burst=*/10, &clock);
+  CaptureEmitter out;
+  // Burst of 50 at t=0: only the 10-token burst passes.
+  for (int i = 0; i < 50; ++i) {
+    auto p = pkt(i);
+    limiter.process(p, out);
+  }
+  EXPECT_EQ(out.packets.size(), 10u);
+  EXPECT_EQ(limiter.dropped(), 40u);
+  // After 5 ms, 5 more tokens accrued.
+  clock.advance_ns(5'000'000);
+  for (int i = 0; i < 50; ++i) {
+    auto p = pkt(i);
+    limiter.process(p, out);
+  }
+  EXPECT_EQ(out.packets.size(), 15u);
+}
+
+TEST(TapProcessor, ObservesAndForwards) {
+  int seen = 0;
+  TapProcessor tap([&](const StreamPacket&) { ++seen; });
+  CaptureEmitter out;
+  auto p = pkt(1);
+  tap.process(p, out);
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(out.packets.size(), 1u);
+}
+
+TEST(TapProcessor, ActsAsSinkWithoutOutputs) {
+  int seen = 0;
+  TapProcessor tap([&](const StreamPacket&) { ++seen; });
+  CaptureEmitter out(/*links=*/0);
+  auto p = pkt(1);
+  tap.process(p, out);
+  EXPECT_EQ(seen, 1);
+  EXPECT_TRUE(out.packets.empty());
+}
+
+TEST(OpsPipeline, ComposedInRealRuntime) {
+  // src -> filter(even) -> map(x10) -> tap-sink, end to end.
+  Runtime rt(1, {.worker_threads = 1, .io_threads = 1});
+  GraphConfig cfg;
+  cfg.buffer.capacity_bytes = 4096;
+  cfg.buffer.flush_interval_ns = 1'000'000;
+
+  auto sum = std::make_shared<std::atomic<int64_t>>(0);
+  auto count = std::make_shared<std::atomic<uint64_t>>(0);
+  StreamGraph g("ops", cfg);
+  g.add_source("src", [] { return std::make_unique<workload::BytesSource>(1000, 16); });
+  g.add_processor("filter", [] {
+    return std::make_unique<FilterProcessor>(
+        [](const StreamPacket& p) { return p.i64(0) % 2 == 0; });
+  });
+  g.add_processor("map", [] {
+    return std::make_unique<MapProcessor>([](StreamPacket& in) {
+      StreamPacket out;
+      out.add_i64(in.i64(0) * 10);
+      return out;
+    });
+  });
+  g.add_processor("sink", [sum, count]() -> std::unique_ptr<StreamProcessor> {
+    return std::make_unique<TapProcessor>([sum, count](const StreamPacket& p) {
+      sum->fetch_add(p.i64(0));
+      count->fetch_add(1);
+    });
+  });
+  g.connect("src", "filter");
+  g.connect("filter", "map");
+  g.connect("map", "sink");
+
+  auto job = rt.submit(g);
+  job->start();
+  ASSERT_TRUE(job->wait(60s));
+  EXPECT_EQ(count->load(), 500u);  // evens of 0..999
+  // sum of (0,2,...,998)*10 = 10 * 2 * (0+1+...+499) = 10 * 499*500
+  EXPECT_EQ(sum->load(), 10LL * 499 * 500 / 2 * 2);
+}
+
+}  // namespace
+}  // namespace neptune::ops

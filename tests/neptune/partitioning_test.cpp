@@ -1,0 +1,130 @@
+#include "neptune/partitioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace neptune {
+namespace {
+
+StreamPacket keyed(const std::string& key) {
+  StreamPacket p;
+  p.add_string(key);
+  return p;
+}
+
+TEST(Shuffle, RoundRobinPerSender) {
+  ShufflePartitioning s;
+  s.prepare(2);
+  StreamPacket p;
+  // Sender 0 cycles 0,1,2,0,1,2...
+  EXPECT_EQ(s.select(p, 0, 3), 0u);
+  EXPECT_EQ(s.select(p, 0, 3), 1u);
+  EXPECT_EQ(s.select(p, 0, 3), 2u);
+  EXPECT_EQ(s.select(p, 0, 3), 0u);
+  // Sender 1 has its own cursor.
+  EXPECT_EQ(s.select(p, 1, 3), 0u);
+  EXPECT_EQ(s.select(p, 0, 3), 1u);
+}
+
+TEST(Shuffle, PerfectBalance) {
+  ShufflePartitioning s;
+  s.prepare(1);
+  StreamPacket p;
+  std::map<uint32_t, int> counts;
+  for (int i = 0; i < 1000; ++i) ++counts[s.select(p, 0, 4)];
+  for (auto& [inst, c] : counts) EXPECT_EQ(c, 250) << inst;
+}
+
+TEST(Random, CoversAllInstancesRoughlyUniformly) {
+  RandomPartitioning s(7);
+  s.prepare(1);
+  StreamPacket p;
+  std::map<uint32_t, int> counts;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[s.select(p, 0, 4)];
+  ASSERT_EQ(counts.size(), 4u);
+  for (auto& [inst, c] : counts) {
+    EXPECT_GT(c, kN / 4 * 0.9);
+    EXPECT_LT(c, kN / 4 * 1.1);
+  }
+}
+
+TEST(FieldsHash, SameKeySameInstance) {
+  FieldsHashPartitioning s(0);
+  auto a1 = keyed("sensor-a");
+  auto a2 = keyed("sensor-a");
+  auto b = keyed("sensor-b");
+  uint32_t ia = s.select(a1, 0, 8);
+  EXPECT_EQ(s.select(a2, 3, 8), ia);  // sender-independent
+  // Different keys spread (not guaranteed different, but over many keys
+  // they must cover multiple instances).
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    auto p = keyed("key-" + std::to_string(i));
+    seen.insert(s.select(p, 0, 8));
+  }
+  EXPECT_GT(seen.size(), 4u);
+  (void)b;
+}
+
+TEST(FieldsHash, ReasonableBalanceOverManyKeys) {
+  FieldsHashPartitioning s(0);
+  std::map<uint32_t, int> counts;
+  constexpr int kKeys = 8000;
+  for (int i = 0; i < kKeys; ++i) {
+    auto p = keyed("device-" + std::to_string(i));
+    ++counts[s.select(p, 0, 4)];
+  }
+  for (auto& [inst, c] : counts) {
+    EXPECT_GT(c, kKeys / 4 * 0.85);
+    EXPECT_LT(c, kKeys / 4 * 1.15);
+  }
+}
+
+TEST(Broadcast, AlwaysSignalsBroadcast) {
+  BroadcastPartitioning s;
+  StreamPacket p;
+  EXPECT_EQ(s.select(p, 0, 4), kBroadcastInstance);
+  EXPECT_EQ(s.select(p, 3, 1), kBroadcastInstance);
+}
+
+TEST(Direct, MapsSenderToMatchingLane) {
+  DirectPartitioning s;
+  StreamPacket p;
+  EXPECT_EQ(s.select(p, 0, 4), 0u);
+  EXPECT_EQ(s.select(p, 3, 4), 3u);
+  EXPECT_EQ(s.select(p, 5, 4), 1u);  // wraps
+}
+
+TEST(Custom, DelegatesToUserFunction) {
+  CustomPartitioning s(
+      [](const StreamPacket& p, uint32_t, uint32_t n) {
+        return static_cast<uint32_t>(p.i32(0)) % n;
+      },
+      "by-id");
+  StreamPacket p;
+  p.add_i32(10);
+  EXPECT_EQ(s.select(p, 0, 4), 2u);
+  EXPECT_STREQ(s.name(), "by-id");
+}
+
+TEST(Factory, MakesAllNativeSchemes) {
+  EXPECT_STREQ(make_partitioning("shuffle")->name(), "shuffle");
+  EXPECT_STREQ(make_partitioning("random")->name(), "random");
+  EXPECT_STREQ(make_partitioning("fields-hash", 2)->name(), "fields-hash");
+  EXPECT_STREQ(make_partitioning("broadcast")->name(), "broadcast");
+  EXPECT_STREQ(make_partitioning("direct")->name(), "direct");
+  EXPECT_THROW(make_partitioning("nope"), std::invalid_argument);
+}
+
+TEST(Factory, FieldsHashGetsFieldIndex) {
+  auto s = make_partitioning("fields-hash", 1);
+  auto* fh = dynamic_cast<FieldsHashPartitioning*>(s.get());
+  ASSERT_NE(fh, nullptr);
+  EXPECT_EQ(fh->field_index(), 1u);
+}
+
+}  // namespace
+}  // namespace neptune

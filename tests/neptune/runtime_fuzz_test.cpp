@@ -1,0 +1,147 @@
+// Property-based stress test: randomized stream graphs (random depth,
+// parallelism, partitioning, buffer sizes, compression, placement) run to
+// completion on the real runtime, checking the global conservation
+// invariants that hold for ANY relay-only topology:
+//
+//   * every packet emitted by the sources arrives at the sinks exactly once
+//     (per-path multiplicity accounted for broadcast links),
+//   * zero sequence violations,
+//   * the job terminates (no deadlock under backpressure).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/rng.hpp"
+#include "neptune/runtime.hpp"
+#include "neptune/workload.hpp"
+
+namespace neptune {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct SharedCount {
+  std::atomic<uint64_t> packets{0};
+};
+
+class CountForwardSink : public StreamProcessor {
+ public:
+  explicit CountForwardSink(std::shared_ptr<SharedCount> count) : count_(std::move(count)) {}
+  void process(StreamPacket&, Emitter&) override {
+    count_->packets.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<SharedCount> count_;
+};
+
+class RuntimeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RuntimeFuzz, RandomLinearPipelineConservesPackets) {
+  Xoshiro256 rng(GetParam());
+
+  const uint64_t total = 500 + rng.next_below(3000);
+  const size_t stages = 1 + rng.next_below(4);  // 1..4 relay stages before the sink
+  const size_t resources = 1 + rng.next_below(3);
+
+  GraphConfig cfg;
+  cfg.buffer.capacity_bytes = 256u << rng.next_below(8);  // 256 B .. 32 KB
+  cfg.buffer.flush_interval_ns = 1'000'000 + static_cast<int64_t>(rng.next_below(4'000'000));
+  cfg.channel.capacity_bytes = 4096u << rng.next_below(6);
+  cfg.channel.low_watermark_bytes = cfg.channel.capacity_bytes / 4;
+  cfg.source_batch_budget = 1 + rng.next_below(512);
+  cfg.max_batches_per_execution = 1 + rng.next_below(8);
+
+  Runtime rt(resources, {.worker_threads = 1 + rng.next_below(2), .io_threads = 1});
+  auto count = std::make_shared<SharedCount>();
+
+  StreamGraph g("fuzz-" + std::to_string(GetParam()), cfg);
+  size_t payload = 16 + rng.next_below(300);
+  auto kind = static_cast<workload::PayloadKind>(rng.next_below(3));
+  g.add_source("src", [=] { return std::make_unique<workload::BytesSource>(total, payload, kind); },
+               1 + static_cast<uint32_t>(rng.next_below(3)));
+
+  std::string prev = "src";
+  for (size_t s = 0; s < stages; ++s) {
+    std::string id = "relay" + std::to_string(s);
+    g.add_processor(id, [] { return std::make_unique<workload::RelayProcessor>(); },
+                    1 + static_cast<uint32_t>(rng.next_below(3)),
+                    static_cast<int>(rng.next_below(resources + 1)) - 1);
+    CompressionPolicy comp;
+    comp.mode = static_cast<CompressionMode>(rng.next_below(3));
+    const char* schemes[] = {"shuffle", "random", "fields-hash", "direct"};
+    g.connect(prev, id, make_partitioning(schemes[rng.next_below(4)], 0), comp);
+    prev = id;
+  }
+  g.add_processor("sink", [count]() -> std::unique_ptr<StreamProcessor> {
+    return std::make_unique<CountForwardSink>(count);
+  }, 1 + static_cast<uint32_t>(rng.next_below(3)));
+  g.connect(prev, "sink");
+
+  auto job = rt.submit(g);
+  job->start();
+  ASSERT_TRUE(job->wait(180s)) << "fuzz job deadlocked";
+
+  EXPECT_EQ(count->packets.load(), total);
+  auto m = job->metrics();
+  EXPECT_EQ(m.total(&OperatorMetricsSnapshot::seq_violations), 0u);
+  EXPECT_EQ(m.total("src", &OperatorMetricsSnapshot::packets_out), total);
+}
+
+TEST_P(RuntimeFuzz, RandomDiamondWithBroadcastMultiplies) {
+  Xoshiro256 rng(GetParam() ^ 0xBEEF);
+  const uint64_t total = 300 + rng.next_below(1000);
+
+  GraphConfig cfg;
+  cfg.buffer.capacity_bytes = 512u << rng.next_below(6);
+  cfg.buffer.flush_interval_ns = 2'000'000;
+  Runtime rt(2, {.worker_threads = 1, .io_threads = 1});
+  auto count = std::make_shared<SharedCount>();
+
+  // Source that emits every packet on BOTH of its output links (an
+  // operator only reaches a link it explicitly emits on).
+  class DualEmitSource : public StreamSource {
+   public:
+    explicit DualEmitSource(uint64_t n) : total_(n) {}
+    bool next(Emitter& out, size_t budget) override {
+      for (size_t i = 0; i < budget && emitted_ < total_; ++i) {
+        StreamPacket a;
+        a.add_i64(static_cast<int64_t>(emitted_));
+        StreamPacket b = a;
+        ++emitted_;
+        out.emit(0, std::move(a));
+        if (out.emit(1, std::move(b)) == EmitStatus::kBackpressured) break;
+      }
+      return emitted_ < total_;
+    }
+
+   private:
+    uint64_t total_, emitted_ = 0;
+  };
+
+  uint32_t fan = 1 + static_cast<uint32_t>(rng.next_below(3));
+  StreamGraph g("diamond-fuzz", cfg);
+  g.add_source("src", [=] { return std::make_unique<DualEmitSource>(total); });
+  g.add_processor("a", [] { return std::make_unique<workload::RelayProcessor>(); }, fan);
+  g.add_processor("b", [] { return std::make_unique<workload::RelayProcessor>(); }, 2);
+  g.add_processor("sink", [count]() -> std::unique_ptr<StreamProcessor> {
+    return std::make_unique<CountForwardSink>(count);
+  });
+  g.connect("src", "a", make_partitioning("broadcast"));  // fan copies
+  g.connect("src", "b");                                  // 1 copy via b
+  g.connect("a", "sink");
+  g.connect("b", "sink");
+
+  auto job = rt.submit(g);
+  job->start();
+  ASSERT_TRUE(job->wait(180s));
+  // Broadcast to `fan` instances plus the b-path copy.
+  EXPECT_EQ(count->packets.load(), total * (fan + 1));
+  EXPECT_EQ(job->metrics().total(&OperatorMetricsSnapshot::seq_violations), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+
+}  // namespace
+}  // namespace neptune

@@ -1,0 +1,138 @@
+#include "net/event_loop.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace neptune {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct LoopFixture : ::testing::Test {
+  void SetUp() override {
+    thread = std::thread([this] { loop.run(); });
+  }
+  void TearDown() override {
+    loop.stop();
+    thread.join();
+  }
+  EventLoop loop;
+  std::thread thread;
+};
+
+TEST_F(LoopFixture, PostRunsTaskOnLoopThread) {
+  std::atomic<bool> ran{false};
+  std::atomic<bool> on_loop{false};
+  loop.post([&] {
+    on_loop.store(loop.in_loop_thread());
+    ran.store(true);
+  });
+  for (int i = 0; i < 200 && !ran.load(); ++i) std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(on_loop.load());
+}
+
+TEST_F(LoopFixture, PostFromLoopThreadRunsInline) {
+  std::atomic<int> order{0};
+  std::atomic<int> inner_at{-1};
+  loop.post([&] {
+    loop.post([&] { inner_at.store(order.fetch_add(1)); });
+    order.fetch_add(1);
+  });
+  for (int i = 0; i < 200 && order.load() < 2; ++i) std::this_thread::sleep_for(5ms);
+  // Inner ran inline (before the outer task finished incrementing).
+  EXPECT_EQ(inner_at.load(), 0);
+}
+
+TEST_F(LoopFixture, RunAfterFiresOnce) {
+  std::atomic<int> fires{0};
+  loop.run_after(10'000'000, [&] { fires.fetch_add(1); });  // 10 ms
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(fires.load(), 1);
+}
+
+TEST_F(LoopFixture, RunEveryFiresRepeatedlyUntilCancelled) {
+  std::atomic<int> fires{0};
+  auto id = loop.run_every(5'000'000, [&] { fires.fetch_add(1); });
+  std::this_thread::sleep_for(120ms);
+  int seen = fires.load();
+  EXPECT_GE(seen, 3);
+  loop.cancel_timer(id);
+  std::this_thread::sleep_for(60ms);
+  int after_cancel = fires.load();
+  std::this_thread::sleep_for(60ms);
+  EXPECT_LE(fires.load(), after_cancel + 1);  // at most one in-flight firing
+}
+
+TEST_F(LoopFixture, CancelBeforeFireSuppresses) {
+  std::atomic<int> fires{0};
+  auto id = loop.run_after(50'000'000, [&] { fires.fetch_add(1); });
+  loop.cancel_timer(id);
+  std::this_thread::sleep_for(120ms);
+  EXPECT_EQ(fires.load(), 0);
+}
+
+TEST_F(LoopFixture, TimerOrderingRoughlyHonored) {
+  std::atomic<int64_t> t_fast{0}, t_slow{0};
+  loop.run_after(60'000'000, [&] { t_slow.store(now_ns()); });
+  loop.run_after(5'000'000, [&] { t_fast.store(now_ns()); });
+  std::this_thread::sleep_for(200ms);
+  ASSERT_NE(t_fast.load(), 0);
+  ASSERT_NE(t_slow.load(), 0);
+  EXPECT_LT(t_fast.load(), t_slow.load());
+}
+
+TEST_F(LoopFixture, FdEventsDispatch) {
+  int fds[2];
+  ASSERT_EQ(pipe2(fds, O_NONBLOCK), 0);
+  std::atomic<int> reads{0};
+  loop.post([&] {
+    loop.add_fd(fds[0], EPOLLIN, [&](uint32_t events) {
+      if (events & EPOLLIN) {
+        char buf[16];
+        while (read(fds[0], buf, sizeof buf) > 0) {
+        }
+        reads.fetch_add(1);
+      }
+    });
+  });
+  std::this_thread::sleep_for(20ms);
+  ASSERT_EQ(write(fds[1], "x", 1), 1);
+  for (int i = 0; i < 200 && reads.load() == 0; ++i) std::this_thread::sleep_for(5ms);
+  EXPECT_GE(reads.load(), 1);
+  loop.post([&] { loop.del_fd(fds[0]); });
+  std::this_thread::sleep_for(20ms);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(EventLoopStandalone, StopTerminatesRun) {
+  EventLoop loop;
+  std::thread t([&] { loop.run(); });
+  std::this_thread::sleep_for(20ms);
+  loop.stop();
+  t.join();
+  SUCCEED();
+}
+
+TEST(EventLoopStandalone, ManyPostsAllExecute) {
+  EventLoop loop;
+  std::thread t([&] { loop.run(); });
+  std::atomic<int> count{0};
+  constexpr int kTasks = 10000;
+  for (int i = 0; i < kTasks; ++i) loop.post([&] { count.fetch_add(1); });
+  for (int i = 0; i < 400 && count.load() < kTasks; ++i) std::this_thread::sleep_for(5ms);
+  EXPECT_EQ(count.load(), kTasks);
+  loop.stop();
+  t.join();
+}
+
+}  // namespace
+}  // namespace neptune

@@ -1,0 +1,196 @@
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace neptune {
+namespace {
+
+std::vector<uint8_t> make_payload(size_t n, uint8_t seed = 1) {
+  std::vector<uint8_t> p(n);
+  for (size_t i = 0; i < n; ++i) p[i] = static_cast<uint8_t>(seed + i * 7);
+  return p;
+}
+
+ByteBuffer encode_one(uint32_t link, uint32_t count, const std::vector<uint8_t>& payload,
+                      uint8_t flags = 0) {
+  FrameHeader h;
+  h.link_id = link;
+  h.batch_count = count;
+  h.raw_size = static_cast<uint32_t>(payload.size());
+  h.flags = flags;
+  ByteBuffer out;
+  encode_frame(h, payload, out);
+  return out;
+}
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+  auto payload = make_payload(500);
+  ByteBuffer wire = encode_one(7, 42, payload, FrameHeader::kFlagCompressed);
+  auto decoded = decode_frame(wire.contents());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.link_id, 7u);
+  EXPECT_EQ(decoded->header.batch_count, 42u);
+  EXPECT_TRUE(decoded->header.compressed());
+  EXPECT_EQ(std::vector<uint8_t>(decoded->payload.begin(), decoded->payload.end()), payload);
+}
+
+TEST(Frame, EmptyPayload) {
+  std::vector<uint8_t> empty;
+  ByteBuffer wire = encode_one(1, 0, empty);
+  auto decoded = decode_frame(wire.contents());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload.size(), 0u);
+}
+
+TEST(Frame, DetectsBadMagic) {
+  auto payload = make_payload(32);
+  ByteBuffer wire = encode_one(1, 1, payload);
+  wire.data()[0] ^= 0xFF;
+  FrameDecodeStatus status;
+  EXPECT_FALSE(decode_frame(wire.contents(), &status).has_value());
+  EXPECT_EQ(status, FrameDecodeStatus::kBadMagic);
+}
+
+TEST(Frame, DetectsCorruptPayload) {
+  auto payload = make_payload(64);
+  ByteBuffer wire = encode_one(1, 1, payload);
+  wire.data()[FrameHeader::kSize + 10] ^= 0x01;
+  FrameDecodeStatus status;
+  EXPECT_FALSE(decode_frame(wire.contents(), &status).has_value());
+  EXPECT_EQ(status, FrameDecodeStatus::kBadChecksum);
+}
+
+TEST(Frame, DetectsTruncation) {
+  auto payload = make_payload(64);
+  ByteBuffer wire = encode_one(1, 1, payload);
+  FrameDecodeStatus status;
+  EXPECT_FALSE(
+      decode_frame(std::span(wire.data(), wire.size() - 5), &status).has_value());
+  EXPECT_EQ(status, FrameDecodeStatus::kNeedMore);
+}
+
+TEST(Frame, RejectsOversizedDeclaredPayload) {
+  auto payload = make_payload(32);
+  ByteBuffer wire = encode_one(1, 1, payload);
+  wire.patch_u32(15, FrameHeader::kMaxPayload + 1);  // payload_size field
+  FrameDecodeStatus status;
+  EXPECT_FALSE(decode_frame(wire.contents(), &status).has_value());
+  EXPECT_EQ(status, FrameDecodeStatus::kBadLength);
+}
+
+TEST(FrameDecoder, ReassemblesAcrossArbitraryChunking) {
+  // Several frames, fed one byte at a time.
+  ByteBuffer stream;
+  std::vector<std::vector<uint8_t>> payloads;
+  for (int i = 0; i < 5; ++i) {
+    payloads.push_back(make_payload(50 + static_cast<size_t>(i) * 37, static_cast<uint8_t>(i)));
+    FrameHeader h;
+    h.link_id = static_cast<uint32_t>(i);
+    h.batch_count = static_cast<uint32_t>(i + 1);
+    h.raw_size = static_cast<uint32_t>(payloads.back().size());
+    encode_frame(h, payloads.back(), stream);
+  }
+
+  FrameDecoder dec;
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> got;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    uint8_t byte = stream.data()[i];
+    auto s = dec.feed(std::span(&byte, 1), [&](const FrameHeader& h,
+                                               std::span<const uint8_t> p) {
+      got.emplace_back(h.link_id, std::vector<uint8_t>(p.begin(), p.end()));
+    });
+    ASSERT_TRUE(s == FrameDecodeStatus::kNeedMore || s == FrameDecodeStatus::kFrame);
+  }
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)].first, static_cast<uint32_t>(i));
+    EXPECT_EQ(got[static_cast<size_t>(i)].second, payloads[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+}
+
+TEST(FrameDecoder, HandlesMultipleFramesInOneChunk) {
+  ByteBuffer stream;
+  for (int i = 0; i < 3; ++i) {
+    auto payload = make_payload(100);
+    FrameHeader h;
+    h.raw_size = 100;
+    h.batch_count = 1;
+    encode_frame(h, payload, stream);
+  }
+  FrameDecoder dec;
+  int frames = 0;
+  auto s = dec.feed(stream.contents(), [&](const FrameHeader&, std::span<const uint8_t>) {
+    ++frames;
+  });
+  EXPECT_EQ(s, FrameDecodeStatus::kFrame);
+  EXPECT_EQ(frames, 3);
+}
+
+TEST(FrameDecoder, SurfacesCorruptionMidStream) {
+  ByteBuffer stream;
+  auto p1 = make_payload(40);
+  FrameHeader h;
+  h.raw_size = 40;
+  encode_frame(h, p1, stream);
+  size_t second_start = stream.size();
+  encode_frame(h, p1, stream);
+  stream.data()[second_start] ^= 0xFF;  // corrupt second frame's magic
+
+  FrameDecoder dec;
+  int frames = 0;
+  auto s = dec.feed(stream.contents(),
+                    [&](const FrameHeader&, std::span<const uint8_t>) { ++frames; });
+  EXPECT_EQ(frames, 1);
+  EXPECT_EQ(s, FrameDecodeStatus::kBadMagic);
+}
+
+TEST(FrameDecoder, ResetDropsPartialState) {
+  ByteBuffer stream;
+  auto p = make_payload(100);
+  FrameHeader h;
+  h.raw_size = 100;
+  encode_frame(h, p, stream);
+  FrameDecoder dec;
+  dec.feed(std::span(stream.data(), 10), nullptr);
+  EXPECT_GT(dec.pending_bytes(), 0u);
+  dec.reset();
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+  // A full frame after reset decodes cleanly.
+  int frames = 0;
+  dec.feed(stream.contents(), [&](const FrameHeader&, std::span<const uint8_t>) { ++frames; });
+  EXPECT_EQ(frames, 1);
+}
+
+TEST(FrameDecoder, RandomizedChunkingSweep) {
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    ByteBuffer stream;
+    int n_frames = 1 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < n_frames; ++i) {
+      auto payload = make_payload(rng.next_below(2000), static_cast<uint8_t>(trial));
+      FrameHeader h;
+      h.raw_size = static_cast<uint32_t>(payload.size());
+      h.batch_count = static_cast<uint32_t>(i);
+      encode_frame(h, payload, stream);
+    }
+    FrameDecoder dec;
+    int got = 0;
+    size_t pos = 0;
+    while (pos < stream.size()) {
+      size_t chunk = std::min<size_t>(stream.size() - pos, 1 + rng.next_below(700));
+      auto s = dec.feed(std::span(stream.data() + pos, chunk),
+                        [&](const FrameHeader&, std::span<const uint8_t>) { ++got; });
+      ASSERT_TRUE(s == FrameDecodeStatus::kNeedMore || s == FrameDecodeStatus::kFrame);
+      pos += chunk;
+    }
+    EXPECT_EQ(got, n_frames) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace neptune

@@ -1,0 +1,167 @@
+#include "net/inproc_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace neptune {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<uint8_t> frame_of(size_t n, uint8_t fill = 0xAB) { return std::vector<uint8_t>(n, fill); }
+
+TEST(InprocChannel, SendReceiveFifo) {
+  auto pipe = make_inproc_pipe();
+  EXPECT_EQ(pipe.sender->try_send(frame_of(10, 1)), SendStatus::kOk);
+  EXPECT_EQ(pipe.sender->try_send(frame_of(20, 2)), SendStatus::kOk);
+  auto a = pipe.receiver->try_receive();
+  auto b = pipe.receiver->try_receive();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ((*a)[0], 1);
+  EXPECT_EQ(a->size(), 10u);
+  EXPECT_EQ((*b)[0], 2);
+  EXPECT_FALSE(pipe.receiver->try_receive().has_value());
+}
+
+TEST(InprocChannel, BlocksAtCapacity) {
+  ChannelConfig cfg{.capacity_bytes = 100, .low_watermark_bytes = 40};
+  auto pipe = make_inproc_pipe(cfg);
+  EXPECT_EQ(pipe.sender->try_send(frame_of(60)), SendStatus::kOk);
+  EXPECT_EQ(pipe.sender->try_send(frame_of(60)), SendStatus::kBlocked);
+  EXPECT_FALSE(pipe.sender->writable(60));
+  // Draining frees budget.
+  pipe.receiver->try_receive();
+  EXPECT_EQ(pipe.sender->try_send(frame_of(60)), SendStatus::kOk);
+}
+
+TEST(InprocChannel, OversizedFrameAcceptedWhenEmpty) {
+  ChannelConfig cfg{.capacity_bytes = 100, .low_watermark_bytes = 40};
+  auto pipe = make_inproc_pipe(cfg);
+  // A frame bigger than the whole budget must still pass when the pipe is
+  // empty, or it could never be sent.
+  EXPECT_EQ(pipe.sender->try_send(frame_of(500)), SendStatus::kOk);
+  EXPECT_EQ(pipe.sender->try_send(frame_of(1)), SendStatus::kBlocked);
+}
+
+TEST(InprocChannel, WritableCallbackFiresAtLowWatermark) {
+  ChannelConfig cfg{.capacity_bytes = 100, .low_watermark_bytes = 30};
+  auto pipe = make_inproc_pipe(cfg);
+  std::atomic<int> writable_calls{0};
+  pipe.sender->set_writable_callback([&] { writable_calls.fetch_add(1); });
+
+  ASSERT_EQ(pipe.sender->try_send(frame_of(40)), SendStatus::kOk);
+  ASSERT_EQ(pipe.sender->try_send(frame_of(40)), SendStatus::kOk);
+  ASSERT_EQ(pipe.sender->try_send(frame_of(40)), SendStatus::kBlocked);
+
+  pipe.receiver->try_receive();  // 40 in flight: still above low watermark=30
+  EXPECT_EQ(writable_calls.load(), 0);
+  pipe.receiver->try_receive();  // 0 in flight: at/below low watermark
+  EXPECT_EQ(writable_calls.load(), 1);
+
+  // No spurious refires without another blocked send.
+  ASSERT_EQ(pipe.sender->try_send(frame_of(10)), SendStatus::kOk);
+  pipe.receiver->try_receive();
+  EXPECT_EQ(writable_calls.load(), 1);
+}
+
+TEST(InprocChannel, DataCallbackFiresOnEmptyToNonEmpty) {
+  auto pipe = make_inproc_pipe();
+  std::atomic<int> data_calls{0};
+  pipe.receiver->set_data_callback([&] { data_calls.fetch_add(1); });
+
+  pipe.sender->try_send(frame_of(5));
+  EXPECT_EQ(data_calls.load(), 1);
+  pipe.sender->try_send(frame_of(5));  // queue non-empty: edge-triggered, no refire
+  EXPECT_EQ(data_calls.load(), 1);
+  pipe.receiver->try_receive();
+  pipe.receiver->try_receive();
+  pipe.sender->try_send(frame_of(5));  // empty -> non-empty again
+  EXPECT_EQ(data_calls.load(), 2);
+}
+
+TEST(InprocChannel, DataCallbackFiresOnClose) {
+  auto pipe = make_inproc_pipe();
+  std::atomic<int> data_calls{0};
+  pipe.receiver->set_data_callback([&] { data_calls.fetch_add(1); });
+  pipe.sender->close();
+  EXPECT_EQ(data_calls.load(), 1);  // receiver wakes to observe end-of-stream
+}
+
+TEST(InprocChannel, CloseSemantics) {
+  auto pipe = make_inproc_pipe();
+  pipe.sender->try_send(frame_of(8));
+  pipe.sender->close();
+  EXPECT_EQ(pipe.sender->try_send(frame_of(8)), SendStatus::kClosed);
+  EXPECT_FALSE(pipe.receiver->closed());  // not drained yet
+  EXPECT_TRUE(pipe.receiver->try_receive().has_value());
+  EXPECT_TRUE(pipe.receiver->closed());
+  EXPECT_FALSE(pipe.receiver->try_receive().has_value());
+}
+
+TEST(InprocChannel, BlockingReceiveTimesOut) {
+  auto pipe = make_inproc_pipe();
+  auto got = pipe.receiver->receive(20ms);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(InprocChannel, BlockingReceiveWakesOnSend) {
+  auto pipe = make_inproc_pipe();
+  std::thread t([&] {
+    std::this_thread::sleep_for(10ms);
+    pipe.sender->try_send(frame_of(3, 9));
+  });
+  auto got = pipe.receiver->receive(2s);
+  t.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ((*got)[0], 9);
+}
+
+TEST(InprocChannel, ByteCountersTrack) {
+  auto pipe = make_inproc_pipe();
+  pipe.sender->try_send(frame_of(100));
+  pipe.sender->try_send(frame_of(50));
+  EXPECT_EQ(pipe.sender->bytes_sent(), 150u);
+  pipe.receiver->try_receive();
+  EXPECT_EQ(pipe.receiver->bytes_received(), 100u);
+}
+
+TEST(InprocChannel, CrossThreadFlowControlStress) {
+  ChannelConfig cfg{.capacity_bytes = 4096, .low_watermark_bytes = 1024};
+  auto pipe = make_inproc_pipe(cfg);
+  constexpr int kFrames = 20000;
+  std::atomic<bool> writable{true};
+  pipe.sender->set_writable_callback([&] { writable.store(true); });
+
+  std::thread producer([&] {
+    int sent = 0;
+    std::vector<uint8_t> f(64);
+    while (sent < kFrames) {
+      f[0] = static_cast<uint8_t>(sent);
+      auto s = pipe.sender->try_send(f);
+      if (s == SendStatus::kOk) {
+        ++sent;
+      } else {
+        writable.store(false);
+        while (!writable.load()) std::this_thread::yield();
+      }
+    }
+    pipe.sender->close();
+  });
+
+  int received = 0;
+  uint8_t expect = 0;
+  while (true) {
+    auto got = pipe.receiver->receive(2s);
+    if (!got) break;
+    ASSERT_EQ((*got)[0], expect) << "frame " << received;
+    expect = static_cast<uint8_t>(expect + 1);
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, kFrames);  // lossless under backpressure
+}
+
+}  // namespace
+}  // namespace neptune

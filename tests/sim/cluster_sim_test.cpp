@@ -1,0 +1,226 @@
+// Sanity and invariant tests on the cluster simulator. Absolute numbers are
+// checked against physical bounds (NIC capacity, CPU capacity); relative
+// behaviour is checked against the paper's qualitative claims.
+#include "sim/cluster.hpp"
+
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neptune::sim {
+namespace {
+
+ClusterSpec small_cluster(size_t nodes = 4) {
+  ClusterSpec c;
+  c.nodes = nodes;
+  c.cores_per_node = 8;
+  return c;
+}
+
+TEST(NetModel, WireBytesIncludeOverheads) {
+  // 100 B payload: one segment -> +78 B overhead.
+  EXPECT_DOUBLE_EQ(NetModel::wire_bytes(100), 178.0);
+  // Exactly one MSS.
+  EXPECT_DOUBLE_EQ(NetModel::wire_bytes(1460), 1460 + 78);
+  // Crossing the MSS adds a second segment's overhead.
+  EXPECT_DOUBLE_EQ(NetModel::wire_bytes(1461), 1461 + 2 * 78);
+  // A 1 MB buffer amortizes overhead to ~5%.
+  double mb = NetModel::wire_bytes(1 << 20);
+  EXPECT_LT(mb, (1 << 20) * 1.06);
+}
+
+TEST(ClusterSim, RelayThroughputBoundedByNic) {
+  ClusterSpec cluster = small_cluster(3);
+  CostModel costs;
+  JobSpec job = relay_job(/*packet_bytes=*/100, /*buffer_bytes=*/1 << 20);
+  auto r = simulate_cluster(cluster, costs, Engine::kNeptune, {job}, 2.0);
+  // 1 Gbps with ~6% overhead at 100 B packets in 1 MB frames:
+  // <= 1.25e8 B/s / 100 B = 1.25 Mpps hard ceiling.
+  EXPECT_GT(r.throughput_pps, 100'000);
+  EXPECT_LT(r.throughput_pps, 1'250'000);
+  EXPECT_LE(r.bandwidth_bps, cluster.nic_bps * cluster.nodes);
+  EXPECT_EQ(r.packets_emitted >= r.packets_delivered, true);
+}
+
+TEST(ClusterSim, LargerBuffersRaiseThroughputUntilPlateau) {
+  // Figure 2's qualitative shape: throughput rises with buffer size, then
+  // saturates.
+  ClusterSpec cluster = small_cluster(3);
+  CostModel costs;
+  double prev = 0;
+  std::vector<double> results;
+  for (double buf : {1024.0, 16384.0, 262144.0, 1048576.0}) {
+    JobSpec job = relay_job(100, buf);
+    auto r = simulate_cluster(cluster, costs, Engine::kNeptune, {job}, 2.0);
+    results.push_back(r.throughput_pps);
+  }
+  EXPECT_GT(results[1], results[0]);
+  EXPECT_GT(results[2], results[1] * 0.95);
+  EXPECT_GT(results[3], results[2] * 0.9);  // plateau, not collapse
+  (void)prev;
+}
+
+TEST(ClusterSim, NeptuneBeatsStormOnSmallPackets) {
+  ClusterSpec cluster = small_cluster(3);
+  CostModel costs;
+  JobSpec job = relay_job(100);
+  auto nep = simulate_cluster(cluster, costs, Engine::kNeptune, {job}, 2.0);
+  auto storm = simulate_cluster(cluster, costs, Engine::kStorm, {job}, 2.0);
+  EXPECT_GT(nep.throughput_pps, storm.throughput_pps * 2);
+}
+
+TEST(ClusterSim, StormLatencyBlowsUpWithoutBackpressure) {
+  // Paper Figure 7: Storm's unbounded queues let latency grow unboundedly
+  // when the bolt is slower than the spout.
+  ClusterSpec cluster = small_cluster(2);
+  CostModel costs;
+  JobSpec job = relay_job(1000);
+  // Slow enough that the bolt cannot keep up with the NIC-limited arrival
+  // rate; Storm's unbounded queues then grow for the whole run.
+  job.stages[1].proc_ns_per_packet = 15000;
+  auto storm = simulate_cluster(cluster, costs, Engine::kStorm, {job}, 2.0);
+  auto nep = simulate_cluster(cluster, costs, Engine::kNeptune, {job}, 2.0);
+  EXPECT_GT(storm.latency_p99_ms, 10 * std::max(1.0, nep.latency_p99_ms));
+}
+
+TEST(ClusterSim, BackpressureKeepsNeptuneMemoryBounded) {
+  ClusterSpec cluster = small_cluster(2);
+  CostModel costs;
+  JobSpec job = relay_job(500);
+  job.stages[2].proc_ns_per_packet = 3000;  // slow sink
+  auto nep = simulate_cluster(cluster, costs, Engine::kNeptune, {job}, 3.0);
+  auto storm = simulate_cluster(cluster, costs, Engine::kStorm, {job}, 3.0);
+  double nep_peak = *std::max_element(nep.per_node_memory.begin(), nep.per_node_memory.end());
+  double storm_peak =
+      *std::max_element(storm.per_node_memory.begin(), storm.per_node_memory.end());
+  EXPECT_LE(nep_peak, storm_peak + 1e-9);
+}
+
+TEST(ClusterSim, ThroughputScalesWithClusterSize) {
+  // Figure 6: fixed job count, growing cluster -> linear-ish scaling.
+  CostModel costs;
+  std::vector<double> tput;
+  for (size_t nodes : {5u, 10u, 20u}) {
+    ClusterSpec cluster = small_cluster(nodes);
+    std::vector<JobSpec> jobs(5, scalability_job(cluster));
+    auto r = simulate_cluster(cluster, costs, Engine::kNeptune, jobs, 1.0);
+    tput.push_back(r.throughput_pps);
+  }
+  EXPECT_GT(tput[1], tput[0] * 1.5);
+  EXPECT_GT(tput[2], tput[1] * 1.5);
+}
+
+TEST(ClusterSim, ConcurrentJobsRiseThenDecline) {
+  // Figure 5: with rate-limited sources, cumulative throughput rises with
+  // the number of jobs while the cluster is adequately provisioned, then
+  // plateaus/declines once CPU contention dominates.
+  CostModel costs;
+  ClusterSpec cluster = small_cluster(4);
+  auto run = [&](size_t jobs_n) {
+    std::vector<JobSpec> jobs(jobs_n, scalability_job(cluster));
+    return simulate_cluster(cluster, costs, Engine::kNeptune, jobs, 1.0).throughput_pps;
+  };
+  double t2 = run(2);
+  double t24 = run(24);
+  double t48 = run(48);
+  double t192 = run(192);
+  EXPECT_GT(t24, t2 * 5);       // rises roughly linearly while provisioned
+  EXPECT_LT(t192, t48 * 1.15);  // overprovisioned: plateau or decline
+}
+
+TEST(ClusterSim, CpuUtilizationIsSane) {
+  ClusterSpec cluster = small_cluster(4);
+  CostModel costs;
+  std::vector<JobSpec> jobs(4, scalability_job(cluster));
+  auto r = simulate_cluster(cluster, costs, Engine::kNeptune, jobs, 1.0);
+  for (double u : r.per_node_cpu) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  EXPECT_GT(r.avg_cpu_utilization, 0.0);
+}
+
+TEST(ClusterSim, StormBurnsMoreCpuForSameJob) {
+  // Figure 10: NEPTUNE's cluster-wide CPU is consistently lower.
+  ClusterSpec cluster = small_cluster(4);
+  CostModel costs;
+  // Rate-match by using the same offered load: a single relay job; compare
+  // CPU per delivered packet.
+  JobSpec job = relay_job(100);
+  auto nep = simulate_cluster(cluster, costs, Engine::kNeptune, {job}, 2.0);
+  auto storm = simulate_cluster(cluster, costs, Engine::kStorm, {job}, 2.0);
+  double nep_cpu_per_pkt = nep.avg_cpu_utilization / nep.throughput_pps;
+  double storm_cpu_per_pkt = storm.avg_cpu_utilization / storm.throughput_pps;
+  EXPECT_GT(storm_cpu_per_pkt, nep_cpu_per_pkt * 3);
+}
+
+TEST(ClusterSim, ManufacturingJobFunnelsTraffic) {
+  ClusterSpec cluster = small_cluster(8);
+  CostModel costs;
+  auto job = manufacturing_job(cluster);
+  auto r = simulate_cluster(cluster, costs, Engine::kNeptune, {job}, 1.0);
+  // Change detection (selectivity 0.02) means deliveries << emissions.
+  EXPECT_GT(r.source_throughput_pps, 0);
+  EXPECT_LT(r.throughput_pps, r.source_throughput_pps * 0.2);
+}
+
+TEST(ClusterSim, OfferedRateSourcesHitTheirRate) {
+  // Under-provisioned demand must be delivered ~exactly (it is the Figure 5
+  // linear-rise regime).
+  ClusterSpec cluster = small_cluster(8);
+  CostModel costs;
+  JobSpec job = scalability_job(cluster);
+  auto r = simulate_cluster(cluster, costs, Engine::kNeptune, {job}, 1.0);
+  double offered = job.offered_pps * job.stages[0].parallelism;
+  EXPECT_NEAR(r.source_throughput_pps, offered, offered * 0.05);
+  EXPECT_NEAR(r.throughput_pps, offered, offered * 0.05);
+}
+
+TEST(ClusterSim, ManufacturingNeptuneFarAheadOfStorm) {
+  // Figure 9's regime: Storm colocates each job on one worker/node and pays
+  // JVM-calibrated per-tuple costs.
+  ClusterSpec cluster;  // full 50-node cluster
+  CostModel costs;
+  std::vector<JobSpec> jobs(8, manufacturing_job(cluster));
+  auto nep = simulate_cluster(cluster, costs, Engine::kNeptune, jobs, 1.0);
+  auto storm = simulate_cluster(cluster, costs, Engine::kStorm, jobs, 1.0);
+  double ratio = nep.source_throughput_pps / storm.source_throughput_pps;
+  EXPECT_GT(ratio, 4.0);   // paper: 8x at 32 jobs
+  EXPECT_LT(ratio, 20.0);  // but not absurd
+}
+
+TEST(ClusterSim, MemoryShowsNoEngineEffect) {
+  // Figure 10's memory finding: node-to-node variation dominates the
+  // engine difference (paper two-tailed p = 0.0863, n.s.).
+  ClusterSpec cluster;
+  CostModel costs;
+  std::vector<JobSpec> jobs(20, manufacturing_job(cluster));
+  auto nep = simulate_cluster(cluster, costs, Engine::kNeptune, jobs, 1.0);
+  auto storm = simulate_cluster(cluster, costs, Engine::kStorm, jobs, 1.0);
+  auto t = welch_t_test(storm.per_node_memory, nep.per_node_memory);
+  EXPECT_GT(t.p_two_tailed, 0.05);
+}
+
+TEST(ClusterSim, StormColocationPinsJobToOneNode) {
+  // With colocation, a single Storm job must load exactly one node's CPU.
+  ClusterSpec cluster = small_cluster(8);
+  CostModel costs;
+  JobSpec job = manufacturing_job(cluster);
+  auto r = simulate_cluster(cluster, costs, Engine::kStorm, {job}, 0.5);
+  int busy_nodes = 0;
+  for (double u : r.per_node_cpu) busy_nodes += u > 0.001;
+  EXPECT_EQ(busy_nodes, 1);
+}
+
+TEST(ClusterSim, DeterministicAcrossRuns) {
+  ClusterSpec cluster = small_cluster(3);
+  CostModel costs;
+  JobSpec job = relay_job(200);
+  auto a = simulate_cluster(cluster, costs, Engine::kNeptune, {job}, 1.0);
+  auto b = simulate_cluster(cluster, costs, Engine::kNeptune, {job}, 1.0);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_DOUBLE_EQ(a.bandwidth_bps, b.bandwidth_bps);
+}
+
+}  // namespace
+}  // namespace neptune::sim

@@ -1,0 +1,72 @@
+#include "sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace neptune::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(300, [&] { order.push_back(3); });
+  q.schedule_at(100, [&] { order.push_back(1); });
+  q.schedule_at(200, [&] { order.push_back(2); });
+  q.run_until(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 1000);
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule_at(50, [&, i] { order.push_back(i); });
+  q.run_until(100);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(100, [&] { ++fired; });
+  q.schedule_at(200, [&] { ++fired; });
+  q.run_until(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(200);  // boundary-inclusive
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    ++chain;
+    if (chain < 5) q.schedule_in(10, step);
+  };
+  q.schedule_at(0, step);
+  q.run_until(1000);
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(q.now(), 1000);
+}
+
+TEST(EventQueue, ScheduleInPastClampsToNow) {
+  EventQueue q;
+  int64_t seen = -1;
+  q.schedule_at(100, [&] {
+    q.schedule_at(50, [&] { seen = q.now(); });  // "past" -> runs now
+  });
+  q.run_until(100);
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventQueue, ReturnsExecutedCount) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_at(i * 10, [] {});
+  EXPECT_EQ(q.run_until(100), 7u);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace neptune::sim
