@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_storm_acking.dir/ablation_storm_acking.cpp.o"
+  "CMakeFiles/ablation_storm_acking.dir/ablation_storm_acking.cpp.o.d"
+  "ablation_storm_acking"
+  "ablation_storm_acking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storm_acking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_storm_acking.
+# This may be replaced when dependencies are built.

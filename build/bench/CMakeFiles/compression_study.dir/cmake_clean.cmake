@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_study.dir/compression_study.cpp.o"
+  "CMakeFiles/compression_study.dir/compression_study.cpp.o.d"
+  "compression_study"
+  "compression_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_backpressure.dir/fig4_backpressure.cpp.o"
+  "CMakeFiles/fig4_backpressure.dir/fig4_backpressure.cpp.o.d"
+  "fig4_backpressure"
+  "fig4_backpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_backpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_node_scaling.dir/fig6_node_scaling.cpp.o"
+  "CMakeFiles/fig6_node_scaling.dir/fig6_node_scaling.cpp.o.d"
+  "fig6_node_scaling"
+  "fig6_node_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_node_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

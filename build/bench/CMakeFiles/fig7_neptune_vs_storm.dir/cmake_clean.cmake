@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_neptune_vs_storm.dir/fig7_neptune_vs_storm.cpp.o"
+  "CMakeFiles/fig7_neptune_vs_storm.dir/fig7_neptune_vs_storm.cpp.o.d"
+  "fig7_neptune_vs_storm"
+  "fig7_neptune_vs_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_neptune_vs_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

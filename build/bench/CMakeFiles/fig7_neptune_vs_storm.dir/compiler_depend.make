@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_neptune_vs_storm.
+# This may be replaced when dependencies are built.

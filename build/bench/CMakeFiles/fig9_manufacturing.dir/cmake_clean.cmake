@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_manufacturing.dir/fig9_manufacturing.cpp.o"
+  "CMakeFiles/fig9_manufacturing.dir/fig9_manufacturing.cpp.o.d"
+  "fig9_manufacturing"
+  "fig9_manufacturing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_manufacturing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

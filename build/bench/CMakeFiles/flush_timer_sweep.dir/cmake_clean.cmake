@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flush_timer_sweep.dir/flush_timer_sweep.cpp.o"
+  "CMakeFiles/flush_timer_sweep.dir/flush_timer_sweep.cpp.o.d"
+  "flush_timer_sweep"
+  "flush_timer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flush_timer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

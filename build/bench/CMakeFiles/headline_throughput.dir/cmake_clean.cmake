@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_throughput.dir/headline_throughput.cpp.o"
+  "CMakeFiles/headline_throughput.dir/headline_throughput.cpp.o.d"
+  "headline_throughput"
+  "headline_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_frame.dir/micro_frame.cpp.o"
+  "CMakeFiles/micro_frame.dir/micro_frame.cpp.o.d"
+  "micro_frame"
+  "micro_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

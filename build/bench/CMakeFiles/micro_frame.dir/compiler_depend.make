@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_frame.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lz4.dir/micro_lz4.cpp.o"
+  "CMakeFiles/micro_lz4.dir/micro_lz4.cpp.o.d"
+  "micro_lz4"
+  "micro_lz4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lz4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

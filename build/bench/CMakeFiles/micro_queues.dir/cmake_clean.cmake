@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_queues.dir/micro_queues.cpp.o"
+  "CMakeFiles/micro_queues.dir/micro_queues.cpp.o.d"
+  "micro_queues"
+  "micro_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

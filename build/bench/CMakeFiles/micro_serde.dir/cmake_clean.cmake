@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_serde.dir/micro_serde.cpp.o"
+  "CMakeFiles/micro_serde.dir/micro_serde.cpp.o.d"
+  "micro_serde"
+  "micro_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obj_reuse_gc.dir/obj_reuse_gc.cpp.o"
+  "CMakeFiles/obj_reuse_gc.dir/obj_reuse_gc.cpp.o.d"
+  "obj_reuse_gc"
+  "obj_reuse_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obj_reuse_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_context_switches.dir/table1_context_switches.cpp.o"
+  "CMakeFiles/table1_context_switches.dir/table1_context_switches.cpp.o.d"
+  "table1_context_switches"
+  "table1_context_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_context_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

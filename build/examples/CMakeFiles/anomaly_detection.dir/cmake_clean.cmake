@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_detection.dir/anomaly_detection.cpp.o"
+  "CMakeFiles/anomaly_detection.dir/anomaly_detection.cpp.o.d"
+  "anomaly_detection"
+  "anomaly_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

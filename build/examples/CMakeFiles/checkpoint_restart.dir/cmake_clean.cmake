@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_restart.dir/checkpoint_restart.cpp.o"
+  "CMakeFiles/checkpoint_restart.dir/checkpoint_restart.cpp.o.d"
+  "checkpoint_restart"
+  "checkpoint_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_relay_json.dir/iot_relay_json.cpp.o"
+  "CMakeFiles/iot_relay_json.dir/iot_relay_json.cpp.o.d"
+  "iot_relay_json"
+  "iot_relay_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_relay_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

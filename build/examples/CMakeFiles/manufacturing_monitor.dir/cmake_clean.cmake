@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manufacturing_monitor.dir/manufacturing_monitor.cpp.o"
+  "CMakeFiles/manufacturing_monitor.dir/manufacturing_monitor.cpp.o.d"
+  "manufacturing_monitor"
+  "manufacturing_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manufacturing_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

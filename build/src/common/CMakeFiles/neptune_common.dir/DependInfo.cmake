@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/common/CMakeFiles/neptune_common.dir/bytes.cpp.o" "gcc" "src/common/CMakeFiles/neptune_common.dir/bytes.cpp.o.d"
+  "/root/repo/src/common/crc32.cpp" "src/common/CMakeFiles/neptune_common.dir/crc32.cpp.o" "gcc" "src/common/CMakeFiles/neptune_common.dir/crc32.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/neptune_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/neptune_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/common/CMakeFiles/neptune_common.dir/json.cpp.o" "gcc" "src/common/CMakeFiles/neptune_common.dir/json.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/neptune_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/neptune_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/neptune_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/neptune_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/thread_util.cpp" "src/common/CMakeFiles/neptune_common.dir/thread_util.cpp.o" "gcc" "src/common/CMakeFiles/neptune_common.dir/thread_util.cpp.o.d"
+  "/root/repo/src/common/tukey.cpp" "src/common/CMakeFiles/neptune_common.dir/tukey.cpp.o" "gcc" "src/common/CMakeFiles/neptune_common.dir/tukey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

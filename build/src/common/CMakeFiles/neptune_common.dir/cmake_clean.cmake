@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neptune_common.dir/bytes.cpp.o"
+  "CMakeFiles/neptune_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/neptune_common.dir/crc32.cpp.o"
+  "CMakeFiles/neptune_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/neptune_common.dir/histogram.cpp.o"
+  "CMakeFiles/neptune_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/neptune_common.dir/json.cpp.o"
+  "CMakeFiles/neptune_common.dir/json.cpp.o.d"
+  "CMakeFiles/neptune_common.dir/log.cpp.o"
+  "CMakeFiles/neptune_common.dir/log.cpp.o.d"
+  "CMakeFiles/neptune_common.dir/stats.cpp.o"
+  "CMakeFiles/neptune_common.dir/stats.cpp.o.d"
+  "CMakeFiles/neptune_common.dir/thread_util.cpp.o"
+  "CMakeFiles/neptune_common.dir/thread_util.cpp.o.d"
+  "CMakeFiles/neptune_common.dir/tukey.cpp.o"
+  "CMakeFiles/neptune_common.dir/tukey.cpp.o.d"
+  "libneptune_common.a"
+  "libneptune_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neptune_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneptune_common.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/entropy.cpp" "src/compress/CMakeFiles/neptune_compress.dir/entropy.cpp.o" "gcc" "src/compress/CMakeFiles/neptune_compress.dir/entropy.cpp.o.d"
+  "/root/repo/src/compress/lz4.cpp" "src/compress/CMakeFiles/neptune_compress.dir/lz4.cpp.o" "gcc" "src/compress/CMakeFiles/neptune_compress.dir/lz4.cpp.o.d"
+  "/root/repo/src/compress/selective.cpp" "src/compress/CMakeFiles/neptune_compress.dir/selective.cpp.o" "gcc" "src/compress/CMakeFiles/neptune_compress.dir/selective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neptune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

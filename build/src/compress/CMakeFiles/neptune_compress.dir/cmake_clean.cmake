@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neptune_compress.dir/entropy.cpp.o"
+  "CMakeFiles/neptune_compress.dir/entropy.cpp.o.d"
+  "CMakeFiles/neptune_compress.dir/lz4.cpp.o"
+  "CMakeFiles/neptune_compress.dir/lz4.cpp.o.d"
+  "CMakeFiles/neptune_compress.dir/selective.cpp.o"
+  "CMakeFiles/neptune_compress.dir/selective.cpp.o.d"
+  "libneptune_compress.a"
+  "libneptune_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neptune_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

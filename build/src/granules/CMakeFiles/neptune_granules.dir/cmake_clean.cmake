@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neptune_granules.dir/resource.cpp.o"
+  "CMakeFiles/neptune_granules.dir/resource.cpp.o.d"
+  "libneptune_granules.a"
+  "libneptune_granules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neptune_granules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neptune/graph.cpp" "src/neptune/CMakeFiles/neptune_core.dir/graph.cpp.o" "gcc" "src/neptune/CMakeFiles/neptune_core.dir/graph.cpp.o.d"
+  "/root/repo/src/neptune/json_topology.cpp" "src/neptune/CMakeFiles/neptune_core.dir/json_topology.cpp.o" "gcc" "src/neptune/CMakeFiles/neptune_core.dir/json_topology.cpp.o.d"
+  "/root/repo/src/neptune/metrics.cpp" "src/neptune/CMakeFiles/neptune_core.dir/metrics.cpp.o" "gcc" "src/neptune/CMakeFiles/neptune_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/neptune/packet.cpp" "src/neptune/CMakeFiles/neptune_core.dir/packet.cpp.o" "gcc" "src/neptune/CMakeFiles/neptune_core.dir/packet.cpp.o.d"
+  "/root/repo/src/neptune/partitioning.cpp" "src/neptune/CMakeFiles/neptune_core.dir/partitioning.cpp.o" "gcc" "src/neptune/CMakeFiles/neptune_core.dir/partitioning.cpp.o.d"
+  "/root/repo/src/neptune/runtime.cpp" "src/neptune/CMakeFiles/neptune_core.dir/runtime.cpp.o" "gcc" "src/neptune/CMakeFiles/neptune_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/neptune/state.cpp" "src/neptune/CMakeFiles/neptune_core.dir/state.cpp.o" "gcc" "src/neptune/CMakeFiles/neptune_core.dir/state.cpp.o.d"
+  "/root/repo/src/neptune/stream_buffer.cpp" "src/neptune/CMakeFiles/neptune_core.dir/stream_buffer.cpp.o" "gcc" "src/neptune/CMakeFiles/neptune_core.dir/stream_buffer.cpp.o.d"
+  "/root/repo/src/neptune/window.cpp" "src/neptune/CMakeFiles/neptune_core.dir/window.cpp.o" "gcc" "src/neptune/CMakeFiles/neptune_core.dir/window.cpp.o.d"
+  "/root/repo/src/neptune/workload.cpp" "src/neptune/CMakeFiles/neptune_core.dir/workload.cpp.o" "gcc" "src/neptune/CMakeFiles/neptune_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neptune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/neptune_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/neptune_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/granules/CMakeFiles/neptune_granules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

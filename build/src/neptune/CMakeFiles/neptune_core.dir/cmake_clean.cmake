@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neptune_core.dir/graph.cpp.o"
+  "CMakeFiles/neptune_core.dir/graph.cpp.o.d"
+  "CMakeFiles/neptune_core.dir/json_topology.cpp.o"
+  "CMakeFiles/neptune_core.dir/json_topology.cpp.o.d"
+  "CMakeFiles/neptune_core.dir/metrics.cpp.o"
+  "CMakeFiles/neptune_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/neptune_core.dir/packet.cpp.o"
+  "CMakeFiles/neptune_core.dir/packet.cpp.o.d"
+  "CMakeFiles/neptune_core.dir/partitioning.cpp.o"
+  "CMakeFiles/neptune_core.dir/partitioning.cpp.o.d"
+  "CMakeFiles/neptune_core.dir/runtime.cpp.o"
+  "CMakeFiles/neptune_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/neptune_core.dir/state.cpp.o"
+  "CMakeFiles/neptune_core.dir/state.cpp.o.d"
+  "CMakeFiles/neptune_core.dir/stream_buffer.cpp.o"
+  "CMakeFiles/neptune_core.dir/stream_buffer.cpp.o.d"
+  "CMakeFiles/neptune_core.dir/window.cpp.o"
+  "CMakeFiles/neptune_core.dir/window.cpp.o.d"
+  "CMakeFiles/neptune_core.dir/workload.cpp.o"
+  "CMakeFiles/neptune_core.dir/workload.cpp.o.d"
+  "libneptune_core.a"
+  "libneptune_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neptune_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

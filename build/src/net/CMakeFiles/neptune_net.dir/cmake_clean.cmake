@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neptune_net.dir/event_loop.cpp.o"
+  "CMakeFiles/neptune_net.dir/event_loop.cpp.o.d"
+  "CMakeFiles/neptune_net.dir/frame.cpp.o"
+  "CMakeFiles/neptune_net.dir/frame.cpp.o.d"
+  "CMakeFiles/neptune_net.dir/inproc_transport.cpp.o"
+  "CMakeFiles/neptune_net.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/neptune_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/neptune_net.dir/tcp_transport.cpp.o.d"
+  "libneptune_net.a"
+  "libneptune_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neptune_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neptune_sim.dir/cluster.cpp.o"
+  "CMakeFiles/neptune_sim.dir/cluster.cpp.o.d"
+  "libneptune_sim.a"
+  "libneptune_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neptune_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neptune_storm.dir/storm.cpp.o"
+  "CMakeFiles/neptune_storm.dir/storm.cpp.o.d"
+  "libneptune_storm.a"
+  "libneptune_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neptune_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_sim_test.dir/sim/cluster_sim_test.cpp.o"
+  "CMakeFiles/cluster_sim_test.dir/sim/cluster_sim_test.cpp.o.d"
+  "cluster_sim_test"
+  "cluster_sim_test.pdb"
+  "cluster_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

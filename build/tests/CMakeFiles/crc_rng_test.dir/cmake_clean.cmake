@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crc_rng_test.dir/common/crc_rng_test.cpp.o"
+  "CMakeFiles/crc_rng_test.dir/common/crc_rng_test.cpp.o.d"
+  "crc_rng_test"
+  "crc_rng_test.pdb"
+  "crc_rng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crc_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

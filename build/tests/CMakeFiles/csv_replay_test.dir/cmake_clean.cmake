@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_replay_test.dir/neptune/csv_replay_test.cpp.o"
+  "CMakeFiles/csv_replay_test.dir/neptune/csv_replay_test.cpp.o.d"
+  "csv_replay_test"
+  "csv_replay_test.pdb"
+  "csv_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

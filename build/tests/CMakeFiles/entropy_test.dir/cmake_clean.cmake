@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entropy_test.dir/compress/entropy_test.cpp.o"
+  "CMakeFiles/entropy_test.dir/compress/entropy_test.cpp.o.d"
+  "entropy_test"
+  "entropy_test.pdb"
+  "entropy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entropy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

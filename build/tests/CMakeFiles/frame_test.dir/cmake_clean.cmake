@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_test.dir/net/frame_test.cpp.o"
+  "CMakeFiles/frame_test.dir/net/frame_test.cpp.o.d"
+  "frame_test"
+  "frame_test.pdb"
+  "frame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

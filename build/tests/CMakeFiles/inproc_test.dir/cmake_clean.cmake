@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inproc_test.dir/net/inproc_test.cpp.o"
+  "CMakeFiles/inproc_test.dir/net/inproc_test.cpp.o.d"
+  "inproc_test"
+  "inproc_test.pdb"
+  "inproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_topology_test.dir/neptune/json_topology_test.cpp.o"
+  "CMakeFiles/json_topology_test.dir/neptune/json_topology_test.cpp.o.d"
+  "json_topology_test"
+  "json_topology_test.pdb"
+  "json_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

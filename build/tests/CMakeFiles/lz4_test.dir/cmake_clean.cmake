@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz4_test.dir/compress/lz4_test.cpp.o"
+  "CMakeFiles/lz4_test.dir/compress/lz4_test.cpp.o.d"
+  "lz4_test"
+  "lz4_test.pdb"
+  "lz4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_pool_test.dir/common/object_pool_test.cpp.o"
+  "CMakeFiles/object_pool_test.dir/common/object_pool_test.cpp.o.d"
+  "object_pool_test"
+  "object_pool_test.pdb"
+  "object_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

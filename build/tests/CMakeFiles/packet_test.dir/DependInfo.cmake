@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/neptune/packet_test.cpp" "tests/CMakeFiles/packet_test.dir/neptune/packet_test.cpp.o" "gcc" "tests/CMakeFiles/packet_test.dir/neptune/packet_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/neptune/CMakeFiles/neptune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/granules/CMakeFiles/neptune_granules.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/neptune_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/neptune_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neptune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioning_test.dir/neptune/partitioning_test.cpp.o"
+  "CMakeFiles/partitioning_test.dir/neptune/partitioning_test.cpp.o.d"
+  "partitioning_test"
+  "partitioning_test.pdb"
+  "partitioning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_fuzz_test.dir/neptune/runtime_fuzz_test.cpp.o"
+  "CMakeFiles/runtime_fuzz_test.dir/neptune/runtime_fuzz_test.cpp.o.d"
+  "runtime_fuzz_test"
+  "runtime_fuzz_test.pdb"
+  "runtime_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

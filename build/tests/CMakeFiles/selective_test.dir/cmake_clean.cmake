@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_test.dir/compress/selective_test.cpp.o"
+  "CMakeFiles/selective_test.dir/compress/selective_test.cpp.o.d"
+  "selective_test"
+  "selective_test.pdb"
+  "selective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_acking_test.dir/storm/storm_acking_test.cpp.o"
+  "CMakeFiles/storm_acking_test.dir/storm/storm_acking_test.cpp.o.d"
+  "storm_acking_test"
+  "storm_acking_test.pdb"
+  "storm_acking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_acking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

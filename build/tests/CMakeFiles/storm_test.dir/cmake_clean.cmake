@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_test.dir/storm/storm_test.cpp.o"
+  "CMakeFiles/storm_test.dir/storm/storm_test.cpp.o.d"
+  "storm_test"
+  "storm_test.pdb"
+  "storm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_buffer_test.dir/neptune/stream_buffer_test.cpp.o"
+  "CMakeFiles/stream_buffer_test.dir/neptune/stream_buffer_test.cpp.o.d"
+  "stream_buffer_test"
+  "stream_buffer_test.pdb"
+  "stream_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_runtime_test.dir/neptune/tcp_runtime_test.cpp.o"
+  "CMakeFiles/tcp_runtime_test.dir/neptune/tcp_runtime_test.cpp.o.d"
+  "tcp_runtime_test"
+  "tcp_runtime_test.pdb"
+  "tcp_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tukey_test.dir/common/tukey_test.cpp.o"
+  "CMakeFiles/tukey_test.dir/common/tukey_test.cpp.o.d"
+  "tukey_test"
+  "tukey_test.pdb"
+  "tukey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tukey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_lint.dir/topology_lint.cpp.o"
+  "CMakeFiles/topology_lint.dir/topology_lint.cpp.o.d"
+  "topology_lint"
+  "topology_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
