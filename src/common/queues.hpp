@@ -106,6 +106,15 @@ class BoundedQueue {
     return closed_;
   }
 
+  /// Re-arm a closed queue so producers/consumers work again — used when a
+  /// stopped resource is restarted (failure recovery). Any residue from the
+  /// previous life is discarded. Only call with no threads blocked on it.
+  void reopen() {
+    std::lock_guard lk(mu_);
+    closed_ = false;
+    q_.clear();
+  }
+
   /// Blocking push; waits while full. Returns kClosed if the queue was closed.
   QueueResult push(T v) {
     bool fire_high = false;

@@ -1,0 +1,244 @@
+#include "fault/recovery.hpp"
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace neptune::fault {
+
+RecoveryCoordinator::RecoveryCoordinator(Runtime& runtime, StreamGraph graph,
+                                         RecoveryOptions options)
+    : runtime_(runtime), graph_(std::move(graph)), options_(options) {}
+
+RecoveryCoordinator::~RecoveryCoordinator() { stop(); }
+
+void RecoveryCoordinator::attach(const std::shared_ptr<Job>& job) {
+  // The handler may fire from a supervisor thread long after this
+  // coordinator is gone (old jobs and their channels are kept alive by the
+  // runtime), so it owns the flag it touches and nothing else. The monitor
+  // polls the flag every poll_interval.
+  job->set_failure_handler(
+      [flag = failure_flag_](const std::string&) { flag->store(true, std::memory_order_release); });
+}
+
+std::shared_ptr<Job> RecoveryCoordinator::start() {
+  auto job = runtime_.submit(graph_);
+  attach(job);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = job;
+  }
+  start_ns_ = now_ns();
+  job->start();
+  monitor_ = std::thread([this] { monitor(); });
+  return job;
+}
+
+std::shared_ptr<Job> RecoveryCoordinator::job() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return job_;
+}
+
+bool RecoveryCoordinator::wait(std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait_for(lk, timeout, [&] { return done_; });
+  return completed_;
+}
+
+void RecoveryCoordinator::stop() {
+  stop_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job = job_;
+  }
+  if (job && !job->completed()) job->stop();
+}
+
+bool RecoveryCoordinator::permanently_failed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return permanent_failure_;
+}
+
+bool RecoveryCoordinator::checkpoint_now() {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job = job_;
+  }
+  return job && take_checkpoint(job);
+}
+
+JobMetricsSnapshot RecoveryCoordinator::metrics() const {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job = job_;
+  }
+  JobMetricsSnapshot m = job ? job->metrics() : JobMetricsSnapshot{};
+  m.checkpoints_taken = checkpoints_.load(std::memory_order_relaxed);
+  m.recoveries = recoveries_.load(std::memory_order_relaxed);
+  m.recovery_ns = recovery_ns_.load(std::memory_order_relaxed);
+  return m;
+}
+
+bool RecoveryCoordinator::take_checkpoint(const std::shared_ptr<Job>& job) {
+  // A checkpoint is only consistent if the pipeline fully drains; skip when
+  // the job is already failing or a resource is down (the snapshot would
+  // capture a half-processed barrier).
+  if (job->failed() || job->completed() || any_resource_down()) return false;
+  job->pause();
+  bool quiet = job->quiesce(options_.quiesce_timeout);
+  bool healthy = quiet && !job->failed() && !any_resource_down() &&
+                 !failure_flag_->load(std::memory_order_acquire);
+  if (healthy) {
+    JobSnapshot snap = job->checkpoint_state();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      snapshot_ = std::move(snap);
+      have_snapshot_ = true;
+    }
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  }
+  job->resume();
+  return healthy;
+}
+
+void RecoveryCoordinator::execute_due_kills() {
+  auto injector = runtime_.options().fault_injector;
+  if (!injector) return;
+  const int64_t elapsed = now_ns() - start_ns_;
+  for (const ResourceKill& kill : injector->resource_kills()) {
+    if (kill.executed || elapsed < kill.at_ns_after_start) continue;
+    if (kill.resource_index >= runtime_.resource_count()) continue;
+    NEPTUNE_LOG_WARN("fault: killing resource %zu (scheduled at t+%.3fs)", kill.resource_index,
+                     static_cast<double>(kill.at_ns_after_start) * 1e-9);
+    injector->mark_kill_executed(kill.resource_index);
+    runtime_.resource(kill.resource_index)->stop();
+  }
+}
+
+bool RecoveryCoordinator::any_resource_down() const {
+  for (size_t i = 0; i < runtime_.resource_count(); ++i) {
+    if (!runtime_.resource(i)->running()) return true;
+  }
+  return false;
+}
+
+void RecoveryCoordinator::monitor() {
+  int64_t last_checkpoint_ns = now_ns();
+  while (!stop_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait_for(lk, std::chrono::nanoseconds(options_.poll_interval_ns),
+                   [&] { return stop_.load(std::memory_order_acquire); });
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    std::shared_ptr<Job> job;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job = job_;
+    }
+    if (!job) break;
+
+    execute_due_kills();
+
+    const bool failed = failure_flag_->load(std::memory_order_acquire) || job->failed() ||
+                        any_resource_down();
+    if (failed) {
+      recover();
+      if (stop_.load(std::memory_order_acquire)) break;
+      last_checkpoint_ns = now_ns();
+      continue;
+    }
+
+    if (job->completed()) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_ = true;
+      completed_ = true;
+      cv_.notify_all();
+      break;
+    }
+
+    if (now_ns() - last_checkpoint_ns >= options_.checkpoint_interval_ns) {
+      take_checkpoint(job);
+      last_checkpoint_ns = now_ns();  // even on failure: don't hammer pause/resume
+    }
+  }
+}
+
+void RecoveryCoordinator::recover() {
+  if (recoveries_.load(std::memory_order_relaxed) >= options_.max_recoveries) {
+    NEPTUNE_LOG_ERROR("recovery: budget exhausted (%u), giving up", options_.max_recoveries);
+    std::lock_guard<std::mutex> lk(mu_);
+    permanent_failure_ = true;
+    done_ = true;
+    stop_.store(true, std::memory_order_release);
+    cv_.notify_all();
+    return;
+  }
+
+  const int64_t t0 = now_ns();
+  std::shared_ptr<Job> old;
+  bool from_snapshot = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    old = job_;
+    from_snapshot = have_snapshot_;
+  }
+  failure_flag_->store(false, std::memory_order_release);
+  NEPTUNE_LOG_WARN("recovery: job '%s' failed (%s) — restoring from %s", old->name().c_str(),
+                   old->failed() ? old->failure_reason().c_str() : "resource down",
+                   from_snapshot ? "latest checkpoint" : "scratch (no checkpoint yet)");
+
+  // Tear the wreck down (best effort — dead resources never run the stop
+  // notifications, which is fine; the runtime keeps the old job's carcass
+  // alive so late supervisor callbacks stay safe).
+  old->stop();
+  // Wait until the wreck stops moving before restoring state: workers may
+  // still be draining in-flight batches into operators that are shared with
+  // the next incarnation (Job::wait would hang on a dead resource, so watch
+  // packet movement instead — frozen instantly there, drained in ms here).
+  auto moved = [&] {
+    JobMetricsSnapshot m = old->metrics();
+    return m.total(&OperatorMetricsSnapshot::packets_in) +
+           m.total(&OperatorMetricsSnapshot::packets_out) +
+           m.total(&OperatorMetricsSnapshot::executions);
+  };
+  uint64_t prev = moved();
+  for (int i = 0; i < 200; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    uint64_t cur = moved();
+    if (cur == prev) break;
+    prev = cur;
+  }
+
+  // Restart any dead resource: fresh IO loops + worker pools. Old task
+  // entries stay terminated/idle and are never rescheduled.
+  for (size_t i = 0; i < runtime_.resource_count(); ++i) {
+    if (!runtime_.resource(i)->running()) {
+      NEPTUNE_LOG_INFO("recovery: restarting resource %zu", i);
+      runtime_.resource(i)->start();
+    }
+  }
+
+  // Resubmit the same graph and restore the latest consistent snapshot;
+  // sources rewind to their recorded replay positions.
+  auto fresh = runtime_.submit(graph_);
+  attach(fresh);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (have_snapshot_) fresh->restore_state(snapshot_);
+    job_ = fresh;
+  }
+  fresh->start();
+
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  recovery_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  NEPTUNE_LOG_INFO("recovery: job '%s' restored in %.1f ms", fresh->name().c_str(),
+                   static_cast<double>(now_ns() - t0) * 1e-6);
+}
+
+}  // namespace neptune::fault

@@ -1,0 +1,115 @@
+// Automatic checkpoint-based job recovery (tentpole layer 3).
+//
+// The RecoveryCoordinator wraps one submitted job and keeps it alive across
+// permanent failures — the cases the supervised channel cannot repair:
+// a reconnect budget exhausted, a corrupt frame on an unsupervised edge, or
+// a killed resource. It implements the paper's §VI "failure recovery" future
+// work on top of the existing checkpoint/restore prototype:
+//
+//   * every `checkpoint_interval_ns` it runs the pause → quiesce →
+//     checkpoint_state → resume protocol and keeps the latest JobSnapshot
+//     (operator state + source replay positions);
+//   * it watches for failure — Job::report_failure (wired into every
+//     supervised edge and the corrupt-frame path) plus a liveness poll over
+//     the runtime's resources — and executes any scheduled resource kills
+//     from the fault injector (the harness side of crash testing);
+//   * on failure it recovers automatically: stop the wreck, restart dead
+//     resources, resubmit the same graph, restore the latest snapshot, and
+//     start again. Sources replay from their recorded positions, so with
+//     checkpoint-aware (Checkpointable) operators no data is lost and
+//     nothing is double-counted.
+//
+// Recovery is bounded by `max_recoveries`; exceeding it marks the job
+// permanently failed (`permanently_failed()`), so a persistent fault cannot
+// loop forever.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "neptune/graph.hpp"
+#include "neptune/runtime.hpp"
+#include "neptune/state.hpp"
+
+namespace neptune::fault {
+
+struct RecoveryOptions {
+  int64_t checkpoint_interval_ns = 500'000'000;  ///< automatic checkpoint period
+  int64_t poll_interval_ns = 20'000'000;         ///< failure / completion poll period
+  std::chrono::nanoseconds quiesce_timeout = std::chrono::seconds(30);
+  uint32_t max_recoveries = 16;                  ///< then permanently_failed()
+};
+
+class RecoveryCoordinator {
+ public:
+  /// Takes its own copy of the graph so it can resubmit after a failure.
+  RecoveryCoordinator(Runtime& runtime, StreamGraph graph, RecoveryOptions options = {});
+  ~RecoveryCoordinator();
+  RecoveryCoordinator(const RecoveryCoordinator&) = delete;
+  RecoveryCoordinator& operator=(const RecoveryCoordinator&) = delete;
+
+  /// Submit + start the job and the monitor thread. Returns the first job
+  /// incarnation (use job() after recoveries).
+  std::shared_ptr<Job> start();
+
+  /// Current job incarnation (changes after each recovery).
+  std::shared_ptr<Job> job() const;
+
+  /// Wait until the job completes (surviving recoveries along the way) or
+  /// fails permanently. True iff it completed.
+  bool wait(std::chrono::nanoseconds timeout = std::chrono::hours(1));
+
+  /// Stop monitoring and the current job.
+  void stop();
+
+  /// Force a checkpoint outside the periodic schedule. True on success.
+  bool checkpoint_now();
+
+  uint64_t checkpoints_taken() const { return checkpoints_.load(std::memory_order_relaxed); }
+  uint64_t recoveries() const { return recoveries_.load(std::memory_order_relaxed); }
+  /// Total wall time spent inside recover() across all recoveries.
+  int64_t recovery_ns() const { return recovery_ns_.load(std::memory_order_relaxed); }
+  bool permanently_failed() const;
+
+  /// Current job's metrics with the coordinator's robustness fields
+  /// (checkpoints_taken / recoveries / recovery_ns) filled in.
+  JobMetricsSnapshot metrics() const;
+
+ private:
+  void monitor();                                  // monitor thread body
+  void attach(const std::shared_ptr<Job>& job);    // install failure hook
+  bool take_checkpoint(const std::shared_ptr<Job>& job);
+  void execute_due_kills();
+  bool any_resource_down() const;
+  void recover();
+
+  Runtime& runtime_;
+  StreamGraph graph_;  // owned copy; submit() keeps pointers into it
+  RecoveryOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<Job> job_;
+  JobSnapshot snapshot_;
+  bool have_snapshot_ = false;
+  bool done_ = false;
+  bool completed_ = false;
+  bool permanent_failure_ = false;
+
+  // Shared with the per-job failure handlers so a report from a channel that
+  // outlives this coordinator touches only the flag, never freed memory.
+  std::shared_ptr<std::atomic<bool>> failure_flag_ =
+      std::make_shared<std::atomic<bool>>(false);
+
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> recoveries_{0};
+  std::atomic<int64_t> recovery_ns_{0};
+  int64_t start_ns_ = 0;
+  std::thread monitor_;
+};
+
+}  // namespace neptune::fault

@@ -40,6 +40,7 @@ uint64_t Resource::deploy(std::shared_ptr<ComputationalTask> task, ScheduleSpec 
 void Resource::start() {
   if (running_.exchange(true)) return;
   stopping_.store(false);
+  run_queue_.reopen();  // stop() closed it; a restart needs live workers
 
   for (size_t i = 0; i < config_.io_threads; ++i) {
     io_loops_.push_back(std::make_unique<EventLoop>());
@@ -80,6 +81,10 @@ void Resource::stop() {
     if (t.joinable()) t.join();
   }
   io_threads_.clear();
+  // Retire (don't destroy) the loops: channels inside surviving task entries
+  // hold raw EventLoop* and post to them during their own teardown. A post
+  // to a stopped loop just parks the task; posting to a freed loop is UB.
+  for (auto& loop : io_loops_) retired_loops_.push_back(std::move(loop));
   io_loops_.clear();
 
   // Terminate tasks that were initialized.

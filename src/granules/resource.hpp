@@ -103,6 +103,12 @@ class Resource {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
+  // Loops retired by stop(): stopped and joined, but kept alive because task
+  // entries (and the channels inside them) hold raw EventLoop* and may still
+  // post during their own teardown. Declared before tasks_ so they are
+  // destroyed after every task entry is gone.
+  std::vector<std::unique_ptr<EventLoop>> retired_loops_;
+
   std::mutex tasks_mu_;
   std::vector<std::unique_ptr<TaskEntry>> tasks_;
   std::atomic<uint64_t> next_task_id_{1};

@@ -24,6 +24,9 @@ std::string format_metrics(const JobMetricsSnapshot& snap) {
     a.blocked_sends += m.blocked_sends;
     a.seq_violations += m.seq_violations;
     a.executions += m.executions;
+    a.reconnects += m.reconnects;
+    a.corrupt_frames_dropped += m.corrupt_frames_dropped;
+    a.dup_frames_dropped += m.dup_frames_dropped;
     // Keep the worst sink percentile across instances.
     a.sink_latency_p99_ns = std::max(a.sink_latency_p99_ns, m.sink_latency_p99_ns);
     a.sink_latency_p50_ns = std::max(a.sink_latency_p50_ns, m.sink_latency_p50_ns);
@@ -52,6 +55,24 @@ std::string format_metrics(const JobMetricsSnapshot& snap) {
                     static_cast<unsigned long long>(a.sink_latency_count));
       out += line;
     }
+  }
+  uint64_t reconnects = 0, corrupt = 0, dups = 0;
+  for (const auto& m : snap.operators) {
+    reconnects += m.reconnects;
+    corrupt += m.corrupt_frames_dropped;
+    dups += m.dup_frames_dropped;
+  }
+  if (reconnects + corrupt + dups + snap.checkpoints_taken + snap.recoveries > 0) {
+    std::snprintf(line, sizeof line,
+                  "robustness: reconnects=%llu corrupt-dropped=%llu dup-dropped=%llu "
+                  "checkpoints=%llu recoveries=%llu recovery=%.3f ms\n",
+                  static_cast<unsigned long long>(reconnects),
+                  static_cast<unsigned long long>(corrupt),
+                  static_cast<unsigned long long>(dups),
+                  static_cast<unsigned long long>(snap.checkpoints_taken),
+                  static_cast<unsigned long long>(snap.recoveries),
+                  static_cast<double>(snap.recovery_ns) * 1e-6);
+    out += line;
   }
   std::snprintf(line, sizeof line, "wall time: %.3f s\n", snap.seconds());
   out += line;

@@ -27,6 +27,11 @@ struct OperatorMetrics {
   std::atomic<uint64_t> seq_violations{0};   ///< ordering/exactly-once breaches (must stay 0)
   std::atomic<uint64_t> executions{0};       ///< scheduled executions of the instance task
 
+  // --- robustness counters (fault-tolerance subsystem) -----------------------
+  std::atomic<uint64_t> reconnects{0};             ///< supervised-edge TCP re-establishments
+  std::atomic<uint64_t> corrupt_frames_dropped{0}; ///< frames rejected by CRC/format checks
+  std::atomic<uint64_t> dup_frames_dropped{0};     ///< replayed frames deduped by edge seq
+
   /// End-to-end latency, recorded at sink operators (no output links).
   LatencyHistogram sink_latency;
 };
@@ -45,6 +50,9 @@ struct OperatorMetricsSnapshot {
   uint64_t blocked_sends = 0;
   uint64_t seq_violations = 0;
   uint64_t executions = 0;
+  uint64_t reconnects = 0;
+  uint64_t corrupt_frames_dropped = 0;
+  uint64_t dup_frames_dropped = 0;
   // Sink end-to-end latency percentiles (ns); zero for non-sink operators.
   uint64_t sink_latency_p50_ns = 0;
   uint64_t sink_latency_p99_ns = 0;
@@ -56,6 +64,12 @@ struct OperatorMetricsSnapshot {
 struct JobMetricsSnapshot {
   std::vector<OperatorMetricsSnapshot> operators;
   int64_t wall_time_ns = 0;
+
+  // --- job-level robustness counters (filled by the RecoveryCoordinator;
+  //     zero for jobs run without one) -------------------------------------
+  uint64_t checkpoints_taken = 0;  ///< automatic checkpoints captured
+  uint64_t recoveries = 0;         ///< checkpoint restores after detected failures
+  uint64_t recovery_ns = 0;        ///< cumulative failure->restored-and-running time
 
   uint64_t total(const std::string& op_id, uint64_t OperatorMetricsSnapshot::* field) const {
     uint64_t sum = 0;
@@ -88,6 +102,9 @@ inline OperatorMetricsSnapshot snapshot_of(const OperatorMetrics& m) {
   s.blocked_sends = m.blocked_sends.load(std::memory_order_relaxed);
   s.seq_violations = m.seq_violations.load(std::memory_order_relaxed);
   s.executions = m.executions.load(std::memory_order_relaxed);
+  s.reconnects = m.reconnects.load(std::memory_order_relaxed);
+  s.corrupt_frames_dropped = m.corrupt_frames_dropped.load(std::memory_order_relaxed);
+  s.dup_frames_dropped = m.dup_frames_dropped.load(std::memory_order_relaxed);
   s.sink_latency_count = m.sink_latency.count();
   if (s.sink_latency_count > 0) {
     s.sink_latency_p50_ns = m.sink_latency.percentile(50);

@@ -215,10 +215,16 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
           });
       if (s == FrameDecodeStatus::kBadMagic || s == FrameDecodeStatus::kBadChecksum ||
           s == FrameDecodeStatus::kBadLength) {
+        // A corrupt frame here means the transport below us has no repair
+        // path (supervised TCP edges reject and retransmit upstream of this
+        // point). Exactly-once cannot be upheld without the frame, so this
+        // is a permanent failure: count it and hand the job to whatever
+        // recovery policy is attached (e.g. checkpoint restore).
         NEPTUNE_LOG_ERROR("%s: corrupt frame on link %u (status %d)", task_name_.c_str(),
                           e.link_id, static_cast<int>(s));
-        metrics_.seq_violations.fetch_add(1, std::memory_order_relaxed);
+        metrics_.corrupt_frames_dropped.fetch_add(1, std::memory_order_relaxed);
         e.decoder.reset();
+        job_->report_failure(task_name_ + ": corrupt frame on link " + std::to_string(e.link_id));
       }
       return true;
     }
@@ -237,17 +243,36 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
       }
       raw = {decompress_scratch_.data(), h.raw_size};
     }
+    if (h.control()) return;  // control frames never carry packets
     ByteReader r(raw);
     uint32_t src_inst = r.read_u32();
     uint64_t base_seq = r.read_u64();
     // Exactly-once, in-order validation (paper §I-B).
-    if (h.link_id != e.link_id || src_inst != e.src_instance || base_seq != e.expected_seq) {
+    if (h.link_id != e.link_id || src_inst != e.src_instance) {
+      NEPTUNE_LOG_ERROR("%s: misrouted frame: link %u src %u on edge link %u src %u",
+                        task_name_.c_str(), h.link_id, src_inst, e.link_id, e.src_instance);
+      metrics_.seq_violations.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (base_seq + h.batch_count <= e.expected_seq) {
+      // Entirely replayed content (e.g. a retransmission overlapping an ack
+      // in flight, or source replay after recovery): dedupe, don't re-apply.
+      metrics_.dup_frames_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (base_seq > e.expected_seq) {
+      // A gap means lost packets — a genuine contract breach. Record it and
+      // resync so one fault is counted once, not once per frame after.
       NEPTUNE_LOG_ERROR("%s: sequence violation on link %u src %u: base %llu expected %llu",
                         task_name_.c_str(), e.link_id, src_inst,
                         static_cast<unsigned long long>(base_seq),
                         static_cast<unsigned long long>(e.expected_seq));
       metrics_.seq_violations.fetch_add(1, std::memory_order_relaxed);
     }
+    // Partial overlap: skip the leading packets we already processed.
+    uint32_t skip = base_seq < e.expected_seq ? static_cast<uint32_t>(e.expected_seq - base_seq)
+                                              : 0;
+    if (skip > 0) metrics_.dup_frames_dropped.fetch_add(1, std::memory_order_relaxed);
     e.expected_seq = base_seq + h.batch_count;
 
     auto batch = batch_pool_->acquire();
@@ -257,6 +282,7 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
       batch->packets[i].deserialize(r);  // reuses packet storage
     }
     batch->count = h.batch_count;
+    batch->cursor = skip;
     metrics_.batches_in.fetch_add(1, std::memory_order_relaxed);
     ready_.push_back(std::move(batch));
   }
@@ -396,6 +422,28 @@ bool Job::completed() const {
   return done_count_ == instances_.size();
 }
 
+void Job::set_failure_handler(std::function<void(const std::string&)> handler) {
+  std::lock_guard lk(failure_mu_);
+  failure_handler_ = std::move(handler);
+}
+
+std::string Job::failure_reason() const {
+  std::lock_guard lk(failure_mu_);
+  return failure_reason_;
+}
+
+void Job::report_failure(const std::string& what) {
+  std::function<void(const std::string&)> handler;
+  {
+    std::lock_guard lk(failure_mu_);
+    if (failed_.exchange(true, std::memory_order_acq_rel)) return;  // first failure wins
+    failure_reason_ = what;
+    handler = failure_handler_;
+  }
+  NEPTUNE_LOG_ERROR("job %s: permanent failure: %s", name_.c_str(), what.c_str());
+  if (handler) handler(what);
+}
+
 void Job::stop() {
   for (auto& inst : instances_) {
     inst->request_stop();
@@ -502,14 +550,43 @@ void Runtime::shutdown() {
 }
 
 Runtime::EdgeChannel Runtime::make_edge_channel(granules::Resource* src, granules::Resource* dst,
-                                                const ChannelConfig& config) {
+                                                const ChannelConfig& config,
+                                                const fault::EdgeId& edge,
+                                                OperatorMetrics* src_metrics,
+                                                OperatorMetrics* dst_metrics,
+                                                const std::shared_ptr<Job>& job) {
+  fault::FaultInjector* injector = options_.fault_injector.get();
   if (src == dst || options_.cross_resource_transport == EdgeTransport::kInproc) {
     InprocPipe pipe = make_inproc_pipe(config);
-    return {pipe.sender, pipe.receiver};
+    std::shared_ptr<ChannelSender> sender = pipe.sender;
+    std::shared_ptr<ChannelReceiver> receiver = pipe.receiver;
+    if (injector) {
+      sender = injector->wrap_sender(edge, std::move(sender), src->io_loop(0));
+      receiver = injector->wrap_receiver(edge, std::move(receiver), dst->io_loop(0));
+    }
+    return {sender, receiver};
   }
-  // Real loopback TCP: one ephemeral-port listener per edge on the
-  // destination resource's IO loop; the source resource connects. The
-  // listener is discarded once the edge's connection is accepted.
+  if (options_.supervise_tcp) {
+    // Self-healing TCP edge: the receiver keeps a persistent listener so
+    // the sender can reconnect after any failure; the injector (if any) is
+    // applied *inside* the supervision, per connection incarnation.
+    auto receiver = std::make_shared<fault::SupervisedTcpReceiver>(
+        dst->io_loop(0), config, options_.supervisor, edge, injector,
+        dst_metrics ? &dst_metrics->corrupt_frames_dropped : nullptr);
+    auto sender = std::make_shared<fault::SupervisedTcpSender>(
+        src->io_loop(0), receiver->port(), config, options_.supervisor, edge, injector,
+        src_metrics ? &src_metrics->reconnects : nullptr,
+        // Weak: channels can outlive the Job (resources hold task refs), and
+        // a late budget-exhaustion report must not touch a freed Job.
+        [weak_job = std::weak_ptr<Job>(job)](const std::string& what) {
+          if (auto j = weak_job.lock()) j->report_failure(what);
+        });
+    return {sender, receiver};
+  }
+  // Raw loopback TCP (supervision disabled): one ephemeral-port listener
+  // per edge on the destination resource's IO loop; the source resource
+  // connects. The listener is discarded once the edge's connection is
+  // accepted, so a dropped connection is unrecoverable.
   auto accepted = std::make_shared<std::promise<std::shared_ptr<TcpConnection>>>();
   auto accepted_future = accepted->get_future();
   EventLoop* dst_loop = dst->io_loop(0);
@@ -525,7 +602,13 @@ Runtime::EdgeChannel Runtime::make_edge_channel(granules::Resource* src, granule
   client->start();
   if (accepted_future.wait_for(std::chrono::seconds(5)) != std::future_status::ready)
     throw GraphError("TCP edge setup failed: accept timeout");
-  return {client, accepted_future.get()};
+  std::shared_ptr<ChannelSender> sender = client;
+  std::shared_ptr<ChannelReceiver> receiver = accepted_future.get();
+  if (injector) {
+    sender = injector->wrap_sender(edge, std::move(sender), src->io_loop(0));
+    receiver = injector->wrap_receiver(edge, std::move(receiver), dst_loop);
+  }
+  return {sender, receiver};
 }
 
 std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
@@ -573,7 +656,9 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
       out.decl = &link;
       out.partitioning = link.partitioning;
       for (auto& dst : dsts) {
-        EdgeChannel pipe = make_edge_channel(src->resource, dst->resource, cfg.channel);
+        fault::EdgeId edge_id{link.link_id, src->instance_index(), dst->instance_index()};
+        EdgeChannel pipe = make_edge_channel(src->resource, dst->resource, cfg.channel, edge_id,
+                                             &src->metrics(), &dst->metrics(), job);
         auto codec = std::make_shared<SelectiveCodec>(link.compression);
         // Backpressure wiring (paper §III-B4): when the edge drains below
         // its low watermark, re-notify the *sending* task; when data lands

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fault/supervised_channel.hpp"
 #include "granules/resource.hpp"
 #include "neptune/graph.hpp"
 #include "neptune/metrics.hpp"
@@ -67,6 +68,19 @@ class Job {
 
   bool completed() const;
 
+  // --- failure reporting (fault-tolerance subsystem) ----------------------
+
+  /// Invoked (from a supervisor or worker thread) on the first permanent
+  /// failure — e.g. a supervised edge exhausting its reconnect budget or a
+  /// corrupt frame on an unsupervised edge. Set it before start().
+  void set_failure_handler(std::function<void(const std::string&)> handler);
+  /// True once any permanent failure has been reported.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  /// Description of the first reported failure (empty if none).
+  std::string failure_reason() const;
+  /// Record a permanent failure and fire the handler (first call only).
+  void report_failure(const std::string& what);
+
   JobMetricsSnapshot metrics() const;
   const std::string& name() const { return name_; }
 
@@ -78,6 +92,12 @@ class Job {
   void on_instance_done();
 
   std::string name_;
+  // Failure state is declared before instances_ so it outlives the edge
+  // teardown in ~Job (supervisor threads may report until they are joined).
+  mutable std::mutex failure_mu_;
+  std::function<void(const std::string&)> failure_handler_;
+  std::string failure_reason_;
+  std::atomic<bool> failed_{false};
   std::vector<std::shared_ptr<detail::InstanceRuntime>> instances_;
   std::vector<EventLoop::TimerId> timers_;  // (loop, id) pairs below
   std::vector<EventLoop*> timer_loops_;
@@ -100,6 +120,18 @@ enum class EdgeTransport {
 
 struct RuntimeOptions {
   EdgeTransport cross_resource_transport = EdgeTransport::kInproc;
+
+  // --- fault tolerance ------------------------------------------------------
+  /// When true (default), TCP edges are carried by the supervised channel:
+  /// per-edge heartbeats, dead-peer detection, reconnect with exponential
+  /// backoff, and exactly-once retransmission of unacked frames. When
+  /// false, TCP edges use the raw transport (a reset kills the edge).
+  bool supervise_tcp = true;
+  /// Heartbeat / timeout / backoff knobs for supervised edges.
+  fault::SupervisorConfig supervisor;
+  /// Optional fault-injection schedule applied to every edge (inproc and
+  /// TCP). Shared so tests/benches can inspect injector stats afterwards.
+  std::shared_ptr<fault::FaultInjector> fault_injector;
 };
 
 /// Owns a set of Granules resources (the "cluster" within this process) and
@@ -118,6 +150,7 @@ class Runtime {
 
   granules::Resource* resource(size_t i) { return resources_.at(i).get(); }
   size_t resource_count() const { return resources_.size(); }
+  const RuntimeOptions& options() const { return options_; }
 
   void shutdown();
 
@@ -127,9 +160,13 @@ class Runtime {
     std::shared_ptr<ChannelReceiver> receiver;
   };
   /// Create the channel for one edge; TCP when the endpoints live on
-  /// different resources and the runtime is configured for it.
+  /// different resources and the runtime is configured for it. `edge`
+  /// identifies the edge to the fault injector; the metrics pointers
+  /// receive robustness counters; `job` receives permanent-failure reports.
   EdgeChannel make_edge_channel(granules::Resource* src, granules::Resource* dst,
-                                const ChannelConfig& config);
+                                const ChannelConfig& config, const fault::EdgeId& edge,
+                                OperatorMetrics* src_metrics, OperatorMetrics* dst_metrics,
+                                const std::shared_ptr<Job>& job);
 
   RuntimeOptions options_;
   std::vector<std::unique_ptr<granules::Resource>> resources_;

@@ -126,8 +126,13 @@ void EventLoop::mod_fd(int fd, uint32_t events) {
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
-  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0)
-    throw std::runtime_error("epoll_ctl MOD failed");
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    // ENOENT: the fd was concurrently detached (e.g. a connection close
+    // racing an interest update). That is benign; anything else is a bug,
+    // but throwing would unwind the IO loop, so log instead.
+    if (errno != ENOENT)
+      NEPTUNE_LOG_ERROR("epoll_ctl MOD fd=%d failed: %s", fd, std::strerror(errno));
+  }
 }
 
 void EventLoop::del_fd(int fd) {

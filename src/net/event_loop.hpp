@@ -35,6 +35,10 @@ class EventLoop {
   /// True when called from the thread currently inside run().
   bool in_loop_thread() const;
 
+  /// True while some thread is inside run(). Used by teardown paths to skip
+  /// waiting on a loop that will never execute posted tasks again.
+  bool loop_running() const { return running_.load(std::memory_order_acquire); }
+
   /// Execute `task` on the loop thread. Runs inline when already on it.
   void post(Task task);
 

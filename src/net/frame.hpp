@@ -26,6 +26,13 @@ struct FrameHeader {
   static constexpr uint16_t kMagic = 0x4E50;
   static constexpr size_t kSize = 2 + 1 + 4 + 4 + 4 + 4 + 4;
   static constexpr uint8_t kFlagCompressed = 0x01;
+  /// Control-plane flags used by the supervised-channel protocol
+  /// (fault/supervised_channel.hpp). Control frames never reach operators:
+  /// the supervised receiver consumes them before handing chunks upstream.
+  static constexpr uint8_t kFlagEof = 0x02;        ///< graceful end-of-stream marker
+  static constexpr uint8_t kFlagHeartbeat = 0x04;  ///< edge liveness probe
+  static constexpr uint8_t kFlagAck = 0x08;        ///< cumulative consumption ack (u64 payload)
+  static constexpr uint8_t kControlMask = kFlagEof | kFlagHeartbeat | kFlagAck;
   /// Sanity cap: no single buffer flush may exceed this (64 MB).
   static constexpr uint32_t kMaxPayload = 64u << 20;
 
@@ -37,6 +44,7 @@ struct FrameHeader {
   uint32_t payload_crc = 0;
 
   bool compressed() const { return (flags & kFlagCompressed) != 0; }
+  bool control() const { return (flags & kControlMask) != 0; }
 };
 
 /// Append a full frame (header + payload) to `out`. Computes the CRC.

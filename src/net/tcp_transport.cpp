@@ -157,6 +157,9 @@ SendStatus TcpConnection::try_send(std::span<const uint8_t> frame) {
   bool arm = false;
   {
     std::lock_guard lk(out_mu_);
+    // Re-check under the lock: close() flips closed_ synchronously from any
+    // thread, and bytes enqueued after that point would never be flushed.
+    if (closed_.load(std::memory_order_acquire)) return SendStatus::kClosed;
     if (out_bytes_ + frame.size() > config_.capacity_bytes && out_bytes_ > 0) {
       out_blocked_ = true;
       return SendStatus::kBlocked;
@@ -196,12 +199,28 @@ bool TcpConnection::writable(size_t bytes) const {
 }
 
 void TcpConnection::close() {
+  // Flip closed_ *synchronously* so a try_send racing this close observes
+  // kClosed instead of enqueueing bytes that would silently vanish with the
+  // socket, and so blocked receive() calls wake immediately. The fd itself
+  // is detached on the loop thread (detach_on_loop is idempotent, so a
+  // concurrent close_on_loop from an IO error is harmless).
+  closed_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lk(in_mu_);
+    in_cv_.notify_all();
+  }
   auto self = shared_from_this();
-  loop_->post([self] { self->close_on_loop(); });
+  loop_->post([self] { self->detach_on_loop(); });
 }
 
 void TcpConnection::close_on_loop() {
-  if (closed_.exchange(true)) return;
+  closed_.store(true, std::memory_order_release);
+  detach_on_loop();
+}
+
+void TcpConnection::detach_on_loop() {
+  if (detached_) return;
+  detached_ = true;
   loop_->del_fd(fd_);
   ::shutdown(fd_, SHUT_RDWR);
   std::function<void()> cb;

@@ -60,6 +60,7 @@ class TcpConnection final : public ChannelSender,
   void handle_writable();                   // loop thread
   void update_interest();                   // loop thread
   void close_on_loop();                     // loop thread
+  void detach_on_loop();                    // loop thread; idempotent teardown
   void maybe_resume_reading();
 
   EventLoop* loop_;
@@ -85,6 +86,7 @@ class TcpConnection final : public ChannelSender,
   std::function<void()> data_cb_;
 
   std::atomic<bool> closed_{false};
+  bool detached_ = false;  // loop thread only: fd removed from the loop
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
 };

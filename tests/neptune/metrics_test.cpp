@@ -77,6 +77,33 @@ TEST(FormatMetrics, EmptySnapshotIsJustHeader) {
   std::string report = format_metrics(snap);
   EXPECT_NE(report.find("operator"), std::string::npos);
   EXPECT_NE(report.find("wall time"), std::string::npos);
+  // No robustness activity => no robustness line cluttering the report.
+  EXPECT_EQ(report.find("robustness"), std::string::npos);
+}
+
+TEST(FormatMetrics, RobustnessCountersSurfaceWhenNonzero) {
+  OperatorMetrics m;
+  m.reconnects.fetch_add(2);
+  m.corrupt_frames_dropped.fetch_add(1);
+  m.dup_frames_dropped.fetch_add(3);
+  OperatorMetricsSnapshot s = snapshot_of(m);
+  EXPECT_EQ(s.reconnects, 2u);
+  EXPECT_EQ(s.corrupt_frames_dropped, 1u);
+  EXPECT_EQ(s.dup_frames_dropped, 3u);
+
+  JobMetricsSnapshot snap;
+  s.operator_id = "edge";
+  snap.operators.push_back(s);
+  snap.checkpoints_taken = 4;
+  snap.recoveries = 1;
+  snap.recovery_ns = 7'500'000;
+  std::string report = format_metrics(snap);
+  EXPECT_NE(report.find("robustness"), std::string::npos);
+  EXPECT_NE(report.find("reconnects=2"), std::string::npos);
+  EXPECT_NE(report.find("corrupt-dropped=1"), std::string::npos);
+  EXPECT_NE(report.find("dup-dropped=3"), std::string::npos);
+  EXPECT_NE(report.find("checkpoints=4"), std::string::npos);
+  EXPECT_NE(report.find("recoveries=1"), std::string::npos);
 }
 
 }  // namespace

@@ -42,9 +42,15 @@ GraphConfig tcp_config() {
   return cfg;
 }
 
+RuntimeOptions tcp_options() {
+  RuntimeOptions opt;
+  opt.cross_resource_transport = EdgeTransport::kTcp;
+  return opt;
+}
+
 TEST(TcpRuntime, RelayOverRealSocketsIsExactlyOnceInOrder) {
   Runtime rt(2, {.worker_threads = 1, .io_threads = 1},
-             {.cross_resource_transport = EdgeTransport::kTcp});
+             tcp_options());
   auto sink = std::make_shared<RecordingSink>();
 
   StreamGraph g("tcp-relay", tcp_config());
@@ -75,7 +81,7 @@ TEST(TcpRuntime, RelayOverRealSocketsIsExactlyOnceInOrder) {
 TEST(TcpRuntime, SameResourceEdgesStayInproc) {
   // Everything pinned on resource 0: no sockets involved, still works.
   Runtime rt(2, {.worker_threads = 1, .io_threads = 1},
-             {.cross_resource_transport = EdgeTransport::kTcp});
+             tcp_options());
   StreamGraph g("local", tcp_config());
   g.add_source("src", [] { return std::make_unique<BytesSource>(1000, 64); }, 1, 0);
   g.add_processor("sink", [] { return std::make_unique<CountingSink>(); }, 1, 0);
@@ -88,7 +94,7 @@ TEST(TcpRuntime, SameResourceEdgesStayInproc) {
 
 TEST(TcpRuntime, ParallelInstancesAcrossResources) {
   Runtime rt(3, {.worker_threads = 1, .io_threads = 1},
-             {.cross_resource_transport = EdgeTransport::kTcp});
+             tcp_options());
   auto sink = std::make_shared<CountingSink>();
   StreamGraph g("spread", tcp_config());
   static constexpr uint64_t kTotal = 6000;
@@ -111,7 +117,7 @@ TEST(TcpRuntime, ParallelInstancesAcrossResources) {
 
 TEST(TcpRuntime, BackpressurePropagatesThroughRealTcp) {
   Runtime rt(2, {.worker_threads = 1, .io_threads = 1},
-             {.cross_resource_transport = EdgeTransport::kTcp});
+             tcp_options());
   GraphConfig cfg = tcp_config();
   cfg.channel.capacity_bytes = 32 << 10;  // small budget: pressure engages
   cfg.channel.low_watermark_bytes = 8 << 10;
@@ -137,7 +143,7 @@ TEST(TcpRuntime, BackpressurePropagatesThroughRealTcp) {
 
 TEST(TcpRuntime, CompressionOverTcp) {
   Runtime rt(2, {.worker_threads = 1, .io_threads = 1},
-             {.cross_resource_transport = EdgeTransport::kTcp});
+             tcp_options());
   auto sink = std::make_shared<RecordingSink>();
   StreamGraph g("tcp-compress", tcp_config());
   static constexpr uint64_t kTotal = 2000;

@@ -82,6 +82,49 @@ TEST(Frame, RejectsOversizedDeclaredPayload) {
   EXPECT_EQ(status, FrameDecodeStatus::kBadLength);
 }
 
+TEST(Frame, ControlFlagsRoundTrip) {
+  // The supervised-channel control plane rides on header flags; they must
+  // survive the wire and be distinguishable from data frames.
+  for (uint8_t flag : {FrameHeader::kFlagEof, FrameHeader::kFlagHeartbeat, FrameHeader::kFlagAck}) {
+    auto payload = make_payload(8);
+    ByteBuffer wire = encode_one(3, 0, payload, flag);
+    auto decoded = decode_frame(wire.contents());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->header.flags, flag);
+    EXPECT_TRUE(decoded->header.control());
+  }
+  ByteBuffer data = encode_one(3, 1, make_payload(8));
+  EXPECT_FALSE(decode_frame(data.contents())->header.control());
+}
+
+TEST(Frame, TruncatedHeaderNeedsMore) {
+  auto payload = make_payload(16);
+  ByteBuffer wire = encode_one(1, 1, payload);
+  for (size_t n = 0; n < FrameHeader::kSize; ++n) {
+    FrameDecodeStatus status;
+    EXPECT_FALSE(decode_frame(std::span(wire.data(), n), &status).has_value());
+    EXPECT_EQ(status, FrameDecodeStatus::kNeedMore) << "prefix " << n;
+  }
+}
+
+TEST(Frame, SingleByteFlipNeverYieldsCorruptPayload) {
+  // Flip every byte of the wire frame in turn. Payload corruption must be
+  // caught by the CRC; header corruption either fails decoding or leaves
+  // the payload intact (misrouted headers are the runtime's per-edge
+  // sequence checks' job — defence in depth, not the frame layer's).
+  auto payload = make_payload(48);
+  ByteBuffer wire = encode_one(5, 9, payload);
+  for (size_t i = 0; i < wire.size(); ++i) {
+    std::vector<uint8_t> bent(wire.data(), wire.data() + wire.size());
+    bent[i] ^= 0xA5;
+    auto decoded = decode_frame(bent);
+    if (decoded.has_value()) {
+      EXPECT_EQ(std::vector<uint8_t>(decoded->payload.begin(), decoded->payload.end()), payload)
+          << "flip at byte " << i << " decoded with altered payload";
+    }
+  }
+}
+
 TEST(FrameDecoder, ReassemblesAcrossArbitraryChunking) {
   // Several frames, fed one byte at a time.
   ByteBuffer stream;

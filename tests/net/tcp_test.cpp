@@ -137,6 +137,42 @@ TEST_F(TcpFixture, SenderBlocksWhenReceiverStopsDraining) {
   EXPECT_TRUE(writable.load());
 }
 
+TEST_F(TcpFixture, CloseIsSynchronousAndIdempotent) {
+  // Regression: close() used to defer the closed_ flip to the loop thread,
+  // so a send racing a cross-thread close could still enqueue bytes into a
+  // dying connection. closed() must hold the moment close() returns, from
+  // any thread, and double-close must be harmless.
+  client->close();
+  EXPECT_TRUE(client->closed());
+  std::vector<uint8_t> msg{1, 2, 3};
+  EXPECT_EQ(client->try_send(msg), SendStatus::kClosed);
+  client->close();  // idempotent
+  EXPECT_TRUE(client->closed());
+}
+
+TEST_F(TcpFixture, ConcurrentSendAndCloseDoNotRace) {
+  // Hammer try_send from two threads while a third closes the connection;
+  // every sender must settle on kClosed promptly and nothing may crash or
+  // deadlock (run under -DNEPTUNE_SANITIZE to check the old race).
+  std::atomic<int> settled{0};
+  auto hammer = [&] {
+    std::vector<uint8_t> chunk(4096, 0x42);
+    for (int i = 0; i < 200'000; ++i) {
+      if (client->try_send(chunk) == SendStatus::kClosed) break;
+      if ((i & 0xFF) == 0) std::this_thread::yield();
+    }
+    settled.fetch_add(1);
+  };
+  std::thread t1(hammer), t2(hammer);
+  std::this_thread::sleep_for(5ms);
+  client->close();
+  t1.join();
+  t2.join();
+  EXPECT_EQ(settled.load(), 2);
+  EXPECT_TRUE(client->closed());
+  EXPECT_EQ(client->try_send(std::vector<uint8_t>{9}), SendStatus::kClosed);
+}
+
 TEST_F(TcpFixture, PeerCloseObservedAsEndOfStream) {
   std::vector<uint8_t> msg{42};
   ASSERT_EQ(client->try_send(msg), SendStatus::kOk);
