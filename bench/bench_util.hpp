@@ -4,16 +4,72 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/histogram.hpp"
+#include "common/json.hpp"
 #include "neptune/runtime.hpp"
 #include "neptune/workload.hpp"
 
 namespace neptune::bench {
+
+/// Machine-readable bench results: every bench builds one of these and
+/// writes `BENCH_<name>.json` into $NEPTUNE_BENCH_OUT (or the cwd), so CI
+/// can archive throughput/latency numbers per run without scraping stdout.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    root_["bench"] = JsonValue(name_);
+  }
+
+  void set(const std::string& key, double v) { root_[key] = JsonValue(v); }
+  void set(const std::string& key, int64_t v) { root_[key] = JsonValue(v); }
+  void set(const std::string& key, uint64_t v) { root_[key] = JsonValue(static_cast<int64_t>(v)); }
+  void set(const std::string& key, const std::string& v) { root_[key] = JsonValue(v); }
+  void set(const std::string& key, JsonValue v) { root_[key] = std::move(v); }
+
+  /// Append one per-configuration result row (a JSON object) to "rows".
+  void add_row(JsonObject row) { rows_.push_back(JsonValue(std::move(row))); }
+
+  std::string path() const {
+    const char* dir = std::getenv("NEPTUNE_BENCH_OUT");
+    std::string base = dir && *dir ? std::string(dir) + "/" : std::string();
+    return base + "BENCH_" + name_ + ".json";
+  }
+
+  /// Resolve a sibling output path (e.g. a JSONL timeline) in the same dir.
+  std::string sibling(const std::string& filename) const {
+    const char* dir = std::getenv("NEPTUNE_BENCH_OUT");
+    std::string base = dir && *dir ? std::string(dir) + "/" : std::string();
+    return base + filename;
+  }
+
+  bool write() const {
+    JsonObject root = root_;
+    if (!rows_.empty()) root["rows"] = JsonValue(rows_);
+    std::string text = JsonValue(std::move(root)).dump(2);
+    std::FILE* f = std::fopen(path().c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path().c_str());
+      return false;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path().c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  JsonObject root_;
+  JsonArray rows_;
+};
+
 
 /// Print a row of right-aligned columns under a fixed width.
 inline void print_row(const std::vector<std::string>& cells, int width = 14) {
@@ -116,6 +172,25 @@ inline RelayResult run_relay(const RelayOptions& opt) {
     }
   }
   return r;
+}
+
+/// The standard result row for a relay-based bench (BenchReport::add_row).
+inline JsonObject relay_row(const RelayResult& r) {
+  JsonObject row;
+  row["seconds"] = JsonValue(r.seconds);
+  row["packets"] = JsonValue(static_cast<int64_t>(r.packets));
+  row["throughput_pps"] = JsonValue(r.throughput_pps);
+  row["goodput_bytes_per_s"] = JsonValue(r.goodput_bytes_per_s);
+  row["wire_bytes_per_s"] = JsonValue(r.wire_bytes_per_s);
+  row["latency_mean_ms"] = JsonValue(r.latency.mean_ms);
+  row["latency_p50_ms"] = JsonValue(r.latency.p50_ms);
+  row["latency_p99_ms"] = JsonValue(r.latency.p99_ms);
+  row["latency_max_ms"] = JsonValue(r.latency.max_ms);
+  row["flushes"] = JsonValue(static_cast<int64_t>(r.flushes));
+  row["timer_flushes"] = JsonValue(static_cast<int64_t>(r.timer_flushes));
+  row["blocked_sends"] = JsonValue(static_cast<int64_t>(r.blocked_sends));
+  row["seq_violations"] = JsonValue(static_cast<int64_t>(r.seq_violations));
+  return row;
 }
 
 }  // namespace neptune::bench

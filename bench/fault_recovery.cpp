@@ -13,6 +13,8 @@
 
 #include "bench_util.hpp"
 #include "fault/recovery.hpp"
+#include "obs/exporter.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace neptune;
 using namespace neptune::bench;
@@ -78,6 +80,12 @@ int main(int argc, char** argv) {
   std::printf("duration %d s, one injected failure every %d s (kill resource 1)\n\n",
               duration_s, failure_period_s);
 
+  // Sample the global registry at 10 Hz: the dumped timeline shows the
+  // checkpoint/recovery counters stepping and throughput dipping per failure.
+  obs::TelemetrySampler sampler(obs::TelemetryRegistry::global(),
+                                {.interval_ns = 100'000'000, .ring_capacity = 16384});
+  sampler.start();
+
   const int64_t t0 = now_ns();
   coord.start();
 
@@ -108,7 +116,9 @@ int main(int argc, char** argv) {
   JobMetricsSnapshot m = coord.metrics();
   uint64_t final_count = sink->count();
   coord.stop();
+  sampler.stop();
 
+  BenchReport report("fault_recovery");
   print_row({"second", "pkts/s", ""});
   uint64_t steady_peak = 0;
   for (size_t s = 0; s < per_second.size(); ++s) {
@@ -116,6 +126,11 @@ int main(int argc, char** argv) {
     print_row({fmt("%.0f", static_cast<double>(s + 1)),
                fmt("%.0f", static_cast<double>(per_second[s])),
                failure_second[s] ? "<- failure injected" : ""});
+    JsonObject row;
+    row["second"] = JsonValue(static_cast<int64_t>(s + 1));
+    row["pkts"] = JsonValue(static_cast<int64_t>(per_second[s]));
+    row["failure_injected"] = JsonValue(static_cast<bool>(failure_second[s]));
+    report.add_row(std::move(row));
   }
 
   std::printf("\n");
@@ -134,6 +149,24 @@ int main(int argc, char** argv) {
                                            &OperatorMetricsSnapshot::dup_frames_dropped)))}, 26);
   print_row({"seq violations", fmt("%.0f", static_cast<double>(m.total(
                                        &OperatorMetricsSnapshot::seq_violations)))}, 26);
+  const auto snaps = sampler.snapshots();
+  const std::string timeline_path = report.sibling("TIMELINE_fault_recovery.jsonl");
+  if (obs::write_timeline_jsonl(timeline_path, obs::TelemetryRegistry::global(), snaps))
+    std::printf("wrote %s (%zu snapshots)\n", timeline_path.c_str(), snaps.size());
+
+  report.set("duration_s", static_cast<int64_t>(duration_s));
+  report.set("failure_period_s", static_cast<int64_t>(failure_period_s));
+  report.set("packets_delivered", final_count);
+  report.set("peak_pps", steady_peak);
+  report.set("checkpoints", m.checkpoints_taken);
+  report.set("recoveries", m.recoveries);
+  report.set("recovery_ns", static_cast<int64_t>(m.recovery_ns));
+  report.set("reconnects", m.total(&OperatorMetricsSnapshot::reconnects));
+  report.set("dup_frames_dropped", m.total(&OperatorMetricsSnapshot::dup_frames_dropped));
+  report.set("seq_violations", m.total(&OperatorMetricsSnapshot::seq_violations));
+  report.set("timeline", timeline_path);
+  report.write();
+
   std::printf("\ncorrectness: seq_violations %s zero across %d failures\n",
               m.total(&OperatorMetricsSnapshot::seq_violations) == 0 ? "stayed" : "DID NOT stay",
               static_cast<int>(m.recoveries));

@@ -18,7 +18,7 @@ using namespace neptune::bench;
 
 namespace {
 
-void real_table() {
+void real_table(BenchReport& report) {
   print_header("Figure 2(a): real runtime — relay, buffer sweep");
   print_row({"msg_B", "buf_KB", "kpkt/s", "MB/s-wire", "lat-mean-ms", "lat-p99-ms",
              "timer-flush"});
@@ -40,6 +40,10 @@ void real_table() {
                  fmt("%.0f", static_cast<double>(r.timer_flushes))});
       if (r.seq_violations != 0) std::printf("!! seq violations: %llu\n",
                                              static_cast<unsigned long long>(r.seq_violations));
+      JsonObject row = relay_row(r);
+      row["payload_bytes"] = JsonValue(static_cast<int64_t>(msg));
+      row["buffer_bytes"] = JsonValue(static_cast<int64_t>(buf));
+      report.add_row(std::move(row));
     }
   }
 }
@@ -72,7 +76,9 @@ void sim_table() {
 
 int main() {
   std::printf("NEPTUNE bench: Figure 2 — buffer size sweep on the 3-stage relay\n");
-  real_table();
+  BenchReport report("fig2_buffer_sweep");
+  real_table(report);
   sim_table();
+  report.write();
   return 0;
 }

@@ -3,17 +3,61 @@
 // 0 -> 1 -> 2 -> 3 ms cycle; the source's emission rate must track the
 // inverse of the delay — throttled by the backpressure chain, with zero
 // loss. The bench prints a (time, stage-C delay, source rate) series.
+//
+// Observability: the run is sampled by a TelemetrySampler (20 Hz) over the
+// global registry; the sampled ring is dumped as a JSONL timeline and the
+// stall-propagation summary shows cumulative blocked time rising *upstream*
+// (C slows -> B's buffer blocks -> A's buffer blocks). Traced batches
+// (1-in-32 here) are dumped as per-hop spans.
+//
+// Usage: fig4_backpressure [samples] [sample_s]
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "bench_util.hpp"
+#include "obs/exporter.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 using namespace neptune;
 using namespace neptune::bench;
 
-int main() {
+namespace {
+
+/// Last-minus-first value of `name{... op="<op>" ...}` across the sampled
+/// ring — i.e. how much the counter grew during the observed window.
+double series_delta(const obs::TelemetryRegistry& reg,
+                    const std::vector<obs::TelemetrySnapshot>& snaps,
+                    const std::string& name, const std::string& op) {
+  double first = 0, last = 0;
+  bool seen = false;
+  for (const auto& snap : snaps) {
+    for (const auto& s : snap.values) {
+      auto desc = reg.descriptor(s.series);
+      if (!desc || desc->name != name) continue;
+      bool match = false;
+      for (const auto& [k, v] : desc->labels)
+        if (k == "op" && v == op) match = true;
+      if (!match) continue;
+      if (!seen) { first = s.value; seen = true; }
+      last = s.value;
+    }
+  }
+  return seen ? last - first : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace workload;
+  const int kSamples = argc > 1 ? std::atoi(argv[1]) : 40;
+  const double kSampleS = argc > 2 ? std::atof(argv[2]) : 0.25;
   std::printf("NEPTUNE bench: Figure 4 — backpressure tracking a variable-rate stage\n");
+
+  // Dense trace sampling so a short run still yields spans (env overrides).
+  if (std::getenv("NEPTUNE_TRACE_SAMPLE") == nullptr)
+    obs::TraceSampler::global().set_period(32);
 
   GraphConfig cfg;
   cfg.buffer.capacity_bytes = 2 << 10;  // small buffers: fine-grained throttling
@@ -42,16 +86,23 @@ int main() {
   g.connect("B", "C");
 
   auto job = rt.submit(g);
+
+  // Sample the registry at 20 Hz for the timeline dump (independent of any
+  // NEPTUNE_METRICS_PORT-driven sampler the runtime may also be running).
+  obs::TelemetrySampler sampler(obs::TelemetryRegistry::global(),
+                                {.interval_ns = 50'000'000, .ring_capacity = 16384});
+  sampler.start();
+  obs::TraceCollector::global().clear();
+
   job->start();
 
   print_header("time series: source rate vs stage-C per-packet delay");
   print_row({"t_ms", "C-delay-ms", "src-kpkt/s", "C-kpkt/s"});
 
+  BenchReport report("fig4_backpressure");
   Stopwatch sw;
   uint64_t last_emitted = 0;
   uint64_t last_processed = 0;
-  constexpr int kSamples = 40;
-  constexpr double kSampleS = 0.25;
   double min_rate = 1e18, max_rate = 0;
   for (int s = 0; s < kSamples; ++s) {
     std::this_thread::sleep_for(std::chrono::duration<double>(kSampleS));
@@ -63,6 +114,12 @@ int main() {
     double delay_ms = static_cast<double>(sink->current_delay_ns()) * 1e-6;
     print_row({fmt("%.0f", sw.elapsed_ms()), fmt("%.0f", delay_ms),
                fmt("%.2f", src_rate / 1e3), fmt("%.2f", sink_rate / 1e3)});
+    JsonObject row;
+    row["t_ms"] = JsonValue(sw.elapsed_ms());
+    row["c_delay_ms"] = JsonValue(delay_ms);
+    row["src_pps"] = JsonValue(src_rate);
+    row["sink_pps"] = JsonValue(sink_rate);
+    report.add_row(std::move(row));
     if (s > 2) {  // skip warm-up
       min_rate = std::min(min_rate, src_rate);
       max_rate = std::max(max_rate, src_rate);
@@ -74,15 +131,56 @@ int main() {
   auto m = job->metrics();
   job->stop();
   job->wait(std::chrono::seconds(30));
+  sampler.stop();
 
+  uint64_t blocked_a = m.total("A", &OperatorMetricsSnapshot::blocked_sends);
+  uint64_t seq_viol = m.total(&OperatorMetricsSnapshot::seq_violations);
   std::printf("\nsource rate range: %.1f .. %.1f kpkt/s (max/min = %.1fx)\n", min_rate / 1e3,
               max_rate / 1e3, max_rate / std::max(1.0, min_rate));
   std::printf("blocked sends at A (throttle engagements): %llu\n",
-              static_cast<unsigned long long>(
-                  m.total("A", &OperatorMetricsSnapshot::blocked_sends)));
+              static_cast<unsigned long long>(blocked_a));
   std::printf("sequence violations (must be 0): %llu\n",
-              static_cast<unsigned long long>(m.total(&OperatorMetricsSnapshot::seq_violations)));
+              static_cast<unsigned long long>(seq_viol));
+
+  // Stall propagation: over the sampled window, blocked time accumulates at
+  // every stage upstream of the slow one. C never blocks (it is the sink);
+  // B blocks on the B->C channel; A blocks on A->B once B's channel fills.
+  const auto snaps = sampler.snapshots();
+  auto& reg = obs::TelemetryRegistry::global();
+  double blocked_s_a = series_delta(reg, snaps, "neptune_blocked_seconds_total", "A");
+  double blocked_s_b = series_delta(reg, snaps, "neptune_blocked_seconds_total", "B");
+  double blocked_s_c = series_delta(reg, snaps, "neptune_blocked_seconds_total", "C");
+  print_header("stall propagation (cumulative blocked seconds over the run)");
+  print_row({"stage", "blocked-s"});
+  print_row({"A", fmt("%.3f", blocked_s_a)});
+  print_row({"B", fmt("%.3f", blocked_s_b)});
+  print_row({"C", fmt("%.3f", blocked_s_c)});
+  std::printf("(expected: C = 0, B > 0, A > 0 — pressure walks upstream hop-by-hop)\n");
+
+  const std::string timeline_path = report.sibling("TIMELINE_fig4_backpressure.jsonl");
+  if (obs::write_timeline_jsonl(timeline_path, reg, snaps))
+    std::printf("wrote %s (%zu snapshots)\n", timeline_path.c_str(), snaps.size());
+
+  auto& traces = obs::TraceCollector::global();
+  const std::string spans_path = report.sibling("SPANS_fig4_backpressure.jsonl");
+  if (traces.dump_jsonl(spans_path))
+    std::printf("wrote %s (%zu spans, %llu recorded, %llu dropped)\n", spans_path.c_str(),
+                traces.size(), static_cast<unsigned long long>(traces.recorded()),
+                static_cast<unsigned long long>(traces.dropped()));
+
+  report.set("min_src_pps", min_rate);
+  report.set("max_src_pps", max_rate);
+  report.set("blocked_sends_a", blocked_a);
+  report.set("seq_violations", seq_viol);
+  report.set("blocked_seconds_a", blocked_s_a);
+  report.set("blocked_seconds_b", blocked_s_b);
+  report.set("blocked_seconds_c", blocked_s_c);
+  report.set("trace_spans", static_cast<int64_t>(traces.size()));
+  report.set("timeline", timeline_path);
+  report.set("spans", spans_path);
+  report.write();
+
   std::printf("paper shape: source throughput is inversely proportional to the\n"
               "stage-C sleep interval, stepping with the 0..3 ms cycle.\n");
-  return 0;
+  return seq_viol == 0 ? 0 : 1;
 }

@@ -16,6 +16,7 @@ using namespace neptune::bench;
 
 int main() {
   std::printf("NEPTUNE bench: headline throughput numbers\n");
+  BenchReport report("headline_throughput");
 
   {
     print_header("single node (real runtime): relay, 50 B packets, 1 MB buffers");
@@ -30,6 +31,11 @@ int main() {
                fmt("%.0f", static_cast<double>(r.seq_violations))});
     std::printf("(paper single-node: ~2 Mpkt/s on a Xeon E5620 with real 1 GbE;\n"
                 " this machine runs all three stages plus framing on shared cores)\n");
+    JsonObject row = relay_row(r);
+    row["config"] = JsonValue(std::string("relay_50B_1MB"));
+    row["payload_bytes"] = JsonValue(static_cast<int64_t>(opt.payload_bytes));
+    row["buffer_bytes"] = JsonValue(static_cast<int64_t>(opt.buffer_bytes));
+    report.add_row(std::move(row));
   }
 
   {
@@ -42,6 +48,11 @@ int main() {
     print_row({"kpkt/s", "lat-p99-ms"});
     print_row({fmt("%.1f", r.throughput_pps / 1e3), fmt("%.2f", r.latency.p99_ms)});
     std::printf("(paper: p99 < 87.8 ms for 10 KB packets)\n");
+    JsonObject row = relay_row(r);
+    row["config"] = JsonValue(std::string("relay_10KB_1MB"));
+    row["payload_bytes"] = JsonValue(static_cast<int64_t>(opt.payload_bytes));
+    row["buffer_bytes"] = JsonValue(static_cast<int64_t>(opt.buffer_bytes));
+    report.add_row(std::move(row));
   }
 
   {
@@ -57,6 +68,12 @@ int main() {
     print_row({fmt("%.1f", r.throughput_pps / 1e6), fmt("%.1f", r.bandwidth_bps / 1e9),
                fmt("%.3f", per_node), fmt("%.1f%%", per_node * 100)});
     std::printf("(paper: ~100 Mpkt/s cumulative with near-optimal bandwidth use)\n");
+    JsonObject row;
+    row["config"] = JsonValue(std::string("sim_50node_cluster"));
+    row["throughput_pps"] = JsonValue(r.throughput_pps);
+    row["bandwidth_bps"] = JsonValue(r.bandwidth_bps);
+    report.add_row(std::move(row));
   }
+  report.write();
   return 0;
 }

@@ -120,6 +120,12 @@ class ByteBuffer {
     uint32_t le = to_le(v);
     std::memcpy(data_.data() + offset, &le, 4);
   }
+  void patch_u64(size_t offset, uint64_t v) {
+    if (offset + 8 > data_.size()) throw std::out_of_range("ByteBuffer::patch_u64 out of range");
+    uint64_t le = to_le(v);
+    std::memcpy(data_.data() + offset, &le, 8);
+  }
+  void patch_i64(size_t offset, int64_t v) { patch_u64(offset, static_cast<uint64_t>(v)); }
 
   // --- fixed-width reads ------------------------------------------------------
 

@@ -5,11 +5,18 @@
 
 namespace neptune {
 
-LatencyHistogram::LatencyHistogram(int sub_bucket_bits)
-    : sub_bits_(sub_bucket_bits), sub_count_(1ULL << sub_bucket_bits) {
+LatencyHistogram::LatencyHistogram(int sub_bucket_bits, uint64_t max_trackable)
+    : sub_bits_(sub_bucket_bits),
+      sub_count_(1ULL << sub_bucket_bits),
+      max_trackable_(max_trackable) {
   // One linear sub-range per power of two up to 2^63, each with 2^sub_bits
-  // buckets. The first range [0, 2*sub_count) is fully linear.
+  // buckets. The first range [0, 2*sub_count) is fully linear. A non-zero
+  // max_trackable truncates the array after the bucket containing it.
   num_buckets_ = static_cast<size_t>((64 - sub_bits_) * sub_count_ + sub_count_);
+  if (max_trackable_ != 0) {
+    size_t cap_idx = bucket_index(max_trackable_);
+    if (cap_idx + 1 < num_buckets_) num_buckets_ = cap_idx + 1;
+  }
   counts_ = std::make_unique<std::atomic<uint64_t>[]>(num_buckets_);
   for (size_t i = 0; i < num_buckets_; ++i) counts_[i].store(0, std::memory_order_relaxed);
 }
@@ -35,7 +42,10 @@ void LatencyHistogram::record(uint64_t value) { record_n(value, 1); }
 
 void LatencyHistogram::record_n(uint64_t value, uint64_t count) {
   size_t idx = bucket_index(value);
-  if (idx >= num_buckets_) idx = num_buckets_ - 1;
+  if (idx >= num_buckets_) {
+    idx = num_buckets_ - 1;
+    saturated_.fetch_add(count, std::memory_order_relaxed);
+  }
   counts_[idx].fetch_add(count, std::memory_order_relaxed);
   total_.fetch_add(count, std::memory_order_relaxed);
   sum_.fetch_add(value * count, std::memory_order_relaxed);
@@ -81,6 +91,7 @@ void LatencyHistogram::reset() {
   sum_.store(0, std::memory_order_relaxed);
   max_seen_.store(0, std::memory_order_relaxed);
   min_seen_.store(~0ULL, std::memory_order_relaxed);
+  saturated_.store(0, std::memory_order_relaxed);
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& o) {
@@ -88,6 +99,17 @@ void LatencyHistogram::merge(const LatencyHistogram& o) {
     uint64_t c = o.counts_[i].load(std::memory_order_relaxed);
     if (c) counts_[i].fetch_add(c, std::memory_order_relaxed);
   }
+  // Samples beyond our (possibly smaller) range fold into the top bucket.
+  if (o.num_buckets_ > num_buckets_) {
+    uint64_t overflow = 0;
+    for (size_t i = num_buckets_; i < o.num_buckets_; ++i)
+      overflow += o.counts_[i].load(std::memory_order_relaxed);
+    if (overflow) {
+      counts_[num_buckets_ - 1].fetch_add(overflow, std::memory_order_relaxed);
+      saturated_.fetch_add(overflow, std::memory_order_relaxed);
+    }
+  }
+  saturated_.fetch_add(o.saturated_.load(std::memory_order_relaxed), std::memory_order_relaxed);
   total_.fetch_add(o.total_.load(std::memory_order_relaxed), std::memory_order_relaxed);
   sum_.fetch_add(o.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
   uint64_t om = o.max_seen_.load(std::memory_order_relaxed);
@@ -109,7 +131,13 @@ std::string LatencyHistogram::summary_string(double unit_scale, const char* unit
                 static_cast<double>(percentile(99.9)) * unit_scale, unit,
                 static_cast<double>(max()) * unit_scale, unit,
                 static_cast<unsigned long long>(count()));
-  return std::string(buf);
+  std::string out(buf);
+  uint64_t sat = saturated_count();
+  if (sat != 0) {
+    std::snprintf(buf, sizeof buf, " sat=%llu", static_cast<unsigned long long>(sat));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace neptune

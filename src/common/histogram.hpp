@@ -14,7 +14,10 @@ namespace neptune {
 class LatencyHistogram {
  public:
   /// `sub_bucket_bits` controls relative precision: 2^-bits (5 bits -> ~3%).
-  explicit LatencyHistogram(int sub_bucket_bits = 5);
+  /// `max_trackable` (0 = unbounded) caps the bucket range: values above it
+  /// are clamped into the top bucket and counted in saturated_count() so the
+  /// clamping is observable instead of silent.
+  explicit LatencyHistogram(int sub_bucket_bits = 5, uint64_t max_trackable = 0);
 
   LatencyHistogram(const LatencyHistogram&) = delete;
   LatencyHistogram& operator=(const LatencyHistogram&) = delete;
@@ -25,6 +28,11 @@ class LatencyHistogram {
   void record_n(uint64_t value, uint64_t count);
 
   uint64_t count() const { return total_.load(std::memory_order_relaxed); }
+  /// Samples that exceeded max_trackable (or the bucket range) and were
+  /// clamped into the top bucket. Percentiles at/above the clamp point are
+  /// lower bounds when this is non-zero.
+  uint64_t saturated_count() const { return saturated_.load(std::memory_order_relaxed); }
+  uint64_t max_trackable() const { return max_trackable_; }
   uint64_t min() const;
   uint64_t max() const { return max_seen_.load(std::memory_order_relaxed); }
   double mean() const;
@@ -47,12 +55,14 @@ class LatencyHistogram {
 
   int sub_bits_;
   uint64_t sub_count_;     // buckets per half-decade = 2^sub_bits
+  uint64_t max_trackable_; // 0 = full 2^63 range
   size_t num_buckets_;
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;
   std::atomic<uint64_t> total_{0};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> max_seen_{0};
   std::atomic<uint64_t> min_seen_{~0ULL};
+  std::atomic<uint64_t> saturated_{0};
 };
 
 }  // namespace neptune

@@ -101,6 +101,10 @@ class BoundedQueue {
     std::lock_guard lk(mu_);
     return q_.size();
   }
+  /// Lock-free occupancy estimate for telemetry samplers: reads a relaxed
+  /// shadow counter updated under the mutex, so it never contends with the
+  /// hot path but may lag a concurrent push/pop by one element.
+  size_t size_approx() const noexcept { return approx_size_.load(std::memory_order_relaxed); }
   bool closed() const {
     std::lock_guard lk(mu_);
     return closed_;
@@ -113,6 +117,7 @@ class BoundedQueue {
     std::lock_guard lk(mu_);
     closed_ = false;
     q_.clear();
+    sync_approx_locked();
   }
 
   /// Blocking push; waits while full. Returns kClosed if the queue was closed.
@@ -123,6 +128,7 @@ class BoundedQueue {
       not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
       if (closed_) return QueueResult::kClosed;
       q_.push_back(std::move(v));
+      sync_approx_locked();
       fire_high = crossed_high_locked();
       not_empty_.notify_one();
     }
@@ -137,6 +143,7 @@ class BoundedQueue {
       if (closed_) return QueueResult::kClosed;
       if (q_.size() >= capacity_) return QueueResult::kFull;
       q_.push_back(std::move(v));
+      sync_approx_locked();
       fire_high = crossed_high_locked();
       not_empty_.notify_one();
     }
@@ -154,6 +161,7 @@ class BoundedQueue {
       if (q_.empty()) return std::nullopt;  // closed and drained
       v.emplace(std::move(q_.front()));
       q_.pop_front();
+      sync_approx_locked();
       fire_low = crossed_low_locked();
       not_full_.notify_one();
     }
@@ -169,6 +177,7 @@ class BoundedQueue {
       if (q_.empty()) return std::nullopt;
       v.emplace(std::move(q_.front()));
       q_.pop_front();
+      sync_approx_locked();
       fire_low = crossed_low_locked();
       not_full_.notify_one();
     }
@@ -187,6 +196,7 @@ class BoundedQueue {
       if (q_.empty()) return std::nullopt;
       v.emplace(std::move(q_.front()));
       q_.pop_front();
+      sync_approx_locked();
       fire_low = crossed_low_locked();
       not_full_.notify_one();
     }
@@ -207,6 +217,7 @@ class BoundedQueue {
         ++n;
       }
       if (n > 0) {
+        sync_approx_locked();
         fire_low = crossed_low_locked();
         not_full_.notify_all();
       }
@@ -243,6 +254,7 @@ class BoundedQueue {
   static void fire(const std::function<void()>& f) {
     if (f) f();
   }
+  void sync_approx_locked() { approx_size_.store(q_.size(), std::memory_order_relaxed); }
 
   const size_t capacity_;
   const size_t high_;
@@ -251,6 +263,7 @@ class BoundedQueue {
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> q_;
+  std::atomic<size_t> approx_size_{0};
   bool closed_ = false;
   bool above_high_ = false;
   std::function<void()> on_high_;

@@ -7,7 +7,24 @@ namespace neptune::fault {
 
 RecoveryCoordinator::RecoveryCoordinator(Runtime& runtime, StreamGraph graph,
                                          RecoveryOptions options)
-    : runtime_(runtime), graph_(std::move(graph)), options_(options) {}
+    : runtime_(runtime), graph_(std::move(graph)), options_(options) {
+  obs::TelemetryRegistry& reg = obs::TelemetryRegistry::global();
+  std::vector<std::pair<std::string, std::string>> labels{{"job", graph_.name()}};
+  telemetry_.push_back(reg.register_series(
+      {"neptune_checkpoints_total", labels, obs::SeriesKind::kCounter,
+       "Automatic checkpoints captured by the recovery coordinator"},
+      [this] { return static_cast<double>(checkpoints_.load(std::memory_order_relaxed)); }));
+  telemetry_.push_back(reg.register_series(
+      {"neptune_recoveries_total", labels, obs::SeriesKind::kCounter,
+       "Checkpoint restores after detected failures"},
+      [this] { return static_cast<double>(recoveries_.load(std::memory_order_relaxed)); }));
+  telemetry_.push_back(reg.register_series(
+      {"neptune_recovery_seconds_total", labels, obs::SeriesKind::kCounter,
+       "Cumulative failure-to-restored wall time"},
+      [this] {
+        return static_cast<double>(recovery_ns_.load(std::memory_order_relaxed)) * 1e-9;
+      }));
+}
 
 RecoveryCoordinator::~RecoveryCoordinator() { stop(); }
 

@@ -110,6 +110,9 @@ class RecoveryCoordinator {
   std::atomic<int64_t> recovery_ns_{0};
   int64_t start_ns_ = 0;
   std::thread monitor_;
+  // Declared last: destroyed first, so samplers capturing `this` are
+  // unregistered (blocking out in-flight samples) before members die.
+  std::vector<obs::TelemetryRegistry::Handle> telemetry_;
 };
 
 }  // namespace neptune::fault

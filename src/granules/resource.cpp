@@ -58,6 +58,27 @@ void Resource::start() {
       worker_main(i);
     });
   }
+  {
+    obs::TelemetryRegistry& reg = obs::TelemetryRegistry::global();
+    std::vector<std::pair<std::string, std::string>> labels{{"resource", config_.name}};
+    telemetry_.push_back(reg.register_series(
+        {"granules_run_queue_depth", labels, obs::SeriesKind::kGauge,
+         "Runnable tasks queued on the resource"},
+        [this] { return static_cast<double>(run_queue_.size_approx()); }));
+    telemetry_.push_back(reg.register_series(
+        {"granules_task_executions_total", labels, obs::SeriesKind::kCounter,
+         "Scheduled task executions on the resource"},
+        [this] {
+          return static_cast<double>(task_executions_.load(std::memory_order_relaxed));
+        }));
+    telemetry_.push_back(reg.register_series(
+        {"granules_scheduler_wakeups_total", labels, obs::SeriesKind::kCounter,
+         "Worker dequeue operations on the resource"},
+        [this] {
+          return static_cast<double>(scheduler_wakeups_.load(std::memory_order_relaxed));
+        }));
+  }
+
   std::lock_guard lk(tasks_mu_);
   for (auto& e : tasks_) arm_periodic_timer(e.get());
 }
@@ -71,6 +92,7 @@ void Resource::arm_periodic_timer(TaskEntry* entry) {
 void Resource::stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
+  telemetry_.clear();  // blocks out in-flight samples before teardown
   run_queue_.close();
   for (auto& t : worker_threads_) {
     if (t.joinable()) t.join();

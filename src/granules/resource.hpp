@@ -25,6 +25,7 @@
 #include "common/queues.hpp"
 #include "granules/task.hpp"
 #include "net/event_loop.hpp"
+#include "obs/telemetry.hpp"
 
 namespace neptune::granules {
 
@@ -120,6 +121,11 @@ class Resource {
 
   std::atomic<uint64_t> task_executions_{0};
   std::atomic<uint64_t> scheduler_wakeups_{0};
+
+  // Telemetry series scoped to start()..stop(): run-queue depth gauge and
+  // scheduler counters. Samplers capture `this`; stop() resets the handles
+  // (which blocks out in-flight samples) before threads are torn down.
+  std::vector<obs::TelemetryRegistry::Handle> telemetry_;
 };
 
 }  // namespace neptune::granules

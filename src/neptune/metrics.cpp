@@ -22,6 +22,7 @@ std::string format_metrics(const JobMetricsSnapshot& snap) {
     a.flushes += m.flushes;
     a.timer_flushes += m.timer_flushes;
     a.blocked_sends += m.blocked_sends;
+    a.blocked_ns += m.blocked_ns;
     a.seq_violations += m.seq_violations;
     a.executions += m.executions;
     a.reconnects += m.reconnects;
@@ -29,30 +30,37 @@ std::string format_metrics(const JobMetricsSnapshot& snap) {
     a.dup_frames_dropped += m.dup_frames_dropped;
     // Keep the worst sink percentile across instances.
     a.sink_latency_p99_ns = std::max(a.sink_latency_p99_ns, m.sink_latency_p99_ns);
+    a.sink_latency_p999_ns = std::max(a.sink_latency_p999_ns, m.sink_latency_p999_ns);
     a.sink_latency_p50_ns = std::max(a.sink_latency_p50_ns, m.sink_latency_p50_ns);
     a.sink_latency_count += m.sink_latency_count;
+    a.sink_latency_saturated += m.sink_latency_saturated;
   }
 
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof line, "%-14s %12s %12s %12s %10s %8s %9s\n", "operator", "pkts-in",
-                "pkts-out", "wire-out-B", "flushes", "blocked", "seq-viol");
+  std::snprintf(line, sizeof line, "%-14s %12s %12s %12s %10s %8s %11s %9s\n", "operator",
+                "pkts-in", "pkts-out", "wire-out-B", "flushes", "blocked", "blocked-ms",
+                "seq-viol");
   out += line;
   for (const auto& id : order) {
     const auto& a = agg[id];
-    std::snprintf(line, sizeof line, "%-14s %12llu %12llu %12llu %10llu %8llu %9llu\n",
+    std::snprintf(line, sizeof line, "%-14s %12llu %12llu %12llu %10llu %8llu %11.3f %9llu\n",
                   id.c_str(), static_cast<unsigned long long>(a.packets_in),
                   static_cast<unsigned long long>(a.packets_out),
                   static_cast<unsigned long long>(a.bytes_out),
                   static_cast<unsigned long long>(a.flushes),
                   static_cast<unsigned long long>(a.blocked_sends),
+                  static_cast<double>(a.blocked_ns) * 1e-6,
                   static_cast<unsigned long long>(a.seq_violations));
     out += line;
     if (a.sink_latency_count > 0) {
-      std::snprintf(line, sizeof line, "%-14s   sink latency p50=%.3f ms p99=%.3f ms (n=%llu)\n",
+      std::snprintf(line, sizeof line,
+                    "%-14s   sink latency p50=%.3f ms p99=%.3f ms p99.9=%.3f ms (n=%llu%s)\n",
                     "", static_cast<double>(a.sink_latency_p50_ns) * 1e-6,
                     static_cast<double>(a.sink_latency_p99_ns) * 1e-6,
-                    static_cast<unsigned long long>(a.sink_latency_count));
+                    static_cast<double>(a.sink_latency_p999_ns) * 1e-6,
+                    static_cast<unsigned long long>(a.sink_latency_count),
+                    a.sink_latency_saturated > 0 ? ", saturated" : "");
       out += line;
     }
   }

@@ -24,8 +24,13 @@ struct OperatorMetrics {
   std::atomic<uint64_t> flushes{0};          ///< buffer flushes (threshold or timer)
   std::atomic<uint64_t> timer_flushes{0};    ///< flushes forced by the latency timer
   std::atomic<uint64_t> blocked_sends{0};    ///< flush attempts rejected by flow control
+  std::atomic<uint64_t> blocked_ns{0};       ///< cumulative time outputs sat blocked by flow control
   std::atomic<uint64_t> seq_violations{0};   ///< ordering/exactly-once breaches (must stay 0)
   std::atomic<uint64_t> executions{0};       ///< scheduled executions of the instance task
+
+  // --- gauges (instantaneous, refreshed by the owner; read by telemetry) -----
+  std::atomic<int64_t> outbound_buffered_bytes{0};  ///< bytes parked in stream buffers
+  std::atomic<int64_t> inbound_ready_batches{0};    ///< parsed batches awaiting execution
 
   // --- robustness counters (fault-tolerance subsystem) -----------------------
   std::atomic<uint64_t> reconnects{0};             ///< supervised-edge TCP re-establishments
@@ -48,17 +53,22 @@ struct OperatorMetricsSnapshot {
   uint64_t flushes = 0;
   uint64_t timer_flushes = 0;
   uint64_t blocked_sends = 0;
+  uint64_t blocked_ns = 0;
   uint64_t seq_violations = 0;
   uint64_t executions = 0;
+  int64_t outbound_buffered_bytes = 0;
+  int64_t inbound_ready_batches = 0;
   uint64_t reconnects = 0;
   uint64_t corrupt_frames_dropped = 0;
   uint64_t dup_frames_dropped = 0;
   // Sink end-to-end latency percentiles (ns); zero for non-sink operators.
   uint64_t sink_latency_p50_ns = 0;
   uint64_t sink_latency_p99_ns = 0;
+  uint64_t sink_latency_p999_ns = 0;
   uint64_t sink_latency_max_ns = 0;
   double sink_latency_mean_ns = 0;
   uint64_t sink_latency_count = 0;
+  uint64_t sink_latency_saturated = 0;  ///< samples clamped at the top bucket
 };
 
 struct JobMetricsSnapshot {
@@ -100,15 +110,20 @@ inline OperatorMetricsSnapshot snapshot_of(const OperatorMetrics& m) {
   s.flushes = m.flushes.load(std::memory_order_relaxed);
   s.timer_flushes = m.timer_flushes.load(std::memory_order_relaxed);
   s.blocked_sends = m.blocked_sends.load(std::memory_order_relaxed);
+  s.blocked_ns = m.blocked_ns.load(std::memory_order_relaxed);
   s.seq_violations = m.seq_violations.load(std::memory_order_relaxed);
   s.executions = m.executions.load(std::memory_order_relaxed);
+  s.outbound_buffered_bytes = m.outbound_buffered_bytes.load(std::memory_order_relaxed);
+  s.inbound_ready_batches = m.inbound_ready_batches.load(std::memory_order_relaxed);
   s.reconnects = m.reconnects.load(std::memory_order_relaxed);
   s.corrupt_frames_dropped = m.corrupt_frames_dropped.load(std::memory_order_relaxed);
   s.dup_frames_dropped = m.dup_frames_dropped.load(std::memory_order_relaxed);
   s.sink_latency_count = m.sink_latency.count();
+  s.sink_latency_saturated = m.sink_latency.saturated_count();
   if (s.sink_latency_count > 0) {
     s.sink_latency_p50_ns = m.sink_latency.percentile(50);
     s.sink_latency_p99_ns = m.sink_latency.percentile(99);
+    s.sink_latency_p999_ns = m.sink_latency.percentile(99.9);
     s.sink_latency_max_ns = m.sink_latency.max();
     s.sink_latency_mean_ns = m.sink_latency.mean();
   }

@@ -3,12 +3,16 @@
 #include <deque>
 #include <future>
 
+#include <cstdlib>
+
 #include "common/clock.hpp"
 #include "common/log.hpp"
 #include "compress/lz4.hpp"
 #include "net/frame.hpp"
 #include "net/inproc_transport.hpp"
 #include "net/tcp_transport.hpp"
+#include "obs/http_server.hpp"
+#include "obs/trace.hpp"
 
 namespace neptune {
 namespace detail {
@@ -21,9 +25,23 @@ struct Batch {
   size_t count = 0;   ///< valid packets in `packets`
   size_t cursor = 0;  ///< next packet to process (partial progress under backpressure)
 
+  // Trace block carried in the BatchHeader (trace_id 0 = untraced) plus the
+  // destination-side stamps needed to close the hop's span.
+  uint64_t trace_id = 0;
+  int64_t trace_origin_ns = 0;
+  int64_t batch_start_ns = 0;
+  int64_t flush_ns = 0;
+  int64_t recv_ns = 0;
+  int64_t exec_start_ns = 0;
+  uint32_t trace_link = 0;
+  uint32_t trace_src = 0;
+  uint32_t trace_bytes = 0;
+
   void reset() {
     count = 0;
     cursor = 0;  // packet objects retained for reuse
+    trace_id = 0;
+    exec_start_ns = 0;
   }
 };
 
@@ -101,16 +119,20 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
     uint32_t pick = out.partitioning->select(packet, instance_, n);
     if (pick == kBroadcastInstance) {
       for (auto& buf : out.dst) {
-        if (!buf->add(packet)) output_blocked_ = true;
+        if (current_trace_.active()) buf->note_trace(current_trace_);
+        if (!buf->add(packet)) output_blocked_.store(true, std::memory_order_relaxed);
         packets_emitted_.fetch_add(1, std::memory_order_relaxed);
         metrics_.packets_out.fetch_add(1, std::memory_order_relaxed);
       }
     } else {
-      if (!out.dst[pick % n]->add(packet)) output_blocked_ = true;
+      StreamBuffer& buf = *out.dst[pick % n];
+      if (current_trace_.active()) buf.note_trace(current_trace_);
+      if (!buf.add(packet)) output_blocked_.store(true, std::memory_order_relaxed);
       packets_emitted_.fetch_add(1, std::memory_order_relaxed);
       metrics_.packets_out.fetch_add(1, std::memory_order_relaxed);
     }
-    return output_blocked_ ? EmitStatus::kBackpressured : EmitStatus::kOk;
+    return output_blocked_.load(std::memory_order_relaxed) ? EmitStatus::kBackpressured
+                                                           : EmitStatus::kOk;
   }
 
   size_t output_link_count() const override { return outputs.size(); }
@@ -146,7 +168,7 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
 
   /// IO-thread flush timer hook (paper §III-B1 latency bound).
   void on_flush_timer() {
-    bool was_blocked = output_blocked_;
+    bool was_blocked = output_blocked_.load(std::memory_order_relaxed);
     for (auto& out : outputs) {
       for (auto& buf : out.dst) buf->on_timer();
     }
@@ -171,7 +193,7 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
       finalize(ctx, false);
       return;
     }
-    if (output_blocked_) return;  // throttled (paper §III-B4)
+    if (output_blocked_.load(std::memory_order_relaxed)) return;  // throttled (paper §III-B4)
     ctx.request_reschedule();
   }
 
@@ -247,6 +269,10 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
     ByteReader r(raw);
     uint32_t src_inst = r.read_u32();
     uint64_t base_seq = r.read_u64();
+    uint64_t trace_id = r.read_u64();
+    int64_t trace_origin_ns = r.read_i64();
+    int64_t batch_start_ns = r.read_i64();
+    int64_t flush_ns = r.read_i64();
     // Exactly-once, in-order validation (paper §I-B).
     if (h.link_id != e.link_id || src_inst != e.src_instance) {
       NEPTUNE_LOG_ERROR("%s: misrouted frame: link %u src %u on edge link %u src %u",
@@ -283,8 +309,20 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
     }
     batch->count = h.batch_count;
     batch->cursor = skip;
+    if (trace_id != 0) {
+      batch->trace_id = trace_id;
+      batch->trace_origin_ns = trace_origin_ns;
+      batch->batch_start_ns = batch_start_ns;
+      batch->flush_ns = flush_ns;
+      batch->recv_ns = now_ns();
+      batch->trace_link = e.link_id;
+      batch->trace_src = src_inst;
+      batch->trace_bytes = static_cast<uint32_t>(raw.size());
+    }
     metrics_.batches_in.fetch_add(1, std::memory_order_relaxed);
     ready_.push_back(std::move(batch));
+    metrics_.inbound_ready_batches.store(static_cast<int64_t>(ready_.size()),
+                                         std::memory_order_relaxed);
   }
 
   /// Process ready batches; stops (returning false) when an output edge
@@ -293,6 +331,12 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
     bool is_sink = outputs.empty();
     while (!ready_.empty()) {
       Batch& b = *ready_.front();
+      if (b.trace_id != 0) {
+        if (b.exec_start_ns == 0) b.exec_start_ns = now_ns();
+        // Emissions while this batch executes inherit its trace, so the
+        // trace follows the data to the next hop.
+        current_trace_ = obs::TraceContext{b.trace_id, b.trace_origin_ns};
+      }
       while (b.cursor < b.count) {
         StreamPacket& p = b.packets[b.cursor];
         metrics_.packets_in.fetch_add(1, std::memory_order_relaxed);
@@ -302,11 +346,37 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
           if (lat > 0) metrics_.sink_latency.record(static_cast<uint64_t>(lat));
         }
         ++b.cursor;
-        if (output_blocked_) return false;
+        if (output_blocked_.load(std::memory_order_relaxed)) {
+          current_trace_ = {};
+          return false;
+        }
       }
+      if (b.trace_id != 0) record_span(b);
+      current_trace_ = {};
       ready_.pop_front();  // PoolPtr destructor recycles the batch
+      metrics_.inbound_ready_batches.store(static_cast<int64_t>(ready_.size()),
+                                           std::memory_order_relaxed);
     }
     return true;
+  }
+
+  /// Close the hop for a traced batch that just finished executing.
+  void record_span(const Batch& b) {
+    obs::TraceSpan s;
+    s.trace_id = b.trace_id;
+    s.link_id = b.trace_link;
+    s.src_instance = b.trace_src;
+    s.dst_instance = instance_;
+    s.dst_operator = op_id_;
+    s.origin_ns = b.trace_origin_ns;
+    s.batch_start_ns = b.batch_start_ns;
+    s.flush_ns = b.flush_ns;
+    s.recv_ns = b.recv_ns;
+    s.exec_start_ns = b.exec_start_ns;
+    s.exec_end_ns = now_ns();
+    s.batch_count = static_cast<uint32_t>(b.count);
+    s.bytes = b.trace_bytes;
+    obs::TraceCollector::global().record(std::move(s));
   }
 
   bool all_inputs_drained() {
@@ -324,14 +394,14 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
 
   /// Retry every flow-controlled buffer. True when none remain blocked.
   bool retry_blocked_outputs() {
-    if (!output_blocked_) return true;
+    if (!output_blocked_.load(std::memory_order_relaxed)) return true;
     bool all_ok = true;
     for (auto& out : outputs) {
       for (auto& buf : out.dst) {
         if (buf->blocked()) all_ok &= buf->drain(false);
       }
     }
-    if (all_ok) output_blocked_ = false;
+    if (all_ok) output_blocked_.store(false, std::memory_order_relaxed);
     return all_ok;
   }
 
@@ -350,7 +420,7 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
         for (auto& buf : out.dst) all_flushed &= buf->drain(/*force=*/true);
       }
       if (!all_flushed) {
-        output_blocked_ = true;
+        output_blocked_.store(true, std::memory_order_relaxed);
         return;  // finalize resumes when the writable callback fires
       }
     }
@@ -377,8 +447,12 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
   std::atomic<bool> paused_{false};
   std::atomic<bool> done_{false};
 
+  // Mutated only on the worker thread, but the IO-thread flush timer peeks at
+  // it to decide whether to re-notify the task — hence atomic, relaxed.
+  std::atomic<bool> output_blocked_{false};
+
   // Worker-thread-only state (one thread at a time by the task contract).
-  bool output_blocked_ = false;
+  obs::TraceContext current_trace_;  // set while executing a traced batch
   bool source_exhausted_ = false;
   bool close_called_ = false;
   size_t next_edge_ = 0;
@@ -534,11 +608,36 @@ Runtime::Runtime(size_t resources, granules::ResourceConfig base_config, Runtime
     resources_.push_back(std::make_unique<granules::Resource>(cfg));
     resources_.back()->start();
   }
+
+  // Observability endpoint: explicit port via options, or opt-in through the
+  // NEPTUNE_METRICS_PORT env var so any bench/example can be scraped without
+  // code changes. A failed bind degrades to "no endpoint", never to a crash.
+  int port = options_.obs.metrics_port;
+  if (port < 0) {
+    if (const char* env = std::getenv("NEPTUNE_METRICS_PORT")) port = std::atoi(env);
+  }
+  if (port >= 0 && port <= 65535) {
+    sampler_ = std::make_unique<obs::TelemetrySampler>(obs::TelemetryRegistry::global(),
+                                                       options_.obs.sampler);
+    sampler_->start();
+    try {
+      metrics_server_ = std::make_unique<obs::MetricsHttpServer>(
+          static_cast<uint16_t>(port), &obs::TelemetryRegistry::global(), sampler_.get(),
+          &obs::TraceCollector::global());
+      NEPTUNE_LOG_INFO("metrics endpoint on 127.0.0.1:%u", metrics_server_->port());
+    } catch (const std::exception& e) {
+      NEPTUNE_LOG_WARN("metrics endpoint disabled: %s", e.what());
+      sampler_->stop();
+      sampler_.reset();
+    }
+  }
 }
 
 Runtime::~Runtime() { shutdown(); }
 
 void Runtime::shutdown() {
+  if (metrics_server_) metrics_server_->stop();
+  if (sampler_) sampler_->stop();
   {
     std::lock_guard lk(jobs_mu_);
     for (auto& job : jobs_) {
@@ -673,6 +772,21 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
         out.dst.push_back(std::make_unique<StreamBuffer>(link.link_id, src->instance_index(),
                                                          pipe.sender, codec, buf_cfg,
                                                          &src->metrics()));
+        // In-flight gauge for this edge: bytes accepted by the sender that
+        // the receiver has not yet pulled — the backpressure-visible lag.
+        job->telemetry_.push_back(obs::TelemetryRegistry::global().register_series(
+            {"neptune_edge_inflight_bytes",
+             {{"job", job->name_},
+              {"link", std::to_string(link.link_id)},
+              {"src", std::to_string(src->instance_index())},
+              {"dst", std::to_string(dst->instance_index())}},
+             obs::SeriesKind::kGauge,
+             "Bytes in flight on the edge (sent minus received)"},
+            [tx = pipe.sender, rx = pipe.receiver] {
+              uint64_t sent = tx->bytes_sent();
+              uint64_t recv = rx->bytes_received();
+              return sent > recv ? static_cast<double>(sent - recv) : 0.0;
+            }));
         detail::InEdge edge;
         edge.rx = pipe.receiver;
         edge.link_id = link.link_id;
@@ -691,7 +805,86 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
     }
   }
 
-  // 4. Flush timers: one periodic timer per instance on its resource's IO
+  // 4. Telemetry: register one set of series per operator instance plus one
+  //    in-flight gauge per edge. Samplers capture shared_ptrs, so the series
+  //    stay valid for exactly as long as the handles (owned by the Job) live.
+  {
+    obs::TelemetryRegistry& reg = obs::TelemetryRegistry::global();
+    const std::string& job_name = job->name_;
+    auto labels = [&](const std::shared_ptr<detail::InstanceRuntime>& inst) {
+      return std::vector<std::pair<std::string, std::string>>{
+          {"job", job_name},
+          {"op", inst->op_id()},
+          {"inst", std::to_string(inst->instance_index())}};
+    };
+    for (auto& inst : job->instances_) {
+      struct CounterSpec {
+        const char* name;
+        const char* help;
+        std::atomic<uint64_t> OperatorMetrics::* field;
+      };
+      static constexpr CounterSpec kCounters[] = {
+          {"neptune_packets_in_total", "Packets processed by the instance",
+           &OperatorMetrics::packets_in},
+          {"neptune_packets_out_total", "Packets emitted by the instance",
+           &OperatorMetrics::packets_out},
+          {"neptune_bytes_out_total", "Wire bytes sent (framed, post-compression)",
+           &OperatorMetrics::bytes_out},
+          {"neptune_flushes_total", "Stream buffer flushes", &OperatorMetrics::flushes},
+          {"neptune_blocked_sends_total", "Flushes rejected by flow control",
+           &OperatorMetrics::blocked_sends},
+          {"neptune_executions_total", "Scheduled executions of the instance task",
+           &OperatorMetrics::executions},
+      };
+      for (const CounterSpec& c : kCounters) {
+        job->telemetry_.push_back(reg.register_series(
+            {c.name, labels(inst), obs::SeriesKind::kCounter, c.help},
+            [inst, field = c.field] {
+              return static_cast<double>(
+                  (inst->metrics().*field).load(std::memory_order_relaxed));
+            }));
+      }
+      job->telemetry_.push_back(reg.register_series(
+          {"neptune_blocked_seconds_total", labels(inst), obs::SeriesKind::kCounter,
+           "Cumulative time the instance's outputs sat blocked by backpressure"},
+          [inst] {
+            return static_cast<double>(
+                       inst->metrics().blocked_ns.load(std::memory_order_relaxed)) * 1e-9;
+          }));
+      // Occupancy gauge: walks the instance's stream buffers (brief per-buffer
+      // locks) and refreshes the OperatorMetrics mirror as a side effect.
+      job->telemetry_.push_back(reg.register_series(
+          {"neptune_outbound_buffered_bytes", labels(inst), obs::SeriesKind::kGauge,
+           "Bytes parked in the instance's outbound stream buffers"},
+          [inst] {
+            size_t total = 0;
+            for (const auto& out : inst->outputs) {
+              for (const auto& buf : out.dst) total += buf->buffered_bytes();
+            }
+            inst->metrics().outbound_buffered_bytes.store(static_cast<int64_t>(total),
+                                                          std::memory_order_relaxed);
+            return static_cast<double>(total);
+          }));
+      job->telemetry_.push_back(reg.register_series(
+          {"neptune_ready_batches", labels(inst), obs::SeriesKind::kGauge,
+           "Decoded inbound batches awaiting execution"},
+          [inst] {
+            return static_cast<double>(
+                inst->metrics().inbound_ready_batches.load(std::memory_order_relaxed));
+          }));
+      if (inst->outputs.empty()) {
+        job->telemetry_.push_back(reg.register_series(
+            {"neptune_sink_latency_p99_seconds", labels(inst), obs::SeriesKind::kGauge,
+             "End-to-end p99 latency observed at the sink"},
+            [inst] {
+              const LatencyHistogram& h = inst->metrics().sink_latency;
+              return h.count() == 0 ? 0.0 : static_cast<double>(h.percentile(99)) * 1e-9;
+            }));
+      }
+    }
+  }
+
+  // 5. Flush timers: one periodic timer per instance on its resource's IO
   //    loop (half the flush interval for Nyquist-ish timeliness).
   for (auto& inst : job->instances_) {
     int64_t interval = cfg.buffer.flush_interval_ns;

@@ -21,8 +21,13 @@
 #include "neptune/graph.hpp"
 #include "neptune/metrics.hpp"
 #include "neptune/state.hpp"
+#include "obs/telemetry.hpp"
 
 namespace neptune {
+
+namespace obs {
+class MetricsHttpServer;
+}
 
 namespace detail {
 class InstanceRuntime;
@@ -99,6 +104,10 @@ class Job {
   std::string failure_reason_;
   std::atomic<bool> failed_{false};
   std::vector<std::shared_ptr<detail::InstanceRuntime>> instances_;
+  // Telemetry registrations for this job's operators and edges. Samplers
+  // capture shared_ptrs, so ordering vs instances_ is not load-bearing;
+  // the handles just scope the series to the job's lifetime.
+  std::vector<obs::TelemetryRegistry::Handle> telemetry_;
   std::vector<EventLoop::TimerId> timers_;  // (loop, id) pairs below
   std::vector<EventLoop*> timer_loops_;
   std::vector<granules::Resource*> resources_;
@@ -118,8 +127,23 @@ enum class EdgeTransport {
             ///< paper's TCP-flow-control backpressure end to end
 };
 
+/// Observability endpoint knobs (see docs/OBSERVABILITY.md).
+struct ObsOptions {
+  /// >= 0: serve Prometheus /metrics (plus /telemetry.json and /spans.json)
+  /// on 127.0.0.1:<port> (0 picks a free port; read it back via
+  /// Runtime::metrics_server()->port()). -1: only enabled when the
+  /// NEPTUNE_METRICS_PORT env var is set.
+  int metrics_port = -1;
+  /// Ring/interval for the background sampler feeding /telemetry.json.
+  /// The sampler runs whenever the HTTP endpoint is enabled.
+  obs::SamplerOptions sampler;
+};
+
 struct RuntimeOptions {
   EdgeTransport cross_resource_transport = EdgeTransport::kInproc;
+
+  // --- observability --------------------------------------------------------
+  ObsOptions obs;
 
   // --- fault tolerance ------------------------------------------------------
   /// When true (default), TCP edges are carried by the supervised channel:
@@ -152,6 +176,12 @@ class Runtime {
   size_t resource_count() const { return resources_.size(); }
   const RuntimeOptions& options() const { return options_; }
 
+  /// The HTTP metrics endpoint, or nullptr when disabled (see ObsOptions).
+  obs::MetricsHttpServer* metrics_server() { return metrics_server_.get(); }
+  /// Background telemetry sampler backing /telemetry.json (nullptr when the
+  /// endpoint is disabled).
+  obs::TelemetrySampler* telemetry_sampler() { return sampler_.get(); }
+
   void shutdown();
 
  private:
@@ -172,6 +202,8 @@ class Runtime {
   std::vector<std::unique_ptr<granules::Resource>> resources_;
   std::vector<std::shared_ptr<Job>> jobs_;
   std::mutex jobs_mu_;
+  std::unique_ptr<obs::TelemetrySampler> sampler_;
+  std::unique_ptr<obs::MetricsHttpServer> metrics_server_;
 };
 
 }  // namespace neptune

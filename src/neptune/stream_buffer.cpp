@@ -22,11 +22,19 @@ bool StreamBuffer::add(const StreamPacket& packet) {
   std::lock_guard lk(mu_);
   if (accum_count_ == 0) {
     // Start of a new batch: stamp the header placeholder and remember the
-    // arrival time of the first message (for the flush timer).
+    // arrival time of the first message (for the flush timer). The trace
+    // fields are zeroed here and patched in flush_locked(); a batch with
+    // no inherited trace gets a 1-in-N chance to originate one.
     accum_.clear();
     accum_.write_u32(src_instance_);
     accum_.write_u64(next_seq_);
+    accum_.write_u64(0);  // trace_id
+    accum_.write_i64(0);  // trace_origin_ns
+    accum_.write_i64(0);  // batch_start_ns
+    accum_.write_i64(0);  // flush_ns
     first_packet_ns_ = clock_->now_ns();
+    if (!batch_trace_.active())
+      batch_trace_ = obs::TraceSampler::global().maybe_start(first_packet_ns_);
   }
   packet.serialize(accum_);
   ++accum_count_;
@@ -45,6 +53,15 @@ bool StreamBuffer::add(const StreamPacket& packet) {
 }
 
 bool StreamBuffer::flush_locked() {
+  // Patch the trace block before compression sees the payload.
+  if (batch_trace_.active()) {
+    accum_.patch_u64(BatchHeader::kTraceIdOffset, batch_trace_.trace_id);
+    accum_.patch_i64(BatchHeader::kTraceOriginOffset, batch_trace_.origin_ns);
+    accum_.patch_i64(BatchHeader::kBatchStartOffset, first_packet_ns_);
+    accum_.patch_i64(BatchHeader::kFlushOffset, clock_->now_ns());
+    batch_trace_ = {};
+  }
+
   // Payload = [BatchHeader][packets...], optionally compressed.
   bool compressed = codec_->encode(accum_.contents(), codec_scratch_);
 
@@ -72,19 +89,31 @@ bool StreamBuffer::retry_pending_locked() {
     case SendStatus::kOk:
       if (metrics_) metrics_->bytes_out.fetch_add(pending_.size(), std::memory_order_relaxed);
       pending_.clear();
-      blocked_ = false;
+      settle_blocked_locked();
       return true;
     case SendStatus::kBlocked:
-      blocked_ = true;
-      if (metrics_) metrics_->blocked_sends.fetch_add(1, std::memory_order_relaxed);
+      if (!blocked_) {
+        blocked_ = true;
+        blocked_since_ns_ = clock_->now_ns();
+        if (metrics_) metrics_->blocked_sends.fetch_add(1, std::memory_order_relaxed);
+      }
       return false;
     case SendStatus::kClosed:
       // Downstream is gone; drop the frame to avoid wedging shutdown.
       pending_.clear();
-      blocked_ = false;
+      settle_blocked_locked();
       return true;
   }
   return false;
+}
+
+void StreamBuffer::settle_blocked_locked() {
+  if (blocked_) {
+    blocked_ = false;
+    int64_t stalled = clock_->now_ns() - blocked_since_ns_;
+    if (metrics_ && stalled > 0)
+      metrics_->blocked_ns.fetch_add(static_cast<uint64_t>(stalled), std::memory_order_relaxed);
+  }
 }
 
 void StreamBuffer::on_timer() {
@@ -120,6 +149,18 @@ bool StreamBuffer::blocked() const {
 }
 
 void StreamBuffer::close_channel() { sender_->close(); }
+
+void StreamBuffer::note_trace(const obs::TraceContext& ctx) {
+  if (!ctx.active()) return;
+  std::lock_guard lk(mu_);
+  if (batch_trace_.active()) return;
+  batch_trace_ = ctx;
+}
+
+size_t StreamBuffer::buffered_bytes() const {
+  std::lock_guard lk(mu_);
+  return accum_.size() + pending_.size();
+}
 
 uint64_t StreamBuffer::next_seq() const {
   std::lock_guard lk(mu_);

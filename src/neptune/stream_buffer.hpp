@@ -23,6 +23,7 @@
 #include "net/channel.hpp"
 #include "neptune/metrics.hpp"
 #include "neptune/packet.hpp"
+#include "obs/trace.hpp"
 
 namespace neptune {
 
@@ -35,11 +36,22 @@ struct StreamBufferConfig {
 };
 
 /// Per-edge batch header carried inside every frame payload, ahead of the
-/// serialized packets.
+/// serialized packets. The trace block rides in the payload (not the frame
+/// header) so it survives compression and crosses both transports untouched;
+/// trace_id 0 means the batch is untraced and all trace fields are zero.
 struct BatchHeader {
-  static constexpr size_t kSize = 4 + 8;
+  static constexpr size_t kSize = 4 + 8 + 8 + 8 + 8 + 8;
+  // Byte offsets of the trace fields, for in-place patching at flush time.
+  static constexpr size_t kTraceIdOffset = 12;
+  static constexpr size_t kTraceOriginOffset = 20;
+  static constexpr size_t kBatchStartOffset = 28;
+  static constexpr size_t kFlushOffset = 36;
   uint32_t src_instance = 0;
   uint64_t base_seq = 0;
+  uint64_t trace_id = 0;        ///< 0 = untraced batch
+  int64_t trace_origin_ns = 0;  ///< when the trace's root batch started
+  int64_t batch_start_ns = 0;   ///< first packet buffered (sender clock)
+  int64_t flush_ns = 0;         ///< frame handed to the channel (sender clock)
 };
 
 class StreamBuffer {
@@ -74,6 +86,16 @@ class StreamBuffer {
 
   void close_channel();
 
+  /// Inherit a trace context for the batch being accumulated (or the next
+  /// one if the buffer is empty). Called by the runtime while executing a
+  /// traced upstream batch so the trace follows the data downstream. A
+  /// no-op for inactive contexts or when this batch is already traced.
+  void note_trace(const obs::TraceContext& ctx);
+
+  /// Bytes currently parked in the buffer (accumulating + flow-controlled
+  /// frame). Telemetry gauge; takes the buffer lock briefly.
+  size_t buffered_bytes() const;
+
   uint32_t link_id() const { return link_id_; }
   uint32_t src_instance() const { return src_instance_; }
   uint64_t next_seq() const;
@@ -84,6 +106,8 @@ class StreamBuffer {
   bool flush_locked();
   /// Try to send the parked frame. Pre: lock held.
   bool retry_pending_locked();
+  /// Clear the blocked flag, folding the completed stall into blocked_ns.
+  void settle_blocked_locked();
 
   const uint32_t link_id_;
   const uint32_t src_instance_;
@@ -101,6 +125,8 @@ class StreamBuffer {
   ByteBuffer pending_;        // fully framed bytes rejected by flow control
   std::vector<uint8_t> codec_scratch_;
   bool blocked_ = false;
+  int64_t blocked_since_ns_ = 0;   // when blocked_ last became true
+  obs::TraceContext batch_trace_;  // trace attached to the accumulating batch
 };
 
 }  // namespace neptune

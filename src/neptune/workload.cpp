@@ -57,18 +57,19 @@ void BytesSource::fill_payload(std::vector<uint8_t>& payload) {
 
 bool BytesSource::next(Emitter& out, size_t budget) {
   std::vector<uint8_t> payload;
+  uint64_t emitted = emitted_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < budget; ++i) {
-    if (total_packets_ != 0 && emitted_ >= quota_) return false;
+    if (total_packets_ != 0 && emitted >= quota_) return false;
     fill_payload(payload);
     StreamPacket p;
     p.set_event_time_ns(now_ns());
-    p.add_i64(static_cast<int64_t>(emitted_));
+    p.add_i64(static_cast<int64_t>(emitted));
     p.add_bytes(std::move(payload));
-    ++emitted_;
+    emitted_.store(++emitted, std::memory_order_relaxed);
     payload.clear();
     if (out.emit(std::move(p)) == EmitStatus::kBackpressured) break;
   }
-  return total_packets_ == 0 || emitted_ < quota_;
+  return total_packets_ == 0 || emitted < quota_;
 }
 
 // --- RelayProcessor / CountingSink --------------------------------------------
@@ -324,21 +325,23 @@ void CsvReplaySource::open(uint32_t instance, uint32_t parallelism) {
 bool CsvReplaySource::next(Emitter& out, size_t budget) {
   if (!file_ || !file_->in) return false;
   std::string line;
+  uint64_t next_row = row_index_.load(std::memory_order_relaxed);
   // Restored from a checkpoint: skip rows the previous run already emitted.
-  while (row_index_ < resume_from_row_) {
+  while (next_row < resume_from_row_) {
     if (!std::getline(file_->in, line)) return false;
-    ++row_index_;
+    row_index_.store(++next_row, std::memory_order_relaxed);
   }
   size_t produced = 0;
   while (produced < budget) {
-    if (max_rows_ != 0 && row_index_ >= max_rows_) return false;
+    if (max_rows_ != 0 && next_row >= max_rows_) return false;
     if (!std::getline(file_->in, line)) return false;  // EOF: source done
-    uint64_t row = row_index_++;
+    uint64_t row = next_row;
+    row_index_.store(++next_row, std::memory_order_relaxed);
     if (line.empty()) continue;
     if (row % parallelism_ != instance_) continue;  // another instance's row
     StreamPacket p = parse_csv_row(line, schema_);
     p.set_event_time_ns(now_ns());
-    ++emitted_;
+    emitted_.fetch_add(1, std::memory_order_relaxed);
     ++produced;
     if (out.emit(std::move(p)) == EmitStatus::kBackpressured) break;
   }

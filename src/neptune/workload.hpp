@@ -43,9 +43,15 @@ class BytesSource final : public StreamSource, public Checkpointable {
   void open(uint32_t instance, uint32_t parallelism) override;
   bool next(Emitter& out, size_t budget) override;
 
-  // Checkpointable: replay position (emitted count).
-  void snapshot_state(ByteBuffer& out) const override { out.write_varint(emitted_); }
-  void restore_state(ByteReader& in) override { emitted_ = in.read_varint(); }
+  // Checkpointable: replay position (emitted count). Atomic (relaxed, like
+  // CountingSink::count_) because the recovery coordinator snapshots it from
+  // its own thread after Job::quiesce.
+  void snapshot_state(ByteBuffer& out) const override {
+    out.write_varint(emitted_.load(std::memory_order_relaxed));
+  }
+  void restore_state(ByteReader& in) override {
+    emitted_.store(in.read_varint(), std::memory_order_relaxed);
+  }
 
  private:
   void fill_payload(std::vector<uint8_t>& payload);
@@ -55,7 +61,7 @@ class BytesSource final : public StreamSource, public Checkpointable {
   const PayloadKind kind_;
   Xoshiro256 rng_;
   uint64_t quota_ = 0;
-  uint64_t emitted_ = 0;
+  std::atomic<uint64_t> emitted_{0};
 };
 
 /// Stage-2 relay of Figure 1: forwards every packet unchanged.
@@ -227,17 +233,18 @@ class CsvReplaySource final : public StreamSource, public Checkpointable {
   bool next(Emitter& out, size_t budget) override;
   void close() override;
 
-  uint64_t rows_emitted() const { return emitted_; }
+  uint64_t rows_emitted() const { return emitted_.load(std::memory_order_relaxed); }
 
   // Checkpointable: replay position. On restore, already-consumed rows are
-  // fast-forwarded past without re-emission.
+  // fast-forwarded past without re-emission. Both cursors are relaxed atomics
+  // so the recovery coordinator can snapshot them off-thread.
   void snapshot_state(ByteBuffer& out) const override {
-    out.write_varint(row_index_);
-    out.write_varint(emitted_);
+    out.write_varint(row_index_.load(std::memory_order_relaxed));
+    out.write_varint(emitted_.load(std::memory_order_relaxed));
   }
   void restore_state(ByteReader& in) override {
     resume_from_row_ = in.read_varint();
-    emitted_ = in.read_varint();
+    emitted_.store(in.read_varint(), std::memory_order_relaxed);
   }
 
  private:
@@ -247,9 +254,9 @@ class CsvReplaySource final : public StreamSource, public Checkpointable {
   uint64_t max_rows_;
   uint32_t instance_ = 0;
   uint32_t parallelism_ = 1;
-  uint64_t row_index_ = 0;
+  std::atomic<uint64_t> row_index_{0};
   uint64_t resume_from_row_ = 0;
-  uint64_t emitted_ = 0;
+  std::atomic<uint64_t> emitted_{0};
   std::unique_ptr<FileState> file_;
 };
 

@@ -18,7 +18,7 @@ SendStatus InprocChannel::try_send(std::span<const uint8_t> frame) {
     bool was_empty = q_.empty();
     q_.emplace_back(frame.begin(), frame.end());
     in_flight_ += frame.size();
-    bytes_sent_ += frame.size();
+    bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
     not_empty_.notify_one();
     if (was_empty) data_cb = data_cb_;
   }
@@ -60,7 +60,7 @@ std::optional<std::vector<uint8_t>> InprocChannel::pop_locked(std::unique_lock<s
   std::vector<uint8_t> frame = std::move(q_.front());
   q_.pop_front();
   in_flight_ -= frame.size();
-  bytes_received_ += frame.size();
+  bytes_received_.fetch_add(frame.size(), std::memory_order_relaxed);
   bool fire = was_blocked_ && in_flight_ <= config_.low_watermark_bytes;
   std::function<void()> cb;
   if (fire) {

@@ -5,6 +5,7 @@
 // lossless.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -35,14 +36,16 @@ class InprocChannel final : public ChannelSender,
   void set_writable_callback(std::function<void()> cb) override;
   bool writable(size_t bytes) const override;
   void close() override;
-  uint64_t bytes_sent() const override { return bytes_sent_; }
+  uint64_t bytes_sent() const override { return bytes_sent_.load(std::memory_order_relaxed); }
 
   // ChannelReceiver
   std::optional<std::vector<uint8_t>> receive(std::chrono::nanoseconds timeout) override;
   std::optional<std::vector<uint8_t>> try_receive() override;
   void set_data_callback(std::function<void()> cb) override;
   bool closed() const override;
-  uint64_t bytes_received() const override { return bytes_received_; }
+  uint64_t bytes_received() const override {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
 
   size_t in_flight_bytes() const;
 
@@ -58,8 +61,10 @@ class InprocChannel final : public ChannelSender,
   bool was_blocked_ = false;  // a sender hit the budget since last drain
   std::function<void()> writable_cb_;
   std::function<void()> data_cb_;
-  uint64_t bytes_sent_ = 0;
-  uint64_t bytes_received_ = 0;
+  // Relaxed atomics (not mu_-guarded) so telemetry gauges can read them
+  // lock-free off the sampler thread, mirroring the TCP transport.
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
 };
 
 }  // namespace neptune

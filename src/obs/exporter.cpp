@@ -1,0 +1,43 @@
+#include "obs/exporter.hpp"
+
+#include <cstdio>
+
+namespace neptune::obs {
+
+JsonValue snapshot_to_json(const TelemetryRegistry& registry, const TelemetrySnapshot& snapshot) {
+  JsonObject series;
+  for (const SeriesSample& s : snapshot.values) {
+    auto desc = registry.descriptor(s.series);
+    if (!desc) continue;
+    series[desc->key()] = JsonValue(s.value);
+  }
+  JsonObject o;
+  o["ts_ns"] = JsonValue(snapshot.ts_ns);
+  o["series"] = JsonValue(std::move(series));
+  return JsonValue(std::move(o));
+}
+
+bool write_timeline_jsonl(const std::string& path, const TelemetryRegistry& registry,
+                          const std::vector<TelemetrySnapshot>& snapshots) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const TelemetrySnapshot& snap : snapshots) {
+    std::string line = snapshot_to_json(registry, snap).dump();
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+  return true;
+}
+
+JsonValue timeline_to_json(const TelemetryRegistry& registry,
+                           const std::vector<TelemetrySnapshot>& snapshots) {
+  JsonArray arr;
+  arr.reserve(snapshots.size());
+  for (const TelemetrySnapshot& snap : snapshots) {
+    arr.push_back(snapshot_to_json(registry, snap));
+  }
+  return JsonValue(std::move(arr));
+}
+
+}  // namespace neptune::obs

@@ -1,0 +1,26 @@
+// Exporters (observability layer, part 3): JSONL timeline dumps of sampled
+// telemetry rings. The Prometheus text renderer lives on TelemetryRegistry
+// itself; the HTTP endpoint that serves it is in obs/http_server.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace neptune::obs {
+
+/// One snapshot as {"ts_ns": ..., "series": {"name{labels}": value, ...}}.
+JsonValue snapshot_to_json(const TelemetryRegistry& registry, const TelemetrySnapshot& snapshot);
+
+/// Write a sampled ring as JSONL: one snapshot object per line, oldest
+/// first. Returns false when the file can't be opened.
+bool write_timeline_jsonl(const std::string& path, const TelemetryRegistry& registry,
+                          const std::vector<TelemetrySnapshot>& snapshots);
+
+/// The whole ring as a JSON array (used by the /telemetry.json endpoint).
+JsonValue timeline_to_json(const TelemetryRegistry& registry,
+                           const std::vector<TelemetrySnapshot>& snapshots);
+
+}  // namespace neptune::obs

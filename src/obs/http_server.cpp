@@ -1,0 +1,185 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/clock.hpp"
+#include "common/thread_util.hpp"
+#include "obs/exporter.hpp"
+
+namespace neptune::obs {
+
+namespace {
+
+std::string make_response(int status, const char* content_type, const std::string& body) {
+  const char* reason = status == 200 ? "OK" : status == 404 ? "Not Found" : "Bad Request";
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                status, reason, content_type, body.size());
+  return std::string(head) + body;
+}
+
+bool write_all(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(uint16_t port, TelemetryRegistry* registry,
+                                     TelemetrySampler* sampler, TraceCollector* traces)
+    : registry_(registry), sampler_(sampler), traces_(traces) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("MetricsHttpServer: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("MetricsHttpServer: bind/listen on port " + std::to_string(port) +
+                             " failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] {
+    set_thread_name("neptune-metrics");
+    serve();
+  });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (r <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::handle_connection(int fd) {
+  // Read until the end of the request head (or a small cap / timeout).
+  std::string req;
+  char buf[2048];
+  int64_t deadline = now_ns() + 1'000'000'000;
+  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192 &&
+         now_ns() < deadline && !stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 100) <= 0) continue;
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<size_t>(n));
+  }
+  // "GET <path> HTTP/..." — anything else is a 400.
+  std::string path;
+  if (req.rfind("GET ", 0) == 0) {
+    size_t end = req.find(' ', 4);
+    if (end != std::string::npos) path = req.substr(4, end - 4);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  write_all(fd, respond(path));
+}
+
+std::string MetricsHttpServer::respond(const std::string& path) const {
+  if (path.empty()) return make_response(400, "text/plain", "bad request\n");
+  if (path == "/metrics") {
+    return make_response(200, "text/plain; version=0.0.4",
+                         registry_->render_prometheus());
+  }
+  if (path == "/telemetry.json") {
+    if (sampler_ == nullptr) return make_response(404, "text/plain", "no sampler attached\n");
+    return make_response(200, "application/json",
+                         timeline_to_json(*registry_, sampler_->snapshots()).dump() + "\n");
+  }
+  if (path == "/spans.json") {
+    if (traces_ == nullptr) return make_response(404, "text/plain", "no trace collector\n");
+    JsonArray arr;
+    for (const TraceSpan& s : traces_->spans()) {
+      JsonObject o;
+      o["trace_id"] = JsonValue(static_cast<int64_t>(s.trace_id));
+      o["link"] = JsonValue(static_cast<int64_t>(s.link_id));
+      o["dst_operator"] = JsonValue(s.dst_operator);
+      o["buffer_wait_ns"] = JsonValue(s.buffer_wait_ns());
+      o["wire_ns"] = JsonValue(s.wire_ns());
+      o["queue_wait_ns"] = JsonValue(s.queue_wait_ns());
+      o["execute_ns"] = JsonValue(s.execute_ns());
+      o["total_ns"] = JsonValue(s.total_ns());
+      arr.push_back(JsonValue(std::move(o)));
+    }
+    return make_response(200, "application/json", JsonValue(std::move(arr)).dump() + "\n");
+  }
+  if (path == "/healthz") return make_response(200, "text/plain", "ok\n");
+  return make_response(404, "text/plain", "not found; try /metrics\n");
+}
+
+std::optional<std::string> http_get(const std::string& host, uint16_t port,
+                                    const std::string& path, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* ip = (host.empty() || host == "localhost") ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, ip, &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  timeval tv{timeout_ms / 1000, (timeout_ms % 1000) * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  if (!write_all(fd, req)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t body = resp.find("\r\n\r\n");
+  if (body == std::string::npos) return std::nullopt;
+  return resp.substr(body + 4);
+}
+
+}  // namespace neptune::obs

@@ -1,0 +1,66 @@
+// Minimal HTTP/1.0 metrics endpoint (observability layer, part 3).
+//
+// One blocking accept thread per server, one request per connection,
+// Connection: close — deliberately tiny, because its only jobs are
+// Prometheus scrapes, `tools/neptop` polls and `curl` during bench runs.
+// Raw POSIX sockets; no dependency on the engine's event loop so a wedged
+// IO thread can still be observed.
+//
+// Routes:
+//   /metrics         Prometheus text exposition of the attached registry
+//   /telemetry.json  JSON array of the attached sampler's snapshot ring
+//   /spans.json      JSON array of the attached trace collector's spans
+//   /healthz         "ok"
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace neptune::obs {
+
+class MetricsHttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks a free port; see port()) and starts
+  /// the serving thread. Throws std::runtime_error when the bind fails.
+  /// `sampler` and `traces` are optional; their routes 404 when absent.
+  /// Non-owning: all three must outlive the server.
+  explicit MetricsHttpServer(uint16_t port,
+                             TelemetryRegistry* registry = &TelemetryRegistry::global(),
+                             TelemetrySampler* sampler = nullptr,
+                             TraceCollector* traces = nullptr);
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const { return requests_.load(std::memory_order_relaxed); }
+
+  void stop();
+
+ private:
+  void serve();
+  void handle_connection(int fd);
+  std::string respond(const std::string& path) const;  // full HTTP response bytes
+
+  TelemetryRegistry* registry_;
+  TelemetrySampler* sampler_;
+  TraceCollector* traces_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+/// Blocking HTTP GET against 127.0.0.1 (or a dotted-quad host); returns the
+/// response body, or nullopt on connect/parse failure. Test + neptop helper.
+std::optional<std::string> http_get(const std::string& host, uint16_t port,
+                                    const std::string& path, int timeout_ms = 2000);
+
+}  // namespace neptune::obs

@@ -1,0 +1,183 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/clock.hpp"
+
+namespace neptune::obs {
+
+std::string SeriesDesc::key() const {
+  std::string out = name;
+  if (labels.empty()) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void TelemetryRegistry::Handle::reset() {
+  if (reg_ != nullptr) {
+    reg_->unregister(id_);
+    reg_ = nullptr;
+    id_ = 0;
+  }
+}
+
+TelemetryRegistry::Handle TelemetryRegistry::register_series(SeriesDesc desc, Sampler sampler) {
+  std::lock_guard lk(mu_);
+  uint64_t id = next_id_++;
+  retained_.emplace(id, desc);
+  active_.emplace(id, Entry{std::move(desc), std::move(sampler)});
+  return Handle(this, id);
+}
+
+void TelemetryRegistry::unregister(uint64_t id) {
+  std::lock_guard lk(mu_);
+  active_.erase(id);
+}
+
+size_t TelemetryRegistry::active_series() const {
+  std::lock_guard lk(mu_);
+  return active_.size();
+}
+
+TelemetrySnapshot TelemetryRegistry::sample() const {
+  TelemetrySnapshot snap;
+  snap.ts_ns = now_ns();
+  std::lock_guard lk(mu_);
+  snap.values.reserve(active_.size());
+  for (const auto& [id, entry] : active_) {
+    snap.values.push_back(SeriesSample{id, entry.fn ? entry.fn() : 0.0});
+  }
+  return snap;
+}
+
+std::optional<SeriesDesc> TelemetryRegistry::descriptor(uint64_t id) const {
+  std::lock_guard lk(mu_);
+  auto it = retained_.find(id);
+  if (it == retained_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string TelemetryRegistry::render_prometheus() const {
+  // Sample first (samplers run under mu_ inside sample()), then group lines
+  // by metric name so each gets exactly one # TYPE header.
+  TelemetrySnapshot snap = sample();
+
+  struct Line {
+    SeriesDesc desc;
+    double value;
+  };
+  std::map<std::string, std::vector<Line>> by_name;
+  {
+    std::lock_guard lk(mu_);
+    for (const SeriesSample& s : snap.values) {
+      auto it = retained_.find(s.series);
+      if (it == retained_.end()) continue;
+      by_name[it->second.name].push_back(Line{it->second, s.value});
+    }
+  }
+
+  std::string out;
+  char buf[512];
+  for (const auto& [name, lines] : by_name) {
+    const SeriesDesc& first = lines.front().desc;
+    if (!first.help.empty()) {
+      out += "# HELP " + name + " " + first.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    out += first.kind == SeriesKind::kCounter ? "counter" : "gauge";
+    out += '\n';
+    for (const Line& l : lines) {
+      std::snprintf(buf, sizeof buf, "%s %.10g\n", l.desc.key().c_str(), l.value);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+TelemetryRegistry& TelemetryRegistry::global() {
+  static TelemetryRegistry* reg = new TelemetryRegistry();  // never destroyed
+  return *reg;
+}
+
+// --- TelemetrySampler --------------------------------------------------------
+
+TelemetrySampler::TelemetrySampler(TelemetryRegistry& registry, SamplerOptions options)
+    : registry_(registry), options_(options) {}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::start() {
+  std::lock_guard lk(lifecycle_mu_);
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard rk(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void TelemetrySampler::stop() {
+  std::lock_guard lk(lifecycle_mu_);
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard rk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  thread_ = std::thread();
+}
+
+bool TelemetrySampler::running() const {
+  std::lock_guard lk(lifecycle_mu_);
+  return thread_.joinable();
+}
+
+void TelemetrySampler::loop() {
+  std::unique_lock lk(mu_);
+  while (!stop_) {
+    lk.unlock();
+    TelemetrySnapshot snap = registry_.sample();
+    lk.lock();
+    if (stop_) break;
+    ring_.push_back(std::move(snap));
+    while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+    cv_.wait_for(lk, std::chrono::nanoseconds(options_.interval_ns), [&] { return stop_; });
+  }
+}
+
+void TelemetrySampler::sample_once() { push(registry_.sample()); }
+
+void TelemetrySampler::push(TelemetrySnapshot snap) {
+  std::lock_guard lk(mu_);
+  ring_.push_back(std::move(snap));
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+}
+
+std::vector<TelemetrySnapshot> TelemetrySampler::snapshots() const {
+  std::lock_guard lk(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+size_t TelemetrySampler::size() const {
+  std::lock_guard lk(mu_);
+  return ring_.size();
+}
+
+void TelemetrySampler::clear() {
+  std::lock_guard lk(mu_);
+  ring_.clear();
+}
+
+}  // namespace neptune::obs

@@ -1,0 +1,172 @@
+// Telemetry registry + background sampler (observability layer, part 1).
+//
+// Components on the data path never push metrics anywhere: they keep
+// relaxed atomics (counters) or cheap O(1) state (gauges) and register a
+// *sampling closure* here. The TelemetrySampler thread walks the registry
+// on a fixed interval and appends one timestamped snapshot per tick into a
+// bounded in-memory ring — the time-series behind the Prometheus endpoint,
+// the JSONL timeline dumps, and `tools/neptop`.
+//
+// Contract for samplers: they run on the sampler (or an HTTP exporter)
+// thread while the registry mutex is held, so they must be fast, must not
+// block on data-path locks, and must not call back into the registry.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace neptune::obs {
+
+enum class SeriesKind { kCounter, kGauge };
+
+/// Identity of one time series: a Prometheus-style metric name plus label
+/// pairs. Counters follow the `*_total` naming convention.
+struct SeriesDesc {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  SeriesKind kind = SeriesKind::kGauge;
+  std::string help;
+
+  /// Canonical `name{k="v",...}` key used by exporters.
+  std::string key() const;
+};
+
+/// One sampled value of one registered series.
+struct SeriesSample {
+  uint64_t series = 0;  ///< registry-assigned id (resolve via descriptor())
+  double value = 0;
+};
+
+/// All series sampled at one instant.
+struct TelemetrySnapshot {
+  int64_t ts_ns = 0;
+  std::vector<SeriesSample> values;
+};
+
+/// Thread-safe registry of live series. Registration returns an RAII handle;
+/// descriptors are retained after unregistration so ring snapshots taken
+/// while the series was alive remain resolvable.
+class TelemetryRegistry {
+ public:
+  using Sampler = std::function<double()>;
+
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(TelemetryRegistry* reg, uint64_t id) : reg_(reg), id_(id) {}
+    Handle(Handle&& o) noexcept : reg_(o.reg_), id_(o.id_) { o.reg_ = nullptr; o.id_ = 0; }
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        reset();
+        reg_ = o.reg_;
+        id_ = o.id_;
+        o.reg_ = nullptr;
+        o.id_ = 0;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { reset(); }
+
+    /// Unregister now (idempotent). Blocks until any in-flight sample of
+    /// this series completes, so captured state may be freed afterwards.
+    void reset();
+    uint64_t id() const { return id_; }
+    explicit operator bool() const { return reg_ != nullptr; }
+
+   private:
+    TelemetryRegistry* reg_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  [[nodiscard]] Handle register_series(SeriesDesc desc, Sampler sampler);
+
+  size_t active_series() const;
+
+  /// Sample every active series once.
+  TelemetrySnapshot sample() const;
+
+  /// Descriptor for an id seen in a snapshot (active or retired series).
+  std::optional<SeriesDesc> descriptor(uint64_t id) const;
+
+  /// Render the current values of all active series in the Prometheus text
+  /// exposition format (samples each series once).
+  std::string render_prometheus() const;
+
+  /// Process-wide default registry; what the runtime, resources and the
+  /// recovery coordinator register into.
+  static TelemetryRegistry& global();
+
+ private:
+  friend class Handle;
+  void unregister(uint64_t id);
+
+  struct Entry {
+    SeriesDesc desc;
+    Sampler fn;
+  };
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> active_;
+  std::map<uint64_t, SeriesDesc> retained_;  // every series ever registered
+  uint64_t next_id_ = 1;
+};
+
+struct SamplerOptions {
+  int64_t interval_ns = 100'000'000;  ///< 100 ms — 10 Hz time series
+  size_t ring_capacity = 4096;        ///< ~7 min of history at 10 Hz
+};
+
+/// Background thread turning the registry into a bounded time-series ring.
+/// start()/stop() are idempotent and safe to race from multiple threads.
+class TelemetrySampler {
+ public:
+  explicit TelemetrySampler(TelemetryRegistry& registry = TelemetryRegistry::global(),
+                            SamplerOptions options = {});
+  ~TelemetrySampler();
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  void start();
+  void stop();
+  bool running() const;
+
+  /// Take one snapshot immediately (usable without the thread; tests).
+  void sample_once();
+
+  /// Copy of the ring, oldest first.
+  std::vector<TelemetrySnapshot> snapshots() const;
+  size_t size() const;
+  void clear();
+
+  const TelemetryRegistry& registry() const { return registry_; }
+  const SamplerOptions& options() const { return options_; }
+
+ private:
+  void loop();
+  void push(TelemetrySnapshot snap);
+
+  TelemetryRegistry& registry_;
+  const SamplerOptions options_;
+
+  mutable std::mutex lifecycle_mu_;  // serializes start/stop; never held while sampling
+  std::thread thread_;
+
+  mutable std::mutex mu_;  // guards ring_ + stop_
+  std::condition_variable cv_;
+  std::deque<TelemetrySnapshot> ring_;
+  bool stop_ = false;
+};
+
+}  // namespace neptune::obs

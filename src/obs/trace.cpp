@@ -1,0 +1,90 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/json.hpp"
+
+namespace neptune::obs {
+
+TraceContext TraceSampler::maybe_start(int64_t now_ns) {
+  uint32_t period = period_.load(std::memory_order_relaxed);
+  if (period == 0) return {};
+  uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+  if (n % period != 0) return {};
+  return TraceContext{next_id_.fetch_add(1, std::memory_order_relaxed), now_ns};
+}
+
+TraceSampler& TraceSampler::global() {
+  static TraceSampler* sampler = [] {
+    uint32_t period = TraceSampler::kDefaultPeriod;
+    if (const char* env = std::getenv("NEPTUNE_TRACE_SAMPLE")) {
+      long v = std::atol(env);
+      period = v < 0 ? 0 : static_cast<uint32_t>(v);
+    }
+    return new TraceSampler(period);  // never destroyed
+  }();
+  return *sampler;
+}
+
+void TraceCollector::record(TraceSpan span) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lk(mu_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> TraceCollector::spans() const {
+  std::lock_guard lk(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard lk(mu_);
+  return ring_.size();
+}
+
+void TraceCollector::clear() {
+  std::lock_guard lk(mu_);
+  ring_.clear();
+}
+
+bool TraceCollector::dump_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const TraceSpan& s : spans()) {
+    JsonObject o;
+    o["trace_id"] = JsonValue(static_cast<int64_t>(s.trace_id));
+    o["link"] = JsonValue(static_cast<int64_t>(s.link_id));
+    o["src_instance"] = JsonValue(static_cast<int64_t>(s.src_instance));
+    o["dst_instance"] = JsonValue(static_cast<int64_t>(s.dst_instance));
+    o["dst_operator"] = JsonValue(s.dst_operator);
+    o["origin_ns"] = JsonValue(s.origin_ns);
+    o["batch_start_ns"] = JsonValue(s.batch_start_ns);
+    o["flush_ns"] = JsonValue(s.flush_ns);
+    o["recv_ns"] = JsonValue(s.recv_ns);
+    o["exec_start_ns"] = JsonValue(s.exec_start_ns);
+    o["exec_end_ns"] = JsonValue(s.exec_end_ns);
+    o["batch_count"] = JsonValue(static_cast<int64_t>(s.batch_count));
+    o["bytes"] = JsonValue(static_cast<int64_t>(s.bytes));
+    o["buffer_wait_ns"] = JsonValue(s.buffer_wait_ns());
+    o["wire_ns"] = JsonValue(s.wire_ns());
+    o["queue_wait_ns"] = JsonValue(s.queue_wait_ns());
+    o["execute_ns"] = JsonValue(s.execute_ns());
+    std::string line = JsonValue(std::move(o)).dump();
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+  return true;
+}
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector* collector = new TraceCollector();  // never destroyed
+  return *collector;
+}
+
+}  // namespace neptune::obs

@@ -1,0 +1,117 @@
+// Batch-flow tracing (observability layer, part 2).
+//
+// A sampled fraction of batches carry a trace context — {trace id, origin
+// timestamp} — stamped into the batch header at StreamBuffer flush time and
+// carried inside the frame payload across TCP and in-process edges. The
+// receiving instance closes the hop when the batch finishes executing,
+// yielding one TraceSpan per traversed edge with four phases:
+//
+//   buffer-wait  first packet buffered .. flush        (StreamBuffer)
+//   wire         flush .. frame pulled off the channel (transport + queue)
+//   queue-wait   pulled .. batch execution begins      (ready_ backlog)
+//   execute      execution begins .. batch fully processed
+//
+// When a traced batch is being executed, batches flushed downstream by the
+// same instance inherit the trace id and origin, so a trace follows the
+// data hop-by-hop through the graph (source -> relay -> sink), which is
+// what makes end-to-end latency decomposable per hop.
+//
+// Sampling is 1-in-N at batch granularity (default 128, overridable via the
+// NEPTUNE_TRACE_SAMPLE env var; 0 disables). Untraced batches pay only a
+// zeroed 32-byte header extension per *batch* — nothing per packet.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace neptune::obs {
+
+/// Travels with a batch inside the frame payload. trace_id == 0 ≡ untraced.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  int64_t origin_ns = 0;  ///< steady-clock ns when the trace started (at the source)
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// One hop of one traced batch: an edge traversal closed at execution.
+struct TraceSpan {
+  uint64_t trace_id = 0;
+  uint32_t link_id = 0;
+  uint32_t src_instance = 0;
+  uint32_t dst_instance = 0;
+  std::string dst_operator;
+
+  int64_t origin_ns = 0;       ///< trace start at the origin operator
+  int64_t batch_start_ns = 0;  ///< first packet buffered on this hop
+  int64_t flush_ns = 0;        ///< frame left the stream buffer
+  int64_t recv_ns = 0;         ///< frame pulled off the channel at the destination
+  int64_t exec_start_ns = 0;   ///< batch execution began
+  int64_t exec_end_ns = 0;     ///< last packet of the batch processed
+
+  uint32_t batch_count = 0;  ///< packets in the batch
+  uint32_t bytes = 0;        ///< decoded payload bytes
+
+  int64_t buffer_wait_ns() const { return flush_ns - batch_start_ns; }
+  int64_t wire_ns() const { return recv_ns - flush_ns; }
+  int64_t queue_wait_ns() const { return exec_start_ns - recv_ns; }
+  int64_t execute_ns() const { return exec_end_ns - exec_start_ns; }
+  /// Origin to fully processed — end-to-end for this hop's completion.
+  int64_t total_ns() const { return exec_end_ns - origin_ns; }
+};
+
+/// Decides which batches start a trace and hands out unique trace ids.
+class TraceSampler {
+ public:
+  static constexpr uint32_t kDefaultPeriod = 128;
+
+  explicit TraceSampler(uint32_t period = kDefaultPeriod) : period_(period) {}
+
+  /// Called at batch start. Returns an active context for every `period`-th
+  /// batch, an inactive one otherwise.
+  TraceContext maybe_start(int64_t now_ns);
+
+  void set_period(uint32_t period) { period_.store(period, std::memory_order_relaxed); }
+  uint32_t period() const { return period_.load(std::memory_order_relaxed); }
+
+  /// Process-wide sampler; period initialized from NEPTUNE_TRACE_SAMPLE.
+  static TraceSampler& global();
+
+ private:
+  std::atomic<uint32_t> period_;
+  std::atomic<uint64_t> counter_{0};
+  std::atomic<uint64_t> next_id_{1};
+};
+
+/// Bounded sink for completed spans. Cold path only (sampled batches), so a
+/// mutex-guarded ring is fine.
+class TraceCollector {
+ public:
+  explicit TraceCollector(size_t capacity = 8192) : capacity_(capacity) {}
+
+  void record(TraceSpan span);
+
+  std::vector<TraceSpan> spans() const;
+  size_t size() const;
+  uint64_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void clear();
+
+  /// One JSON object per line; returns false if the file can't be written.
+  bool dump_jsonl(const std::string& path) const;
+
+  static TraceCollector& global();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceSpan> ring_;
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace neptune::obs

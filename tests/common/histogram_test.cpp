@@ -110,6 +110,83 @@ TEST(LatencyHistogram, ConcurrentRecordingLosesNothing) {
   EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(LatencyHistogram, SingleSampleIsEveryPercentile) {
+  LatencyHistogram h;
+  h.record(777);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 777u);
+  EXPECT_EQ(h.max(), 777u);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    uint64_t v = h.percentile(p);
+    EXPECT_GE(v, 777u * 96 / 100) << "p=" << p;
+    EXPECT_LE(v, 777u * 104 / 100) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, MaxTrackableClampsAndCountsSaturation) {
+  LatencyHistogram h(5, /*max_trackable=*/1000);
+  EXPECT_EQ(h.max_trackable(), 1000u);
+  h.record(10);
+  h.record(500);
+  EXPECT_EQ(h.saturated_count(), 0u);
+  h.record(50'000);        // above the cap: clamped, counted
+  h.record_n(1 << 30, 3);  // way above: clamped, counted per-occurrence
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.saturated_count(), 4u);
+  // Percentiles above the clamp point are bounded by the top bucket,
+  // not by the raw sample values.
+  EXPECT_LE(h.percentile(100), 1100u);
+  // max() still reports the true maximum seen (it is tracked separately).
+  EXPECT_EQ(h.max(), uint64_t{1} << 30);
+}
+
+TEST(LatencyHistogram, ZeroMaxTrackableNeverSaturates) {
+  LatencyHistogram h;  // unbounded
+  h.record(~0ULL);
+  h.record(1);
+  EXPECT_EQ(h.saturated_count(), 0u);
+}
+
+TEST(LatencyHistogram, ResetClearsSaturation) {
+  LatencyHistogram h(5, 100);
+  h.record(1'000'000);
+  EXPECT_EQ(h.saturated_count(), 1u);
+  h.reset();
+  EXPECT_EQ(h.saturated_count(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(LatencyHistogram, MergeFoldsOverflowOfWiderHistogram) {
+  // Merging a full-range histogram into a truncated one must fold the
+  // source's out-of-range buckets into the top bucket and count them
+  // as saturated rather than reading past the end of the array.
+  LatencyHistogram narrow(5, /*max_trackable=*/1000);
+  LatencyHistogram wide(5);
+  for (int i = 0; i < 10; ++i) wide.record(50);
+  for (int i = 0; i < 5; ++i) wide.record(1'000'000'000);
+  narrow.merge(wide);
+  EXPECT_EQ(narrow.count(), 15u);
+  EXPECT_GE(narrow.saturated_count(), 5u);
+  EXPECT_LE(narrow.percentile(100), 1100u);
+}
+
+TEST(LatencyHistogram, MergePropagatesSaturatedCount) {
+  LatencyHistogram a(5, 100), b(5, 100);
+  a.record(5000);
+  b.record(6000);
+  b.record(7000);
+  a.merge(b);
+  EXPECT_EQ(a.saturated_count(), 3u);
+}
+
+TEST(LatencyHistogram, SummaryStringReportsSaturation) {
+  LatencyHistogram h(5, 100);
+  h.record(50);
+  EXPECT_EQ(h.summary_string().find("sat="), std::string::npos);
+  h.record(100'000);
+  EXPECT_NE(h.summary_string().find("sat=1"), std::string::npos);
+}
+
 TEST(LatencyHistogram, SummaryStringMentionsPercentiles) {
   LatencyHistogram h;
   for (int i = 1; i <= 100; ++i) h.record(static_cast<uint64_t>(i) * 1000000);

@@ -4,6 +4,7 @@
 
 #include "net/frame.hpp"
 #include "net/inproc_transport.hpp"
+#include "obs/trace.hpp"
 
 namespace neptune {
 namespace {
@@ -31,6 +32,10 @@ struct BufferFixture : ::testing::Test {
     FrameHeader header;
     uint32_t src_instance;
     uint64_t base_seq;
+    uint64_t trace_id;
+    int64_t trace_origin_ns;
+    int64_t batch_start_ns;
+    int64_t flush_ns;
     std::vector<StreamPacket> packets;
   };
   std::vector<Got> drain_frames() {
@@ -50,6 +55,10 @@ struct BufferFixture : ::testing::Test {
         ByteReader r(plain);
         g.src_instance = r.read_u32();
         g.base_seq = r.read_u64();
+        g.trace_id = r.read_u64();
+        g.trace_origin_ns = r.read_i64();
+        g.batch_start_ns = r.read_i64();
+        g.flush_ns = r.read_i64();
         for (uint32_t i = 0; i < h.batch_count; ++i) {
           StreamPacket p;
           p.deserialize(r);
@@ -197,6 +206,104 @@ TEST_F(BufferFixture, MetricsCountBytesOut) {
   buf->add(packet_of(200, 1));
   EXPECT_GT(metrics.bytes_out.load(), 200u);  // frame overhead included
   EXPECT_EQ(metrics.flushes.load(), 1u);
+}
+
+TEST_F(BufferFixture, BlockedTimeAccumulatesIntoMetrics) {
+  ChannelConfig tiny{.capacity_bytes = 200, .low_watermark_bytes = 50};
+  make(/*capacity=*/100, 0, {}, tiny);
+  EXPECT_TRUE(buf->add(packet_of(120, 1)));   // flush 1 fills the channel
+  EXPECT_FALSE(buf->add(packet_of(120, 2)));  // flush 2 blocks
+  EXPECT_TRUE(buf->blocked());
+  EXPECT_EQ(metrics.blocked_ns.load(), 0u);  // still blocked: not settled yet
+
+  clock.advance_ns(5'000'000);  // 5 ms stalled
+  drain_frames();               // free channel space
+  EXPECT_TRUE(buf->drain(false));
+  EXPECT_FALSE(buf->blocked());
+  EXPECT_EQ(metrics.blocked_ns.load(), 5'000'000u);
+
+  // A second stall accumulates on top of the first.
+  drain_frames();  // consume the retried frame so the channel is empty again
+  EXPECT_TRUE(buf->add(packet_of(120, 3)));
+  EXPECT_FALSE(buf->add(packet_of(120, 4)));
+  clock.advance_ns(2'000'000);
+  drain_frames();
+  EXPECT_TRUE(buf->drain(false));
+  EXPECT_EQ(metrics.blocked_ns.load(), 7'000'000u);
+}
+
+TEST_F(BufferFixture, UntracedBatchCarriesZeroedTraceBlock) {
+  obs::TraceSampler::global().set_period(0);  // deterministic: never sampled
+  make(/*capacity=*/100);
+  buf->add(packet_of(200, 1));
+  auto frames = drain_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].trace_id, 0u);
+  EXPECT_EQ(frames[0].trace_origin_ns, 0);
+  EXPECT_EQ(frames[0].batch_start_ns, 0);
+  EXPECT_EQ(frames[0].flush_ns, 0);
+}
+
+TEST_F(BufferFixture, NoteTraceStampsHeaderAtFlush) {
+  obs::TraceSampler::global().set_period(0);
+  make(/*capacity=*/1 << 20);
+  buf->note_trace(obs::TraceContext{42, 900});
+  buf->add(packet_of(50, 1));
+  clock.advance_ns(1'000);
+  buf->drain(/*force=*/true);
+  auto frames = drain_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].trace_id, 42u);
+  EXPECT_EQ(frames[0].trace_origin_ns, 900);
+  EXPECT_EQ(frames[0].batch_start_ns, 1000);  // ManualClock start
+  EXPECT_EQ(frames[0].flush_ns, 2000);
+
+  // The trace does not leak into the next batch.
+  buf->add(packet_of(50, 2));
+  buf->drain(true);
+  auto next = drain_frames();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].trace_id, 0u);
+}
+
+TEST_F(BufferFixture, FirstNoteTraceWinsForABatch) {
+  obs::TraceSampler::global().set_period(0);
+  make(/*capacity=*/1 << 20);
+  buf->note_trace(obs::TraceContext{7, 100});
+  buf->note_trace(obs::TraceContext{8, 200});  // ignored: batch already traced
+  buf->note_trace(obs::TraceContext{});        // inactive: ignored
+  buf->add(packet_of(50, 1));
+  buf->drain(true);
+  auto frames = drain_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].trace_id, 7u);
+  EXPECT_EQ(frames[0].trace_origin_ns, 100);
+}
+
+TEST_F(BufferFixture, TraceSurvivesCompression) {
+  obs::TraceSampler::global().set_period(0);
+  make(/*capacity=*/4000, 0, {.mode = CompressionMode::kSelective, .entropy_threshold = 6.0});
+  buf->note_trace(obs::TraceContext{99, 500});
+  for (int i = 0; i < 40; ++i) buf->add(packet_of(100, 0));  // repetitive payload
+  buf->drain(true);
+  auto frames = drain_frames();
+  ASSERT_GE(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].header.compressed());
+  EXPECT_EQ(frames[0].trace_id, 99u);  // patched before the codec ran
+  EXPECT_EQ(frames[0].trace_origin_ns, 500);
+}
+
+TEST_F(BufferFixture, BufferedBytesTracksOccupancy) {
+  make(/*capacity=*/1 << 20);
+  EXPECT_EQ(buf->buffered_bytes(), 0u);
+  buf->add(packet_of(100, 1));
+  size_t after_one = buf->buffered_bytes();
+  EXPECT_GT(after_one, 100u);  // packet + batch header
+  buf->add(packet_of(100, 2));
+  EXPECT_GT(buf->buffered_bytes(), after_one);
+  buf->drain(true);
+  drain_frames();
+  EXPECT_EQ(buf->buffered_bytes(), 0u);
 }
 
 TEST_F(BufferFixture, CloseChannelPropagates) {

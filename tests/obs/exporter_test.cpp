@@ -1,0 +1,88 @@
+#include "obs/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace neptune::obs {
+namespace {
+
+struct ExporterFixture : ::testing::Test {
+  void SetUp() override {
+    double* gauge = &gauge_value;
+    h1 = registry.register_series(
+        SeriesDesc{"neptune_packets_in_total", {{"op", "A"}}, SeriesKind::kCounter, ""},
+        [this] { return static_cast<double>(counter_value); });
+    h2 = registry.register_series(
+        SeriesDesc{"neptune_ready_batches", {{"op", "B"}}, SeriesKind::kGauge, ""},
+        [gauge] { return *gauge; });
+  }
+
+  TelemetryRegistry registry;
+  uint64_t counter_value = 5;
+  double gauge_value = 1.5;
+  TelemetryRegistry::Handle h1, h2;
+};
+
+TEST_F(ExporterFixture, SnapshotToJsonKeysByCanonicalSeries) {
+  auto snap = registry.sample();
+  JsonValue v = snapshot_to_json(registry, snap);
+  const auto& o = v.as_object();
+  EXPECT_EQ(o.at("ts_ns").as_int(), snap.ts_ns);
+  const auto& series = o.at("series").as_object();
+  EXPECT_EQ(series.at("neptune_packets_in_total{op=\"A\"}").as_number(), 5.0);
+  EXPECT_EQ(series.at("neptune_ready_batches{op=\"B\"}").as_number(), 1.5);
+}
+
+TEST_F(ExporterFixture, WriteTimelineJsonlOneSnapshotPerLine) {
+  std::vector<TelemetrySnapshot> snaps;
+  for (int i = 0; i < 3; ++i) {
+    counter_value = 10 * (i + 1);
+    snaps.push_back(registry.sample());
+  }
+  std::string path = ::testing::TempDir() + "timeline_test.jsonl";
+  ASSERT_TRUE(write_timeline_jsonl(path, registry, snaps));
+
+  std::ifstream in(path);
+  std::string line;
+  int n = 0;
+  int64_t prev_ts = 0;
+  while (std::getline(in, line)) {
+    auto v = JsonValue::parse(line);
+    int64_t ts = v.at("ts_ns").as_int();
+    EXPECT_GE(ts, prev_ts);
+    prev_ts = ts;
+    double c = v.at("series").as_object().at("neptune_packets_in_total{op=\"A\"}").as_number();
+    EXPECT_EQ(c, 10.0 * (n + 1));
+    ++n;
+  }
+  EXPECT_EQ(n, 3);
+  std::remove(path.c_str());
+}
+
+TEST_F(ExporterFixture, WriteTimelineToUnwritablePathFails) {
+  EXPECT_FALSE(write_timeline_jsonl("/nonexistent-dir/t.jsonl", registry, {}));
+}
+
+TEST_F(ExporterFixture, TimelineToJsonIsArray) {
+  std::vector<TelemetrySnapshot> snaps{registry.sample(), registry.sample()};
+  JsonValue v = timeline_to_json(registry, snaps);
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.as_array().size(), 2u);
+}
+
+TEST_F(ExporterFixture, RetiredSeriesStillResolvableInOldSnapshots) {
+  auto snap = registry.sample();
+  h1.reset();  // series retired after the snapshot was taken
+  JsonValue v = snapshot_to_json(registry, snap);
+  const auto& series = v.at("series").as_object();
+  EXPECT_TRUE(series.count("neptune_packets_in_total{op=\"A\"}") > 0);
+}
+
+}  // namespace
+}  // namespace neptune::obs

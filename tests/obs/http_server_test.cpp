@@ -1,0 +1,100 @@
+#include "obs/http_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace neptune::obs {
+namespace {
+
+struct HttpFixture : ::testing::Test {
+  void SetUp() override {
+    handle = registry.register_series(
+        SeriesDesc{"neptune_flushes_total", {{"op", "A"}}, SeriesKind::kCounter, "flushes"},
+        [] { return 11.0; });
+    sampler = std::make_unique<TelemetrySampler>(
+        registry, SamplerOptions{.interval_ns = 1'000'000'000, .ring_capacity = 16});
+    TraceSpan s;
+    s.trace_id = 9;
+    s.dst_operator = "sink";
+    traces.record(s);
+    server = std::make_unique<MetricsHttpServer>(/*port=*/0, &registry, sampler.get(), &traces);
+    ASSERT_GT(server->port(), 0);
+  }
+
+  TelemetryRegistry registry;
+  TelemetryRegistry::Handle handle;
+  std::unique_ptr<TelemetrySampler> sampler;
+  TraceCollector traces;
+  std::unique_ptr<MetricsHttpServer> server;
+};
+
+TEST_F(HttpFixture, HealthzRespondsOk) {
+  auto body = http_get("127.0.0.1", server->port(), "/healthz");
+  ASSERT_TRUE(body.has_value());
+  EXPECT_NE(body->find("ok"), std::string::npos);
+  EXPECT_GE(server->requests_served(), 1u);
+}
+
+TEST_F(HttpFixture, MetricsServesPrometheusText) {
+  auto body = http_get("127.0.0.1", server->port(), "/metrics");
+  ASSERT_TRUE(body.has_value());
+  EXPECT_NE(body->find("# TYPE neptune_flushes_total counter"), std::string::npos);
+  EXPECT_NE(body->find("neptune_flushes_total{op=\"A\"} 11"), std::string::npos);
+}
+
+TEST_F(HttpFixture, TelemetryJsonServesSampledRing) {
+  sampler->sample_once();
+  sampler->sample_once();
+  auto body = http_get("127.0.0.1", server->port(), "/telemetry.json");
+  ASSERT_TRUE(body.has_value());
+  auto v = JsonValue::parse(*body);
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.as_array().size(), 2u);
+}
+
+TEST_F(HttpFixture, SpansJsonServesTraceRing) {
+  auto body = http_get("127.0.0.1", server->port(), "/spans.json");
+  ASSERT_TRUE(body.has_value());
+  auto v = JsonValue::parse(*body);
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 1u);
+  EXPECT_EQ(v.as_array()[0].at("dst_operator").as_string(), "sink");
+}
+
+TEST_F(HttpFixture, UnknownRouteDoesNotWedgeServer) {
+  (void)http_get("127.0.0.1", server->port(), "/nope");
+  auto body = http_get("127.0.0.1", server->port(), "/healthz");
+  ASSERT_TRUE(body.has_value());
+  EXPECT_NE(body->find("ok"), std::string::npos);
+}
+
+TEST_F(HttpFixture, ManySequentialRequests) {
+  for (int i = 0; i < 20; ++i) {
+    auto body = http_get("127.0.0.1", server->port(), "/metrics");
+    ASSERT_TRUE(body.has_value()) << "request " << i;
+  }
+  EXPECT_GE(server->requests_served(), 20u);
+}
+
+TEST_F(HttpFixture, StopIsIdempotentAndFinal) {
+  server->stop();
+  server->stop();
+  EXPECT_FALSE(http_get("127.0.0.1", server->port(), "/healthz", 200).has_value());
+}
+
+TEST(MetricsHttpServer, TwoServersOnEphemeralPortsCoexist) {
+  TelemetryRegistry reg;
+  MetricsHttpServer a(0, &reg);
+  MetricsHttpServer b(0, &reg);
+  EXPECT_NE(a.port(), b.port());
+  EXPECT_TRUE(http_get("127.0.0.1", a.port(), "/healthz").has_value());
+  EXPECT_TRUE(http_get("127.0.0.1", b.port(), "/healthz").has_value());
+}
+
+}  // namespace
+}  // namespace neptune::obs

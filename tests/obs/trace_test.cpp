@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace neptune::obs {
+namespace {
+
+TEST(TraceContext, DefaultIsInactive) {
+  TraceContext ctx;
+  EXPECT_FALSE(ctx.active());
+  EXPECT_TRUE((TraceContext{7, 100}.active()));
+}
+
+TEST(TraceSampler, PeriodOneTracesEveryBatchWithUniqueIds) {
+  TraceSampler sampler(1);
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    auto ctx = sampler.maybe_start(1000 + i);
+    ASSERT_TRUE(ctx.active());
+    EXPECT_EQ(ctx.origin_ns, 1000 + i);
+    ids.insert(ctx.trace_id);
+  }
+  EXPECT_EQ(ids.size(), 100u);  // never reused
+}
+
+TEST(TraceSampler, OneInNSampling) {
+  TraceSampler sampler(16);
+  int active = 0;
+  for (int i = 0; i < 16 * 8; ++i)
+    if (sampler.maybe_start(0).active()) ++active;
+  EXPECT_EQ(active, 8);
+}
+
+TEST(TraceSampler, PeriodZeroDisablesTracing) {
+  TraceSampler sampler(0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(sampler.maybe_start(0).active());
+  sampler.set_period(2);
+  int active = 0;
+  for (int i = 0; i < 10; ++i)
+    if (sampler.maybe_start(0).active()) ++active;
+  EXPECT_EQ(active, 5);
+}
+
+TEST(TraceSpan, PhaseDecomposition) {
+  TraceSpan s;
+  s.origin_ns = 100;
+  s.batch_start_ns = 100;
+  s.flush_ns = 150;
+  s.recv_ns = 180;
+  s.exec_start_ns = 200;
+  s.exec_end_ns = 260;
+  EXPECT_EQ(s.buffer_wait_ns(), 50);
+  EXPECT_EQ(s.wire_ns(), 30);
+  EXPECT_EQ(s.queue_wait_ns(), 20);
+  EXPECT_EQ(s.execute_ns(), 60);
+  EXPECT_EQ(s.total_ns(), 160);
+  // Phases tile the hop end to end.
+  EXPECT_EQ(s.buffer_wait_ns() + s.wire_ns() + s.queue_wait_ns() + s.execute_ns(),
+            s.exec_end_ns - s.batch_start_ns);
+}
+
+TEST(TraceCollector, BoundedRingDropsOldest) {
+  TraceCollector c(4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    TraceSpan s;
+    s.trace_id = i;
+    c.record(s);
+  }
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.recorded(), 10u);
+  EXPECT_EQ(c.dropped(), 6u);
+  auto spans = c.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().trace_id, 7u);  // oldest surviving
+  EXPECT_EQ(spans.back().trace_id, 10u);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.recorded(), 10u);  // lifetime counters survive clear()
+}
+
+TEST(TraceCollector, DumpJsonlRoundTrips) {
+  TraceCollector c;
+  TraceSpan s;
+  s.trace_id = 42;
+  s.link_id = 3;
+  s.dst_operator = "sink";
+  s.origin_ns = 10;
+  s.batch_start_ns = 10;
+  s.flush_ns = 20;
+  s.recv_ns = 30;
+  s.exec_start_ns = 40;
+  s.exec_end_ns = 50;
+  s.batch_count = 5;
+  s.bytes = 500;
+  c.record(s);
+  s.trace_id = 43;
+  c.record(s);
+
+  std::string path = ::testing::TempDir() + "spans_test.jsonl";
+  ASSERT_TRUE(c.dump_jsonl(path));
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    auto v = JsonValue::parse(line);
+    const auto& o = v.as_object();
+    EXPECT_EQ(o.at("link").as_int(), 3);
+    EXPECT_EQ(o.at("dst_operator").as_string(), "sink");
+    EXPECT_EQ(o.at("buffer_wait_ns").as_int(), 10);
+    EXPECT_EQ(o.at("wire_ns").as_int(), 10);
+    EXPECT_EQ(o.at("execute_ns").as_int(), 10);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCollector, DumpToUnwritablePathFails) {
+  TraceCollector c;
+  EXPECT_FALSE(c.dump_jsonl("/nonexistent-dir/spans.jsonl"));
+}
+
+}  // namespace
+}  // namespace neptune::obs
