@@ -1,0 +1,155 @@
+// Standalone driver for the fuzz targets when the toolchain has no libFuzzer
+// (gcc-only builds). Replays every file in the given corpus paths through
+// LLVMFuzzerTestOneInput, then runs a seeded mutation loop over the corpus
+// for a bounded time. On a crash signal the offending input is dumped to
+// crash-<pid>.bin before the process dies, so the case can be replayed:
+//
+//   frame_decode_fuzz [--max-seconds=N] [--seed=S] [--runs=N] corpus-dir...
+//
+// With clang the same targets link -fsanitize=fuzzer instead and this file
+// is not built; use libFuzzer's own flags there (-max_total_time etc.).
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/rng.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// Last input under test, reachable from the crash handler.
+std::vector<uint8_t>* g_current = nullptr;
+
+void crash_handler(int sig) {
+  if (g_current && !g_current->empty()) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "crash-%d.bin", static_cast<int>(getpid()));
+    int fd = ::open(name, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ssize_t ignored = ::write(fd, g_current->data(), g_current->size());
+      (void)ignored;
+      ::close(fd);
+    }
+    const char msg[] = "fuzz driver: crashing input saved to crash-<pid>.bin\n";
+    ssize_t ignored = ::write(2, msg, sizeof(msg) - 1);
+    (void)ignored;
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void run_one(std::vector<uint8_t>& input) {
+  g_current = &input;
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+  g_current = nullptr;
+}
+
+void mutate(std::vector<uint8_t>& v, neptune::Xoshiro256& rng) {
+  if (v.empty()) {
+    v.push_back(static_cast<uint8_t>(rng.next_u64()));
+    return;
+  }
+  switch (rng.next_below(6)) {
+    case 0:  // bit flip
+      v[rng.next_below(v.size())] ^= static_cast<uint8_t>(1u << rng.next_below(8));
+      break;
+    case 1:  // byte set
+      v[rng.next_below(v.size())] = static_cast<uint8_t>(rng.next_u64());
+      break;
+    case 2:  // truncate
+      v.resize(rng.next_below(v.size() + 1));
+      break;
+    case 3: {  // insert a small random blob
+      size_t at = rng.next_below(v.size() + 1);
+      size_t n = 1 + rng.next_below(8);
+      std::vector<uint8_t> blob(n);
+      for (auto& b : blob) b = static_cast<uint8_t>(rng.next_u64());
+      v.insert(v.begin() + static_cast<ptrdiff_t>(at), blob.begin(), blob.end());
+      break;
+    }
+    case 4: {  // duplicate a slice
+      size_t at = rng.next_below(v.size());
+      size_t n = 1 + rng.next_below(std::min<size_t>(v.size() - at, 32));
+      std::vector<uint8_t> slice(v.begin() + static_cast<ptrdiff_t>(at),
+                                 v.begin() + static_cast<ptrdiff_t>(at + n));
+      v.insert(v.end(), slice.begin(), slice.end());
+      break;
+    }
+    default: {  // overwrite with a magic-ish constant (tickles header parsing)
+      size_t at = rng.next_below(v.size());
+      const uint8_t magics[] = {0x50, 0x4E, 0x00, 0xFF, 0x7F};
+      v[at] = magics[rng.next_below(sizeof(magics))];
+      break;
+    }
+  }
+  if (v.size() > 1 << 20) v.resize(1 << 20);  // keep cases small
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long max_seconds = 10;
+  uint64_t seed = static_cast<uint64_t>(std::time(nullptr));
+  long max_runs = -1;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--max-seconds=", 0) == 0) {
+      max_seconds = std::stol(a.substr(14));
+    } else if (a.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(a.substr(7));
+    } else if (a.rfind("--runs=", 0) == 0) {
+      max_runs = std::stol(a.substr(7));
+    } else {
+      paths.push_back(std::move(a));
+    }
+  }
+
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) std::signal(sig, crash_handler);
+
+  // Load + replay the corpus.
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const auto& p : paths) {
+    std::vector<std::filesystem::path> files;
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& e : std::filesystem::directory_iterator(p))
+        if (e.is_regular_file()) files.push_back(e.path());
+    } else {
+      files.emplace_back(p);
+    }
+    for (const auto& f : files) {
+      std::ifstream in(f, std::ios::binary);
+      std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+      run_one(bytes);
+      corpus.push_back(std::move(bytes));
+    }
+  }
+  std::fprintf(stderr, "fuzz driver: replayed %zu corpus file(s) ok\n", corpus.size());
+  if (corpus.empty()) corpus.push_back({});
+
+  // Seeded mutation loop.
+  neptune::Xoshiro256 rng(seed);
+  std::time_t deadline = std::time(nullptr) + max_seconds;
+  long runs = 0;
+  while (std::time(nullptr) < deadline && (max_runs < 0 || runs < max_runs)) {
+    std::vector<uint8_t> input = corpus[rng.next_below(corpus.size())];
+    size_t stacked = 1 + rng.next_below(4);
+    for (size_t m = 0; m < stacked; ++m) mutate(input, rng);
+    run_one(input);
+    ++runs;
+  }
+  std::fprintf(stderr, "fuzz driver: %ld mutated run(s), seed=%llu, no crashes\n", runs,
+               static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fuzz target: the wire-frame decoder. Arbitrary bytes are fed to
+// FrameDecoder both as one chunk and re-split into small chunks derived
+// from the input itself — the decoder must never crash, never hand a frame
+// whose payload size disagrees with its header, and chunking must not
+// change the outcome. Also exercises the one-shot decode_frame path.
+//
+// Built with libFuzzer when the toolchain has one (clang, -fsanitize=fuzzer)
+// or with the standalone corpus-replay/mutation driver (fuzz/driver_main.cpp)
+// otherwise; the entry point is the same.
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "net/frame.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace neptune;
+  std::span<const uint8_t> input(data, size);
+
+  // Pass 1: whole input at once.
+  size_t frames_once = 0;
+  {
+    FrameDecoder dec;
+    dec.feed(input, [&](const FrameHeader& h, std::span<const uint8_t> payload) {
+      if (payload.size() != h.payload_size) abort();  // header/payload mismatch
+      if (h.payload_size > FrameHeader::kMaxPayload) abort();
+      ++frames_once;
+    });
+    if (dec.pending_bytes() > size) abort();  // decoder invented bytes
+  }
+
+  // Pass 2: same input in chunks whose sizes are derived from the data, so
+  // the fuzzer controls the split points. Chunking must be transparent:
+  // a byte-stream decoder yields the same frames for any split.
+  size_t frames_chunked = 0;
+  {
+    FrameDecoder dec;
+    size_t off = 0;
+    size_t salt = size;
+    bool errored = false;
+    while (off < size && !errored) {
+      size_t chunk = 1 + (data[off % size] + salt++) % 61;
+      if (chunk > size - off) chunk = size - off;
+      auto st = dec.feed(input.subspan(off, chunk),
+                         [&](const FrameHeader&, std::span<const uint8_t>) { ++frames_chunked; });
+      // After a hard error the stream is poisoned; stop like a transport would.
+      errored = st == FrameDecodeStatus::kBadMagic || st == FrameDecodeStatus::kBadLength ||
+                st == FrameDecodeStatus::kBadChecksum;
+      off += chunk;
+    }
+    if (!errored && frames_chunked != frames_once) abort();
+  }
+
+  // Pass 3: one-shot datagram decode must agree with itself.
+  FrameDecodeStatus status;
+  auto one = decode_frame(input, &status);
+  if (one && one->payload.size() != one->header.payload_size) abort();
+
+  // Pass 4: reset() mid-stream must leave the decoder reusable.
+  {
+    FrameDecoder dec;
+    dec.feed(input.subspan(0, size / 2), [](const FrameHeader&, std::span<const uint8_t>) {});
+    dec.reset();
+    if (dec.pending_bytes() != 0) abort();
+    dec.feed(input, [](const FrameHeader&, std::span<const uint8_t>) {});
+  }
+  return 0;
+}

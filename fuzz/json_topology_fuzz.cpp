@@ -1,0 +1,41 @@
+// Fuzz target: JSON parsing + stream-graph construction. Arbitrary text is
+// parsed as a topology descriptor; malformed input must surface as JsonError
+// or GraphError — any other exception, crash, or sanitizer report is a bug.
+// Well-formed graphs are additionally validated end-to-end.
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "neptune/json_topology.hpp"
+#include "neptune/workload.hpp"
+
+namespace {
+
+const neptune::OperatorRegistry& registry() {
+  using namespace neptune;
+  static const OperatorRegistry* reg = [] {
+    auto* r = new OperatorRegistry();
+    r->register_source("bytes-source",
+                       [] { return std::make_unique<workload::BytesSource>(100, 32); });
+    r->register_processor("relay", [] { return std::make_unique<workload::RelayProcessor>(); });
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace neptune;
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    StreamGraph g = graph_from_json(text, registry());
+    g.validate();  // anything that builds must also be internally consistent
+  } catch (const JsonError&) {
+  } catch (const GraphError&) {
+  }
+  // Any other exception escapes and aborts the process — that is the signal.
+  return 0;
+}

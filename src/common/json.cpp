@@ -50,17 +50,26 @@ class Parser {
   }
 
   JsonValue parse_value() {
+    // The parser recurses per nesting level; without a cap a hostile
+    // document ("[[[[[...") overflows the stack instead of raising
+    // JsonError (found by fuzz/json_topology_fuzz).
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    ++depth_;
     skip_ws();
     char c = peek();
-    switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return JsonValue(parse_string());
-      case 't': parse_literal("true"); return JsonValue(true);
-      case 'f': parse_literal("false"); return JsonValue(false);
-      case 'n': parse_literal("null"); return JsonValue(nullptr);
-      default: return parse_number();
-    }
+    JsonValue v = [&] {
+      switch (c) {
+        case '{': return parse_object();
+        case '[': return parse_array();
+        case '"': return JsonValue(parse_string());
+        case 't': parse_literal("true"); return JsonValue(true);
+        case 'f': parse_literal("false"); return JsonValue(false);
+        case 'n': parse_literal("null"); return JsonValue(nullptr);
+        default: return parse_number();
+      }
+    }();
+    --depth_;
+    return v;
   }
 
   void parse_literal(std::string_view lit) {
@@ -169,8 +178,11 @@ class Parser {
     }
   }
 
+  static constexpr int kMaxDepth = 256;
+
   std::string_view s_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void dump_string(const std::string& s, std::string& out) {

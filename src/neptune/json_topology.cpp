@@ -1,5 +1,7 @@
 #include "neptune/json_topology.hpp"
 
+#include <stdexcept>
+
 namespace neptune {
 
 OperatorRegistry& OperatorRegistry::register_source(const std::string& type,
@@ -26,6 +28,26 @@ const ProcessorFactory* OperatorRegistry::find_processor(const std::string& type
 
 namespace {
 
+/// Checked numeric field. JSON numbers arrive as doubles; narrowing them
+/// unchecked makes "parallelism": -3 or 1e300 undefined behaviour instead
+/// of a diagnosable error (found by fuzz/json_topology_fuzz under UBSan).
+int64_t int_field(const JsonValue& v, const char* key, int64_t fallback, int64_t lo, int64_t hi) {
+  double d = v.number_or(key, static_cast<double>(fallback));
+  if (!(d >= static_cast<double>(lo)) || d > static_cast<double>(hi))
+    throw GraphError(std::string(key) + " out of range [" + std::to_string(lo) + ", " +
+                     std::to_string(hi) + "]");
+  return static_cast<int64_t>(d);
+}
+
+/// Millisecond field converted to ns, range-checked the same way.
+int64_t ms_to_ns_field(const JsonValue& v, const char* key, int64_t fallback_ns) {
+  double ms = v.number_or(key, static_cast<double>(fallback_ns) / 1e6);
+  if (!(ms >= 0) || ms > 1e9) throw GraphError(std::string(key) + " out of range");
+  return static_cast<int64_t>(ms * 1e6);
+}
+
+constexpr int64_t kMaxBytes = int64_t{1} << 40;  // 1 TB sanity cap
+
 CompressionPolicy compression_from_json(const JsonValue& link) {
   CompressionPolicy p;
   std::string mode = link.string_or("compression", "off");
@@ -39,8 +61,9 @@ CompressionPolicy compression_from_json(const JsonValue& link) {
     throw GraphError("unknown compression mode: " + mode);
   }
   p.entropy_threshold = link.number_or("entropy_threshold", p.entropy_threshold);
-  p.min_payload_bytes = static_cast<size_t>(link.number_or(
-      "min_payload_bytes", static_cast<double>(p.min_payload_bytes)));
+  p.min_payload_bytes = static_cast<size_t>(
+      int_field(link, "min_payload_bytes", static_cast<int64_t>(p.min_payload_bytes), 0,
+                kMaxBytes));
   return p;
 }
 
@@ -50,20 +73,20 @@ StreamGraph graph_from_json(const JsonValue& doc, const OperatorRegistry& regist
   GraphConfig cfg;
   if (doc.contains("config")) {
     const JsonValue& c = doc.at("config");
-    cfg.buffer.capacity_bytes = static_cast<size_t>(
-        c.number_or("buffer_bytes", static_cast<double>(cfg.buffer.capacity_bytes)));
-    cfg.buffer.flush_interval_ns = static_cast<int64_t>(
-        c.number_or("flush_interval_ms",
-                    static_cast<double>(cfg.buffer.flush_interval_ns) / 1e6) *
-        1e6);
-    cfg.channel.capacity_bytes = static_cast<size_t>(
-        c.number_or("channel_bytes", static_cast<double>(cfg.channel.capacity_bytes)));
-    cfg.channel.low_watermark_bytes = static_cast<size_t>(c.number_or(
-        "channel_low_watermark", static_cast<double>(cfg.channel.capacity_bytes) / 4));
-    cfg.source_batch_budget = static_cast<size_t>(
-        c.number_or("source_batch", static_cast<double>(cfg.source_batch_budget)));
-    cfg.max_batches_per_execution = static_cast<size_t>(c.number_or(
-        "max_batches_per_execution", static_cast<double>(cfg.max_batches_per_execution)));
+    cfg.buffer.capacity_bytes = static_cast<size_t>(int_field(
+        c, "buffer_bytes", static_cast<int64_t>(cfg.buffer.capacity_bytes), 0, kMaxBytes));
+    cfg.buffer.flush_interval_ns =
+        ms_to_ns_field(c, "flush_interval_ms", cfg.buffer.flush_interval_ns);
+    cfg.channel.capacity_bytes = static_cast<size_t>(int_field(
+        c, "channel_bytes", static_cast<int64_t>(cfg.channel.capacity_bytes), 0, kMaxBytes));
+    cfg.channel.low_watermark_bytes = static_cast<size_t>(
+        int_field(c, "channel_low_watermark",
+                  static_cast<int64_t>(cfg.channel.capacity_bytes) / 4, 0, kMaxBytes));
+    cfg.source_batch_budget = static_cast<size_t>(int_field(
+        c, "source_batch", static_cast<int64_t>(cfg.source_batch_budget), 1, 1'000'000));
+    cfg.max_batches_per_execution = static_cast<size_t>(
+        int_field(c, "max_batches_per_execution",
+                  static_cast<int64_t>(cfg.max_batches_per_execution), 1, 1'000'000));
   }
 
   StreamGraph graph(doc.string_or("name", "anonymous"), cfg);
@@ -72,8 +95,8 @@ StreamGraph graph_from_json(const JsonValue& doc, const OperatorRegistry& regist
     std::string id = op.at("id").as_string();
     std::string type = op.at("type").as_string();
     std::string kind = op.string_or("kind", "processor");
-    uint32_t parallelism = static_cast<uint32_t>(op.number_or("parallelism", 1));
-    int resource = static_cast<int>(op.number_or("resource", -1));
+    uint32_t parallelism = static_cast<uint32_t>(int_field(op, "parallelism", 1, 1, 65536));
+    int resource = static_cast<int>(int_field(op, "resource", -1, -1, 1'000'000));
     if (kind == "source") {
       const SourceFactory* f = registry.find_source(type);
       if (!f) throw GraphError("unregistered source type: " + type);
@@ -90,19 +113,26 @@ StreamGraph graph_from_json(const JsonValue& doc, const OperatorRegistry& regist
   if (doc.contains("links")) {
     for (const JsonValue& link : doc.at("links").as_array()) {
       std::string scheme = link.string_or("partitioning", "shuffle");
-      int field = static_cast<int>(link.number_or("field", 0));
+      int field = static_cast<int>(int_field(link, "field", 0, 0, 1'000'000));
       std::optional<StreamBufferConfig> buf_override;
       if (link.contains("buffer_bytes") || link.contains("flush_interval_ms")) {
         StreamBufferConfig b = graph.config().buffer;
         b.capacity_bytes = static_cast<size_t>(
-            link.number_or("buffer_bytes", static_cast<double>(b.capacity_bytes)));
-        b.flush_interval_ns = static_cast<int64_t>(
-            link.number_or("flush_interval_ms", static_cast<double>(b.flush_interval_ns) / 1e6) *
-            1e6);
+            int_field(link, "buffer_bytes", static_cast<int64_t>(b.capacity_bytes), 0, kMaxBytes));
+        b.flush_interval_ns = ms_to_ns_field(link, "flush_interval_ms", b.flush_interval_ns);
         buf_override = b;
       }
-      graph.connect(link.at("from").as_string(), link.at("to").as_string(),
-                    make_partitioning(scheme, field), compression_from_json(link), buf_override);
+      std::shared_ptr<PartitioningScheme> part;
+      try {
+        part = make_partitioning(scheme, field);
+      } catch (const std::invalid_argument& e) {
+        // make_partitioning is API-facing and throws invalid_argument; from a
+        // descriptor an unknown scheme is a graph error like any other
+        // (fuzz/json_topology_fuzz: the exception escaped the documented set).
+        throw GraphError(e.what());
+      }
+      graph.connect(link.at("from").as_string(), link.at("to").as_string(), std::move(part),
+                    compression_from_json(link), buf_override);
     }
   }
 

@@ -95,6 +95,16 @@ size_t InprocChannel::in_flight_bytes() const {
   return in_flight_;
 }
 
+size_t InprocChannel::queued_frames() const {
+  std::lock_guard lk(mu_);
+  return q_.size();
+}
+
+bool InprocChannel::writable_wakeup_armed() const {
+  std::lock_guard lk(mu_);
+  return was_blocked_;
+}
+
 InprocPipe make_inproc_pipe(const ChannelConfig& config) {
   auto ch = std::make_shared<InprocChannel>(config);
   return InprocPipe{ch, ch};

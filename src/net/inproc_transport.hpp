@@ -48,6 +48,14 @@ class InprocChannel final : public ChannelSender,
   }
 
   size_t in_flight_bytes() const;
+  /// Frames currently queued (in-flight). White-box probe for capacity
+  /// invariants: in_flight_bytes() may exceed capacity only when a single
+  /// oversized frame was admitted into an empty pipe.
+  size_t queued_frames() const;
+  /// True when a sender hit the budget and the writable wakeup has not yet
+  /// fired — i.e. the backpressure wakeup obligation is still armed at the
+  /// channel. White-box probe for lost-wakeup invariants.
+  bool writable_wakeup_armed() const;
 
  private:
   std::optional<std::vector<uint8_t>> pop_locked(std::unique_lock<std::mutex>& lk);

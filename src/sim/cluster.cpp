@@ -70,6 +70,8 @@ struct Instance {
   bool has_blocked_chunk = false;
   bool source_active = false;       // source generation loop armed
   uint64_t source_emitted = 0;
+  uint64_t quota = 0;               // finite workload: packets to emit (0 = unbounded)
+  uint64_t processed = 0;           // packets consumed at this instance (stages >= 1)
 };
 
 /// Credit window per (upstream instance, downstream stage): models the
@@ -163,6 +165,10 @@ struct SimState {
       inst.source_active = false;
       return;
     }
+    if (inst.quota > 0 && inst.source_emitted >= inst.quota) {
+      inst.source_active = false;  // finite workload exhausted
+      return;
+    }
     // Credit check (per upstream-instance window over all of stage 1).
     Edge& edge = jr.edges[flat_local(jr, 0, inst.index)];
     if (edge.credits <= 0) {
@@ -174,6 +180,8 @@ struct SimState {
     --edge.credits;
 
     double n = inst.gen_packets > 0 ? inst.gen_packets : chunk_packets(spec);
+    if (inst.quota > 0)
+      n = std::min(n, static_cast<double>(inst.quota - inst.source_emitted));
     Node& node = nodes[inst.node];
     double cpu = source_cpu_ns(spec, n) * node.contention_multiplier;
     SimTime done = node.cpu_acquire(std::max(q.now(), inst.busy_until), cpu);
@@ -256,6 +264,7 @@ struct SimState {
 
   void service_complete(uint32_t inst_id, Chunk c) {
     Instance& inst = instances[inst_id];
+    if (q.now() <= end_time) inst.processed += static_cast<uint64_t>(c.packets);
     Node& node = nodes[inst.node];
     node.stats.queued_bytes = std::max(0.0, node.stats.queued_bytes - c.payload_bytes);
     JobRuntime& jr = jobs[inst.job];
@@ -415,6 +424,15 @@ SimResult simulate_cluster(const ClusterSpec& cluster, const CostModel& costs, E
     jr.edges.resize(upstreams);
     int window = engine == Engine::kNeptune ? std::max(1, jr.spec.credit_window) : 1 << 20;
     for (auto& e : jr.edges) e.credits = window;
+    // Finite workload: split the job's packet budget over source instances
+    // (first total%S instances take one extra, like workload::BytesSource).
+    if (jr.spec.total_packets > 0) {
+      uint64_t sources = jr.stage_instances[0].size();
+      for (uint64_t i = 0; i < sources; ++i) {
+        Instance& src = st.instances[jr.stage_instances[0][i]];
+        src.quota = jr.spec.total_packets / sources + (i < jr.spec.total_packets % sources ? 1 : 0);
+      }
+    }
     st.jobs.push_back(std::move(jr));
   }
 
@@ -513,6 +531,24 @@ SimResult simulate_cluster(const ClusterSpec& cluster, const CostModel& costs, E
   r.latency_p50_ms = static_cast<double>(st.latency.percentile(50)) * 1e-6;
   r.latency_p99_ms = static_cast<double>(st.latency.percentile(99)) * 1e-6;
   r.latency_mean_ms = st.latency.mean() * 1e-6;
+  // Integer packet accounting per (job, stage, instance) — the model-side
+  // input to the runtime-vs-model differential harness.
+  for (const auto& jr : st.jobs) {
+    JobCounts jc;
+    jc.name = jr.spec.name;
+    for (uint32_t s = 0; s < jr.spec.stages.size(); ++s) {
+      StageCount sc;
+      sc.id = jr.spec.stages[s].id;
+      for (uint32_t id : jr.stage_instances[s]) {
+        const Instance& inst = st.instances[id];
+        uint64_t n = s == 0 ? inst.source_emitted : inst.processed;
+        sc.per_instance.push_back(n);
+        sc.packets += n;
+      }
+      jc.stages.push_back(std::move(sc));
+    }
+    r.per_job.push_back(std::move(jc));
+  }
   return r;
 }
 

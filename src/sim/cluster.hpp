@@ -108,6 +108,14 @@ struct JobSpec {
   /// Source offered rate, packets/s per source instance. 0 = saturating
   /// (emit as fast as CPU/credits allow).
   double offered_pps = 0;
+  /// Finite reproducible workload: total packets emitted across the whole
+  /// source stage (split over instances like workload::BytesSource — the
+  /// first total%parallelism instances emit one extra). 0 = unbounded
+  /// (sources run until the duration elapses). Finite jobs run to full
+  /// drain, so conservation (emitted == delivered for relay stages) is
+  /// exact — the property the differential harness (src/testkit) checks
+  /// against the real dataflow code.
+  uint64_t total_packets = 0;
   /// Storm scheduling constraint (paper §IV-C): a Storm worker process is
   /// dedicated to a single job, so under Engine::kStorm the whole job is
   /// placed on one node. NEPTUNE placement is unaffected.
@@ -121,6 +129,23 @@ struct NodeStats {
   double peak_queued_bytes = 0;
   double queued_bytes = 0;
   int runnable_tasks = 0;
+};
+
+/// Integer packet accounting for one simulated stage — the model-side half
+/// of the runtime-vs-model differential validation (src/testkit). For the
+/// source stage `packets` counts emissions; for processing stages it counts
+/// packets consumed (arrivals processed). `per_instance` breaks the same
+/// count down by instance index, so round-robin distribution can be diffed
+/// against the real ShufflePartitioning.
+struct StageCount {
+  std::string id;
+  uint64_t packets = 0;
+  std::vector<uint64_t> per_instance;
+};
+
+struct JobCounts {
+  std::string name;
+  std::vector<StageCount> stages;
 };
 
 struct SimResult {
@@ -138,6 +163,8 @@ struct SimResult {
   double latency_p50_ms = 0;
   double latency_p99_ms = 0;
   double latency_mean_ms = 0;
+  /// Per-job integer stage counts (see StageCount). Always populated.
+  std::vector<JobCounts> per_job;
 };
 
 /// Simulate `jobs` running concurrently under `engine` for `duration_s` of

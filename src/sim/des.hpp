@@ -43,6 +43,21 @@ class EventQueue {
     return executed;
   }
 
+  /// Execute exactly the next pending event (advancing virtual time to it).
+  /// Returns false when the queue is empty. Substrate for step-wise drivers
+  /// that interleave work with per-step checks (testkit's DST harness).
+  bool run_one() {
+    if (heap_.empty()) return false;
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  /// Timestamp of the next pending event (now() when the queue is empty).
+  SimTime next_time() const { return heap_.empty() ? now_ : heap_.top().time; }
+
   bool empty() const { return heap_.empty(); }
   size_t pending() const { return heap_.size(); }
 

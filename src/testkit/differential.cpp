@@ -1,0 +1,173 @@
+#include "testkit/differential.hpp"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "testkit/invariants.hpp"
+#include "testkit/workloads.hpp"
+
+namespace neptune::testkit {
+
+namespace {
+
+bool power_of_two(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+DiffWorkload fig5_diff_workload(uint32_t parallelism, uint64_t total_packets) {
+  DiffWorkload w;
+  w.name = "fig5-scalability";
+  w.total_packets = total_packets;
+  w.stages.push_back(DiffStage{"ingest", parallelism, 1, 30});
+  w.stages.push_back(DiffStage{"deliver", parallelism, 1, 30});
+  return w;
+}
+
+DiffWorkload fig9_diff_workload(uint64_t total_packets) {
+  DiffWorkload w;
+  w.name = "fig9-monitoring";
+  w.total_packets = total_packets;
+  w.stages.push_back(DiffStage{"sensors", 2, 1, 30});
+  w.stages.push_back(DiffStage{"parse", 2, 1, 60});
+  w.stages.push_back(DiffStage{"detect", 2, 32, 120});
+  w.stages.push_back(DiffStage{"monitor", 1, 1, 30});
+  return w;
+}
+
+StreamGraph build_dst_graph(const DiffWorkload& w) {
+  if (w.stages.size() < 2) throw std::invalid_argument("differential workload needs >= 2 stages");
+  GraphConfig cfg;
+  cfg.buffer.capacity_bytes = 16 << 10;  // several flushes per run
+  StreamGraph g("diff-" + w.name, cfg);
+  uint64_t total = w.total_packets;
+  g.add_source(w.stages[0].id, [total] { return std::make_unique<SeqSource>(total); },
+               w.stages[0].parallelism);
+  for (size_t s = 1; s + 1 < w.stages.size(); ++s) {
+    uint64_t n = w.stages[s].every_nth;
+    g.add_processor(w.stages[s].id, [n] { return std::make_unique<EveryNthProcessor>(n); },
+                    w.stages[s].parallelism);
+  }
+  auto bin = std::make_shared<Collected>();
+  g.add_processor(w.stages.back().id, [bin] { return std::make_unique<CollectorSink>(bin); },
+                  w.stages.back().parallelism);
+  for (size_t s = 0; s + 1 < w.stages.size(); ++s)
+    g.connect(w.stages[s].id, w.stages[s + 1].id, std::make_shared<ShufflePartitioning>());
+  return g;
+}
+
+sim::JobSpec build_model_job(const DiffWorkload& w) {
+  sim::JobSpec job;
+  job.name = "diff-" + w.name;
+  job.packet_bytes = w.packet_bytes;
+  // One model chunk == one packet: per-chunk round-robin becomes per-packet
+  // shuffle, the alignment the per-instance diff depends on.
+  job.buffer_bytes = w.packet_bytes;
+  job.credit_window = 1024;  // wide window: flow control can't starve drain
+  job.total_packets = w.total_packets;
+  for (size_t s = 0; s < w.stages.size(); ++s) {
+    const DiffStage& d = w.stages[s];
+    bool terminal = s + 1 == w.stages.size();
+    if (!terminal && !power_of_two(d.every_nth))
+      throw std::invalid_argument("differential stage '" + d.id + "': every_nth " +
+                                  std::to_string(d.every_nth) +
+                                  " is not a power of two (model float accumulation would "
+                                  "diverge from integer counting)");
+    sim::StageSpec stage;
+    stage.id = d.id;
+    stage.parallelism = d.parallelism;
+    stage.proc_ns_per_packet = d.proc_ns;
+    stage.selectivity = terminal ? 1.0 : 1.0 / static_cast<double>(d.every_nth);
+    job.stages.push_back(stage);
+  }
+  return job;
+}
+
+std::string DifferentialReport::summary() const {
+  std::ostringstream os;
+  os << (dst_completed ? "dst completed" : "dst INCOMPLETE") << ", " << divergences.size()
+     << " divergences";
+  for (const auto& s : stages) {
+    os << "\n  " << s.id << ": model=" << s.model_packets << " dst=" << s.dst_packets
+       << " per-instance model=[";
+    for (size_t i = 0; i < s.model_per_instance.size(); ++i)
+      os << (i ? "," : "") << s.model_per_instance[i];
+    os << "] dst=[";
+    for (size_t i = 0; i < s.dst_per_instance.size(); ++i)
+      os << (i ? "," : "") << s.dst_per_instance[i];
+    os << "]";
+  }
+  for (const auto& d : divergences) os << "\n  DIVERGENCE: " << d;
+  return os.str();
+}
+
+DifferentialReport run_differential(const DiffWorkload& w, uint64_t seed) {
+  DifferentialReport report;
+
+  // --- real-runtime half under DST -----------------------------------------
+  DstOptions opts;
+  opts.seed = seed;
+  opts.record_trace = false;
+  DstJob job(build_dst_graph(w), opts);
+  job.add_checkers(default_checkers());
+  DstReport dst = job.run();
+  report.dst_completed = dst.completed;
+  for (const auto& v : dst.violations) report.divergences.push_back("dst invariant: " + v);
+
+  std::vector<StageDiff> stages(w.stages.size());
+  for (size_t s = 0; s < w.stages.size(); ++s) {
+    stages[s].id = w.stages[s].id;
+    stages[s].dst_per_instance.resize(w.stages[s].parallelism, 0);
+    stages[s].model_per_instance.resize(w.stages[s].parallelism, 0);
+  }
+  for (const auto& m : job.metrics()) {
+    for (size_t s = 0; s < w.stages.size(); ++s) {
+      if (m.operator_id != w.stages[s].id) continue;
+      // Stage 0 counts emissions; downstream stages count consumption —
+      // matching the model's StageCount semantics.
+      uint64_t count = s == 0 ? m.packets_out : m.packets_in;
+      stages[s].dst_packets += count;
+      if (m.instance < stages[s].dst_per_instance.size())
+        stages[s].dst_per_instance[m.instance] = count;
+    }
+  }
+
+  // --- model half ------------------------------------------------------------
+  sim::ClusterSpec cluster;
+  cluster.nodes = 4;
+  sim::SimResult model = sim::simulate_cluster(cluster, sim::CostModel{}, sim::Engine::kNeptune,
+                                               {build_model_job(w)}, /*duration_s=*/60);
+  if (model.per_job.empty()) {
+    report.divergences.push_back("model produced no per-job counts");
+    report.stages = std::move(stages);
+    return report;
+  }
+  const sim::JobCounts& counts = model.per_job[0];
+  for (size_t s = 0; s < stages.size() && s < counts.stages.size(); ++s) {
+    stages[s].model_packets = counts.stages[s].packets;
+    stages[s].model_per_instance = counts.stages[s].per_instance;
+  }
+
+  // --- diff ------------------------------------------------------------------
+  for (const auto& s : stages) {
+    if (s.model_packets != s.dst_packets) {
+      report.divergences.push_back("stage '" + s.id + "': model total " +
+                                   std::to_string(s.model_packets) + " != dst total " +
+                                   std::to_string(s.dst_packets));
+    }
+    size_t n = std::max(s.model_per_instance.size(), s.dst_per_instance.size());
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t mv = i < s.model_per_instance.size() ? s.model_per_instance[i] : 0;
+      uint64_t dv = i < s.dst_per_instance.size() ? s.dst_per_instance[i] : 0;
+      if (mv != dv) {
+        report.divergences.push_back("stage '" + s.id + "' instance " + std::to_string(i) +
+                                     ": model " + std::to_string(mv) + " != dst " +
+                                     std::to_string(dv));
+      }
+    }
+  }
+  report.stages = std::move(stages);
+  return report;
+}
+
+}  // namespace neptune::testkit

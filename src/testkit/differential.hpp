@@ -1,0 +1,82 @@
+// Runtime-vs-model differential validation: run one seeded finite workload
+// through (a) the real dataflow code under the DST harness and (b) the
+// flow-level cluster model (src/sim), then diff the integer packet accounting
+// — total and per-instance counts for every stage.
+//
+// Alignment contract (why zero divergence is achievable, not just likely):
+//   * chunk size — the model moves data in chunks of
+//     floor(buffer_bytes / packet_bytes) packets; the harness pins
+//     buffer_bytes = packet_bytes so one model chunk == one packet, making
+//     the model's per-chunk round-robin equal to per-packet shuffle.
+//   * distribution — both sides round-robin per *sender* with cursors
+//     starting at 0 (ShufflePartitioning vs the model's rr_cursor).
+//   * selectivity — stage filters must be every-nth with n a power of two:
+//     the model accumulates emissions in floating point (consumed * 1/n) and
+//     dyadic fractions are exact, so floor-accumulation equals the integer
+//     count % n == 0 rule of EveryNthProcessor.
+//   * quota — both sides split total_packets across source instances as
+//     total/P with the first total%P instances emitting one extra.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "testkit/dst.hpp"
+
+namespace neptune::testkit {
+
+struct DiffStage {
+  std::string id;
+  uint32_t parallelism = 1;
+  /// Forward every n-th packet; must be a power of two. 1 = relay. Ignored
+  /// for the last stage (terminal sink, consume-only).
+  uint64_t every_nth = 1;
+  /// Model-side per-packet processing cost (does not affect counts).
+  double proc_ns = 30;
+};
+
+struct DiffWorkload {
+  std::string name;
+  std::vector<DiffStage> stages;  ///< stages[0] is the source stage
+  uint64_t total_packets = 4096;
+  double packet_bytes = 100;
+};
+
+/// The paper's Figure 5 shape: source stage → sink stage, shuffle, all-pairs.
+DiffWorkload fig5_diff_workload(uint32_t parallelism = 4, uint64_t total_packets = 4096);
+/// The paper's Figure 9 shape: 4-stage monitoring pipeline with an
+/// every-32nd detector stage.
+DiffWorkload fig9_diff_workload(uint64_t total_packets = 8192);
+
+/// Real-runtime half: SeqSource → EveryNthProcessor chain → CollectorSink,
+/// all links shuffle-partitioned.
+StreamGraph build_dst_graph(const DiffWorkload& w);
+/// Model half: the same workload as a sim::JobSpec with the alignment
+/// contract applied (buffer_bytes = packet_bytes, dyadic selectivity).
+/// Throws std::invalid_argument if a stage's every_nth is not a power of two.
+sim::JobSpec build_model_job(const DiffWorkload& w);
+
+struct StageDiff {
+  std::string id;
+  uint64_t model_packets = 0;
+  uint64_t dst_packets = 0;
+  std::vector<uint64_t> model_per_instance;
+  std::vector<uint64_t> dst_per_instance;
+};
+
+struct DifferentialReport {
+  bool dst_completed = false;
+  std::vector<StageDiff> stages;
+  std::vector<std::string> divergences;
+  bool ok() const { return dst_completed && divergences.empty(); }
+  std::string summary() const;
+};
+
+/// Run the workload through both halves and diff the counts. `seed` permutes
+/// the DST schedule — counts must be schedule-independent, so every seed
+/// must produce zero divergence.
+DifferentialReport run_differential(const DiffWorkload& w, uint64_t seed);
+
+}  // namespace neptune::testkit

@@ -1,0 +1,68 @@
+#include "testkit/explorer.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace neptune::testkit {
+
+std::string ExplorerResult::summary() const {
+  std::ostringstream os;
+  os << runs << " interleavings, " << failures.size() << " failed, determinism "
+     << (determinism_ok ? "ok" : "BROKEN");
+  for (const auto& f : failures) {
+    os << "\n  seed=" << f.seed << (f.completed ? "" : " (incomplete)");
+    for (const auto& v : f.violations) os << "\n    " << v;
+  }
+  return os.str();
+}
+
+DstReport run_seed(const GraphFactory& graph, uint64_t seed, const ExplorerOptions& opts,
+                   const CheckerSetFactory& checkers) {
+  DstOptions dst = opts.dst;
+  dst.seed = seed;
+  DstJob job(graph(), dst);
+  if (checkers) job.add_checkers(checkers());
+  return job.run();
+}
+
+ExplorerResult explore(const GraphFactory& graph, const ExplorerOptions& opts,
+                       const CheckerSetFactory& checkers) {
+  ExplorerResult result;
+  result.runs = opts.runs;
+  for (uint64_t i = 0; i < opts.runs; ++i) {
+    uint64_t seed = opts.base_seed + i;
+    DstReport r = run_seed(graph, seed, opts, checkers);
+    result.trace_hashes.push_back(r.trace_hash);
+    if (!r.ok()) {
+      std::fprintf(stderr,
+                   "[testkit] DST failure — replay with seed=%llu (%s, %zu violations)\n",
+                   static_cast<unsigned long long>(seed), r.completed ? "completed" : "incomplete",
+                   r.violations.size());
+      for (const auto& v : r.violations) std::fprintf(stderr, "[testkit]   %s\n", v.c_str());
+      result.failures.push_back(ExplorerFailure{seed, r.completed, r.violations});
+    }
+  }
+  if (opts.check_determinism && opts.runs > 0) {
+    DstReport replay = run_seed(graph, opts.base_seed, opts, checkers);
+    if (replay.trace_hash != result.trace_hashes[0]) {
+      result.determinism_ok = false;
+      std::fprintf(stderr,
+                   "[testkit] DETERMINISM BROKEN: seed=%llu trace hash %llx != %llx on replay\n",
+                   static_cast<unsigned long long>(opts.base_seed),
+                   static_cast<unsigned long long>(result.trace_hashes[0]),
+                   static_cast<unsigned long long>(replay.trace_hash));
+    }
+  }
+  return result;
+}
+
+uint64_t env_runs(uint64_t fallback) {
+  const char* env = std::getenv("NEPTUNE_DST_RUNS");
+  if (!env || !*env) return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  return (end && *end == '\0' && v > 0) ? static_cast<uint64_t>(v) : fallback;
+}
+
+}  // namespace neptune::testkit

@@ -1,0 +1,60 @@
+// Seeded schedule exploration: run the same topology through DstJob under N
+// derived seeds, each seed permuting every task-wakeup delay, with invariant
+// checkers active on every step. Any failure is reported with the exact seed
+// that reproduces it — plug that seed into run_seed() (or DstOptions::seed)
+// to replay the failing interleaving deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testkit/dst.hpp"
+
+namespace neptune::testkit {
+
+/// Builds a fresh graph per run — operator instances are stateful, so each
+/// interleaving needs its own.
+using GraphFactory = std::function<StreamGraph()>;
+using CheckerSetFactory = std::function<std::vector<std::unique_ptr<InvariantChecker>>()>;
+
+struct ExplorerOptions {
+  uint64_t base_seed = 1;
+  /// Number of interleavings: seeds base_seed .. base_seed + runs - 1.
+  uint64_t runs = 50;
+  /// Per-run DST options (seed is overwritten per run).
+  DstOptions dst;
+  /// Re-run the first seed and require a byte-identical event trace.
+  bool check_determinism = true;
+};
+
+struct ExplorerFailure {
+  uint64_t seed = 0;
+  bool completed = false;
+  std::vector<std::string> violations;
+};
+
+struct ExplorerResult {
+  uint64_t runs = 0;
+  std::vector<ExplorerFailure> failures;
+  std::vector<uint64_t> trace_hashes;  ///< one per run, in seed order
+  bool determinism_ok = true;
+  bool ok() const { return failures.empty() && determinism_ok; }
+  std::string summary() const;
+};
+
+/// One fully-checked DST run at an explicit seed (the replay entry point).
+DstReport run_seed(const GraphFactory& graph, uint64_t seed, const ExplorerOptions& opts,
+                   const CheckerSetFactory& checkers);
+
+/// Sweep `opts.runs` interleavings. Failures print their reproducing seed
+/// to stderr as they happen.
+ExplorerResult explore(const GraphFactory& graph, const ExplorerOptions& opts,
+                       const CheckerSetFactory& checkers);
+
+/// Run count override from NEPTUNE_DST_RUNS (nightly CI sets 200), else
+/// `fallback`.
+uint64_t env_runs(uint64_t fallback);
+
+}  // namespace neptune::testkit

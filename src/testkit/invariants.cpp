@@ -1,0 +1,213 @@
+#include "testkit/invariants.hpp"
+
+#include <sstream>
+
+#include "net/frame.hpp"
+
+namespace neptune::testkit {
+
+namespace {
+
+std::string edge_name(const EdgeProbe& e) {
+  std::ostringstream os;
+  os << e.src_op << "[" << e.src_instance << "]->" << e.dst_op << "[" << e.dst_instance
+     << "] link=" << e.link_id;
+  return os.str();
+}
+
+class SequenceChecker final : public InvariantChecker {
+ public:
+  explicit SequenceChecker(bool allow_duplicates) : allow_duplicates_(allow_duplicates) {}
+  const char* name() const override { return "sequence"; }
+
+  void on_step(const DstView& view, std::vector<std::string>& out) override {
+    for (const auto& e : view.edges) {
+      if (e.received_seq > e.sent_seq) {
+        out.push_back(edge_name(e) + ": receiver position " + std::to_string(e.received_seq) +
+                      " passed sender position " + std::to_string(e.sent_seq) +
+                      " (phantom packets)");
+      }
+    }
+    for (const auto& i : view.instances) {
+      uint64_t sv = i.metrics->seq_violations.load(std::memory_order_relaxed);
+      if (sv > 0) {
+        out.push_back(i.op_id + "[" + std::to_string(i.instance) +
+                      "]: seq_violations=" + std::to_string(sv) + " (gap or reorder)");
+      }
+      if (!allow_duplicates_) {
+        uint64_t dup = i.metrics->dup_frames_dropped.load(std::memory_order_relaxed);
+        if (dup > 0) {
+          out.push_back(i.op_id + "[" + std::to_string(i.instance) +
+                        "]: dup_frames_dropped=" + std::to_string(dup));
+        }
+      }
+    }
+  }
+
+  void on_finish(const DstView& view, std::vector<std::string>& out) override {
+    if (!view.completed) return;
+    for (const auto& e : view.edges) {
+      if (e.received_seq != e.sent_seq) {
+        out.push_back(edge_name(e) + ": completed with receiver at " +
+                      std::to_string(e.received_seq) + " of " + std::to_string(e.sent_seq) +
+                      " sent (lost packets)");
+      }
+    }
+  }
+
+ private:
+  bool allow_duplicates_;
+};
+
+class ConservationChecker final : public InvariantChecker {
+ public:
+  const char* name() const override { return "conservation"; }
+
+  void on_step(const DstView&, std::vector<std::string>&) override {}
+
+  void on_finish(const DstView& view, std::vector<std::string>& out) override {
+    if (!view.completed) return;
+    // At completion every ready queue is empty and every edge is drained, so
+    // each processor must have consumed exactly the packets its input edges
+    // accepted.
+    std::vector<uint64_t> inbound(view.instances.size(), 0);
+    for (const auto& e : view.edges) inbound[e.dst_index] += e.received_seq;
+    for (const auto& i : view.instances) {
+      if (i.is_source) continue;
+      uint64_t consumed = i.metrics->packets_in.load(std::memory_order_relaxed);
+      if (consumed != inbound[i.global_index]) {
+        out.push_back(i.op_id + "[" + std::to_string(i.instance) + "]: consumed " +
+                      std::to_string(consumed) + " packets but input edges carried " +
+                      std::to_string(inbound[i.global_index]));
+      }
+    }
+  }
+};
+
+class CapacityChecker final : public InvariantChecker {
+ public:
+  explicit CapacityChecker(CapacityLimits limits) : limits_(limits) {}
+  const char* name() const override { return "capacity"; }
+
+  void on_step(const DstView& view, std::vector<std::string>& out) override {
+    for (const auto& e : view.edges) {
+      // Channel budget: in-flight bytes may exceed capacity only while a
+      // single oversized frame (admitted into an empty pipe) is queued.
+      size_t in_flight = e.channel->in_flight_bytes();
+      if (in_flight > e.channel_config.capacity_bytes && e.channel->queued_frames() != 1) {
+        out.push_back(edge_name(e) + ": channel holds " + std::to_string(in_flight) +
+                      " bytes > capacity " + std::to_string(e.channel_config.capacity_bytes) +
+                      " across " + std::to_string(e.channel->queued_frames()) + " frames");
+      }
+      // StreamBuffer bound: the accumulation side may overshoot the flush
+      // threshold by one execution slice of packets (a blocked edge stops
+      // the producer only at slice granularity), and one fully framed flush
+      // may sit parked awaiting flow control.
+      size_t slice = limits_.source_batch_budget * limits_.max_packet_bytes;
+      size_t accum_bound = e.buffer_config.capacity_bytes + BatchHeader::kSize + slice;
+      size_t pending_bound = e.buffer_config.capacity_bytes + BatchHeader::kSize +
+                             limits_.max_packet_bytes + FrameHeader::kSize + 64;
+      size_t buffered = e.buffer->buffered_bytes();
+      if (buffered > accum_bound + pending_bound) {
+        out.push_back(edge_name(e) + ": stream buffer holds " + std::to_string(buffered) +
+                      " bytes > bound " + std::to_string(accum_bound + pending_bound) +
+                      " (capacity " + std::to_string(e.buffer_config.capacity_bytes) + ")");
+      }
+    }
+  }
+
+ private:
+  CapacityLimits limits_;
+};
+
+class BackpressureChecker final : public InvariantChecker {
+ public:
+  const char* name() const override { return "backpressure"; }
+
+  void on_step(const DstView& view, std::vector<std::string>& out) override {
+    for (const auto& e : view.edges) {
+      if (!e.buffer->blocked()) continue;
+      if (e.sender_done || e.sender_scheduled) continue;  // wakeup in hand
+      if (e.channel->closed()) continue;                  // next retry observes kClosed
+      // Otherwise the channel must still owe the sender a writable wakeup,
+      // and there must be queued frames whose consumption will trigger it.
+      if (!e.channel->writable_wakeup_armed() || e.channel->queued_frames() == 0) {
+        out.push_back(edge_name(e) +
+                      ": sender flow-controlled with no wakeup path (armed=" +
+                      std::to_string(e.channel->writable_wakeup_armed() ? 1 : 0) +
+                      " queued=" + std::to_string(e.channel->queued_frames()) +
+                      ") — lost wakeup");
+      }
+    }
+  }
+};
+
+class ExactlyOnceChecker final : public InvariantChecker {
+ public:
+  explicit ExactlyOnceChecker(JobSnapshot expected) : expected_(std::move(expected)) {}
+  const char* name() const override { return "exactly-once"; }
+
+  void on_step(const DstView&, std::vector<std::string>&) override {}
+
+  void on_finish(const DstView& view, std::vector<std::string>& out) override {
+    if (!view.completed) {
+      out.push_back("job did not complete; final state not comparable");
+      return;
+    }
+    JobSnapshot actual = view.job->state_snapshot();
+    for (const auto& [key, bytes] : expected_) {
+      const std::vector<uint8_t>* got = actual.find(key.first, key.second);
+      if (!got) {
+        out.push_back(key.first + "[" + std::to_string(key.second) +
+                      "]: state missing from final snapshot");
+      } else if (*got != bytes) {
+        out.push_back(key.first + "[" + std::to_string(key.second) + "]: final state (" +
+                      std::to_string(got->size()) + " bytes) differs from reference (" +
+                      std::to_string(bytes.size()) + " bytes)");
+      }
+    }
+    for (const auto& [key, bytes] : actual) {
+      (void)bytes;
+      if (!expected_.find(key.first, key.second)) {
+        out.push_back(key.first + "[" + std::to_string(key.second) +
+                      "]: unexpected state entry in final snapshot");
+      }
+    }
+  }
+
+ private:
+  JobSnapshot expected_;
+};
+
+}  // namespace
+
+std::unique_ptr<InvariantChecker> make_sequence_checker(bool allow_duplicates) {
+  return std::make_unique<SequenceChecker>(allow_duplicates);
+}
+
+std::unique_ptr<InvariantChecker> make_conservation_checker() {
+  return std::make_unique<ConservationChecker>();
+}
+
+std::unique_ptr<InvariantChecker> make_capacity_checker(CapacityLimits limits) {
+  return std::make_unique<CapacityChecker>(limits);
+}
+
+std::unique_ptr<InvariantChecker> make_backpressure_checker() {
+  return std::make_unique<BackpressureChecker>();
+}
+
+std::unique_ptr<InvariantChecker> make_exactly_once_checker(JobSnapshot expected) {
+  return std::make_unique<ExactlyOnceChecker>(std::move(expected));
+}
+
+std::vector<std::unique_ptr<InvariantChecker>> default_checkers(CapacityLimits limits) {
+  std::vector<std::unique_ptr<InvariantChecker>> v;
+  v.push_back(make_sequence_checker());
+  v.push_back(make_conservation_checker());
+  v.push_back(make_capacity_checker(limits));
+  v.push_back(make_backpressure_checker());
+  return v;
+}
+
+}  // namespace neptune::testkit

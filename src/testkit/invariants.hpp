@@ -1,0 +1,48 @@
+// Invariant checkers for the DST harness — the safety properties NEPTUNE's
+// dataflow layer promises, written as predicates over DstView and evaluated
+// after every simulated step:
+//
+//   sequence     — no loss, no duplication: per-edge receiver position never
+//                  passes the sender position, no seq violations or dup
+//                  drops, and positions meet exactly at completion.
+//   conservation — packets are conserved end to end: at completion every
+//                  processor consumed exactly what its input edges carried.
+//   capacity     — buffers and channels respect their configured byte
+//                  budgets (with the documented oversized-frame exception).
+//   backpressure — a flow-controlled sender always has a wakeup path: an
+//                  execute event pending, or the channel's writable wakeup
+//                  still armed. Catches lost-wakeup bugs that deadlock the
+//                  threaded runtime non-deterministically.
+//   exactly-once — Checkpointable state at completion equals a reference
+//                  snapshot (used by crash/recovery tests).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "neptune/state.hpp"
+#include "testkit/dst.hpp"
+
+namespace neptune::testkit {
+
+/// Workload-dependent bounds the capacity checker cannot infer from configs.
+struct CapacityLimits {
+  /// Largest serialized packet the workload emits.
+  size_t max_packet_bytes = 256;
+  /// GraphConfig::source_batch_budget of the graph under test (an
+  /// uncooperative source may emit a full budget into a blocked edge).
+  size_t source_batch_budget = 512;
+};
+
+std::unique_ptr<InvariantChecker> make_sequence_checker(bool allow_duplicates = false);
+std::unique_ptr<InvariantChecker> make_conservation_checker();
+std::unique_ptr<InvariantChecker> make_capacity_checker(CapacityLimits limits = {});
+std::unique_ptr<InvariantChecker> make_backpressure_checker();
+/// Asserts the job's Checkpointable state at completion equals `expected`
+/// (e.g. the state of a fault-free reference run of the same workload).
+std::unique_ptr<InvariantChecker> make_exactly_once_checker(JobSnapshot expected);
+
+/// The four workload-independent checkers above, ready for add_checkers().
+std::vector<std::unique_ptr<InvariantChecker>> default_checkers(CapacityLimits limits = {});
+
+}  // namespace neptune::testkit

@@ -1,0 +1,33 @@
+#include "testkit/workloads.hpp"
+
+namespace neptune::testkit {
+
+void SeqSource::open(uint32_t instance, uint32_t parallelism) {
+  instance_ = instance;
+  parallelism_ = parallelism == 0 ? 1 : parallelism;
+  quota_ = total_ / parallelism_ + (instance < total_ % parallelism_ ? 1 : 0);
+}
+
+bool SeqSource::next(Emitter& out, size_t budget) {
+  if (emitted_ >= quota_) return false;
+  for (size_t i = 0; i < budget && emitted_ < quota_; ++i) {
+    int64_t id = static_cast<int64_t>(instance_ + emitted_ * parallelism_);
+    StreamPacket p;
+    p.add_i64(id);
+    if (payload_bytes_ > 0) {
+      std::vector<uint8_t> payload(payload_bytes_);
+      for (size_t b = 0; b < payload.size(); ++b)
+        payload[b] = static_cast<uint8_t>((id * 131 + static_cast<int64_t>(b)) & 0xFF);
+      p.add_bytes(std::move(payload));
+    }
+    // Deterministic event time: replayed packets must be byte-identical so
+    // windowed state converges after recovery. Never 0 (0 would make the
+    // emitter stamp the current virtual time, which differs across replays).
+    p.set_event_time_ns(1 + id * step_ns_);
+    ++emitted_;
+    if (out.emit(std::move(p)) == EmitStatus::kBackpressured) break;
+  }
+  return true;
+}
+
+}  // namespace neptune::testkit

@@ -1,0 +1,98 @@
+// Deterministic operators for DST and differential topologies. Unlike the
+// demo workloads in neptune/workload.hpp these stamp event times and payloads
+// purely from (instance, sequence) — no wall clock, no hidden RNG state — so
+// replaying a packet after crash recovery reproduces it byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "neptune/operators.hpp"
+#include "neptune/state.hpp"
+
+namespace neptune::testkit {
+
+/// Finite source emitting globally unique int64 ids. The total is split
+/// across instances like the cluster model's per-source quota (first
+/// `total % parallelism` instances get one extra), and instance i emits ids
+/// i, i+P, i+2P, ... — the union over instances is exactly [0, total).
+/// Checkpointable: replay position only, so recovery resumes without loss
+/// or duplication.
+class SeqSource final : public StreamSource, public Checkpointable {
+ public:
+  explicit SeqSource(uint64_t total, size_t payload_bytes = 0,
+                     int64_t event_time_step_ns = 1'000)
+      : total_(total), payload_bytes_(payload_bytes), step_ns_(event_time_step_ns) {}
+
+  void open(uint32_t instance, uint32_t parallelism) override;
+  bool next(Emitter& out, size_t budget) override;
+
+  void snapshot_state(ByteBuffer& out) const override { out.write_u64(emitted_); }
+  void restore_state(ByteReader& in) override { emitted_ = in.read_u64(); }
+
+  uint64_t quota() const { return quota_; }
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  uint64_t total_;
+  size_t payload_bytes_;
+  int64_t step_ns_;
+  uint32_t instance_ = 0;
+  uint32_t parallelism_ = 1;
+  uint64_t quota_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+/// Forwards every n-th input packet (integer analogue of the cluster
+/// model's selectivity 1/n). n == 1 relays everything. Checkpointable.
+class EveryNthProcessor final : public StreamProcessor, public Checkpointable {
+ public:
+  explicit EveryNthProcessor(uint64_t n) : n_(n == 0 ? 1 : n) {}
+
+  void process(StreamPacket& packet, Emitter& out) override {
+    ++count_;
+    if (count_ % n_ == 0) {
+      StreamPacket copy = packet;
+      out.emit(std::move(copy));
+    }
+  }
+
+  void snapshot_state(ByteBuffer& out) const override { out.write_u64(count_); }
+  void restore_state(ByteReader& in) override { count_ = in.read_u64(); }
+
+ private:
+  uint64_t n_;
+  uint64_t count_ = 0;
+};
+
+/// Terminal sink recording every id (field 0, int64) it consumes into a
+/// shared bin. Only the count is checkpointed: the id log is a test-side
+/// observation channel, valid for crash-free runs (a recovery replays into
+/// the same bin, so ids would double up — use the count for those).
+struct Collected {
+  std::vector<int64_t> ids;
+  uint64_t count = 0;
+};
+
+class CollectorSink final : public StreamProcessor, public Checkpointable {
+ public:
+  explicit CollectorSink(std::shared_ptr<Collected> bin) : bin_(std::move(bin)) {}
+
+  void process(StreamPacket& packet, Emitter&) override {
+    if (packet.field_count() > 0) bin_->ids.push_back(packet.i64(0));
+    ++bin_->count;
+    ++count_;
+  }
+
+  void snapshot_state(ByteBuffer& out) const override { out.write_u64(count_); }
+  void restore_state(ByteReader& in) override { count_ = in.read_u64(); }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  std::shared_ptr<Collected> bin_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace neptune::testkit

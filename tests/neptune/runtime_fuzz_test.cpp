@@ -7,10 +7,17 @@
 //     (per-path multiplicity accounted for broadcast links),
 //   * zero sequence violations,
 //   * the job terminates (no deadlock under backpressure).
+//
+// Every case is parameterized by an explicit seed: the seed is baked into the
+// test name and echoed on failure, so any red run is reproduced exactly with
+//   --gtest_filter='Seeds/RuntimeFuzz.<Property>/seed<N>'
+// NEPTUNE_PROP_SEEDS=<count> widens the sweep (nightly CI runs more seeds).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <optional>
 
+#include "../support/proptest.hpp"
 #include "common/rng.hpp"
 #include "neptune/runtime.hpp"
 #include "neptune/workload.hpp"
@@ -35,7 +42,19 @@ class CountForwardSink : public StreamProcessor {
   std::shared_ptr<SharedCount> count_;
 };
 
-class RuntimeFuzz : public ::testing::TestWithParam<uint64_t> {};
+class RuntimeFuzz : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    // Shown under every failing assertion in the body: the exact replay recipe.
+    trace_.emplace(__FILE__, __LINE__,
+                   ::testing::Message()
+                       << "property failed — reproduce with seed=" << GetParam() << " ("
+                       << "--gtest_filter='Seeds/RuntimeFuzz.*/seed" << GetParam() << "')");
+  }
+
+ private:
+  std::optional<::testing::ScopedTrace> trace_;
+};
 
 TEST_P(RuntimeFuzz, RandomLinearPipelineConservesPackets) {
   Xoshiro256 rng(GetParam());
@@ -140,8 +159,13 @@ TEST_P(RuntimeFuzz, RandomDiamondWithBroadcastMultiplies) {
   EXPECT_EQ(job->metrics().total(&OperatorMetricsSnapshot::seq_violations), 0u);
 }
 
+// Seeds 11, 22, ... — NEPTUNE_PROP_SEEDS scales the count; the seed is part
+// of the test name so ctest/gtest output identifies the reproducing input.
 INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeFuzz,
-                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+                         ::testing::ValuesIn(proptest::seed_series(11, 11)),
+                         [](const ::testing::TestParamInfo<uint64_t>& pinfo) {
+                           return "seed" + std::to_string(pinfo.param);
+                         });
 
 }  // namespace
 }  // namespace neptune

@@ -68,5 +68,134 @@ TEST(EventQueue, ReturnsExecutedCount) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, HeavySameTimestampTiesStayFifo) {
+  // Hundreds of ties at a handful of timestamps, scheduled out of time
+  // order and interleaved — insertion order must be preserved per timestamp.
+  // This is the property the DST harness's replayability rests on.
+  EventQueue q;
+  std::vector<std::pair<int64_t, int>> order;
+  constexpr int kPerTime = 200;
+  for (int i = 0; i < kPerTime; ++i) {
+    for (int64_t t : {700, 100, 400}) {
+      q.schedule_at(t, [&order, t, i] { order.emplace_back(t, i); });
+    }
+  }
+  q.run_until(1000);
+  ASSERT_EQ(order.size(), static_cast<size_t>(3 * kPerTime));
+  // Timestamps come out sorted; within one timestamp, insertion order.
+  size_t idx = 0;
+  for (int64_t t : {100, 400, 700}) {
+    for (int i = 0; i < kPerTime; ++i, ++idx) {
+      ASSERT_EQ(order[idx].first, t) << idx;
+      ASSERT_EQ(order[idx].second, i) << idx;
+    }
+  }
+}
+
+TEST(EventQueue, TiesScheduledFromHandlersRunAfterExistingTies) {
+  // An event scheduling another event at the *same* timestamp gets a later
+  // sequence number: it runs after everything already queued at that time.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(10, [&] {
+    order.push_back(0);
+    q.schedule_at(10, [&] { order.push_back(2); });  // same-time, queued last
+  });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.run_until(10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ScheduleAtPastFromOutsideClampsToNow) {
+  EventQueue q;
+  q.run_until(500);  // empty run just advances the clock
+  EXPECT_EQ(q.now(), 500);
+  int64_t seen = -1;
+  q.schedule_at(-100, [&] { seen = q.now(); });  // far past, even negative
+  EXPECT_EQ(q.next_time(), 500);                 // clamped, not time-travel
+  q.run_until(500);
+  EXPECT_EQ(seen, 500);
+}
+
+TEST(EventQueue, ScheduleInNegativeDelayClampsToNow) {
+  EventQueue q;
+  q.run_until(200);
+  int64_t seen = -1;
+  q.schedule_in(-50, [&] { seen = q.now(); });
+  q.run_until(200);
+  EXPECT_EQ(seen, 200);
+}
+
+TEST(EventQueue, ClampedPastEventsKeepFifoOrderAmongThemselves) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(100, [&] {
+    q.schedule_at(10, [&] { order.push_back(1); });  // both clamp to t=100
+    q.schedule_at(5, [&] { order.push_back(2); });   // "earlier" but queued later
+  });
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RunUntilWithEmptyQueueAdvancesTime) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(1234), 0u);
+  EXPECT_EQ(q.now(), 1234);
+  EXPECT_EQ(q.run_until(1000), 0u);  // never goes backwards
+  EXPECT_EQ(q.now(), 1234);
+}
+
+TEST(EventQueue, RunOneStepsExactlyOneEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.run_one());
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(q.now(), 10);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_TRUE(q.run_one());
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_FALSE(q.run_one());  // empty queue: no-op, reports false
+  EXPECT_EQ(q.now(), 20);     // and does not move time
+}
+
+TEST(EventQueue, NextTimePeeksWithoutAdvancing) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), 0);  // empty queue: now()
+  q.schedule_at(42, [] {});
+  EXPECT_EQ(q.next_time(), 42);
+  EXPECT_EQ(q.now(), 0);  // peeking does not advance
+  q.run_one();
+  EXPECT_EQ(q.next_time(), 42);  // empty again: now() == 42
+}
+
+TEST(EventQueue, RunOneInterleavesWithRunUntil) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) q.schedule_at(i * 10, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(20), 2u);
+  EXPECT_TRUE(q.run_one());  // event at 30, past the old boundary
+  EXPECT_EQ(q.now(), 30);
+  EXPECT_EQ(q.run_until(100), 2u);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(EventQueue, RunOneHonorsHandlerScheduledEvents) {
+  // Step-wise drivers rely on run_one seeing events created by the handler
+  // it just executed (the DST harness's execute -> reschedule pattern).
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 4) q.schedule_in(7, step);
+  };
+  q.schedule_at(0, step);
+  int steps = 0;
+  while (q.run_one()) ++steps;
+  EXPECT_EQ(steps, 4);
+  EXPECT_EQ(chain, 4);
+  EXPECT_EQ(q.now(), 21);
+}
+
 }  // namespace
 }  // namespace neptune::sim

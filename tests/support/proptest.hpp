@@ -1,0 +1,62 @@
+// Minimal property-based-testing support for the gtest suites: seeded case
+// series (scalable via NEPTUNE_PROP_SEEDS for nightly CI) and delta-debugging
+// style shrinking so a failing property reports a *minimal* reproducing
+// input alongside its seed.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+namespace neptune::proptest {
+
+inline uint64_t env_count(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  uint64_t n = std::strtoull(v, &end, 10);
+  return (end && *end == '\0' && n > 0) ? n : fallback;
+}
+
+/// Seeds start, start+stride, ... — count from NEPTUNE_PROP_SEEDS when set
+/// (nightly CI raises it), else `fallback_count`.
+inline std::vector<uint64_t> seed_series(uint64_t start, uint64_t stride,
+                                         uint64_t fallback_count = 10) {
+  uint64_t n = env_count("NEPTUNE_PROP_SEEDS", fallback_count);
+  std::vector<uint64_t> seeds;
+  seeds.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) seeds.push_back(start + i * stride);
+  return seeds;
+}
+
+/// Greedy ddmin-style shrinker: repeatedly delete contiguous chunks (largest
+/// first) while `fails` keeps returning true. Returns a locally-minimal
+/// failing vector — removing any single remaining element makes it pass.
+template <typename T>
+std::vector<T> shrink_vector(std::vector<T> input,
+                             const std::function<bool(const std::vector<T>&)>& fails) {
+  if (!fails(input)) return input;  // caller error: nothing to shrink
+  bool progressed = true;
+  while (progressed && !input.empty()) {
+    progressed = false;
+    for (size_t chunk = input.size(); chunk >= 1; chunk /= 2) {
+      for (size_t at = 0; at + chunk <= input.size();) {
+        std::vector<T> candidate;
+        candidate.reserve(input.size() - chunk);
+        candidate.insert(candidate.end(), input.begin(), input.begin() + at);
+        candidate.insert(candidate.end(), input.begin() + at + chunk, input.end());
+        if (fails(candidate)) {
+          input = std::move(candidate);
+          progressed = true;
+        } else {
+          at += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return input;
+}
+
+}  // namespace neptune::proptest

@@ -1,0 +1,145 @@
+// DST determinism + schedule exploration. The core guarantees under test:
+//   * same seed => byte-identical event trace (replayability),
+//   * different seeds => different interleavings (the explorer really does
+//     explore), with identical end-to-end results,
+//   * the four default invariant checkers hold across a seeded sweep of
+//     interleavings of a backpressure-heavy topology (the acceptance sweep;
+//     NEPTUNE_DST_RUNS scales it up for nightly CI).
+#include "testkit/dst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testkit/explorer.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/workloads.hpp"
+
+namespace neptune::testkit {
+namespace {
+
+constexpr uint64_t kTotal = 3000;
+
+/// Small buffers + a tight channel budget so flow control engages and the
+/// schedule jitter can reorder wakeups around blocked edges.
+StreamGraph backpressure_graph(std::shared_ptr<Collected> bin) {
+  GraphConfig cfg;
+  cfg.buffer.capacity_bytes = 1024;
+  cfg.buffer.flush_interval_ns = 1'000'000;
+  cfg.channel.capacity_bytes = 4096;
+  cfg.channel.low_watermark_bytes = 1024;
+  cfg.source_batch_budget = 64;
+  StreamGraph g("dst-backpressure", cfg);
+  g.add_source("src", [] { return std::make_unique<SeqSource>(kTotal, /*payload_bytes=*/64); },
+               2);
+  g.add_processor("relay", [] { return std::make_unique<EveryNthProcessor>(1); }, 2);
+  g.add_processor("sink", [bin] { return std::make_unique<CollectorSink>(bin); }, 1);
+  g.connect("src", "relay");
+  g.connect("relay", "sink");
+  return g;
+}
+
+CapacityLimits graph_limits() {
+  CapacityLimits l;
+  l.max_packet_bytes = 128;  // id + 64-byte payload + framing slack
+  l.source_batch_budget = 64;
+  return l;
+}
+
+TEST(DstDeterminism, SameSeedProducesByteIdenticalTrace) {
+  DstOptions opts;
+  opts.seed = 42;
+  DstJob a(backpressure_graph(std::make_shared<Collected>()), opts);
+  DstJob b(backpressure_graph(std::make_shared<Collected>()), opts);
+  DstReport ra = a.run();
+  DstReport rb = b.run();
+  ASSERT_TRUE(ra.completed) << ra.summary();
+  ASSERT_TRUE(rb.completed) << rb.summary();
+  EXPECT_EQ(ra.trace_hash, rb.trace_hash);
+  ASSERT_EQ(ra.trace.size(), rb.trace.size());
+  for (size_t i = 0; i < ra.trace.size(); ++i) EXPECT_EQ(ra.trace[i], rb.trace[i]) << "line " << i;
+  EXPECT_EQ(ra.steps, rb.steps);
+  EXPECT_EQ(ra.virtual_ns, rb.virtual_ns);
+}
+
+TEST(DstDeterminism, DifferentSeedsPermuteTheSchedule) {
+  DstOptions a_opts;
+  a_opts.seed = 1;
+  DstOptions b_opts;
+  b_opts.seed = 2;
+  DstJob a(backpressure_graph(std::make_shared<Collected>()), a_opts);
+  DstJob b(backpressure_graph(std::make_shared<Collected>()), b_opts);
+  DstReport ra = a.run();
+  DstReport rb = b.run();
+  ASSERT_TRUE(ra.completed && rb.completed);
+  // Different interleavings...
+  EXPECT_NE(ra.trace_hash, rb.trace_hash);
+  // ...same results: the dataflow outcome is schedule-independent.
+  auto delivered = [](const DstJob& j) {
+    uint64_t n = 0;
+    for (const auto& m : j.metrics())
+      if (m.operator_id == "sink") n += m.packets_in;
+    return n;
+  };
+  EXPECT_EQ(delivered(a), kTotal);
+  EXPECT_EQ(delivered(b), kTotal);
+}
+
+TEST(DstDeterminism, SinkSeesEveryIdExactlyOnce) {
+  auto bin = std::make_shared<Collected>();
+  DstOptions opts;
+  opts.seed = 9;
+  DstJob job(backpressure_graph(bin), opts);
+  job.add_checkers(default_checkers(graph_limits()));
+  DstReport r = job.run();
+  ASSERT_TRUE(r.ok()) << r.summary();
+  ASSERT_EQ(bin->ids.size(), kTotal);
+  std::vector<int64_t> ids = bin->ids;
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t i = 0; i < kTotal; ++i) ASSERT_EQ(ids[i], static_cast<int64_t>(i));
+}
+
+TEST(DstDeterminism, VirtualTimeAdvancesWithoutWallClock) {
+  DstOptions opts;
+  opts.seed = 3;
+  DstJob job(backpressure_graph(std::make_shared<Collected>()), opts);
+  DstReport r = job.run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.virtual_ns, 0);
+  EXPECT_GT(r.steps, kTotal / 64);  // at least one event per source slice
+}
+
+// The acceptance sweep: >= 50 seeded interleavings (200 under nightly's
+// NEPTUNE_DST_RUNS=200), all four default checkers active on every step,
+// plus a replay of the first seed proving byte-identical traces.
+TEST(DstExplorer, SweepUpholdsInvariants) {
+  ExplorerOptions opts;
+  opts.base_seed = 100;
+  opts.runs = env_runs(50);
+  opts.dst.record_trace = false;  // hashes are enough for the sweep
+  ExplorerResult result = explore(
+      [] { return backpressure_graph(std::make_shared<Collected>()); }, opts,
+      [] { return default_checkers(graph_limits()); });
+  EXPECT_GE(result.runs, 50u);
+  EXPECT_TRUE(result.determinism_ok);
+  EXPECT_TRUE(result.ok()) << result.summary();
+  // The jitter genuinely permutes schedules: expect many distinct traces.
+  std::vector<uint64_t> hashes = result.trace_hashes;
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  EXPECT_GT(hashes.size(), result.runs / 2);
+}
+
+TEST(DstExplorer, RunSeedReplaysAFailureSeedDeterministically) {
+  ExplorerOptions opts;
+  opts.dst.record_trace = false;
+  auto factory = [] { return backpressure_graph(std::make_shared<Collected>()); };
+  auto checkers = [] { return default_checkers(graph_limits()); };
+  DstReport first = run_seed(factory, 777, opts, checkers);
+  DstReport replay = run_seed(factory, 777, opts, checkers);
+  EXPECT_EQ(first.trace_hash, replay.trace_hash);
+  EXPECT_TRUE(first.ok()) << first.summary();
+}
+
+}  // namespace
+}  // namespace neptune::testkit
