@@ -3,9 +3,12 @@
 // runtime (paper Figure 1 — the workhorse of Figures 2 and 7).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -16,6 +19,27 @@
 #include "neptune/workload.hpp"
 
 namespace neptune::bench {
+
+// --- allocation counting ----------------------------------------------------
+
+/// Heap traffic observed between reset_alloc_counts() and alloc_counts().
+struct AllocCounts {
+  uint64_t calls = 0;
+  uint64_t bytes = 0;
+};
+
+inline std::atomic<uint64_t> g_alloc_calls{0};
+inline std::atomic<uint64_t> g_alloc_bytes{0};
+
+inline void reset_alloc_counts() {
+  g_alloc_calls.store(0, std::memory_order_relaxed);
+  g_alloc_bytes.store(0, std::memory_order_relaxed);
+}
+
+inline AllocCounts alloc_counts() {
+  return {g_alloc_calls.load(std::memory_order_relaxed),
+          g_alloc_bytes.load(std::memory_order_relaxed)};
+}
 
 /// Machine-readable bench results: every bench builds one of these and
 /// writes `BENCH_<name>.json` into $NEPTUNE_BENCH_OUT (or the cwd), so CI
@@ -194,3 +218,25 @@ inline JsonObject relay_row(const RelayResult& r) {
 }
 
 }  // namespace neptune::bench
+
+// Counting global allocator, used by the micro benches to report heap
+// traffic per operation (the zero-copy claim, measured rather than argued).
+// Replacement operator new/delete must be defined exactly once per binary:
+// define NEPTUNE_BENCH_COUNT_ALLOCS in exactly one TU before including this
+// header. Over-aligned and nothrow forms stay on the library defaults (the
+// nothrow forms forward here anyway).
+// noinline: keeps gcc from inlining the malloc/free bodies into call sites
+// and mis-diagnosing the pairing as -Wmismatched-new-delete.
+#ifdef NEPTUNE_BENCH_COUNT_ALLOCS
+__attribute__((noinline)) void* operator new(std::size_t n) {
+  neptune::bench::g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  neptune::bench::g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+__attribute__((noinline)) void* operator new[](std::size_t n) { return ::operator new(n); }
+__attribute__((noinline)) void operator delete(void* p) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // NEPTUNE_BENCH_COUNT_ALLOCS

@@ -39,6 +39,24 @@ int main() {
   }
 
   {
+    print_header("single node (real runtime): relay, 100 B packets, 1 MB buffers");
+    RelayOptions opt;
+    opt.payload_bytes = 100;
+    opt.buffer_bytes = 1 << 20;
+    opt.packets = 2'000'000;
+    auto r = run_relay(opt);
+    print_row({"kpkt/s", "MB/s-wire", "lat-p50-ms", "lat-p99-ms", "seq-viol"});
+    print_row({fmt("%.0f", r.throughput_pps / 1e3), fmt("%.1f", r.wire_bytes_per_s / 1e6),
+               fmt("%.2f", r.latency.p50_ms), fmt("%.2f", r.latency.p99_ms),
+               fmt("%.0f", static_cast<double>(r.seq_violations))});
+    JsonObject row = relay_row(r);
+    row["config"] = JsonValue(std::string("relay_100B_1MB"));
+    row["payload_bytes"] = JsonValue(static_cast<int64_t>(opt.payload_bytes));
+    row["buffer_bytes"] = JsonValue(static_cast<int64_t>(opt.buffer_bytes));
+    report.add_row(std::move(row));
+  }
+
+  {
     print_header("99p latency with 10 KB packets, throughput-optimized config");
     RelayOptions opt;
     opt.payload_bytes = 10 * 1024;

@@ -1,14 +1,27 @@
 // Microbenchmark: stream packet serialization and deserialization — the
 // source of the ser/deser cost constants in the simulator's CostModel.
+// The BM_ViewDecode* variants measure the zero-copy PacketView path against
+// the materializing StreamPacket::deserialize, with per-op heap traffic
+// reported via the counting allocator in bench_util.hpp.
+#define NEPTUNE_BENCH_COUNT_ALLOCS
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "neptune/packet.hpp"
 
 namespace {
 
 using neptune::ByteBuffer;
 using neptune::ByteReader;
+using neptune::PacketView;
 using neptune::StreamPacket;
+
+void report_allocs(benchmark::State& state, neptune::bench::AllocCounts a) {
+  auto iters = static_cast<double>(state.iterations());
+  if (iters == 0) return;
+  state.counters["allocs_per_op"] = static_cast<double>(a.calls) / iters;
+  state.counters["alloc_bytes_per_op"] = static_cast<double>(a.bytes) / iters;
+}
 
 StreamPacket small_packet() {
   // ~50 B IoT reading: timestamp, id, 2 sensor states, a float reading.
@@ -61,11 +74,13 @@ void BM_DeserializeSmallReused(benchmark::State& state) {
   ByteBuffer buf;
   p.serialize(buf);
   StreamPacket q;  // reused across iterations (the object-reuse scheme)
+  neptune::bench::reset_alloc_counts();
   for (auto _ : state) {
     ByteReader r(buf.contents());
     q.deserialize(r);
     benchmark::DoNotOptimize(q.field_count());
   }
+  report_allocs(state, neptune::bench::alloc_counts());
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_DeserializeSmallReused);
@@ -74,12 +89,14 @@ void BM_DeserializeSmallFresh(benchmark::State& state) {
   StreamPacket p = small_packet();
   ByteBuffer buf;
   p.serialize(buf);
+  neptune::bench::reset_alloc_counts();
   for (auto _ : state) {
     ByteReader r(buf.contents());
     StreamPacket q;  // fresh object per message (what reuse avoids)
     q.deserialize(r);
     benchmark::DoNotOptimize(q.field_count());
   }
+  report_allocs(state, neptune::bench::alloc_counts());
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_DeserializeSmallFresh);
@@ -89,14 +106,68 @@ void BM_DeserializeWideReused(benchmark::State& state) {
   ByteBuffer buf;
   p.serialize(buf);
   StreamPacket q;
+  neptune::bench::reset_alloc_counts();
   for (auto _ : state) {
     ByteReader r(buf.contents());
     q.deserialize(r);
     benchmark::DoNotOptimize(q.field_count());
   }
+  report_allocs(state, neptune::bench::alloc_counts());
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_DeserializeWideReused);
+
+void BM_ViewDecodeSmall(benchmark::State& state) {
+  StreamPacket p = small_packet();
+  ByteBuffer buf;
+  p.serialize(buf);
+  PacketView v;                // reused: scalars in a flat table, strings
+  v.parse(buf.contents());     // stay wire-resident (warm the table once)
+  neptune::bench::reset_alloc_counts();
+  for (auto _ : state) {
+    v.parse(buf.contents());
+    benchmark::DoNotOptimize(v.field_count());
+  }
+  report_allocs(state, neptune::bench::alloc_counts());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ViewDecodeSmall);
+
+void BM_ViewDecodeWide(benchmark::State& state) {
+  StreamPacket p = wide_packet();
+  ByteBuffer buf;
+  p.serialize(buf);
+  PacketView v;
+  v.parse(buf.contents());
+  neptune::bench::reset_alloc_counts();
+  for (auto _ : state) {
+    v.parse(buf.contents());
+    benchmark::DoNotOptimize(v.field_count());
+  }
+  report_allocs(state, neptune::bench::alloc_counts());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ViewDecodeWide);
+
+void BM_ViewDecodeAndHashSmall(benchmark::State& state) {
+  // Decode + key-hash of every field: what a FieldsHash partitioner pays
+  // per packet on the view path.
+  StreamPacket p = small_packet();
+  ByteBuffer buf;
+  p.serialize(buf);
+  PacketView v;
+  v.parse(buf.contents());
+  neptune::bench::reset_alloc_counts();
+  for (auto _ : state) {
+    v.parse(buf.contents());
+    uint64_t h = 0;
+    for (size_t i = 0; i < v.field_count(); ++i) h ^= v.field_hash(i);
+    benchmark::DoNotOptimize(h);
+  }
+  report_allocs(state, neptune::bench::alloc_counts());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ViewDecodeAndHashSmall);
 
 }  // namespace
 

@@ -1,0 +1,82 @@
+// Fuzz target: the zero-copy packet decoder. Arbitrary bytes are parsed as
+// a packet stream; PacketView must either decode cleanly or throw
+// PacketFormatError — never crash, never read outside the input (ASan
+// enforces that), and never disagree with StreamPacket::deserialize about
+// whether the input is valid, where a packet ends, or what it contains.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "neptune/packet.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace neptune;
+  std::span<const uint8_t> input(data, size);
+
+  // Decode as many packets as the input holds, through both decoders in
+  // lock-step. They must agree on validity, end offsets, and content.
+  PacketView view;
+  StreamPacket legacy;
+  size_t off = 0;
+  for (int packets = 0; off < size && packets < 64; ++packets) {
+    size_t view_end = 0;
+    bool view_ok = true;
+    try {
+      view_end = view.parse(input, off);
+    } catch (const PacketFormatError&) {
+      view_ok = false;
+    }
+
+    ByteReader r(input.data() + off, size - off);
+    bool legacy_ok = true;
+    try {
+      legacy.deserialize(r);
+    } catch (const BufferUnderflow&) {
+      legacy_ok = false;
+    } catch (const PacketFormatError&) {
+      legacy_ok = false;
+    }
+
+    if (view_ok != legacy_ok) abort();  // decoders disagree on validity
+    if (!view_ok) break;
+    if (view_end != off + r.position()) abort();  // disagree on packet length
+
+    // Content equivalence via materialize + hashes.
+    if (view.event_time_ns() != legacy.event_time_ns()) abort();
+    if (view.field_count() != legacy.field_count()) abort();
+    for (size_t i = 0; i < view.field_count(); ++i) {
+      if (view.field_hash(i) != legacy.field_hash(i)) abort();
+    }
+    // Compare materialized contents through re-serialization: serialize()
+    // writes canonical varints and raw float bit patterns, so this is
+    // bit-exact even for NaN payloads (operator== would call NaN != NaN).
+    StreamPacket materialized;
+    view.materialize(materialized);
+    ByteBuffer via_view, via_legacy;
+    materialized.serialize(via_view);
+    legacy.serialize(via_legacy);
+    auto a = via_view.contents(), b = via_legacy.contents();
+    if (a.size() != b.size() || !std::equal(a.begin(), a.end(), b.begin())) abort();
+
+    // raw() must span exactly the bytes consumed; reparsing it must agree.
+    auto raw = view.raw();
+    if (raw.data() != input.data() + off || raw.size() != view_end - off) abort();
+
+    off = view_end;
+  }
+
+  // BatchView over the whole input with an absurd claimed count must stop
+  // with either exhaustion or PacketFormatError — never a crash.
+  try {
+    BatchView batch(input, 1u << 20);
+    PacketView v;
+    int guard = 0;
+    while (batch.next(v) && ++guard < 128) {
+    }
+  } catch (const PacketFormatError&) {
+  }
+  return 0;
+}

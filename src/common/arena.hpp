@@ -1,0 +1,115 @@
+// Bump-pointer arena for per-batch scratch (paper §III-B3 taken to its
+// logical end): operators running in batch mode get one arena per scheduled
+// execution, allocate scratch with pointer arithmetic, and the runtime
+// resets the whole arena in O(1) when the execution ends. Nothing is ever
+// freed individually; destructors are NOT run — only use the arena for
+// trivially-destructible scratch (bytes, PODs, string copies).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <vector>
+
+namespace neptune {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes) : block_bytes_(block_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned allocation. Never returns nullptr (throws std::bad_alloc
+  /// via the underlying allocator on exhaustion of the address space).
+  void* allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    uintptr_t p = (cursor_ + (align - 1)) & ~(uintptr_t(align) - 1);
+    if (p + bytes > limit_) {
+      refill(bytes, align);
+      p = (cursor_ + (align - 1)) & ~(uintptr_t(align) - 1);
+    }
+    cursor_ = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Typed scratch array of `n` default-initialized Ts. T must be
+  /// trivially destructible (no destructors run at reset()).
+  template <typename T>
+  T* allocate_array(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors — only trivially-destructible scratch");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Copy a byte range into the arena (e.g. to own view data past a batch).
+  std::string_view copy_string(std::string_view s) {
+    char* p = allocate_array<char>(s.size());
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// O(1) reset: rewind to the first block, keep every block's memory.
+  void reset() {
+    block_index_ = 0;
+    if (blocks_.empty()) {
+      cursor_ = limit_ = 0;
+    } else {
+      cursor_ = reinterpret_cast<uintptr_t>(blocks_[0].data.get());
+      limit_ = cursor_ + blocks_[0].size;
+    }
+  }
+
+  /// Bytes allocated since the last reset (diagnostics/benchmarks).
+  size_t bytes_used() const {
+    size_t used = 0;
+    for (size_t i = 0; i + 1 <= block_index_ && i < blocks_.size(); ++i) used += blocks_[i].size;
+    if (block_index_ < blocks_.size()) {
+      used += cursor_ - reinterpret_cast<uintptr_t>(blocks_[block_index_].data.get());
+    }
+    return used;
+  }
+  /// Total bytes held across all blocks (retained across resets).
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  void refill(size_t bytes, size_t align) {
+    // Advance to the next retained block that fits, or grow a new one.
+    size_t need = bytes + align;
+    while (block_index_ + 1 < blocks_.size()) {
+      ++block_index_;
+      if (blocks_[block_index_].size >= need) {
+        cursor_ = reinterpret_cast<uintptr_t>(blocks_[block_index_].data.get());
+        limit_ = cursor_ + blocks_[block_index_].size;
+        return;
+      }
+    }
+    size_t size = std::max(block_bytes_, need);
+    Block b{std::make_unique<uint8_t[]>(size), size};
+    cursor_ = reinterpret_cast<uintptr_t>(b.data.get());
+    limit_ = cursor_ + size;
+    blocks_.push_back(std::move(b));
+    block_index_ = blocks_.size() - 1;
+  }
+
+  const size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t block_index_ = 0;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+};
+
+}  // namespace neptune

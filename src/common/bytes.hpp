@@ -52,7 +52,23 @@ class ByteBuffer {
     data_.clear();
     read_pos_ = 0;
   }
+  /// Take ownership of an existing vector without copying (zero-copy
+  /// hand-off from legacy receive paths into pooled frame buffers).
+  void adopt(std::vector<uint8_t>&& v) noexcept {
+    data_ = std::move(v);
+    read_pos_ = 0;
+  }
+  /// Surrender the backing vector (leaves this buffer empty).
+  std::vector<uint8_t> take() noexcept {
+    std::vector<uint8_t> v = std::move(data_);
+    data_.clear();
+    read_pos_ = 0;
+    return v;
+  }
   void reserve(size_t n) { data_.reserve(n); }
+  /// Grow/shrink the written region in place (new bytes zeroed). Lets
+  /// decoders decompress directly into a pooled buffer via data().
+  void resize(size_t n) { data_.resize(n); }
   void rewind() noexcept { read_pos_ = 0; }
   void skip(size_t n) {
     check_readable(n, "skip");
@@ -155,6 +171,21 @@ class ByteBuffer {
   bool read_bool() { return read_u8() != 0; }
 
   uint64_t read_varint() {
+    // Fast path for the dominant 1- and 2-byte encodings (field counts,
+    // tags, small scalars): one bounds check, constant shifts. Longer
+    // varints fall through to the general checked loop.
+    if (data_.size() - read_pos_ >= 2) {
+      uint8_t b0 = (data_.data() + read_pos_)[0];
+      if ((b0 & 0x80) == 0) {
+        read_pos_ += 1;
+        return b0;
+      }
+      uint8_t b1 = (data_.data() + read_pos_)[1];
+      if ((b1 & 0x80) == 0) {
+        read_pos_ += 2;
+        return (static_cast<uint64_t>(b1) << 7) | (b0 & 0x7F);
+      }
+    }
     uint64_t v = 0;
     int shift = 0;
     for (;;) {
@@ -258,6 +289,21 @@ class ByteReader {
   bool read_bool() { return read_u8() != 0; }
 
   uint64_t read_varint() {
+    // Fast path for the dominant 1- and 2-byte encodings (field counts,
+    // tags, small scalars): one bounds check, constant shifts. Longer
+    // varints fall through to the general checked loop.
+    if (n_ - pos_ >= 2) {
+      uint8_t b0 = (p_ + pos_)[0];
+      if ((b0 & 0x80) == 0) {
+        pos_ += 1;
+        return b0;
+      }
+      uint8_t b1 = (p_ + pos_)[1];
+      if ((b1 & 0x80) == 0) {
+        pos_ += 2;
+        return (static_cast<uint64_t>(b1) << 7) | (b0 & 0x7F);
+      }
+    }
     uint64_t v = 0;
     int shift = 0;
     for (;;) {

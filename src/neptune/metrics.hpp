@@ -28,6 +28,11 @@ struct OperatorMetrics {
   std::atomic<uint64_t> seq_violations{0};   ///< ordering/exactly-once breaches (must stay 0)
   std::atomic<uint64_t> executions{0};       ///< scheduled executions of the instance task
 
+  // --- zero-copy path counters (paper §III-B3 taken to its limit) ------------
+  std::atomic<uint64_t> serde_alloc_bytes{0};  ///< heap bytes copied deserializing string/bytes fields
+  std::atomic<uint64_t> frame_copies{0};       ///< inbound frames that had to be copied (partial/chunked)
+  std::atomic<uint64_t> batch_dispatches{0};   ///< batches handed to on_batch() as views
+
   // --- gauges (instantaneous, refreshed by the owner; read by telemetry) -----
   std::atomic<int64_t> outbound_buffered_bytes{0};  ///< bytes parked in stream buffers
   std::atomic<int64_t> inbound_ready_batches{0};    ///< parsed batches awaiting execution
@@ -56,6 +61,9 @@ struct OperatorMetricsSnapshot {
   uint64_t blocked_ns = 0;
   uint64_t seq_violations = 0;
   uint64_t executions = 0;
+  uint64_t serde_alloc_bytes = 0;
+  uint64_t frame_copies = 0;
+  uint64_t batch_dispatches = 0;
   int64_t outbound_buffered_bytes = 0;
   int64_t inbound_ready_batches = 0;
   uint64_t reconnects = 0;
@@ -113,6 +121,9 @@ inline OperatorMetricsSnapshot snapshot_of(const OperatorMetrics& m) {
   s.blocked_ns = m.blocked_ns.load(std::memory_order_relaxed);
   s.seq_violations = m.seq_violations.load(std::memory_order_relaxed);
   s.executions = m.executions.load(std::memory_order_relaxed);
+  s.serde_alloc_bytes = m.serde_alloc_bytes.load(std::memory_order_relaxed);
+  s.frame_copies = m.frame_copies.load(std::memory_order_relaxed);
+  s.batch_dispatches = m.batch_dispatches.load(std::memory_order_relaxed);
   s.outbound_buffered_bytes = m.outbound_buffered_bytes.load(std::memory_order_relaxed);
   s.inbound_ready_batches = m.inbound_ready_batches.load(std::memory_order_relaxed);
   s.reconnects = m.reconnects.load(std::memory_order_relaxed);

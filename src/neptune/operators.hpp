@@ -33,6 +33,17 @@ class Emitter {
   /// Emit on a specific output link.
   virtual EmitStatus emit(size_t link, StreamPacket&& packet) = 0;
 
+  /// Emit a packet *by view* — the zero-copy relay path: the framework's
+  /// emitter forwards the view's wire bytes straight into the outbound
+  /// buffer (no deserialize, no re-serialize). The default adapters
+  /// materialize, so every Emitter accepts views.
+  virtual EmitStatus emit(const PacketView& view) { return emit(size_t{0}, view); }
+  virtual EmitStatus emit(size_t link, const PacketView& view) {
+    StreamPacket p;
+    view.materialize(p);
+    return emit(link, std::move(p));
+  }
+
   virtual size_t output_link_count() const = 0;
   /// Index of this operator instance within its parallel group.
   virtual uint32_t instance() const = 0;
@@ -74,6 +85,26 @@ class StreamProcessor {
   /// single thread at a time per instance, in arrival order — the
   /// framework's in-order, exactly-once contract.
   virtual void process(StreamPacket& packet, Emitter& out) = 0;
+
+  /// Opt into batched zero-copy dispatch: when true, the framework calls
+  /// on_batch() once per inbound batch instead of process() once per
+  /// packet. Packets arrive as views into the inbound frame — no per-field
+  /// allocation, no packet copies (paper §III-B2/B3 taken to their limit).
+  virtual bool prefers_batches() const { return false; }
+
+  /// Batched entry point. Views handed out by `batch` (and anything
+  /// obtained from batch.arena()) are valid only for the duration of this
+  /// call. Same single-threaded, in-order contract as process(). The
+  /// default bridges to per-packet process() so overriding
+  /// prefers_batches() alone is always safe.
+  virtual void on_batch(BatchView& batch, Emitter& out) {
+    PacketView v;
+    StreamPacket scratch;
+    while (batch.next(v)) {
+      v.materialize(scratch);
+      process(scratch, out);
+    }
+  }
 
   /// Called after all input streams have been fully consumed. May emit
   /// final packets (e.g. window aggregates) through `out`.

@@ -13,6 +13,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/bytes.hpp"
 #include "common/object_pool.hpp"
 
@@ -109,7 +110,10 @@ class StreamPacket {
 
   /// Read one packet from `in`, *reusing* this object's storage.
   /// Throws BufferUnderflow / PacketFormatError on malformed input.
-  void deserialize(ByteReader& in);
+  /// When `alloc_bytes` is non-null, the payload bytes heap-copied for
+  /// string/bytes fields are accumulated into it (serde_alloc_bytes
+  /// telemetry — the cost the zero-copy view path avoids).
+  void deserialize(ByteReader& in, uint64_t* alloc_bytes = nullptr);
 
   /// Stable 64-bit hash of a field's value (for fields-hash partitioning).
   uint64_t field_hash(size_t i) const;
@@ -126,6 +130,143 @@ class StreamPacket {
 class PacketFormatError : public std::runtime_error {
  public:
   explicit PacketFormatError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Zero-copy decoded packet: a reusable cursor + field table over a
+/// packet's wire bytes. parse() decodes scalars eagerly into the table and
+/// records string/bytes fields as pointers into the input — no per-field
+/// heap allocation, ever. Accessors for variable-length fields return
+/// views; everything a PacketView hands out is valid only while the
+/// backing frame bytes live (in the runtime: one scheduled execution —
+/// the batch's pooled frame ref pins them, see docs/INTERNALS.md §11).
+///
+/// parse() throws PacketFormatError on any malformed input — unknown type
+/// tag, absurd field count, truncation, overlong varint — and never reads
+/// outside the given span.
+class PacketView {
+ public:
+  struct FieldRef {
+    FieldType type = FieldType::kI32;
+    union {
+      int64_t i;   ///< kI32 (sign-extended), kI64, kBool (0/1)
+      float f32;   ///< kF32
+      double f64;  ///< kF64
+    };
+    const uint8_t* data = nullptr;  ///< kString / kBytes payload
+    uint32_t size = 0;
+  };
+
+  /// Decode one packet from `buf` starting at `offset`; returns the offset
+  /// one past the packet. Reuses the field table's capacity (object-reuse
+  /// scheme §III-B3: one PacketView per instance serves every packet).
+  size_t parse(std::span<const uint8_t> buf, size_t offset = 0);
+
+  int64_t event_time_ns() const { return event_time_ns_; }
+  size_t field_count() const { return fields_.size(); }
+  FieldType type(size_t i) const { return ref_at(i).type; }
+
+  int32_t i32(size_t i) const { return static_cast<int32_t>(checked(i, FieldType::kI32).i); }
+  int64_t i64(size_t i) const { return checked(i, FieldType::kI64).i; }
+  float f32(size_t i) const { return checked(i, FieldType::kF32).f32; }
+  double f64(size_t i) const { return checked(i, FieldType::kF64).f64; }
+  bool boolean(size_t i) const { return checked(i, FieldType::kBool).i != 0; }
+  std::string_view str(size_t i) const {
+    const FieldRef& r = checked(i, FieldType::kString);
+    return {reinterpret_cast<const char*>(r.data), r.size};
+  }
+  std::span<const uint8_t> bytes(size_t i) const {
+    const FieldRef& r = checked(i, FieldType::kBytes);
+    return {r.data, r.size};
+  }
+
+  /// The packet's serialized wire bytes — the zero-copy re-emit currency:
+  /// StreamBuffer::add_raw() appends them to an outbound batch unchanged.
+  std::span<const uint8_t> raw() const { return raw_; }
+
+  /// Stable 64-bit value hash, bit-identical to StreamPacket::field_hash
+  /// so fields-hash partitioning routes a packet the same way on both
+  /// decode paths.
+  uint64_t field_hash(size_t i) const;
+
+  /// Deep-copy into an owning packet (reusing its storage) — the bridge to
+  /// per-packet operators and to keeping data beyond the view's lifetime.
+  void materialize(StreamPacket& out) const;
+
+ private:
+  const FieldRef& ref_at(size_t i) const { return fields_.at(i); }
+  const FieldRef& checked(size_t i, FieldType want) const {
+    const FieldRef& r = fields_.at(i);
+    if (r.type != want)
+      throw PacketFormatError(std::string("field type mismatch: want ") + field_type_name(want) +
+                              ", have " + field_type_name(r.type));
+    return r;
+  }
+
+  int64_t event_time_ns_ = 0;
+  std::vector<FieldRef> fields_;
+  std::span<const uint8_t> raw_;
+};
+
+/// Sequential zero-copy view over the packets of one decoded batch payload
+/// (the bytes after the BatchHeader). Owns nothing: the runtime pins the
+/// backing frame for the duration of the operator's scheduled execution and
+/// resets the attached arena once per execution — operators may use
+/// arena() for per-batch scratch that needs no destructors.
+class BatchView {
+ public:
+  BatchView() = default;
+  BatchView(std::span<const uint8_t> packet_bytes, uint32_t count, Arena* arena = nullptr) {
+    reset(packet_bytes, count, arena);
+  }
+
+  /// Rebind to a new batch (reuse from the runtime's per-instance object).
+  void reset(std::span<const uint8_t> packet_bytes, uint32_t count, Arena* arena = nullptr) {
+    bytes_ = packet_bytes;
+    offset_ = 0;
+    count_ = count;
+    consumed_ = 0;
+    arena_ = arena;
+    last_event_time_ns_ = 0;
+  }
+
+  /// Packets in the batch (total, not remaining).
+  size_t size() const { return count_; }
+  size_t consumed() const { return consumed_; }
+  size_t remaining() const { return count_ - consumed_; }
+
+  /// Decode the next packet into `view`. Returns false once exhausted.
+  /// Throws PacketFormatError if the payload is malformed.
+  bool next(PacketView& view) {
+    if (consumed_ == count_) return false;
+    offset_ = view.parse(bytes_, offset_);
+    ++consumed_;
+    last_event_time_ns_ = view.event_time_ns();
+    return true;
+  }
+
+  /// Skip `n` packets without handing them to the operator (duplicate-frame
+  /// cursor replay after recovery). Stops early at end of batch.
+  void skip(size_t n) {
+    while (n-- > 0 && next(scratch_)) {
+    }
+  }
+
+  /// Per-execution bump allocator for operator scratch; null when the
+  /// caller provided none (standalone/test use).
+  Arena* arena() const { return arena_; }
+
+  /// Event time of the most recently decoded packet (sink latency is
+  /// sampled per batch on the view path).
+  int64_t last_event_time_ns() const { return last_event_time_ns_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t offset_ = 0;
+  uint32_t count_ = 0;
+  uint32_t consumed_ = 0;
+  Arena* arena_ = nullptr;
+  int64_t last_event_time_ns_ = 0;
+  PacketView scratch_;  // for skip()
 };
 
 /// Pool of reusable packets (paper §III-B3). One per operator instance.

@@ -32,6 +32,25 @@ class PartitioningScheme {
   /// stay contention-free.
   virtual uint32_t select(const StreamPacket& packet, uint32_t src_instance,
                           uint32_t instance_count) = 0;
+
+  /// View-path variant used by the zero-copy batch pipeline. The default
+  /// materializes into a thread-local scratch packet and defers to
+  /// select(), so custom schemes keep working; the native schemes override
+  /// it to skip materialization entirely.
+  virtual uint32_t select_view(const PacketView& view, uint32_t src_instance,
+                               uint32_t instance_count) {
+    thread_local StreamPacket scratch;
+    view.materialize(scratch);
+    return select(scratch, src_instance, instance_count);
+  }
+
+ protected:
+  /// For schemes that ignore packet contents: a shared immutable empty
+  /// packet lets select_view() reuse select() without materializing.
+  static const StreamPacket& empty_packet() {
+    static const StreamPacket p;
+    return p;
+  }
 };
 
 /// Round-robin per sender instance — NEPTUNE's default ("shuffle").
@@ -40,6 +59,9 @@ class ShufflePartitioning final : public PartitioningScheme {
   const char* name() const override { return "shuffle"; }
   void prepare(uint32_t src_instances) override { cursors_.resize(src_instances); }
   uint32_t select(const StreamPacket&, uint32_t src_instance, uint32_t n) override;
+  uint32_t select_view(const PacketView&, uint32_t src_instance, uint32_t n) override {
+    return select(empty_packet(), src_instance, n);
+  }
 
  private:
   struct Cursor {
@@ -58,6 +80,9 @@ class RandomPartitioning final : public PartitioningScheme {
     for (uint32_t i = 0; i < src_instances; ++i) states_[i].s = (seed_ + i * 0x9E37u) | 1;
   }
   uint32_t select(const StreamPacket&, uint32_t src_instance, uint32_t n) override;
+  uint32_t select_view(const PacketView&, uint32_t src_instance, uint32_t n) override {
+    return select(empty_packet(), src_instance, n);
+  }
 
  private:
   struct Lane {
@@ -76,6 +101,11 @@ class FieldsHashPartitioning final : public PartitioningScheme {
   uint32_t select(const StreamPacket& p, uint32_t, uint32_t n) override {
     return static_cast<uint32_t>(p.field_hash(field_) % n);
   }
+  uint32_t select_view(const PacketView& v, uint32_t, uint32_t n) override {
+    // PacketView::field_hash is bit-identical to StreamPacket's, so a key
+    // routes to the same instance regardless of decode path.
+    return static_cast<uint32_t>(v.field_hash(field_) % n);
+  }
   size_t field_index() const { return field_; }
 
  private:
@@ -89,6 +119,9 @@ class BroadcastPartitioning final : public PartitioningScheme {
   uint32_t select(const StreamPacket&, uint32_t, uint32_t) override {
     return kBroadcastInstance;
   }
+  uint32_t select_view(const PacketView&, uint32_t, uint32_t) override {
+    return kBroadcastInstance;
+  }
 };
 
 /// Sender instance i delivers to destination instance i % n (pipelines with
@@ -97,6 +130,9 @@ class DirectPartitioning final : public PartitioningScheme {
  public:
   const char* name() const override { return "direct"; }
   uint32_t select(const StreamPacket&, uint32_t src_instance, uint32_t n) override {
+    return src_instance % n;
+  }
+  uint32_t select_view(const PacketView&, uint32_t src_instance, uint32_t n) override {
     return src_instance % n;
   }
 };

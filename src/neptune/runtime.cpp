@@ -17,13 +17,18 @@
 namespace neptune {
 namespace detail {
 
-/// A decoded inbound batch of packets, recycled through an object pool —
-/// both the batch and the StreamPacket objects inside it are reused
-/// (paper §III-B3).
+/// An inbound batch awaiting execution, recycled through an object pool
+/// (paper §III-B3). The packet bytes are NOT deserialized here: `packets`
+/// is a view into a pooled frame buffer pinned by `buf`, and packets are
+/// decoded lazily at drain time — either into per-packet views (zero
+/// allocation) or into a reused scratch StreamPacket for legacy per-packet
+/// operators.
 struct Batch {
-  std::vector<StreamPacket> packets;
-  size_t count = 0;   ///< valid packets in `packets`
-  size_t cursor = 0;  ///< next packet to process (partial progress under backpressure)
+  FrameBufRef buf;                   ///< pins the payload bytes until drained
+  std::span<const uint8_t> packets;  ///< serialized packets (after the BatchHeader)
+  size_t count = 0;                  ///< packets in the batch
+  size_t cursor = 0;                 ///< next packet to process (partial progress under backpressure)
+  size_t byte_off = 0;               ///< byte offset of `cursor` within `packets`
 
   // Trace block carried in the BatchHeader (trace_id 0 = untraced) plus the
   // destination-side stamps needed to close the hop's span.
@@ -38,8 +43,11 @@ struct Batch {
   uint32_t trace_bytes = 0;
 
   void reset() {
+    buf.reset();  // releases the pooled frame
+    packets = {};
     count = 0;
-    cursor = 0;  // packet objects retained for reuse
+    cursor = 0;
+    byte_off = 0;
     trace_id = 0;
     exec_start_ns = 0;
   }
@@ -135,6 +143,40 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
                                                            : EmitStatus::kOk;
   }
 
+  /// Zero-copy re-emit: forward the view's wire bytes straight into the
+  /// outbound stream buffer — no deserialize, no re-serialize. Falls back
+  /// to materialization only when the packet has no event time yet (the
+  /// stamp would have to rewrite the serialized bytes).
+  EmitStatus emit(size_t link, const PacketView& view) override {
+    if (link >= outputs.size())
+      throw GraphError(task_name_ + ": emit on unknown output link " + std::to_string(link));
+    if (view.event_time_ns() == 0) {
+      StreamPacket p;
+      view.materialize(p);
+      return emit(link, std::move(p));
+    }
+    OutLink& out = outputs[link];
+    uint32_t n = static_cast<uint32_t>(out.dst.size());
+    uint32_t pick = out.partitioning->select_view(view, instance_, n);
+    std::span<const uint8_t> raw = view.raw();
+    if (pick == kBroadcastInstance) {
+      for (auto& buf : out.dst) {
+        if (current_trace_.active()) buf->note_trace(current_trace_);
+        if (!buf->add_raw(raw)) output_blocked_.store(true, std::memory_order_relaxed);
+        packets_emitted_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.packets_out.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      StreamBuffer& buf = *out.dst[pick % n];
+      if (current_trace_.active()) buf.note_trace(current_trace_);
+      if (!buf.add_raw(raw)) output_blocked_.store(true, std::memory_order_relaxed);
+      packets_emitted_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.packets_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    return output_blocked_.load(std::memory_order_relaxed) ? EmitStatus::kBackpressured
+                                                           : EmitStatus::kOk;
+  }
+
   size_t output_link_count() const override { return outputs.size(); }
   uint32_t instance() const override { return instance_; }
   uint64_t packets_emitted() const override {
@@ -149,6 +191,7 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
       source->open(instance_, parallelism_);
     } else {
       processor->open(instance_, parallelism_);
+      batch_mode_ = processor->prefers_batches();
     }
   }
 
@@ -199,6 +242,9 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
 
   // --- processor path ----------------------------------------------------------
   void run_processor(granules::TaskContext& ctx) {
+    // Per-batch operator scratch lives exactly one scheduled execution
+    // (docs/INTERNALS.md §11): reclaim it all in O(1) before any dispatch.
+    arena_.reset();
     if (!drain_ready_batches()) return;  // output blocked mid-batch
     size_t rounds = 0;
     while (rounds < cfg_.max_batches_per_execution) {
@@ -219,53 +265,94 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
 
   /// Pull one chunk from the next input edge that has data; decode frames
   /// into ready batches. Returns false when no edge had data.
+  ///
+  /// Fast path: in-process edges (and any transport that delivers whole
+  /// frames) hand over a pooled frame buffer; the batch keeps a ref and
+  /// packets are parsed straight out of it — zero payload copies. Only
+  /// byte-stream transports that chunk frames (TCP) fall back to the
+  /// reassembling decoder, which copies (counted in frame_copies).
   bool fetch_some_frames() {
     size_t n = inputs.size();
     for (size_t step = 0; step < n; ++step) {
       InEdge& e = inputs[(next_edge_ + step) % n];
       if (e.drained) continue;
-      auto chunk = e.rx->try_receive();
-      if (!chunk) {
+      auto frame = e.rx->try_receive_buf();
+      if (!frame) {
         if (e.rx->closed() && e.decoder.pending_bytes() == 0) e.drained = true;
         continue;
       }
       next_edge_ = (next_edge_ + step + 1) % n;
-      metrics_.bytes_in.fetch_add(chunk->size(), std::memory_order_relaxed);
-      FrameDecodeStatus s = e.decoder.feed(
-          *chunk, [&](const FrameHeader& h, std::span<const uint8_t> payload) {
-            ingest_frame(e, h, payload);
-          });
+      metrics_.bytes_in.fetch_add(frame->size(), std::memory_order_relaxed);
+      FrameDecodeStatus s = FrameDecodeStatus::kFrame;
+      if (e.decoder.pending_bytes() == 0) {
+        if (auto f = decode_whole_frame(frame->contents(), &s)) {
+          ingest_frame(e, f->header, f->payload, &*frame);
+          return true;
+        }
+        // kNeedMore: a partial or multi-frame chunk — reassemble below.
+        if (s != FrameDecodeStatus::kNeedMore) {
+          report_corrupt_frame(e, s);
+          return true;
+        }
+      }
+      metrics_.frame_copies.fetch_add(1, std::memory_order_relaxed);
+      s = e.decoder.feed(frame->contents(),
+                         [&](const FrameHeader& h, std::span<const uint8_t> payload) {
+                           ingest_frame(e, h, payload, nullptr);
+                         });
       if (s == FrameDecodeStatus::kBadMagic || s == FrameDecodeStatus::kBadChecksum ||
           s == FrameDecodeStatus::kBadLength) {
-        // A corrupt frame here means the transport below us has no repair
-        // path (supervised TCP edges reject and retransmit upstream of this
-        // point). Exactly-once cannot be upheld without the frame, so this
-        // is a permanent failure: count it and hand the job to whatever
-        // recovery policy is attached (e.g. checkpoint restore).
-        NEPTUNE_LOG_ERROR("%s: corrupt frame on link %u (status %d)", task_name_.c_str(),
-                          e.link_id, static_cast<int>(s));
-        metrics_.corrupt_frames_dropped.fetch_add(1, std::memory_order_relaxed);
         e.decoder.reset();
-        job_->report_failure(task_name_ + ": corrupt frame on link " + std::to_string(e.link_id));
+        report_corrupt_frame(e, s);
       }
       return true;
     }
     return false;
   }
 
-  void ingest_frame(InEdge& e, const FrameHeader& h, std::span<const uint8_t> payload) {
+  void report_corrupt_frame(InEdge& e, FrameDecodeStatus s) {
+    // A corrupt frame here means the transport below us has no repair
+    // path (supervised TCP edges reject and retransmit upstream of this
+    // point). Exactly-once cannot be upheld without the frame, so this
+    // is a permanent failure: count it and hand the job to whatever
+    // recovery policy is attached (e.g. checkpoint restore).
+    NEPTUNE_LOG_ERROR("%s: corrupt frame on link %u (status %d)", task_name_.c_str(), e.link_id,
+                      static_cast<int>(s));
+    metrics_.corrupt_frames_dropped.fetch_add(1, std::memory_order_relaxed);
+    job_->report_failure(task_name_ + ": corrupt frame on link " + std::to_string(e.link_id));
+  }
+
+  /// `frame` is the pooled buffer the payload points into, when the caller
+  /// has one (whole-frame fast path) — the batch retains it so the packet
+  /// bytes stay alive, unparsed, until drained. Null on the reassembling
+  /// decoder path, whose payload is only valid for this call: the bytes are
+  /// then stashed in a pooled buffer (one copy, counted).
+  void ingest_frame(InEdge& e, const FrameHeader& h, std::span<const uint8_t> payload,
+                    const FrameBufRef* frame) {
+    if (h.control()) return;  // control frames never carry packets
+    FrameBufRef keep;  // pins `raw` for the life of the batch
     std::span<const uint8_t> raw = payload;
     if (h.compressed()) {
-      decompress_scratch_.resize(h.raw_size);
-      ptrdiff_t dn = lz4::decompress(payload, decompress_scratch_.data(), h.raw_size);
+      // Decompress straight into a pooled buffer (its allocation is
+      // recycled frame-to-frame, object-reuse scheme §III-B3).
+      keep = FrameBufPool::global().acquire();
+      ByteBuffer& dst = keep->buffer();
+      dst.resize(h.raw_size);
+      ptrdiff_t dn = lz4::decompress(payload, dst.data(), h.raw_size);
       if (dn < 0 || static_cast<uint32_t>(dn) != h.raw_size) {
         NEPTUNE_LOG_ERROR("%s: LZ4 decode failure on link %u", task_name_.c_str(), e.link_id);
         metrics_.seq_violations.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      raw = {decompress_scratch_.data(), h.raw_size};
+      raw = keep.contents();
+    } else if (frame != nullptr) {
+      keep = *frame;  // zero-copy: share the inbound frame buffer
+    } else {
+      keep = FrameBufPool::global().acquire();
+      keep->buffer().write_bytes(payload);
+      metrics_.frame_copies.fetch_add(1, std::memory_order_relaxed);
+      raw = keep.contents();
     }
-    if (h.control()) return;  // control frames never carry packets
     ByteReader r(raw);
     uint32_t src_inst = r.read_u32();
     uint64_t base_seq = r.read_u64();
@@ -303,20 +390,30 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
 
     auto batch = batch_pool_->acquire();
     batch->reset();
-    if (batch->packets.size() < h.batch_count) batch->packets.resize(h.batch_count);
-    for (uint32_t i = 0; i < h.batch_count; ++i) {
-      batch->packets[i].deserialize(r);  // reuses packet storage
-    }
+    batch->buf = std::move(keep);
+    batch->packets = raw.subspan(r.position());
     batch->count = h.batch_count;
     batch->cursor = skip;
+    if (skip > 0) {
+      // Duplicate-frame replay: advance the byte cursor past the packets
+      // already applied, without decoding fields (view parse only).
+      try {
+        size_t off = 0;
+        for (uint32_t i = 0; i < skip; ++i) off = skip_view_.parse(batch->packets, off);
+        batch->byte_off = off;
+      } catch (const PacketFormatError& ex) {
+        report_malformed_batch(e, ex);
+        return;  // PoolPtr recycles the batch
+      }
+    }
+    batch->trace_link = e.link_id;  // also keyed for error attribution at drain
+    batch->trace_src = src_inst;
     if (trace_id != 0) {
       batch->trace_id = trace_id;
       batch->trace_origin_ns = trace_origin_ns;
       batch->batch_start_ns = batch_start_ns;
       batch->flush_ns = flush_ns;
       batch->recv_ns = now_ns();
-      batch->trace_link = e.link_id;
-      batch->trace_src = src_inst;
       batch->trace_bytes = static_cast<uint32_t>(raw.size());
     }
     metrics_.batches_in.fetch_add(1, std::memory_order_relaxed);
@@ -325,8 +422,21 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
                                          std::memory_order_relaxed);
   }
 
+  void report_malformed_batch(InEdge& e, const PacketFormatError& ex) {
+    // The frame passed its CRC, so this is an encoder bug upstream, not
+    // wire corruption — still unrecoverable for exactly-once.
+    NEPTUNE_LOG_ERROR("%s: malformed packet on link %u: %s", task_name_.c_str(), e.link_id,
+                      ex.what());
+    metrics_.corrupt_frames_dropped.fetch_add(1, std::memory_order_relaxed);
+    job_->report_failure(task_name_ + ": malformed packet on link " + std::to_string(e.link_id) +
+                         ": " + ex.what());
+  }
+
   /// Process ready batches; stops (returning false) when an output edge
-  /// becomes flow-controlled. Partial progress is kept via the cursor.
+  /// becomes flow-controlled. Partial progress is kept via the batch
+  /// cursor. Packets decode lazily from the pinned frame bytes: as views
+  /// (batch mode) or into a reused scratch packet (per-packet mode) — no
+  /// per-packet allocation beyond the operator's own.
   bool drain_ready_batches() {
     bool is_sink = outputs.empty();
     while (!ready_.empty()) {
@@ -337,27 +447,84 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
         // trace follows the data to the next hop.
         current_trace_ = obs::TraceContext{b.trace_id, b.trace_origin_ns};
       }
-      while (b.cursor < b.count) {
-        StreamPacket& p = b.packets[b.cursor];
-        metrics_.packets_in.fetch_add(1, std::memory_order_relaxed);
-        processor->process(p, *this);
-        if (is_sink && p.event_time_ns() > 0) {
-          int64_t lat = now_ns() - p.event_time_ns();
-          if (lat > 0) metrics_.sink_latency.record(static_cast<uint64_t>(lat));
+      try {
+        if (batch_mode_) {
+          if (!dispatch_batch(b, is_sink)) {
+            current_trace_ = {};
+            return false;
+          }
+        } else {
+          uint64_t alloc = 0;
+          while (b.cursor < b.count) {
+            ByteReader r(b.packets.data() + b.byte_off, b.packets.size() - b.byte_off);
+            scratch_pkt_.deserialize(r, &alloc);  // reuses packet storage
+            b.byte_off += r.position();
+            ++b.cursor;
+            metrics_.packets_in.fetch_add(1, std::memory_order_relaxed);
+            processor->process(scratch_pkt_, *this);
+            if (is_sink && scratch_pkt_.event_time_ns() > 0) {
+              int64_t lat = now_ns() - scratch_pkt_.event_time_ns();
+              if (lat > 0) metrics_.sink_latency.record(static_cast<uint64_t>(lat));
+            }
+            if (output_blocked_.load(std::memory_order_relaxed)) {
+              if (b.cursor < b.count || !ready_.empty()) {
+                // Partial progress kept; resume from the cursor next run.
+              }
+              metrics_.serde_alloc_bytes.fetch_add(alloc, std::memory_order_relaxed);
+              current_trace_ = {};
+              return false;
+            }
+          }
+          metrics_.serde_alloc_bytes.fetch_add(alloc, std::memory_order_relaxed);
         }
-        ++b.cursor;
-        if (output_blocked_.load(std::memory_order_relaxed)) {
-          current_trace_ = {};
-          return false;
-        }
+      } catch (const PacketFormatError& ex) {
+        report_malformed_batch(*find_edge(b), ex);
+        b.cursor = b.count;  // drop the rest of the poisoned batch
+      } catch (const BufferUnderflow& ex) {
+        report_malformed_batch(*find_edge(b), PacketFormatError(ex.what()));
+        b.cursor = b.count;
       }
       if (b.trace_id != 0) record_span(b);
       current_trace_ = {};
+      b.buf.reset();  // return the frame to its pool now, not at batch reuse
+      b.packets = {};
       ready_.pop_front();  // PoolPtr destructor recycles the batch
       metrics_.inbound_ready_batches.store(static_cast<int64_t>(ready_.size()),
                                            std::memory_order_relaxed);
     }
     return true;
+  }
+
+  /// Batch-mode dispatch: one on_batch() call per inbound batch, packets
+  /// handed out as views into the pinned frame. Emits are always buffered,
+  /// so the whole batch completes even if an output edge blocks mid-way —
+  /// the blocked flag then pauses further batches (bounded by one batch of
+  /// overshoot, ~the flush threshold).
+  bool dispatch_batch(Batch& b, bool is_sink) {
+    if (b.cursor < b.count) {
+      batch_view_.reset(b.packets.subspan(b.byte_off), static_cast<uint32_t>(b.count - b.cursor),
+                        &arena_);
+      metrics_.batch_dispatches.fetch_add(1, std::memory_order_relaxed);
+      metrics_.packets_in.fetch_add(b.count - b.cursor, std::memory_order_relaxed);
+      processor->on_batch(batch_view_, *this);
+      b.cursor = b.count;
+      b.byte_off = b.packets.size();
+      if (is_sink && batch_view_.last_event_time_ns() > 0) {
+        // Sink latency is sampled once per batch on this path (the batch's
+        // newest packet); per-packet recording lives on the legacy path.
+        int64_t lat = now_ns() - batch_view_.last_event_time_ns();
+        if (lat > 0) metrics_.sink_latency.record(static_cast<uint64_t>(lat));
+      }
+    }
+    return !output_blocked_.load(std::memory_order_relaxed);
+  }
+
+  /// The input edge a ready batch arrived on (for error attribution).
+  InEdge* find_edge(const Batch& b) {
+    for (auto& e : inputs) {
+      if (e.link_id == b.trace_link && e.src_instance == b.trace_src) return &e;
+    }
+    return &inputs.front();
   }
 
   /// Close the hop for a traced batch that just finished executing.
@@ -458,7 +625,15 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
   size_t next_edge_ = 0;
   std::shared_ptr<ObjectPool<Batch>> batch_pool_;
   std::deque<ObjectPool<Batch>::PoolPtr> ready_;
-  std::vector<uint8_t> decompress_scratch_;
+
+  // Zero-copy drain scratch, all reused across executions (§III-B3):
+  // per-execution operator arena, a scratch packet for legacy per-packet
+  // dispatch, and persistent view objects for skip-replay and batch mode.
+  Arena arena_;
+  StreamPacket scratch_pkt_;
+  PacketView skip_view_;
+  BatchView batch_view_;
+  bool batch_mode_ = false;
 };
 
 }  // namespace detail
@@ -656,7 +831,13 @@ Runtime::EdgeChannel Runtime::make_edge_channel(granules::Resource* src, granule
                                                 const std::shared_ptr<Job>& job) {
   fault::FaultInjector* injector = options_.fault_injector.get();
   if (src == dst || options_.cross_resource_transport == EdgeTransport::kInproc) {
-    InprocPipe pipe = make_inproc_pipe(config);
+    // SPSC fast lane: each edge has exactly one producing StreamBuffer
+    // (serialized by its mutex, including timer-thread flushes) and one
+    // consuming task. Fault-injector wrappers may replay frames from IO
+    // threads, so keep the mutex lane under injection (test-only path).
+    ChannelConfig inproc_cfg = config;
+    inproc_cfg.spsc = (injector == nullptr);
+    InprocPipe pipe = make_inproc_pipe(inproc_cfg);
     std::shared_ptr<ChannelSender> sender = pipe.sender;
     std::shared_ptr<ChannelReceiver> receiver = pipe.receiver;
     if (injector) {
@@ -787,6 +968,24 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
               uint64_t recv = rx->bytes_received();
               return sent > recv ? static_cast<double>(sent - recv) : 0.0;
             }));
+        // Fast-lane ratio for in-process edges: fraction of sends that went
+        // through the lock-free SPSC ring with a pooled (zero-copy) frame.
+        if (auto inproc = std::dynamic_pointer_cast<InprocChannel>(pipe.sender)) {
+          job->telemetry_.push_back(obs::TelemetryRegistry::global().register_series(
+              {"neptune_inproc_fastlane_ratio",
+               {{"job", job->name_},
+                {"link", std::to_string(link.link_id)},
+                {"src", std::to_string(src->instance_index())},
+                {"dst", std::to_string(dst->instance_index())}},
+               obs::SeriesKind::kGauge,
+               "Fraction of inproc sends taking the zero-copy SPSC fast lane"},
+              [inproc] {
+                uint64_t total = inproc->total_sends();
+                if (total == 0) return 1.0;
+                return static_cast<double>(inproc->fastlane_sends()) /
+                       static_cast<double>(total);
+              }));
+        }
         detail::InEdge edge;
         edge.rx = pipe.receiver;
         edge.link_id = link.link_id;
@@ -835,6 +1034,14 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
            &OperatorMetrics::blocked_sends},
           {"neptune_executions_total", "Scheduled executions of the instance task",
            &OperatorMetrics::executions},
+          {"neptune_serde_alloc_bytes_total",
+           "Heap bytes allocated deserializing inbound packets (string/bytes fields)",
+           &OperatorMetrics::serde_alloc_bytes},
+          {"neptune_frame_copies_total",
+           "Inbound frames that had to be copied (chunked/partial delivery)",
+           &OperatorMetrics::frame_copies},
+          {"neptune_batch_dispatches_total", "Batches dispatched to on_batch() as views",
+           &OperatorMetrics::batch_dispatches},
       };
       for (const CounterSpec& c : kCounters) {
         job->telemetry_.push_back(reg.register_series(

@@ -18,30 +18,30 @@ StreamBuffer::StreamBuffer(uint32_t link_id, uint32_t src_instance,
   accum_.reserve(config_.capacity_bytes + 4096);
 }
 
-bool StreamBuffer::add(const StreamPacket& packet) {
-  std::lock_guard lk(mu_);
-  if (accum_count_ == 0) {
-    // Start of a new batch: stamp the header placeholder and remember the
-    // arrival time of the first message (for the flush timer). The trace
-    // fields are zeroed here and patched in flush_locked(); a batch with
-    // no inherited trace gets a 1-in-N chance to originate one.
-    accum_.clear();
-    accum_.write_u32(src_instance_);
-    accum_.write_u64(next_seq_);
-    accum_.write_u64(0);  // trace_id
-    accum_.write_i64(0);  // trace_origin_ns
-    accum_.write_i64(0);  // batch_start_ns
-    accum_.write_i64(0);  // flush_ns
-    first_packet_ns_ = clock_->now_ns();
-    if (!batch_trace_.active())
-      batch_trace_ = obs::TraceSampler::global().maybe_start(first_packet_ns_);
-  }
-  packet.serialize(accum_);
+void StreamBuffer::prepare_batch_locked() {
+  if (accum_count_ != 0) return;
+  // Start of a new batch: stamp the header placeholder and remember the
+  // arrival time of the first message (for the flush timer). The trace
+  // fields are zeroed here and patched in flush_locked(); a batch with
+  // no inherited trace gets a 1-in-N chance to originate one.
+  accum_.clear();
+  accum_.write_u32(src_instance_);
+  accum_.write_u64(next_seq_);
+  accum_.write_u64(0);  // trace_id
+  accum_.write_i64(0);  // trace_origin_ns
+  accum_.write_i64(0);  // batch_start_ns
+  accum_.write_i64(0);  // flush_ns
+  first_packet_ns_ = clock_->now_ns();
+  if (!batch_trace_.active())
+    batch_trace_ = obs::TraceSampler::global().maybe_start(first_packet_ns_);
+}
+
+bool StreamBuffer::finish_add_locked() {
   ++accum_count_;
   ++next_seq_;
 
   if (accum_.size() >= config_.capacity_bytes + BatchHeader::kSize) {
-    if (pending_.empty()) {
+    if (!pending_) {
       flush_locked();
     } else {
       // Previous frame still parked: retry it; only if that clears can the
@@ -50,6 +50,20 @@ bool StreamBuffer::add(const StreamPacket& packet) {
     }
   }
   return !blocked_;
+}
+
+bool StreamBuffer::add(const StreamPacket& packet) {
+  std::lock_guard lk(mu_);
+  prepare_batch_locked();
+  packet.serialize(accum_);
+  return finish_add_locked();
+}
+
+bool StreamBuffer::add_raw(std::span<const uint8_t> packet_bytes) {
+  std::lock_guard lk(mu_);
+  prepare_batch_locked();
+  accum_.write_bytes(packet_bytes);
+  return finish_add_locked();
 }
 
 bool StreamBuffer::flush_locked() {
@@ -71,8 +85,8 @@ bool StreamBuffer::flush_locked() {
   h.raw_size = static_cast<uint32_t>(accum_.size());
   if (compressed) h.flags |= FrameHeader::kFlagCompressed;
 
-  pending_.clear();
-  encode_frame(h, codec_scratch_, pending_);
+  pending_ = FrameBufPool::global().acquire();
+  encode_frame(h, codec_scratch_, pending_->buffer());
 
   accum_.clear();
   accum_count_ = 0;
@@ -83,12 +97,14 @@ bool StreamBuffer::flush_locked() {
 }
 
 bool StreamBuffer::retry_pending_locked() {
-  if (pending_.empty()) return true;
-  SendStatus s = sender_->try_send(pending_.contents());
+  if (!pending_) return true;
+  // FrameBufRef overload: an in-process channel takes a ref to the pooled
+  // frame (zero-copy); socket transports fall back to the span adapter.
+  SendStatus s = sender_->try_send(pending_);
   switch (s) {
     case SendStatus::kOk:
       if (metrics_) metrics_->bytes_out.fetch_add(pending_.size(), std::memory_order_relaxed);
-      pending_.clear();
+      pending_.reset();
       settle_blocked_locked();
       return true;
     case SendStatus::kBlocked:
@@ -100,7 +116,7 @@ bool StreamBuffer::retry_pending_locked() {
       return false;
     case SendStatus::kClosed:
       // Downstream is gone; drop the frame to avoid wedging shutdown.
-      pending_.clear();
+      pending_.reset();
       settle_blocked_locked();
       return true;
   }
@@ -118,7 +134,7 @@ void StreamBuffer::settle_blocked_locked() {
 
 void StreamBuffer::on_timer() {
   std::lock_guard lk(mu_);
-  if (!pending_.empty()) {
+  if (pending_) {
     retry_pending_locked();
     return;
   }
@@ -140,7 +156,7 @@ bool StreamBuffer::drain(bool force) {
 
 bool StreamBuffer::has_unflushed() const {
   std::lock_guard lk(mu_);
-  return accum_count_ > 0 || !pending_.empty();
+  return accum_count_ > 0 || static_cast<bool>(pending_);
 }
 
 bool StreamBuffer::blocked() const {

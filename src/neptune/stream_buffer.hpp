@@ -69,6 +69,13 @@ class StreamBuffer {
   /// should stop producing).
   bool add(const StreamPacket& packet);
 
+  /// Append one *already serialized* packet — the zero-copy re-emit path:
+  /// a relay operator working on a BatchView hands the packet's wire bytes
+  /// straight from the inbound frame into this buffer, skipping both
+  /// deserialize and re-serialize. The bytes must be exactly one packet in
+  /// StreamPacket wire format. Same flush/flow-control behavior as add().
+  bool add_raw(std::span<const uint8_t> packet_bytes);
+
   /// Timer hook: flush if the oldest buffered packet has waited past the
   /// interval. Called from the IO thread.
   void on_timer();
@@ -101,6 +108,10 @@ class StreamBuffer {
   uint64_t next_seq() const;
 
  private:
+  /// Batch-start bookkeeping shared by add()/add_raw(). Pre: lock held.
+  void prepare_batch_locked();
+  /// Post-append bookkeeping: seq/count, threshold flush. Pre: lock held.
+  bool finish_add_locked();
   /// Build a frame from the accumulation buffer and try to send it.
   /// Pre: lock held, accum non-empty, no pending frame.
   bool flush_locked();
@@ -122,7 +133,10 @@ class StreamBuffer {
   uint32_t accum_count_ = 0;  // packets in accum_
   uint64_t next_seq_ = 0;     // seq of the next packet added
   int64_t first_packet_ns_ = 0;
-  ByteBuffer pending_;        // fully framed bytes rejected by flow control
+  /// Fully framed bytes awaiting (re)send, in a pooled refcounted buffer:
+  /// an in-process channel takes its own ref instead of copying, so the
+  /// flush -> receive path moves zero payload bytes.
+  FrameBufRef pending_;
   std::vector<uint8_t> codec_scratch_;
   bool blocked_ = false;
   int64_t blocked_since_ns_ = 0;   // when blocked_ last became true

@@ -79,6 +79,13 @@ void RelayProcessor::process(StreamPacket& packet, Emitter& out) {
   out.emit(std::move(copy));
 }
 
+void RelayProcessor::on_batch(BatchView& batch, Emitter& out) {
+  // Zero-copy forward: each view's wire bytes (timestamp included) go
+  // straight into the outbound buffer.
+  PacketView v;
+  while (batch.next(v)) out.emit(v);
+}
+
 void CountingSink::process(StreamPacket& packet, Emitter&) {
   (void)packet;
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -86,6 +93,20 @@ void CountingSink::process(StreamPacket& packet, Emitter&) {
     int64_t until = now_ns() + delay_ns_;
     while (now_ns() < until) {
       // spin: emulates CPU-bound per-packet work
+    }
+  }
+}
+
+void CountingSink::on_batch(BatchView& batch, Emitter&) {
+  // Per-view iteration (not count_ += batch.size()) keeps the per-packet
+  // spin-delay semantics identical to process().
+  PacketView v;
+  while (batch.next(v)) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    if (delay_ns_ > 0) {
+      int64_t until = now_ns() + delay_ns_;
+      while (now_ns() < until) {
+      }
     }
   }
 }

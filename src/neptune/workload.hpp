@@ -64,10 +64,15 @@ class BytesSource final : public StreamSource, public Checkpointable {
   std::atomic<uint64_t> emitted_{0};
 };
 
-/// Stage-2 relay of Figure 1: forwards every packet unchanged.
+/// Stage-2 relay of Figure 1: forwards every packet unchanged. Prefers
+/// batch dispatch so packets travel source->sink as wire bytes: the relay
+/// never deserializes a field or copies a payload.
 class RelayProcessor final : public StreamProcessor {
  public:
   void process(StreamPacket& packet, Emitter& out) override;
+
+  bool prefers_batches() const override { return true; }
+  void on_batch(BatchView& batch, Emitter& out) override;
 };
 
 /// Terminal stage: counts packets (and the framework records end-to-end
@@ -78,6 +83,9 @@ class CountingSink final : public StreamProcessor, public Checkpointable {
   explicit CountingSink(int64_t delay_ns = 0) : delay_ns_(delay_ns) {}
 
   void process(StreamPacket& packet, Emitter& out) override;
+
+  bool prefers_batches() const override { return true; }
+  void on_batch(BatchView& batch, Emitter& out) override;
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 

@@ -21,6 +21,8 @@
 #include <span>
 #include <vector>
 
+#include "net/frame_buf.hpp"
+
 namespace neptune {
 
 enum class SendStatus {
@@ -37,6 +39,12 @@ class ChannelSender {
   /// Enqueue one framed batch. Never partially accepts: either the whole
   /// span is queued (kOk) or nothing is (kBlocked/kClosed).
   virtual SendStatus try_send(std::span<const uint8_t> frame) = 0;
+
+  /// Zero-copy variant: hand over a pooled frame buffer. On kOk the channel
+  /// holds its own ref; the caller may drop theirs. Default adapter falls
+  /// back to the byte-span path (transports that serialize to a socket copy
+  /// there anyway; in-process channels override this to move the ref).
+  virtual SendStatus try_send(const FrameBufRef& frame) { return try_send(frame.contents()); }
 
   /// Invoked (possibly from another thread) when a previously blocked
   /// sender may retry.
@@ -61,6 +69,21 @@ class ChannelReceiver {
   /// Non-blocking pop.
   virtual std::optional<std::vector<uint8_t>> try_receive() = 0;
 
+  /// Zero-copy variants: pop a pooled frame buffer. The default adapters
+  /// wrap the legacy vector result via FrameBufPool::adopt (moves the
+  /// allocation, no byte copy), so every transport supports them; the
+  /// in-process channel overrides them to hand back the sender's own buf.
+  virtual std::optional<FrameBufRef> receive_buf(std::chrono::nanoseconds timeout) {
+    auto v = receive(timeout);
+    if (!v) return std::nullopt;
+    return FrameBufPool::global().adopt(std::move(*v));
+  }
+  virtual std::optional<FrameBufRef> try_receive_buf() {
+    auto v = try_receive();
+    if (!v) return std::nullopt;
+    return FrameBufPool::global().adopt(std::move(*v));
+  }
+
   /// Invoked (possibly from the sender's or an IO thread) whenever the
   /// channel transitions empty -> non-empty, and once on close. Drives the
   /// receiving task's data-driven scheduling.
@@ -76,6 +99,14 @@ struct ChannelConfig {
   size_t capacity_bytes = 4 << 20;
   /// Writable callback fires when occupancy falls back to this level.
   size_t low_watermark_bytes = 1 << 20;
+  /// In-process fast lane: route frames through a lock-free SPSC ring with
+  /// coalesced wakeups instead of the mutex+deque path. Valid only when the
+  /// edge has exactly one producing and one consuming task at a time (the
+  /// runtime guarantees this for operator edges: one StreamBuffer feeds the
+  /// sender, one scheduled task drains the receiver).
+  bool spsc = false;
+  /// Frame-slot capacity of the SPSC ring (rounded up to a power of two).
+  size_t spsc_frames = 1024;
 };
 
 }  // namespace neptune

@@ -76,6 +76,23 @@ void FrameDecoder::reset() {
   consumed_ = 0;
 }
 
+FrameBufPool& FrameBufPool::global() {
+  // Leaky singleton reachable from a static pointer: frames may still be in
+  // flight on IO threads at exit, and LSan treats reachable memory as live.
+  static FrameBufPool* pool = new FrameBufPool(/*max_idle=*/256);
+  return *pool;
+}
+
+std::optional<DecodedFrame> decode_whole_frame(std::span<const uint8_t> bytes,
+                                               FrameDecodeStatus* status) {
+  auto f = decode_frame(bytes, status);
+  if (f && FrameHeader::kSize + f->header.payload_size != bytes.size()) {
+    if (status) *status = FrameDecodeStatus::kNeedMore;
+    return std::nullopt;
+  }
+  return f;
+}
+
 std::optional<DecodedFrame> decode_frame(std::span<const uint8_t> bytes, FrameDecodeStatus* status) {
   auto set = [&](FrameDecodeStatus s) {
     if (status) *status = s;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "net/frame_buf.hpp"
 
 namespace neptune {
 
@@ -91,5 +92,14 @@ struct DecodedFrame {
 };
 std::optional<DecodedFrame> decode_frame(std::span<const uint8_t> bytes,
                                          FrameDecodeStatus* status = nullptr);
+
+/// Decode `bytes` only if it is *exactly* one complete frame — the
+/// in-process fast path: pooled frame bufs carry whole frames, so the
+/// receiver can keep the FrameBuf alive and parse packet views straight out
+/// of it with zero payload copies. Returns nullopt (kNeedMore in `status`)
+/// when trailing bytes exist; callers then fall back to the reassembling
+/// FrameDecoder.
+std::optional<DecodedFrame> decode_whole_frame(std::span<const uint8_t> bytes,
+                                               FrameDecodeStatus* status = nullptr);
 
 }  // namespace neptune

@@ -3,6 +3,16 @@
 // and benchmarks, where its determinism matters). Semantics mirror the TCP
 // transport: bounded in-flight bytes, watermark-driven writability, FIFO,
 // lossless.
+//
+// Two lanes share one interface:
+//
+//  * mutex lane (default) — mutex+condvar guarding a deque of pooled frame
+//    refs. Safe for any producer/consumer topology.
+//  * SPSC fast lane (config.spsc) — frames ride a lock-free SpscRing of
+//    FrameBufRefs: the sender's pooled buffer is handed to the receiver by
+//    refcount, zero payload copies. Wakeups are coalesced: the data
+//    callback fires only when the consumer has armed it (observed the ring
+//    empty), so a burst of N frames costs one notification, not N.
 #pragma once
 
 #include <atomic>
@@ -11,6 +21,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/queues.hpp"
 #include "net/channel.hpp"
 
 namespace neptune {
@@ -33,6 +44,7 @@ class InprocChannel final : public ChannelSender,
 
   // ChannelSender
   SendStatus try_send(std::span<const uint8_t> frame) override;
+  SendStatus try_send(const FrameBufRef& frame) override;
   void set_writable_callback(std::function<void()> cb) override;
   bool writable(size_t bytes) const override;
   void close() override;
@@ -41,13 +53,15 @@ class InprocChannel final : public ChannelSender,
   // ChannelReceiver
   std::optional<std::vector<uint8_t>> receive(std::chrono::nanoseconds timeout) override;
   std::optional<std::vector<uint8_t>> try_receive() override;
+  std::optional<FrameBufRef> receive_buf(std::chrono::nanoseconds timeout) override;
+  std::optional<FrameBufRef> try_receive_buf() override;
   void set_data_callback(std::function<void()> cb) override;
   bool closed() const override;
   uint64_t bytes_received() const override {
     return bytes_received_.load(std::memory_order_relaxed);
   }
 
-  size_t in_flight_bytes() const;
+  size_t in_flight_bytes() const { return in_flight_.load(std::memory_order_acquire); }
   /// Frames currently queued (in-flight). White-box probe for capacity
   /// invariants: in_flight_bytes() may exceed capacity only when a single
   /// oversized frame was admitted into an empty pipe.
@@ -55,24 +69,57 @@ class InprocChannel final : public ChannelSender,
   /// True when a sender hit the budget and the writable wakeup has not yet
   /// fired — i.e. the backpressure wakeup obligation is still armed at the
   /// channel. White-box probe for lost-wakeup invariants.
-  bool writable_wakeup_armed() const;
+  bool writable_wakeup_armed() const { return was_blocked_.load(std::memory_order_acquire); }
+  /// True when frames ride the SPSC ring instead of the mutex lane.
+  bool fast_lane() const { return ring_ != nullptr; }
+
+  /// Sends that moved a pooled frame ref without copying its payload,
+  /// vs. all accepted sends. Feeds the inproc_fastlane_ratio gauge.
+  uint64_t fastlane_sends() const { return fastlane_sends_.load(std::memory_order_relaxed); }
+  uint64_t total_sends() const { return total_sends_.load(std::memory_order_relaxed); }
 
  private:
-  std::optional<std::vector<uint8_t>> pop_locked(std::unique_lock<std::mutex>& lk);
+  /// Admission control + enqueue, shared by both try_send overloads.
+  /// `zero_copy` marks sends whose payload was never copied.
+  SendStatus push_frame(FrameBufRef&& frame, bool zero_copy);
+  std::optional<FrameBufRef> pop_any();
+  /// Post-pop bookkeeping: budget release, writable wakeup, re-arm.
+  void note_popped(size_t bytes, bool now_empty);
+  bool queue_empty() const;
+  /// Like queue_empty() but assumes mu_ is already held (mutex lane).
+  bool queue_empty_locked() const { return ring_ ? ring_->size_approx() == 0 : q_.empty(); }
 
   const ChannelConfig config_;
+
+  // SPSC fast lane (null in mutex mode). Producer: the sending task's
+  // flush path (serialized by its StreamBuffer mutex). Consumer: the
+  // receiving task (serialized by the scheduler).
+  std::unique_ptr<SpscRing<FrameBufRef>> ring_;
+
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
-  std::deque<std::vector<uint8_t>> q_;
-  size_t in_flight_ = 0;
-  bool closed_ = false;
-  bool was_blocked_ = false;  // a sender hit the budget since last drain
+  std::deque<FrameBufRef> q_;  // mutex lane
   std::function<void()> writable_cb_;
   std::function<void()> data_cb_;
+
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> was_blocked_{false};  // a sender hit the budget since last drain
+  /// Data-callback coalescing (Dekker-style): the consumer arms this
+  /// whenever it leaves the queue empty; a producer push fires the callback
+  /// only if it trades the flag from armed to disarmed. Starts armed so the
+  /// very first frame notifies.
+  std::atomic<bool> wakeup_armed_{true};
+  /// Set (under mu_) while a receiver blocks in receive(); producers then
+  /// take the mutex to notify, otherwise they skip the condvar entirely.
+  std::atomic<bool> consumer_waiting_{false};
+
   // Relaxed atomics (not mu_-guarded) so telemetry gauges can read them
   // lock-free off the sampler thread, mirroring the TCP transport.
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> fastlane_sends_{0};
+  std::atomic<uint64_t> total_sends_{0};
 };
 
 }  // namespace neptune

@@ -141,7 +141,58 @@ bool roundtrips(const StreamPacket& p) {
   return back == p && in.remaining() == 0;
 }
 
+/// The zero-copy view decoder must agree with deserialize(): same fields,
+/// same values, same hashes, same end offset — and materialize() must
+/// reproduce the original packet exactly.
+bool view_matches(const StreamPacket& p) {
+  ByteBuffer buf;
+  p.serialize(buf);
+  PacketView v;
+  try {
+    if (v.parse(buf.contents()) != buf.size()) return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (v.event_time_ns() != p.event_time_ns()) return false;
+  if (v.field_count() != p.field_count()) return false;
+  for (size_t i = 0; i < p.field_count(); ++i) {
+    if (v.type(i) != value_type(p.field(i))) return false;
+    if (v.field_hash(i) != p.field_hash(i)) return false;
+  }
+  StreamPacket back;
+  back.add_string("stale");  // materialize must fully reset reused storage
+  v.materialize(back);
+  return back == p;
+}
+
 class SerdeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerdeProperty, ViewDecodeMatchesDeserialize) {
+  Xoshiro256 rng(GetParam() ^ 0x5EED);
+  for (int reps = 0; reps < 50; ++reps) {
+    StreamPacket p = random_packet(rng);
+    if (!view_matches(p)) {
+      StreamPacket minimal =
+          minimize_packet(p, [](const StreamPacket& q) { return !view_matches(q); });
+      FAIL() << "view/deserialize divergence, seed=" << GetParam()
+             << "\n  original: " << describe(p)
+             << "\n  minimal reproducer: " << describe(minimal);
+    }
+  }
+}
+
+TEST_P(SerdeProperty, ViewRejectsEveryTruncatedPrefix) {
+  Xoshiro256 rng(GetParam() ^ 0x7C0B);
+  StreamPacket p = random_packet(rng);
+  ByteBuffer buf;
+  p.serialize(buf);
+  auto wire = buf.contents();
+  for (size_t len = 0; len < wire.size(); ++len) {
+    PacketView v;
+    EXPECT_THROW(v.parse(wire.subspan(0, len)), PacketFormatError)
+        << "seed=" << GetParam() << " prefix " << len << "/" << wire.size();
+  }
+}
 
 TEST_P(SerdeProperty, PacketRoundTripsThroughWireFormat) {
   Xoshiro256 rng(GetParam());

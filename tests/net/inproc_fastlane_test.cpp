@@ -1,0 +1,219 @@
+// InprocChannel SPSC fast lane: the lock-free ring variant must preserve
+// every contract of the mutex lane (FIFO, byte-budget backpressure,
+// edge-triggered callbacks, close semantics) while moving pooled frames
+// by reference — the *same* FrameBuf the sender handed in must surface at
+// the receiver (pointer identity = zero payload copies).
+#include "net/inproc_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/frame_buf.hpp"
+
+namespace neptune {
+namespace {
+
+using namespace std::chrono_literals;
+
+ChannelConfig spsc_cfg(size_t capacity = 1 << 20, size_t low = 1 << 18) {
+  ChannelConfig cfg;
+  cfg.capacity_bytes = capacity;
+  cfg.low_watermark_bytes = low;
+  cfg.spsc = true;
+  return cfg;
+}
+
+FrameBufRef frame_of(size_t n, uint8_t fill) {
+  FrameBufRef f = FrameBufPool::global().acquire();
+  for (size_t i = 0; i < n; ++i) f->buffer().write_u8(fill);
+  return f;
+}
+
+std::shared_ptr<InprocChannel> as_inproc(const std::shared_ptr<ChannelSender>& s) {
+  auto c = std::dynamic_pointer_cast<InprocChannel>(s);
+  EXPECT_NE(c, nullptr);
+  return c;
+}
+
+TEST(InprocFastLane, PipeUsesRingWhenConfigured) {
+  auto pipe = make_inproc_pipe(spsc_cfg());
+  EXPECT_TRUE(as_inproc(pipe.sender)->fast_lane());
+  auto mutex_pipe = make_inproc_pipe();
+  EXPECT_FALSE(as_inproc(mutex_pipe.sender)->fast_lane());
+}
+
+TEST(InprocFastLane, PooledFramePassesByReference) {
+  auto pipe = make_inproc_pipe(spsc_cfg());
+  FrameBufRef sent = frame_of(32, 0x5A);
+  const FrameBuf* identity = sent.get();
+  ASSERT_EQ(pipe.sender->try_send(sent), SendStatus::kOk);
+  auto got = pipe.receiver->try_receive_buf();
+  ASSERT_TRUE(got.has_value());
+  // Zero-copy: the receiver sees the very same buffer object, not a copy.
+  EXPECT_EQ(got->get(), identity);
+  EXPECT_EQ(got->size(), 32u);
+  EXPECT_EQ(got->contents()[0], 0x5A);
+}
+
+TEST(InprocFastLane, FifoOrderPreserved) {
+  auto pipe = make_inproc_pipe(spsc_cfg());
+  for (uint8_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(pipe.sender->try_send(frame_of(8, i)), SendStatus::kOk);
+  }
+  for (uint8_t i = 0; i < 100; ++i) {
+    auto got = pipe.receiver->try_receive_buf();
+    ASSERT_TRUE(got.has_value()) << "frame " << int(i);
+    EXPECT_EQ(got->contents()[0], i);
+  }
+  EXPECT_FALSE(pipe.receiver->try_receive_buf().has_value());
+}
+
+TEST(InprocFastLane, FastlaneCountersDistinguishPaths) {
+  auto pipe = make_inproc_pipe(spsc_cfg());
+  auto ch = as_inproc(pipe.sender);
+  ASSERT_EQ(pipe.sender->try_send(frame_of(8, 1)), SendStatus::kOk);  // pooled: fast
+  std::vector<uint8_t> legacy(8, 2);
+  ASSERT_EQ(pipe.sender->try_send(legacy), SendStatus::kOk);  // span: copies into pool
+  EXPECT_EQ(ch->total_sends(), 2u);
+  EXPECT_EQ(ch->fastlane_sends(), 1u);
+}
+
+TEST(InprocFastLane, ByteBudgetBackpressure) {
+  auto pipe = make_inproc_pipe(spsc_cfg(100, 40));
+  EXPECT_EQ(pipe.sender->try_send(frame_of(60, 1)), SendStatus::kOk);
+  EXPECT_EQ(pipe.sender->try_send(frame_of(60, 2)), SendStatus::kBlocked);
+  EXPECT_FALSE(pipe.sender->writable(60));
+  ASSERT_TRUE(pipe.receiver->try_receive_buf().has_value());
+  EXPECT_EQ(pipe.sender->try_send(frame_of(60, 3)), SendStatus::kOk);
+}
+
+TEST(InprocFastLane, OversizedFrameAcceptedWhenEmpty) {
+  auto pipe = make_inproc_pipe(spsc_cfg(100, 40));
+  EXPECT_EQ(pipe.sender->try_send(frame_of(500, 1)), SendStatus::kOk);
+  EXPECT_EQ(pipe.sender->try_send(frame_of(1, 2)), SendStatus::kBlocked);
+}
+
+TEST(InprocFastLane, RingFullBlocksEvenWithByteBudget) {
+  ChannelConfig cfg = spsc_cfg();
+  cfg.spsc_frames = 4;  // tiny ring: frame-count limit binds before bytes
+  auto pipe = make_inproc_pipe(cfg);
+  int ok = 0;
+  while (pipe.sender->try_send(frame_of(1, 0)) == SendStatus::kOk) ++ok;
+  EXPECT_GE(ok, 3);   // ring of 4 holds at least 3 frames
+  EXPECT_LE(ok, 4);
+  // Draining everything relieves the ring; sends resume.
+  while (pipe.receiver->try_receive_buf().has_value()) {
+  }
+  EXPECT_EQ(pipe.sender->try_send(frame_of(1, 0)), SendStatus::kOk);
+}
+
+TEST(InprocFastLane, WritableCallbackFiresAtLowWatermark) {
+  auto pipe = make_inproc_pipe(spsc_cfg(100, 30));
+  std::atomic<int> writable_calls{0};
+  pipe.sender->set_writable_callback([&] { writable_calls.fetch_add(1); });
+  ASSERT_EQ(pipe.sender->try_send(frame_of(40, 1)), SendStatus::kOk);
+  ASSERT_EQ(pipe.sender->try_send(frame_of(40, 2)), SendStatus::kOk);
+  ASSERT_EQ(pipe.sender->try_send(frame_of(40, 3)), SendStatus::kBlocked);
+  pipe.receiver->try_receive_buf();  // 40 in flight, above low watermark
+  EXPECT_EQ(writable_calls.load(), 0);
+  pipe.receiver->try_receive_buf();  // drained below the watermark
+  EXPECT_EQ(writable_calls.load(), 1);
+}
+
+TEST(InprocFastLane, DataCallbackEdgeTriggeredWithCoalescedWakeups) {
+  auto pipe = make_inproc_pipe(spsc_cfg());
+  std::atomic<int> data_calls{0};
+  pipe.receiver->set_data_callback([&] { data_calls.fetch_add(1); });
+  pipe.sender->try_send(frame_of(5, 1));
+  EXPECT_EQ(data_calls.load(), 1);
+  pipe.sender->try_send(frame_of(5, 2));  // consumer never observed empty: coalesced
+  EXPECT_EQ(data_calls.load(), 1);
+  pipe.receiver->try_receive_buf();
+  pipe.receiver->try_receive_buf();       // queue empty: wakeup re-armed
+  pipe.sender->try_send(frame_of(5, 3));
+  EXPECT_EQ(data_calls.load(), 2);
+}
+
+TEST(InprocFastLane, ReArmsWhenConsumerSeesEmpty) {
+  auto pipe = make_inproc_pipe(spsc_cfg());
+  std::atomic<int> data_calls{0};
+  pipe.receiver->set_data_callback([&] { data_calls.fetch_add(1); });
+  // A failed poll must re-arm the wakeup even though nothing was popped —
+  // otherwise the next send after an empty scan would be lost.
+  EXPECT_FALSE(pipe.receiver->try_receive_buf().has_value());
+  pipe.sender->try_send(frame_of(5, 1));
+  EXPECT_EQ(data_calls.load(), 1);
+}
+
+TEST(InprocFastLane, CloseSemantics) {
+  auto pipe = make_inproc_pipe(spsc_cfg());
+  pipe.sender->try_send(frame_of(8, 1));
+  pipe.sender->close();
+  EXPECT_EQ(pipe.sender->try_send(frame_of(8, 2)), SendStatus::kClosed);
+  EXPECT_FALSE(pipe.receiver->closed());  // not drained yet
+  EXPECT_TRUE(pipe.receiver->try_receive_buf().has_value());
+  EXPECT_TRUE(pipe.receiver->closed());
+}
+
+TEST(InprocFastLane, BlockingReceiveWakesOnSend) {
+  auto pipe = make_inproc_pipe(spsc_cfg());
+  std::thread t([&] {
+    std::this_thread::sleep_for(10ms);
+    pipe.sender->try_send(frame_of(3, 9));
+  });
+  auto got = pipe.receiver->receive_buf(2s);
+  t.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->contents()[0], 9);
+}
+
+TEST(InprocFastLane, LegacyReceiveStillWorks) {
+  // Mixed-API consumers (tests, wrappers) read vectors; content must match.
+  auto pipe = make_inproc_pipe(spsc_cfg());
+  pipe.sender->try_send(frame_of(4, 0x42));
+  auto got = pipe.receiver->try_receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 4u);
+  EXPECT_EQ((*got)[0], 0x42);
+}
+
+TEST(InprocFastLane, CrossThreadStressLossless) {
+  ChannelConfig cfg = spsc_cfg(4096, 1024);
+  auto pipe = make_inproc_pipe(cfg);
+  constexpr int kFrames = 20000;
+  std::atomic<bool> writable{true};
+  pipe.sender->set_writable_callback([&] { writable.store(true); });
+
+  std::thread producer([&] {
+    int sent = 0;
+    while (sent < kFrames) {
+      FrameBufRef f = FrameBufPool::global().acquire();
+      f->buffer().write_u32(static_cast<uint32_t>(sent));
+      f->buffer().resize(64);
+      auto s = pipe.sender->try_send(f);
+      if (s == SendStatus::kOk) {
+        ++sent;
+      } else {
+        writable.store(false);
+        while (!writable.load()) std::this_thread::yield();
+      }
+    }
+    pipe.sender->close();
+  });
+
+  int received = 0;
+  while (true) {
+    auto got = pipe.receiver->receive_buf(2s);
+    if (!got) break;
+    ByteReader r(got->contents());
+    ASSERT_EQ(r.read_u32(), static_cast<uint32_t>(received)) << "frame " << received;
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, kFrames);  // lossless, in order, under backpressure
+}
+
+}  // namespace
+}  // namespace neptune
