@@ -1,0 +1,229 @@
+// Overload-resilience bench: a paced source runs a steady phase, then a
+// burst at a multiple of the sinks' capacity, then a recovery phase. The
+// stream splits into a critical (lossless) edge and a best-effort edge with
+// a drop-newest shed policy. Reported per run:
+//
+//   * critical-path p99 sink latency across the burst (the SLO the shed
+//     path exists to protect),
+//   * best-effort delivered/shed accounting (delivered + shed == emitted),
+//   * time from end-of-burst until the source backlog drains back to zero
+//     (recovery-to-steady-state),
+//   * peak RSS, as a bounded-memory sanity check.
+//
+// Usage: overload_shedding [--short]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "bench_util.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+
+namespace {
+
+/// Forwarding shells so the bench keeps handles on operators the runtime
+/// instantiates through factories.
+std::function<std::unique_ptr<StreamSource>()> source_of(
+    std::shared_ptr<workload::PacedSource> src) {
+  struct Fwd : StreamSource {
+    std::shared_ptr<workload::PacedSource> inner;
+    explicit Fwd(std::shared_ptr<workload::PacedSource> s) : inner(std::move(s)) {}
+    void open(uint32_t instance, uint32_t parallelism) override {
+      inner->open(instance, parallelism);
+    }
+    bool next(Emitter& out, size_t budget) override { return inner->next(out, budget); }
+  };
+  return [src] { return std::make_unique<Fwd>(src); };
+}
+
+std::function<std::unique_ptr<StreamProcessor>()> sink_of(
+    std::shared_ptr<workload::CountingSink> sink) {
+  struct Fwd : StreamProcessor {
+    std::shared_ptr<workload::CountingSink> inner;
+    explicit Fwd(std::shared_ptr<workload::CountingSink> s) : inner(std::move(s)) {}
+    void process(StreamPacket& p, Emitter& out) override { inner->process(p, out); }
+  };
+  return [sink] { return std::make_unique<Fwd>(sink); };
+}
+
+/// Duplicates each packet onto output links 0 (critical) and 1 (best-effort).
+class Tee : public StreamProcessor {
+ public:
+  void process(StreamPacket& p, Emitter& out) override {
+    StreamPacket a = p;
+    out.emit(0, std::move(a));
+    StreamPacket b = p;
+    out.emit(1, std::move(b));
+  }
+};
+
+uint64_t peak_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %lu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+const OperatorMetricsSnapshot* find_op(const JobMetricsSnapshot& m, const std::string& id) {
+  for (const auto& op : m.operators)
+    if (op.operator_id == id) return &op;
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_run = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--short") == 0) short_run = true;
+
+  // Timeline: steady -> burst (rate x overload_factor) -> recovery.
+  const int64_t steady_ns = (short_run ? 1 : 3) * 1'000'000'000LL;
+  const int64_t burst_ns = (short_run ? 1 : 3) * 1'000'000'000LL;
+  const int64_t recover_budget_ns = (short_run ? 5 : 15) * 1'000'000'000LL;
+  const double steady_rate = 20'000;   // pps
+  const double overload_factor = 3.0;  // burst at 60k pps
+  // Best-effort sink capacity ~25k pps: comfortable in steady state,
+  // hopeless during the burst. The critical sink is unthrottled.
+  const int64_t be_delay_ns = 40'000;
+
+  std::printf("NEPTUNE bench: overload shedding (steady %.0fk pps, burst x%.1f%s)\n",
+              steady_rate / 1000, overload_factor, short_run ? ", short" : "");
+
+  // Finite stream: steady + burst + a steady tail long enough to observe
+  // the backlog draining, then the job completes and the books are static.
+  const int64_t tail_ns = (short_run ? 2 : 4) * 1'000'000'000LL;
+  const uint64_t total_packets = static_cast<uint64_t>(
+      steady_rate * (static_cast<double>(steady_ns + tail_ns) / 1e9) +
+      steady_rate * overload_factor * (static_cast<double>(burst_ns) / 1e9));
+
+  workload::PacedSourceConfig pace;
+  pace.rate_pps = steady_rate;
+  pace.overload_factor = overload_factor;
+  pace.overload_start_ns = steady_ns;
+  pace.overload_duration_ns = burst_ns;
+  pace.payload_bytes = 64;
+  pace.total_packets = total_packets;
+  auto src = std::make_shared<workload::PacedSource>(pace);
+  auto crit_sink = std::make_shared<workload::CountingSink>();
+  auto be_sink = std::make_shared<workload::CountingSink>(be_delay_ns);
+
+  GraphConfig cfg;
+  cfg.buffer.capacity_bytes = 8 << 10;
+  cfg.buffer.flush_interval_ns = 1'000'000;
+  cfg.channel.capacity_bytes = 64 << 10;
+  cfg.channel.low_watermark_bytes = 16 << 10;
+  cfg.source_batch_budget = 64;
+
+  StreamGraph g("overload-shedding", cfg);
+  g.add_source("src", source_of(src));
+  g.add_processor("tee", [] { return std::make_unique<Tee>(); });
+  g.add_processor("crit", sink_of(crit_sink));
+  g.add_processor("be", sink_of(be_sink));
+  g.connect("src", "tee");
+  g.connect("tee", "crit");  // critical: lossless, backpressure only
+  ShedConfig shed;
+  shed.policy = ShedPolicy::kDropNewest;
+  shed.max_queue_wait_ns = 5'000'000;
+  g.connect("tee", "be", nullptr, {}, std::nullopt, QosClass::kBestEffort, shed);
+
+  Runtime rt(1, {.worker_threads = 3, .io_threads = 1});
+  auto job = rt.submit(g);
+  job->start();
+
+  BenchReport report("overload_shedding");
+  report.set("steady_rate_pps", steady_rate);
+  report.set("overload_factor", overload_factor);
+  report.set("steady_s", static_cast<double>(steady_ns) / 1e9);
+  report.set("burst_s", static_cast<double>(burst_ns) / 1e9);
+  report.set("short", std::string(short_run ? "true" : "false"));
+
+  print_header("timeline (sampled every 250 ms)");
+  print_row({"t_s", "phase", "emitted", "crit", "be", "shed", "backlog"});
+
+  auto shed_total = [&] {
+    return job->metrics().total("tee", &OperatorMetricsSnapshot::packets_shed);
+  };
+
+  const int64_t t0 = now_ns();
+  const int64_t burst_end_ns = steady_ns + burst_ns;
+  int64_t recovered_at_ns = -1;
+  const int64_t deadline = burst_end_ns + recover_budget_ns;
+  while (true) {
+    bool done = job->wait(std::chrono::milliseconds(250));
+    int64_t t = now_ns() - t0;
+    const char* phase = t < steady_ns ? "steady" : (t < burst_end_ns ? "burst" : "recover");
+    JsonObject row;
+    row["t_s"] = JsonValue(static_cast<double>(t) / 1e9);
+    row["phase"] = JsonValue(std::string(phase));
+    row["emitted"] = JsonValue(static_cast<int64_t>(src->emitted()));
+    row["crit_delivered"] = JsonValue(static_cast<int64_t>(crit_sink->count()));
+    row["be_delivered"] = JsonValue(static_cast<int64_t>(be_sink->count()));
+    row["shed"] = JsonValue(static_cast<int64_t>(shed_total()));
+    row["backlog"] = JsonValue(static_cast<int64_t>(src->backlogged()));
+    report.add_row(std::move(row));
+    print_row({fmt("%.2f", static_cast<double>(t) / 1e9), phase,
+               std::to_string(src->emitted()), std::to_string(crit_sink->count()),
+               std::to_string(be_sink->count()), std::to_string(shed_total()),
+               std::to_string(src->backlogged())});
+    if (t >= burst_end_ns && recovered_at_ns < 0 && src->backlogged() == 0)
+      recovered_at_ns = t;  // backlog drained: steady state restored
+    if (done || t >= deadline) break;
+  }
+  job->wait(std::chrono::seconds(short_run ? 30 : 120));
+
+  JobMetricsSnapshot m = job->metrics();
+  job->stop();
+
+  const uint64_t emitted = src->emitted();
+  const uint64_t total_shed = m.total("tee", &OperatorMetricsSnapshot::packets_shed);
+  const OperatorMetricsSnapshot* crit = find_op(m, "crit");
+  const OperatorMetricsSnapshot* be = find_op(m, "be");
+  const double crit_p99_ms = crit ? static_cast<double>(crit->sink_latency_p99_ns) / 1e6 : 0;
+  const double be_p99_ms = be ? static_cast<double>(be->sink_latency_p99_ns) / 1e6 : 0;
+  const double recovery_ms =
+      recovered_at_ns >= 0 ? static_cast<double>(recovered_at_ns - burst_end_ns) / 1e6 : -1;
+
+  print_header("summary");
+  std::printf("emitted            %12lu\n", static_cast<unsigned long>(emitted));
+  std::printf("critical delivered %12lu  (lossless: %s)\n",
+              static_cast<unsigned long>(crit_sink->count()),
+              crit_sink->count() == emitted ? "yes" : "NO");
+  std::printf("best-effort        %12lu delivered + %lu shed\n",
+              static_cast<unsigned long>(be_sink->count()), static_cast<unsigned long>(total_shed));
+  std::printf("critical p99       %12.3f ms   best-effort p99 %.3f ms\n", crit_p99_ms,
+              be_p99_ms);
+  std::printf("recovery to steady %12.0f ms after burst end\n", recovery_ms);
+  std::printf("peak RSS           %12lu kB\n", static_cast<unsigned long>(peak_rss_kb()));
+
+  report.set("emitted", emitted);
+  report.set("crit_delivered", crit_sink->count());
+  report.set("crit_lossless",
+             std::string(crit_sink->count() == emitted ? "true" : "false"));
+  report.set("be_delivered", be_sink->count());
+  report.set("be_shed", total_shed);
+  report.set("be_accounted",
+             std::string(be_sink->count() + total_shed == emitted ? "true" : "false"));
+  report.set("crit_p99_ms", crit_p99_ms);
+  report.set("be_p99_ms", be_p99_ms);
+  report.set("recovery_ms", recovery_ms);
+  report.set("seq_violations",
+             m.total(&OperatorMetricsSnapshot::seq_violations));
+  report.set("frame_copies", m.total(&OperatorMetricsSnapshot::frame_copies));
+  report.set("peak_rss_kb", peak_rss_kb());
+  report.write();
+
+  // Exit non-zero when the overload story failed outright, so the nightly
+  // stress step can gate on it.
+  bool ok = total_shed > 0 && crit_sink->count() == emitted &&
+            be_sink->count() + total_shed == emitted;
+  if (!ok) std::fprintf(stderr, "overload_shedding: resilience contract violated\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+#include "fault/dead_letter.hpp"
+
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "common/crc32.hpp"
+
+namespace neptune::fault {
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x4E444C51;  // "NDLQ"
+
+size_t entry_footprint(const DeadLetterEntry& e) {
+  return e.packet_bytes.size() + e.reason.size() + e.op_id.size() + sizeof(DeadLetterEntry);
+}
+
+void serialize_entry(const DeadLetterEntry& e, ByteBuffer& out) {
+  out.write_string(e.op_id);
+  out.write_u32(e.instance);
+  out.write_u32(e.link_id);
+  out.write_u32(e.src_instance);
+  out.write_u32(e.packet_count);
+  out.write_string(e.reason);
+  out.write_i64(e.quarantined_ns);
+  out.write_block(e.packet_bytes);
+}
+
+bool deserialize_entry(ByteReader& r, DeadLetterEntry& e) {
+  try {
+    e.op_id = r.read_string();
+    e.instance = r.read_u32();
+    e.link_id = r.read_u32();
+    e.src_instance = r.read_u32();
+    e.packet_count = r.read_u32();
+    e.reason = r.read_string();
+    e.quarantined_ns = r.read_i64();
+    auto b = r.read_block();
+    e.packet_bytes.assign(b.begin(), b.end());
+    return true;
+  } catch (const BufferUnderflow&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+DeadLetterQueue::DeadLetterQueue(DeadLetterConfig cfg) : cfg_(std::move(cfg)) {}
+
+void DeadLetterQueue::quarantine(DeadLetterEntry entry) {
+  std::lock_guard lk(mu_);
+  ++total_;
+  if (mem_.size() + spilled_ >= cfg_.max_entries) {
+    // Hard entry cap: keep the earliest evidence of a poisoning, drop the
+    // newest (bounded queue, never unbounded disk growth either).
+    ++dropped_;
+    return;
+  }
+  mem_bytes_ += entry_footprint(entry);
+  mem_.push_back(std::move(entry));
+  while (mem_bytes_ > cfg_.max_memory_bytes && mem_.size() > 1) {
+    DeadLetterEntry& oldest = mem_.front();
+    mem_bytes_ -= entry_footprint(oldest);
+    if (!cfg_.spill_path.empty()) {
+      spill_locked(oldest);
+      ++spilled_;
+    } else {
+      ++dropped_;
+    }
+    mem_.pop_front();
+  }
+}
+
+void DeadLetterQueue::spill_locked(const DeadLetterEntry& e) {
+  ByteBuffer body;
+  serialize_entry(e, body);
+  ByteBuffer rec;
+  rec.write_u32(kRecordMagic);
+  rec.write_u32(static_cast<uint32_t>(body.size()));
+  rec.write_bytes(body.contents());
+  rec.write_u32(crc32(body.contents()));
+  std::FILE* f = std::fopen(cfg_.spill_path.c_str(), "ab");
+  if (f == nullptr) return;
+  std::fwrite(rec.data(), 1, rec.size(), f);
+  std::fclose(f);
+}
+
+size_t DeadLetterQueue::size() const {
+  std::lock_guard lk(mu_);
+  return mem_.size() + spilled_;
+}
+
+size_t DeadLetterQueue::memory_entries() const {
+  std::lock_guard lk(mu_);
+  return mem_.size();
+}
+
+uint64_t DeadLetterQueue::quarantined_total() const {
+  std::lock_guard lk(mu_);
+  return total_;
+}
+
+uint64_t DeadLetterQueue::spilled() const {
+  std::lock_guard lk(mu_);
+  return spilled_;
+}
+
+uint64_t DeadLetterQueue::dropped() const {
+  std::lock_guard lk(mu_);
+  return dropped_;
+}
+
+std::vector<DeadLetterEntry> DeadLetterQueue::drain() {
+  std::lock_guard lk(mu_);
+  std::vector<DeadLetterEntry> out;
+  if (spilled_ > 0 && !cfg_.spill_path.empty()) {
+    std::FILE* f = std::fopen(cfg_.spill_path.c_str(), "rb");
+    if (f != nullptr) {
+      std::vector<uint8_t> file;
+      char buf[4096];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        file.insert(file.end(), buf, buf + n);
+      std::fclose(f);
+      ByteReader r(file.data(), file.size());
+      while (r.remaining() >= 12) {
+        if (r.read_u32() != kRecordMagic) break;  // torn/garbage tail
+        uint32_t len = r.read_u32();
+        if (r.remaining() < len + 4u) break;  // truncated record
+        auto body = r.read_span(len);
+        uint32_t crc = r.read_u32();
+        if (crc32(body) != crc) break;  // bit-flipped record ends the scan
+        DeadLetterEntry e;
+        ByteReader br(body);
+        if (!deserialize_entry(br, e)) break;
+        out.push_back(std::move(e));
+      }
+    }
+    std::remove(cfg_.spill_path.c_str());
+  }
+  for (auto& e : mem_) out.push_back(std::move(e));
+  mem_.clear();
+  mem_bytes_ = 0;
+  spilled_ = 0;
+  return out;
+}
+
+}  // namespace neptune::fault

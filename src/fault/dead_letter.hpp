@@ -1,0 +1,80 @@
+// Dead-letter queue for poison-pill quarantine (overload-resilience
+// subsystem). When an operator throws or a batch is malformed past the CRC
+// layer, the runtime captures the offending packet (or the unprocessed
+// remainder of the batch) here and keeps the pipeline running.
+//
+// Bounded by construction: an in-memory byte budget plus a total entry cap.
+// When the memory budget fills, the oldest entries spill to an append-only
+// file (`spill_path`) of CRC-framed records; with no spill path they are
+// dropped (counted). Entries carry the packets' wire bytes, so tests replay
+// them through the normal deserialization path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace neptune::fault {
+
+/// One quarantined packet or batch remainder.
+struct DeadLetterEntry {
+  std::string op_id;          ///< operator whose dispatch failed
+  uint32_t instance = 0;      ///< failing instance
+  uint32_t link_id = 0;       ///< input edge the data arrived on
+  uint32_t src_instance = 0;  ///< sending instance on that edge
+  uint32_t packet_count = 0;  ///< packets inside `packet_bytes`
+  std::string reason;         ///< exception what() / deadline description
+  int64_t quarantined_ns = 0;
+  /// The quarantined packets in StreamPacket wire format, concatenated —
+  /// replayable through ByteReader + StreamPacket::deserialize.
+  std::vector<uint8_t> packet_bytes;
+};
+
+struct DeadLetterConfig {
+  /// In-memory payload budget; the oldest entries spill (or drop) past it.
+  size_t max_memory_bytes = 1 << 20;
+  /// Total retained entries, in memory plus spilled. New quarantines past
+  /// this cap are counted in dropped() and discarded (the earliest evidence
+  /// of a poisoning is the valuable part).
+  size_t max_entries = 1024;
+  /// Append-only spill file; empty disables spilling (oldest entries are
+  /// dropped instead once the memory budget fills).
+  std::string spill_path;
+};
+
+class DeadLetterQueue {
+ public:
+  explicit DeadLetterQueue(DeadLetterConfig cfg = {});
+
+  /// Thread-safe; called from worker threads on the quarantine path.
+  void quarantine(DeadLetterEntry entry);
+
+  /// Entries currently retained (memory + spilled to disk).
+  size_t size() const;
+  size_t memory_entries() const;
+  uint64_t quarantined_total() const;  ///< all quarantine() calls, incl. dropped
+  uint64_t spilled() const;            ///< entries written to the spill file
+  uint64_t dropped() const;            ///< entries discarded by the bounds
+
+  /// Drain everything for inspection/replay: spilled entries first (oldest),
+  /// then in-memory ones. Clears the queue and truncates the spill file.
+  /// A torn/corrupt spill record ends the file scan (prior records are kept).
+  std::vector<DeadLetterEntry> drain();
+
+  const DeadLetterConfig& config() const { return cfg_; }
+
+ private:
+  void spill_locked(const DeadLetterEntry& e);
+
+  const DeadLetterConfig cfg_;
+  mutable std::mutex mu_;
+  std::deque<DeadLetterEntry> mem_;
+  size_t mem_bytes_ = 0;
+  uint64_t spilled_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace neptune::fault

@@ -40,6 +40,40 @@ void FaultInjector::set_random(RandomFaultConfig config) {
   rng_ = Xoshiro256(config.seed);
 }
 
+void FaultInjector::add_overload(OverloadProfile profile) {
+  std::lock_guard lk(mu_);
+  overloads_.push_back(profile);
+  epoch_ns_ = 0;  // re-anchor: windows are relative to the next frame seen
+}
+
+bool FaultInjector::overload_active() const {
+  std::lock_guard lk(mu_);
+  if (overloads_.empty() || epoch_ns_ == 0) return false;
+  int64_t elapsed = now_ns() - epoch_ns_;
+  for (const OverloadProfile& p : overloads_) {
+    if (elapsed >= p.start_ns && (p.duration_ns == 0 || elapsed < p.start_ns + p.duration_ns))
+      return true;
+  }
+  return false;
+}
+
+FaultAction FaultInjector::overload_action_locked(const EdgeId& edge, int64_t now) {
+  if (overloads_.empty()) return {};
+  if (epoch_ns_ == 0) epoch_ns_ = now;
+  int64_t elapsed = now - epoch_ns_;
+  for (const OverloadProfile& p : overloads_) {
+    if (elapsed < p.start_ns) continue;
+    if (p.duration_ns != 0 && elapsed >= p.start_ns + p.duration_ns) continue;
+    if (!p.any_edge && !(p.edge == edge)) continue;
+    if (p.stall_probability < 1.0) {
+      double u = static_cast<double>(rng_.next_u64() >> 11) * 0x1.0p-53;
+      if (u >= p.stall_probability) continue;
+    }
+    return {FaultKind::kStall, p.stall_ns, 0};
+  }
+  return {};
+}
+
 void FaultInjector::schedule_resource_kill(size_t resource_index, int64_t at_ns_after_start) {
   std::lock_guard lk(mu_);
   kills_.push_back({resource_index, at_ns_after_start, false});
@@ -102,7 +136,9 @@ FaultAction FaultInjector::match_locked(const EdgeId& edge, uint64_t frame_index
 FaultAction FaultInjector::next_send_action(const EdgeId& edge) {
   std::lock_guard lk(mu_);
   uint64_t index = send_frame_index_[edge]++;
-  return match_locked(edge, index, /*receive_side=*/false);
+  FaultAction a = match_locked(edge, index, /*receive_side=*/false);
+  if (a.kind != FaultKind::kNone) return a;
+  return overload_action_locked(edge, now_ns());
 }
 
 FaultAction FaultInjector::next_receive_action(const EdgeId& edge) {

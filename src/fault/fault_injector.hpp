@@ -96,6 +96,35 @@ struct RandomFaultConfig {
   int64_t stall_ns = 2'000'000;  // 2 ms
 };
 
+/// Time-windowed overload profile (overload-resilience subsystem): during
+/// [start_ns, start_ns + duration_ns) after the injector's epoch — the first
+/// frame it sees — sender-side frames on matching edges are stalled for
+/// `stall_ns` with probability `stall_probability`, emulating a saturated
+/// downstream/network so shedding and watchdog paths can be driven
+/// deterministically in tests and the overload bench.
+struct OverloadProfile {
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;  ///< 0 = sustained overload (never ends)
+  int64_t stall_ns = 2'000'000;
+  double stall_probability = 1.0;
+  bool any_edge = true;  ///< ignore `edge`, throttle every edge
+  EdgeId edge;
+
+  /// A bounded burst of overload.
+  static OverloadProfile burst(int64_t start_ns, int64_t duration_ns,
+                               int64_t stall_ns = 2'000'000) {
+    OverloadProfile p;
+    p.start_ns = start_ns;
+    p.duration_ns = duration_ns;
+    p.stall_ns = stall_ns;
+    return p;
+  }
+  /// Sustained overload from `start_ns` until the job ends.
+  static OverloadProfile sustained(int64_t start_ns, int64_t stall_ns = 2'000'000) {
+    return burst(start_ns, 0, stall_ns);
+  }
+};
+
 /// Scheduled kill of a whole Granules resource, executed by the
 /// RecoveryCoordinator's monitor loop (the injector itself has no handle on
 /// resources — it only records intent).
@@ -121,6 +150,11 @@ class FaultInjector {
   // --- configuration ---------------------------------------------------------
   void add_rule(FaultRule rule);
   void set_random(RandomFaultConfig config);
+  /// Add a time-windowed overload window (see OverloadProfile). The epoch is
+  /// the first frame the injector processes after this call (or construction).
+  void add_overload(OverloadProfile profile);
+  /// True while any overload window is currently open.
+  bool overload_active() const;
 
   /// Per-resource fault: record a kill request (see ResourceKill).
   void schedule_resource_kill(size_t resource_index, int64_t at_ns_after_start);
@@ -155,8 +189,13 @@ class FaultInjector {
  private:
   FaultAction match_locked(const EdgeId& edge, uint64_t frame_index, bool receive_side);
 
+  /// Overload check for one sender-side frame. Pre: lock held.
+  FaultAction overload_action_locked(const EdgeId& edge, int64_t now);
+
   mutable std::mutex mu_;
   std::vector<FaultRule> rules_;
+  std::vector<OverloadProfile> overloads_;
+  int64_t epoch_ns_ = 0;  ///< set by the first frame once overloads exist
   bool random_enabled_ = false;
   RandomFaultConfig random_;
   Xoshiro256 rng_{1};

@@ -7,7 +7,8 @@ namespace neptune::fault {
 
 RecoveryCoordinator::RecoveryCoordinator(Runtime& runtime, StreamGraph graph,
                                          RecoveryOptions options)
-    : runtime_(runtime), graph_(std::move(graph)), options_(options) {
+    : runtime_(runtime), graph_(std::move(graph)), options_(std::move(options)) {
+  if (!options_.snapshot_dir.empty()) store_ = std::make_unique<SnapshotStore>(options_.snapshot_dir);
   obs::TelemetryRegistry& reg = obs::TelemetryRegistry::global();
   std::vector<std::pair<std::string, std::string>> labels{{"job", graph_.name()}};
   telemetry_.push_back(reg.register_series(
@@ -23,6 +24,16 @@ RecoveryCoordinator::RecoveryCoordinator(Runtime& runtime, StreamGraph graph,
        "Cumulative failure-to-restored wall time"},
       [this] {
         return static_cast<double>(recovery_ns_.load(std::memory_order_relaxed)) * 1e-9;
+      }));
+  telemetry_.push_back(reg.register_series(
+      {"neptune_watchdog_stalls_total", labels, obs::SeriesKind::kCounter,
+       "Stuck-operator detections escalated by the watchdog"},
+      [this] { return static_cast<double>(watchdog_stalls_.load(std::memory_order_relaxed)); }));
+  telemetry_.push_back(reg.register_series(
+      {"neptune_snapshots_persisted_total", labels, obs::SeriesKind::kCounter,
+       "Checkpoints durably written to the snapshot store"},
+      [this] {
+        return static_cast<double>(snapshots_persisted_.load(std::memory_order_relaxed));
       }));
 }
 
@@ -40,14 +51,36 @@ void RecoveryCoordinator::attach(const std::shared_ptr<Job>& job) {
 std::shared_ptr<Job> RecoveryCoordinator::start() {
   auto job = runtime_.submit(graph_);
   attach(job);
+  // Crash restart: seed the first incarnation from the newest valid on-disk
+  // snapshot (a torn or bit-flipped current file falls back to the previous
+  // good one inside SnapshotStore::load).
+  if (store_) {
+    if (auto snap = store_->load()) {
+      job->restore_state(*snap);
+      std::lock_guard<std::mutex> lk(mu_);
+      snapshot_ = std::move(*snap);
+      have_snapshot_ = true;
+      restored_from_disk_ = true;
+    }
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     job_ = job;
   }
   start_ns_ = now_ns();
   job->start();
+  if (options_.watchdog.enabled) arm_watchdog(job);
   monitor_ = std::thread([this] { monitor(); });
   return job;
+}
+
+void RecoveryCoordinator::arm_watchdog(const std::shared_ptr<Job>& job) {
+  watchdog_.reset();  // joins the previous incarnation's watch thread
+  watchdog_ = std::make_unique<OperatorWatchdog>(
+      job, options_.watchdog, [this, weak = std::weak_ptr<Job>(job)](const std::string& what) {
+        watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+        if (auto j = weak.lock()) j->report_failure(what);
+      });
 }
 
 std::shared_ptr<Job> RecoveryCoordinator::job() const {
@@ -65,6 +98,7 @@ void RecoveryCoordinator::stop() {
   stop_.store(true, std::memory_order_release);
   cv_.notify_all();
   if (monitor_.joinable()) monitor_.join();
+  watchdog_.reset();  // after the monitor: recover() re-arms it
   std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -111,6 +145,9 @@ bool RecoveryCoordinator::take_checkpoint(const std::shared_ptr<Job>& job) {
                  !failure_flag_->load(std::memory_order_acquire);
   if (healthy) {
     JobSnapshot snap = job->checkpoint_state();
+    if (store_ && store_->save(snap)) {
+      snapshots_persisted_.fetch_add(1, std::memory_order_relaxed);
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
       snapshot_ = std::move(snap);
@@ -206,6 +243,7 @@ void RecoveryCoordinator::recover() {
     from_snapshot = have_snapshot_;
   }
   failure_flag_->store(false, std::memory_order_release);
+  watchdog_.reset();  // stop watching the wreck; re-armed on the fresh incarnation
   NEPTUNE_LOG_WARN("recovery: job '%s' failed (%s) — restoring from %s", old->name().c_str(),
                    old->failed() ? old->failure_reason().c_str() : "resource down",
                    from_snapshot ? "latest checkpoint" : "scratch (no checkpoint yet)");
@@ -251,6 +289,7 @@ void RecoveryCoordinator::recover() {
     job_ = fresh;
   }
   fresh->start();
+  if (options_.watchdog.enabled) arm_watchdog(fresh);
 
   recoveries_.fetch_add(1, std::memory_order_relaxed);
   recovery_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);

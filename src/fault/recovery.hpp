@@ -30,6 +30,8 @@
 #include <mutex>
 #include <thread>
 
+#include "fault/snapshot_store.hpp"
+#include "fault/watchdog.hpp"
 #include "neptune/graph.hpp"
 #include "neptune/runtime.hpp"
 #include "neptune/state.hpp"
@@ -41,6 +43,15 @@ struct RecoveryOptions {
   int64_t poll_interval_ns = 20'000'000;         ///< failure / completion poll period
   std::chrono::nanoseconds quiesce_timeout = std::chrono::seconds(30);
   uint32_t max_recoveries = 16;                  ///< then permanently_failed()
+  /// Non-empty: persist each checkpoint crash-safely into this directory
+  /// (temp file + fsync + atomic rename, CRC-32 footer) and seed the first
+  /// incarnation from the newest valid snapshot found there. Empty keeps
+  /// the previous in-memory-only behaviour.
+  std::string snapshot_dir;
+  /// Watchdog over the current incarnation: detects stuck operators (a
+  /// dispatch that never returns, or pending input with no executions) and
+  /// escalates through the normal failure -> recover path.
+  WatchdogOptions watchdog;
 };
 
 class RecoveryCoordinator {
@@ -70,6 +81,14 @@ class RecoveryCoordinator {
 
   uint64_t checkpoints_taken() const { return checkpoints_.load(std::memory_order_relaxed); }
   uint64_t recoveries() const { return recoveries_.load(std::memory_order_relaxed); }
+  /// Stalls the watchdog escalated (0 when the watchdog is disabled).
+  uint64_t watchdog_stalls() const { return watchdog_stalls_.load(std::memory_order_relaxed); }
+  /// Checkpoints durably persisted to snapshot_dir (0 when not configured).
+  uint64_t snapshots_persisted() const {
+    return snapshots_persisted_.load(std::memory_order_relaxed);
+  }
+  /// True when the first incarnation restored state found on disk.
+  bool restored_from_disk() const { return restored_from_disk_; }
   /// Total wall time spent inside recover() across all recoveries.
   int64_t recovery_ns() const { return recovery_ns_.load(std::memory_order_relaxed); }
   bool permanently_failed() const;
@@ -81,6 +100,7 @@ class RecoveryCoordinator {
  private:
   void monitor();                                  // monitor thread body
   void attach(const std::shared_ptr<Job>& job);    // install failure hook
+  void arm_watchdog(const std::shared_ptr<Job>& job);
   bool take_checkpoint(const std::shared_ptr<Job>& job);
   void execute_due_kills();
   bool any_resource_down() const;
@@ -108,6 +128,11 @@ class RecoveryCoordinator {
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> recoveries_{0};
   std::atomic<int64_t> recovery_ns_{0};
+  std::atomic<uint64_t> watchdog_stalls_{0};
+  std::atomic<uint64_t> snapshots_persisted_{0};
+  bool restored_from_disk_ = false;
+  std::unique_ptr<SnapshotStore> store_;      // set iff options_.snapshot_dir
+  std::unique_ptr<OperatorWatchdog> watchdog_;  // follows the current incarnation
   int64_t start_ns_ = 0;
   std::thread monitor_;
   // Declared last: destroyed first, so samplers capturing `this` are

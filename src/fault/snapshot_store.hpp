@@ -1,0 +1,46 @@
+// Crash-safe persistence for JobSnapshot (checkpoint durability satellite).
+//
+// Save protocol: serialize + CRC32 footer into `<dir>/snapshot.tmp`, fsync
+// the file, rotate the previous `snapshot.bin` to `snapshot.prev`, then
+// atomically rename the temp file into place and fsync the directory. A
+// crash at any point leaves either the old snapshot, the new snapshot, or
+// both — never a half-written current file.
+//
+// Load tries `snapshot.bin` first; a torn or bit-flipped file (bad footer
+// magic, length mismatch, or CRC mismatch) falls back to `snapshot.prev`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "neptune/state.hpp"
+
+namespace neptune::fault {
+
+class SnapshotStore {
+ public:
+  /// `dir` must exist (or be creatable); files live directly inside it.
+  explicit SnapshotStore(std::string dir);
+
+  /// Durably persist `snap`. Returns false on I/O failure (the previous
+  /// snapshot, if any, is untouched in that case).
+  bool save(const JobSnapshot& snap);
+
+  /// Best available snapshot: current, else the rotated previous one, else
+  /// nullopt. Corrupt/torn files are skipped, not deleted.
+  std::optional<JobSnapshot> load() const;
+
+  /// True if the *current* file exists but fails validation — i.e. load()
+  /// had to fall back (or found nothing). For tests and diagnostics.
+  bool current_is_corrupt() const;
+
+  std::string current_path() const;
+  std::string previous_path() const;
+  std::string temp_path() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace neptune::fault

@@ -1,5 +1,6 @@
 #include "fault/supervised_channel.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <future>
 
@@ -45,6 +46,18 @@ void detach_connection(const std::shared_ptr<TcpConnection>& conn) {
 
 }  // namespace
 
+int64_t compute_reconnect_backoff_ns(const SupervisorConfig& config, uint32_t attempts,
+                                     Xoshiro256& rng) {
+  int64_t backoff = config.reconnect_backoff_ns;
+  for (uint32_t i = 0; i + 1 < attempts; ++i)
+    backoff = std::min(backoff * 2, config.reconnect_backoff_max_ns);
+  double jitter = 1.0 + config.reconnect_jitter * (rng.next_double() * 2.0 - 1.0);
+  int64_t ns = static_cast<int64_t>(static_cast<double>(backoff) * jitter);
+  int64_t lo = std::max<int64_t>(config.reconnect_backoff_ns, 1);
+  int64_t hi = std::max(config.reconnect_backoff_max_ns, lo);
+  return std::clamp(ns, lo, hi);
+}
+
 // --- SupervisedTcpSender --------------------------------------------------------
 
 SupervisedTcpSender::SupervisedTcpSender(EventLoop* loop, uint16_t port,
@@ -61,7 +74,9 @@ SupervisedTcpSender::SupervisedTcpSender(EventLoop* loop, uint16_t port,
       injector_(injector),
       reconnect_counter_(reconnect_counter),
       on_failure_(std::move(on_failure)),
-      jitter_rng_(0x9E3779B9u ^ (static_cast<uint64_t>(port) << 32) ^ edge.link_id) {
+      jitter_rng_(config.jitter_seed != 0
+                      ? config.jitter_seed
+                      : 0x9E3779B9u ^ (static_cast<uint64_t>(port) << 32) ^ edge.link_id) {
   supervisor_ = std::thread([this] { supervise(); });
 }
 
@@ -162,12 +177,8 @@ void SupervisedTcpSender::supervise() {
         break;
       }
       if (attempts_ > 0 || had_connection_) {
-        int64_t backoff = config_.reconnect_backoff_ns;
-        for (uint32_t i = 0; i + 1 < attempts_; ++i)
-          backoff = std::min(backoff * 2, config_.reconnect_backoff_max_ns);
-        double jitter = 1.0 + config_.reconnect_jitter * (jitter_rng_.next_double() * 2.0 - 1.0);
         auto wait = std::chrono::nanoseconds(
-            std::max<int64_t>(static_cast<int64_t>(static_cast<double>(backoff) * jitter), 1));
+            compute_reconnect_backoff_ns(config_, std::max(attempts_, 1u), jitter_rng_));
         cv_.wait_for(lk, wait, [&] { return shutdown_; });
         if (shutdown_) break;
         if (link_state_ != LinkState::kDisconnected) continue;

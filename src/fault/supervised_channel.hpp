@@ -59,7 +59,21 @@ struct SupervisorConfig {
   double reconnect_jitter = 0.2;                 ///< +/- fraction of the backoff
   uint32_t max_reconnect_attempts = 10;          ///< per outage, then hard failure
   int connect_timeout_ms = 250;                  ///< per connect() attempt
+  /// Jitter RNG seed; 0 derives one from the edge (port ^ link), which
+  /// decorrelates edges but is not reproducible across port assignments.
+  /// Set non-zero for deterministic backoff schedules in tests.
+  uint64_t jitter_seed = 0;
 };
+
+/// Backoff before reconnect attempt number `attempts` (the count of
+/// consecutive failures so far, >= 1): exponential from
+/// `reconnect_backoff_ns`, doubling per prior failure, capped at
+/// `reconnect_backoff_max_ns`, then jittered by +/- `reconnect_jitter` and
+/// clamped back into [reconnect_backoff_ns, reconnect_backoff_max_ns] so
+/// jitter can neither hammer the peer faster than the configured base nor
+/// overshoot the cap. Pure except for advancing `rng`; exposed for tests.
+int64_t compute_reconnect_backoff_ns(const SupervisorConfig& config, uint32_t attempts,
+                                     Xoshiro256& rng);
 
 /// Called (from a supervisor thread) when an edge fails permanently.
 using EdgeFailureHandler = std::function<void(const std::string& what)>;

@@ -1,0 +1,74 @@
+// Operator watchdog (overload-resilience subsystem): detects operator
+// instances that are stuck — an execution that entered the operator and
+// never returned, or pending input with no executions for a whole stall
+// window — and escalates instead of letting the topology hang.
+//
+// Detection is metrics-only, from outside the worker threads:
+//
+//   * exec_begin_ns: stamped by the runtime when a scheduled execution
+//     enters the instance, cleared on exit. Non-zero for longer than the
+//     stall timeout means a dispatch is wedged inside execute()/on_batch().
+//   * no-progress: inbound_ready_batches > 0 while the executions counter
+//     has not moved for a stall window. A backpressured instance does not
+//     trip this — its flush-timer re-notifies keep executions moving.
+//
+// Escalation goes through the stall handler (default: Job::report_failure),
+// which the RecoveryCoordinator's failure hook turns into a full stop →
+// restart-resources → resubmit → restore recovery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "neptune/runtime.hpp"
+
+namespace neptune::fault {
+
+struct WatchdogOptions {
+  /// Used by RecoveryCoordinator: attach a watchdog to each incarnation.
+  bool enabled = false;
+  /// How long an instance may sit inside one dispatch, or hold pending
+  /// input without an execution, before it is declared stuck.
+  int64_t stall_timeout_ns = 2'000'000'000;  // 2 s
+  int64_t poll_interval_ns = 100'000'000;    // 100 ms
+};
+
+class OperatorWatchdog {
+ public:
+  using StallHandler = std::function<void(const std::string& what)>;
+
+  /// Starts the watch thread. With no handler, a detected stall is reported
+  /// via Job::report_failure (feeding any attached recovery policy).
+  OperatorWatchdog(std::shared_ptr<Job> job, WatchdogOptions options,
+                   StallHandler on_stall = {});
+  ~OperatorWatchdog();
+  OperatorWatchdog(const OperatorWatchdog&) = delete;
+  OperatorWatchdog& operator=(const OperatorWatchdog&) = delete;
+
+  void stop();
+  uint64_t stalls_detected() const { return stalls_.load(std::memory_order_relaxed); }
+
+ private:
+  void watch();
+
+  struct Progress {
+    uint64_t executions = 0;
+    int64_t last_change_ns = 0;
+    bool flagged = false;  ///< already escalated; re-arm when progress resumes
+  };
+
+  std::shared_ptr<Job> job_;
+  const WatchdogOptions options_;
+  StallHandler on_stall_;
+  std::map<std::string, Progress> progress_;
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace neptune::fault

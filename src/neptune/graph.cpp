@@ -49,18 +49,25 @@ size_t StreamGraph::operator_index(const std::string& id) const {
 size_t StreamGraph::connect(const std::string& from, const std::string& to,
                             std::shared_ptr<PartitioningScheme> partitioning,
                             CompressionPolicy compression,
-                            std::optional<StreamBufferConfig> buffer_override) {
+                            std::optional<StreamBufferConfig> buffer_override, QosClass qos,
+                            ShedConfig shed) {
   LinkDecl link;
   link.link_id = static_cast<uint32_t>(links_.size());
   link.from_op = operator_index(from);
   link.to_op = operator_index(to);
   if (operators_[link.to_op].kind == OperatorKind::kSource)
     throw GraphError("cannot link into a source: " + to);
+  if (qos == QosClass::kCritical && shed.policy != ShedPolicy::kNone)
+    throw GraphError("link " + from + " -> " + to +
+                     ": shed policy '" + shed_policy_name(shed.policy) +
+                     "' requires qos 'best_effort' (critical links are lossless)");
   link.output_index = outputs_of(link.from_op).size();
   link.partitioning = partitioning ? std::move(partitioning)
                                    : std::make_shared<ShufflePartitioning>();
   link.compression = compression;
   link.buffer_override = buffer_override;
+  link.qos = qos;
+  link.shed = shed;
   links_.push_back(std::move(link));
   return links_.back().output_index;
 }
@@ -94,7 +101,11 @@ std::string StreamGraph::to_dot() const {
     out += "  \"" + operators_[l.from_op].id + "\" -> \"" + operators_[l.to_op].id +
            "\" [label=\"" + l.partitioning->name();
     if (l.compression.mode != CompressionMode::kOff) out += "+lz4";
-    out += "\"];\n";
+    if (l.qos == QosClass::kBestEffort)
+      out += std::string("\\nbest_effort/") + shed_policy_name(l.shed.policy);
+    out += "\"";
+    if (l.qos == QosClass::kBestEffort) out += ", style=dashed";
+    out += "];\n";
   }
   out += "}\n";
   return out;

@@ -56,6 +56,9 @@ struct LinkDecl {
   std::shared_ptr<PartitioningScheme> partitioning;
   CompressionPolicy compression;
   std::optional<StreamBufferConfig> buffer_override;
+  /// Delivery priority; best-effort links may declare a shed policy.
+  QosClass qos = QosClass::kCritical;
+  ShedConfig shed;
 };
 
 class StreamGraph {
@@ -68,11 +71,14 @@ class StreamGraph {
                              uint32_t parallelism = 1, int resource = -1);
 
   /// Connect `from` -> `to`. Returns the output-link index on `from` (for
-  /// Emitter::emit(link, ...)). Default partitioning is shuffle.
+  /// Emitter::emit(link, ...)). Default partitioning is shuffle. A non-none
+  /// shed policy requires `qos == kBestEffort` (throws GraphError: the
+  /// lossless contract of critical links is load-bearing for exactly-once).
   size_t connect(const std::string& from, const std::string& to,
                  std::shared_ptr<PartitioningScheme> partitioning = nullptr,
                  CompressionPolicy compression = {},
-                 std::optional<StreamBufferConfig> buffer_override = std::nullopt);
+                 std::optional<StreamBufferConfig> buffer_override = std::nullopt,
+                 QosClass qos = QosClass::kCritical, ShedConfig shed = {});
 
   /// Structural checks: ids resolve, sources have no inputs, every operator
   /// is connected, and the graph is acyclic. Throws GraphError.

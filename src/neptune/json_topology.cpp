@@ -48,6 +48,68 @@ int64_t ms_to_ns_field(const JsonValue& v, const char* key, int64_t fallback_ns)
 
 constexpr int64_t kMaxBytes = int64_t{1} << 40;  // 1 TB sanity cap
 
+/// Runtime flush timers tick at half the flush interval, clamped to 500 us
+/// (runtime.cpp step 5) — an interval below one tick silently degrades to
+/// tick-rate flushing, so reject it as a configuration error instead.
+constexpr int64_t kMinFlushIntervalNs = 500'000;
+
+/// Byte-capacity field that must be strictly positive: "buffer_bytes": 0
+/// would mean "flush every packet into a zero-byte batch" and negative
+/// values are nonsense — both are misconfigurations worth naming.
+size_t positive_bytes_field(const JsonValue& v, const char* key, size_t fallback) {
+  int64_t n = int_field(v, key, static_cast<int64_t>(fallback), INT64_MIN, kMaxBytes);
+  if (n <= 0)
+    throw GraphError(std::string(key) + " must be positive, got " + std::to_string(n));
+  return static_cast<size_t>(n);
+}
+
+/// Flush interval with the tick-resolution floor. 0 stays legal (timer
+/// flushing disabled); (0, tick) is the silent-degradation trap.
+int64_t flush_interval_field(const JsonValue& v, const char* key, int64_t fallback_ns) {
+  int64_t ns = ms_to_ns_field(v, key, fallback_ns);
+  if (ns != 0 && ns < kMinFlushIntervalNs)
+    throw GraphError(std::string(key) + " is " + std::to_string(ns) +
+                     " ns, below the " + std::to_string(kMinFlushIntervalNs) +
+                     " ns timer resolution (use 0 to disable timer flushing)");
+  return ns;
+}
+
+QosClass qos_from_json(const JsonValue& link) {
+  std::string qos = link.string_or("qos", "critical");
+  if (qos == "critical") return QosClass::kCritical;
+  if (qos == "best_effort") return QosClass::kBestEffort;
+  throw GraphError("unknown qos class '" + qos + "' (expected 'critical' or 'best_effort')");
+}
+
+ShedConfig shed_from_json(const JsonValue& link) {
+  ShedConfig shed;
+  std::string policy = link.string_or("shed_policy", "none");
+  for (char& c : policy)
+    if (c == '-') c = '_';  // accept drop-oldest and drop_oldest alike
+  if (policy == "none") {
+    shed.policy = ShedPolicy::kNone;
+  } else if (policy == "drop_newest") {
+    shed.policy = ShedPolicy::kDropNewest;
+  } else if (policy == "drop_oldest") {
+    shed.policy = ShedPolicy::kDropOldest;
+  } else if (policy == "probabilistic") {
+    shed.policy = ShedPolicy::kProbabilistic;
+  } else {
+    throw GraphError("unknown shed_policy '" + policy +
+                     "' (expected 'none', 'drop_newest', 'drop_oldest' or 'probabilistic')");
+  }
+  if (link.contains("shed_max_buffered_bytes"))
+    shed.max_buffered_bytes = positive_bytes_field(link, "shed_max_buffered_bytes", 1);
+  shed.max_queue_wait_ns = ms_to_ns_field(link, "shed_max_queue_wait_ms", shed.max_queue_wait_ns);
+  shed.drop_probability = link.number_or("shed_drop_probability", shed.drop_probability);
+  if (!(shed.drop_probability >= 0.0) || shed.drop_probability > 1.0)
+    throw GraphError("shed_drop_probability must be in [0, 1], got " +
+                     std::to_string(shed.drop_probability));
+  shed.seed = static_cast<uint64_t>(
+      int_field(link, "shed_seed", static_cast<int64_t>(shed.seed), 0, INT64_MAX));
+  return shed;
+}
+
 CompressionPolicy compression_from_json(const JsonValue& link) {
   CompressionPolicy p;
   std::string mode = link.string_or("compression", "off");
@@ -73,12 +135,12 @@ StreamGraph graph_from_json(const JsonValue& doc, const OperatorRegistry& regist
   GraphConfig cfg;
   if (doc.contains("config")) {
     const JsonValue& c = doc.at("config");
-    cfg.buffer.capacity_bytes = static_cast<size_t>(int_field(
-        c, "buffer_bytes", static_cast<int64_t>(cfg.buffer.capacity_bytes), 0, kMaxBytes));
+    cfg.buffer.capacity_bytes =
+        positive_bytes_field(c, "buffer_bytes", cfg.buffer.capacity_bytes);
     cfg.buffer.flush_interval_ns =
-        ms_to_ns_field(c, "flush_interval_ms", cfg.buffer.flush_interval_ns);
-    cfg.channel.capacity_bytes = static_cast<size_t>(int_field(
-        c, "channel_bytes", static_cast<int64_t>(cfg.channel.capacity_bytes), 0, kMaxBytes));
+        flush_interval_field(c, "flush_interval_ms", cfg.buffer.flush_interval_ns);
+    cfg.channel.capacity_bytes =
+        positive_bytes_field(c, "channel_bytes", cfg.channel.capacity_bytes);
     cfg.channel.low_watermark_bytes = static_cast<size_t>(
         int_field(c, "channel_low_watermark",
                   static_cast<int64_t>(cfg.channel.capacity_bytes) / 4, 0, kMaxBytes));
@@ -117,9 +179,8 @@ StreamGraph graph_from_json(const JsonValue& doc, const OperatorRegistry& regist
       std::optional<StreamBufferConfig> buf_override;
       if (link.contains("buffer_bytes") || link.contains("flush_interval_ms")) {
         StreamBufferConfig b = graph.config().buffer;
-        b.capacity_bytes = static_cast<size_t>(
-            int_field(link, "buffer_bytes", static_cast<int64_t>(b.capacity_bytes), 0, kMaxBytes));
-        b.flush_interval_ns = ms_to_ns_field(link, "flush_interval_ms", b.flush_interval_ns);
+        b.capacity_bytes = positive_bytes_field(link, "buffer_bytes", b.capacity_bytes);
+        b.flush_interval_ns = flush_interval_field(link, "flush_interval_ms", b.flush_interval_ns);
         buf_override = b;
       }
       std::shared_ptr<PartitioningScheme> part;
@@ -132,7 +193,8 @@ StreamGraph graph_from_json(const JsonValue& doc, const OperatorRegistry& regist
         throw GraphError(e.what());
       }
       graph.connect(link.at("from").as_string(), link.at("to").as_string(), std::move(part),
-                    compression_from_json(link), buf_override);
+                    compression_from_json(link), buf_override, qos_from_json(link),
+                    shed_from_json(link));
     }
   }
 

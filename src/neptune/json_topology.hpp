@@ -15,9 +15,15 @@
 //   ],
 //   "links": [
 //     { "from": "src", "to": "relay", "partitioning": "fields-hash",
-//       "field": 0, "compression": "selective", "entropy_threshold": 6.0 }
+//       "field": 0, "compression": "selective", "entropy_threshold": 6.0 },
+//     { "from": "src", "to": "dashboard", "qos": "best_effort",
+//       "shed_policy": "drop-oldest", "shed_max_queue_wait_ms": 20,
+//       "shed_drop_probability": 0.5, "shed_max_buffered_bytes": 131072 }
 //   ]
 // }
+//
+// `qos` defaults to "critical" (lossless, backpressure only). Declaring a
+// shed_policy other than "none" requires "qos": "best_effort".
 #pragma once
 
 #include <map>

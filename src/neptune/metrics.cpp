@@ -28,6 +28,13 @@ std::string format_metrics(const JobMetricsSnapshot& snap) {
     a.reconnects += m.reconnects;
     a.corrupt_frames_dropped += m.corrupt_frames_dropped;
     a.dup_frames_dropped += m.dup_frames_dropped;
+    a.packets_shed += m.packets_shed;
+    a.batches_shed += m.batches_shed;
+    a.shed_bytes += m.shed_bytes;
+    a.shed_gaps += m.shed_gaps;
+    a.packets_quarantined += m.packets_quarantined;
+    a.deadline_overruns += m.deadline_overruns;
+    a.watchdog_stalls += m.watchdog_stalls;
     // Keep the worst sink percentile across instances.
     a.sink_latency_p99_ns = std::max(a.sink_latency_p99_ns, m.sink_latency_p99_ns);
     a.sink_latency_p999_ns = std::max(a.sink_latency_p999_ns, m.sink_latency_p999_ns);
@@ -65,10 +72,25 @@ std::string format_metrics(const JobMetricsSnapshot& snap) {
     }
   }
   uint64_t reconnects = 0, corrupt = 0, dups = 0;
+  uint64_t shed = 0, quarantined = 0, overruns = 0, stalls = 0;
   for (const auto& m : snap.operators) {
     reconnects += m.reconnects;
     corrupt += m.corrupt_frames_dropped;
     dups += m.dup_frames_dropped;
+    shed += m.packets_shed;
+    quarantined += m.packets_quarantined;
+    overruns += m.deadline_overruns;
+    stalls += m.watchdog_stalls;
+  }
+  if (shed + quarantined + overruns + stalls > 0) {
+    std::snprintf(line, sizeof line,
+                  "overload: shed=%llu quarantined=%llu deadline-overruns=%llu "
+                  "watchdog-stalls=%llu\n",
+                  static_cast<unsigned long long>(shed),
+                  static_cast<unsigned long long>(quarantined),
+                  static_cast<unsigned long long>(overruns),
+                  static_cast<unsigned long long>(stalls));
+    out += line;
   }
   if (reconnects + corrupt + dups + snap.checkpoints_taken + snap.recoveries > 0) {
     std::snprintf(line, sizeof line,

@@ -42,6 +42,20 @@ struct OperatorMetrics {
   std::atomic<uint64_t> corrupt_frames_dropped{0}; ///< frames rejected by CRC/format checks
   std::atomic<uint64_t> dup_frames_dropped{0};     ///< replayed frames deduped by edge seq
 
+  // --- overload-resilience counters ------------------------------------------
+  std::atomic<uint64_t> packets_shed{0};   ///< best-effort packets dropped by admission/shedding
+  std::atomic<uint64_t> batches_shed{0};   ///< parked frames released whole (drop-oldest)
+  std::atomic<uint64_t> shed_bytes{0};     ///< serialized bytes those sheds would have sent
+  std::atomic<uint64_t> shed_gaps{0};      ///< packets a receiver observed missing on a lossy edge
+  std::atomic<uint64_t> packets_quarantined{0};  ///< poison packets/batch remainders sent to the DLQ
+  std::atomic<uint64_t> deadline_overruns{0};    ///< dispatches that exceeded the per-packet deadline
+  std::atomic<uint64_t> watchdog_stalls{0};      ///< watchdog stall detections for this instance
+
+  // --- watchdog gauge: wall-clock ns when the current execution entered the
+  //     operator, 0 while idle. Lets the watchdog spot a dispatch that never
+  //     returns (infinite loop inside execute/on_batch). ----------------------
+  std::atomic<int64_t> exec_begin_ns{0};
+
   /// End-to-end latency, recorded at sink operators (no output links).
   LatencyHistogram sink_latency;
 };
@@ -69,6 +83,14 @@ struct OperatorMetricsSnapshot {
   uint64_t reconnects = 0;
   uint64_t corrupt_frames_dropped = 0;
   uint64_t dup_frames_dropped = 0;
+  uint64_t packets_shed = 0;
+  uint64_t batches_shed = 0;
+  uint64_t shed_bytes = 0;
+  uint64_t shed_gaps = 0;
+  uint64_t packets_quarantined = 0;
+  uint64_t deadline_overruns = 0;
+  uint64_t watchdog_stalls = 0;
+  int64_t exec_begin_ns = 0;  ///< wall ns the in-flight execution entered; 0 idle
   // Sink end-to-end latency percentiles (ns); zero for non-sink operators.
   uint64_t sink_latency_p50_ns = 0;
   uint64_t sink_latency_p99_ns = 0;
@@ -129,6 +151,14 @@ inline OperatorMetricsSnapshot snapshot_of(const OperatorMetrics& m) {
   s.reconnects = m.reconnects.load(std::memory_order_relaxed);
   s.corrupt_frames_dropped = m.corrupt_frames_dropped.load(std::memory_order_relaxed);
   s.dup_frames_dropped = m.dup_frames_dropped.load(std::memory_order_relaxed);
+  s.packets_shed = m.packets_shed.load(std::memory_order_relaxed);
+  s.batches_shed = m.batches_shed.load(std::memory_order_relaxed);
+  s.shed_bytes = m.shed_bytes.load(std::memory_order_relaxed);
+  s.shed_gaps = m.shed_gaps.load(std::memory_order_relaxed);
+  s.packets_quarantined = m.packets_quarantined.load(std::memory_order_relaxed);
+  s.deadline_overruns = m.deadline_overruns.load(std::memory_order_relaxed);
+  s.watchdog_stalls = m.watchdog_stalls.load(std::memory_order_relaxed);
+  s.exec_begin_ns = m.exec_begin_ns.load(std::memory_order_relaxed);
   s.sink_latency_count = m.sink_latency.count();
   s.sink_latency_saturated = m.sink_latency.saturated_count();
   if (s.sink_latency_count > 0) {

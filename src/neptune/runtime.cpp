@@ -62,6 +62,9 @@ struct InEdge {
   uint32_t link_id = 0;
   uint32_t src_instance = 0;
   bool drained = false;
+  /// Best-effort edge with a shed policy: sequence gaps are expected sheds
+  /// (counted in shed_gaps), not exactly-once violations.
+  bool lossy = false;
 };
 
 /// Sending half of one output link: one StreamBuffer per destination
@@ -94,6 +97,11 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
   std::vector<InEdge> inputs;
   granules::Resource* resource = nullptr;
   uint64_t task_id = 0;
+  /// Poison-pill quarantine (null = disabled): operator exceptions and
+  /// malformed batches are captured here instead of failing the job.
+  std::shared_ptr<fault::DeadLetterQueue> dlq;
+  /// > 0: dispatches slower than this are counted in deadline_overruns.
+  int64_t packet_deadline_ns = 0;
 
   OperatorMetrics& metrics() { return metrics_; }
   const OperatorMetrics& metrics() const { return metrics_; }
@@ -197,6 +205,13 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
 
   void execute(granules::TaskContext& ctx) override {
     metrics_.executions.fetch_add(1, std::memory_order_relaxed);
+    // Watchdog gauge: non-zero while inside this execution. A dispatch that
+    // never returns leaves it set, which is exactly the stuck signal.
+    metrics_.exec_begin_ns.store(now_ns(), std::memory_order_relaxed);
+    struct ExecGuard {
+      OperatorMetrics& m;
+      ~ExecGuard() { m.exec_begin_ns.store(0, std::memory_order_relaxed); }
+    } exec_guard{metrics_};
     if (stop_requested_.load(std::memory_order_acquire)) {
       finalize(ctx, /*discard=*/true);
       return;
@@ -374,13 +389,19 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
       return;
     }
     if (base_seq > e.expected_seq) {
-      // A gap means lost packets — a genuine contract breach. Record it and
-      // resync so one fault is counted once, not once per frame after.
-      NEPTUNE_LOG_ERROR("%s: sequence violation on link %u src %u: base %llu expected %llu",
-                        task_name_.c_str(), e.link_id, src_inst,
-                        static_cast<unsigned long long>(base_seq),
-                        static_cast<unsigned long long>(e.expected_seq));
-      metrics_.seq_violations.fetch_add(1, std::memory_order_relaxed);
+      if (e.lossy) {
+        // Expected on a best-effort edge: the sender shed the missing
+        // packets under overload. Account and resync, no contract breach.
+        metrics_.shed_gaps.fetch_add(base_seq - e.expected_seq, std::memory_order_relaxed);
+      } else {
+        // A gap means lost packets — a genuine contract breach. Record it and
+        // resync so one fault is counted once, not once per frame after.
+        NEPTUNE_LOG_ERROR("%s: sequence violation on link %u src %u: base %llu expected %llu",
+                          task_name_.c_str(), e.link_id, src_inst,
+                          static_cast<unsigned long long>(base_seq),
+                          static_cast<unsigned long long>(e.expected_seq));
+        metrics_.seq_violations.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     // Partial overlap: skip the leading packets we already processed.
     uint32_t skip = base_seq < e.expected_seq ? static_cast<uint32_t>(e.expected_seq - base_seq)
@@ -394,6 +415,8 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
     batch->packets = raw.subspan(r.position());
     batch->count = h.batch_count;
     batch->cursor = skip;
+    batch->trace_link = e.link_id;  // also keyed for error attribution at drain
+    batch->trace_src = src_inst;
     if (skip > 0) {
       // Duplicate-frame replay: advance the byte cursor past the packets
       // already applied, without decoding fields (view parse only).
@@ -402,12 +425,16 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
         for (uint32_t i = 0; i < skip; ++i) off = skip_view_.parse(batch->packets, off);
         batch->byte_off = off;
       } catch (const PacketFormatError& ex) {
-        report_malformed_batch(e, ex);
+        if (dlq) {
+          metrics_.corrupt_frames_dropped.fetch_add(1, std::memory_order_relaxed);
+          quarantine_span(*batch, 0, batch->packets.size(), h.batch_count,
+                          std::string("malformed replayed batch: ") + ex.what());
+        } else {
+          report_malformed_batch(e, ex);
+        }
         return;  // PoolPtr recycles the batch
       }
     }
-    batch->trace_link = e.link_id;  // also keyed for error attribution at drain
-    batch->trace_src = src_inst;
     if (trace_id != 0) {
       batch->trace_id = trace_id;
       batch->trace_origin_ns = trace_origin_ns;
@@ -430,6 +457,44 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
     metrics_.corrupt_frames_dropped.fetch_add(1, std::memory_order_relaxed);
     job_->report_failure(task_name_ + ": malformed packet on link " + std::to_string(e.link_id) +
                          ": " + ex.what());
+  }
+
+  // --- poison-pill quarantine --------------------------------------------------
+
+  /// Capture `[byte_begin, byte_end)` of the batch's packet bytes (already
+  /// validated wire format, so tests can replay them) into the job's DLQ.
+  void quarantine_span(const Batch& b, size_t byte_begin, size_t byte_end, uint32_t count,
+                       const std::string& reason) {
+    fault::DeadLetterEntry entry;
+    entry.op_id = op_id_;
+    entry.instance = instance_;
+    entry.link_id = b.trace_link;
+    entry.src_instance = b.trace_src;
+    entry.packet_count = count;
+    entry.reason = reason;
+    entry.quarantined_ns = now_ns();
+    auto span = b.packets.subspan(byte_begin, byte_end - byte_begin);
+    entry.packet_bytes.assign(span.begin(), span.end());
+    dlq->quarantine(std::move(entry));
+    metrics_.packets_quarantined.fetch_add(count, std::memory_order_relaxed);
+    NEPTUNE_LOG_WARN("%s: quarantined %u packet(s) from link %u to the dead-letter queue: %s",
+                     task_name_.c_str(), count, b.trace_link, reason.c_str());
+  }
+
+  /// Malformed batch past the CRC layer: with quarantine enabled the
+  /// unprocessed remainder goes to the DLQ and the pipeline continues;
+  /// otherwise this is the permanent failure it always was.
+  void handle_malformed(Batch& b, const PacketFormatError& ex) {
+    if (dlq) {
+      metrics_.corrupt_frames_dropped.fetch_add(1, std::memory_order_relaxed);
+      quarantine_span(b, b.byte_off, b.packets.size(),
+                      static_cast<uint32_t>(b.count - b.cursor),
+                      std::string("malformed batch: ") + ex.what());
+    } else {
+      report_malformed_batch(*find_edge(b), ex);
+    }
+    b.cursor = b.count;  // drop the rest of the poisoned batch
+    b.byte_off = b.packets.size();
   }
 
   /// Process ready batches; stops (returning false) when an output edge
@@ -456,13 +521,30 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
         } else {
           uint64_t alloc = 0;
           while (b.cursor < b.count) {
+            size_t pkt_start = b.byte_off;
             ByteReader r(b.packets.data() + b.byte_off, b.packets.size() - b.byte_off);
             scratch_pkt_.deserialize(r, &alloc);  // reuses packet storage
             b.byte_off += r.position();
             ++b.cursor;
             metrics_.packets_in.fetch_add(1, std::memory_order_relaxed);
-            processor->process(scratch_pkt_, *this);
-            if (is_sink && scratch_pkt_.event_time_ns() > 0) {
+            int64_t dispatch_ns = packet_deadline_ns > 0 ? now_ns() : 0;
+            bool poisoned = false;
+            try {
+              processor->process(scratch_pkt_, *this);
+            } catch (const PacketFormatError&) {
+              throw;  // malformed-batch path owns these
+            } catch (const BufferUnderflow&) {
+              throw;
+            } catch (const std::exception& ex) {
+              if (!dlq) throw;
+              // Poison pill: quarantine just this packet, keep the batch.
+              quarantine_span(b, pkt_start, b.byte_off, 1,
+                              std::string("operator threw: ") + ex.what());
+              poisoned = true;
+            }
+            if (dispatch_ns != 0 && now_ns() - dispatch_ns > packet_deadline_ns)
+              metrics_.deadline_overruns.fetch_add(1, std::memory_order_relaxed);
+            if (!poisoned && is_sink && scratch_pkt_.event_time_ns() > 0) {
               int64_t lat = now_ns() - scratch_pkt_.event_time_ns();
               if (lat > 0) metrics_.sink_latency.record(static_cast<uint64_t>(lat));
             }
@@ -478,11 +560,9 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
           metrics_.serde_alloc_bytes.fetch_add(alloc, std::memory_order_relaxed);
         }
       } catch (const PacketFormatError& ex) {
-        report_malformed_batch(*find_edge(b), ex);
-        b.cursor = b.count;  // drop the rest of the poisoned batch
+        handle_malformed(b, ex);
       } catch (const BufferUnderflow& ex) {
-        report_malformed_batch(*find_edge(b), PacketFormatError(ex.what()));
-        b.cursor = b.count;
+        handle_malformed(b, PacketFormatError(ex.what()));
       }
       if (b.trace_id != 0) record_span(b);
       current_trace_ = {};
@@ -506,7 +586,23 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
                         &arena_);
       metrics_.batch_dispatches.fetch_add(1, std::memory_order_relaxed);
       metrics_.packets_in.fetch_add(b.count - b.cursor, std::memory_order_relaxed);
-      processor->on_batch(batch_view_, *this);
+      int64_t dispatch_ns = packet_deadline_ns > 0 ? now_ns() : 0;
+      try {
+        processor->on_batch(batch_view_, *this);
+      } catch (const PacketFormatError&) {
+        throw;  // malformed-batch path owns these
+      } catch (const BufferUnderflow&) {
+        throw;
+      } catch (const std::exception& ex) {
+        if (!dlq) throw;
+        // on_batch gives no per-packet cursor, so the whole unprocessed
+        // remainder is the quarantine unit; the pipeline moves on.
+        quarantine_span(b, b.byte_off, b.packets.size(),
+                        static_cast<uint32_t>(b.count - b.cursor),
+                        std::string("operator threw: ") + ex.what());
+      }
+      if (dispatch_ns != 0 && now_ns() - dispatch_ns > packet_deadline_ns)
+        metrics_.deadline_overruns.fetch_add(1, std::memory_order_relaxed);
       b.cursor = b.count;
       b.byte_off = b.packets.size();
       if (is_sink && batch_view_.last_event_time_ns() > 0) {
@@ -720,10 +816,24 @@ bool Job::quiesce(std::chrono::nanoseconds timeout) {
   int stable = 0;
   while (now_ns() < deadline) {
     auto m = metrics();
+    // Frozen is not the same as drained: a dispatch wedged inside an
+    // operator (or parsed batches it never got to) freezes every counter
+    // while packets are still in flight — a checkpoint taken then would
+    // lose them on restore. Require genuinely idle operators.
+    bool busy = false;
+    for (const auto& op : m.operators) {
+      if (op.exec_begin_ns != 0 || op.inbound_ready_batches > 0) {
+        busy = true;
+        break;
+      }
+    }
     uint64_t signature = m.total(&OperatorMetricsSnapshot::packets_in) * 1315423911u +
                          m.total(&OperatorMetricsSnapshot::packets_out) * 2654435761u +
                          m.total(&OperatorMetricsSnapshot::flushes);
-    if (signature == last_signature) {
+    if (busy) {
+      stable = 0;
+      last_signature = signature;
+    } else if (signature == last_signature) {
       if (++stable >= 5) return true;
     } else {
       stable = 0;
@@ -755,6 +865,15 @@ void Job::restore_state(const JobSnapshot& snapshot) {
         ByteReader r(*state);
         c->restore_state(r);
       }
+    }
+  }
+}
+
+void Job::note_watchdog_stall(const std::string& op_id, uint32_t instance) {
+  for (auto& inst : instances_) {
+    if (inst->op_id() == op_id && inst->instance_index() == instance) {
+      inst->metrics().watchdog_stalls.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
   }
 }
@@ -898,6 +1017,8 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
   auto job = std::shared_ptr<Job>(new Job());
   job->name_ = graph.name();
   for (auto& r : resources_) job->resources_.push_back(r.get());
+  if (options_.quarantine.enabled)
+    job->dead_letters_ = std::make_shared<fault::DeadLetterQueue>(options_.quarantine.dead_letter);
 
   // 1. Instantiate operator instances.
   //    op_instances[op_index][instance] -> InstanceRuntime.
@@ -918,6 +1039,8 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
       size_t res_index = op.resource >= 0 ? static_cast<size_t>(op.resource) % resources_.size()
                                           : placement_cursor++ % resources_.size();
       rt->resource = resources_[res_index].get();
+      rt->dlq = job->dead_letters_;
+      rt->packet_deadline_ns = options_.quarantine.packet_deadline_ns;
       instances.push_back(std::move(rt));
     }
     op_instances.push_back(std::move(instances));
@@ -952,7 +1075,8 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
             [dst_raw] { dst_raw->resource->notify_data(dst_raw->task_id); });
         out.dst.push_back(std::make_unique<StreamBuffer>(link.link_id, src->instance_index(),
                                                          pipe.sender, codec, buf_cfg,
-                                                         &src->metrics()));
+                                                         &src->metrics(),
+                                                         &SteadyClock::instance(), link.shed));
         // In-flight gauge for this edge: bytes accepted by the sender that
         // the receiver has not yet pulled — the backpressure-visible lag.
         job->telemetry_.push_back(obs::TelemetryRegistry::global().register_series(
@@ -990,6 +1114,7 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
         edge.rx = pipe.receiver;
         edge.link_id = link.link_id;
         edge.src_instance = src->instance_index();
+        edge.lossy = link.shed.policy != ShedPolicy::kNone;
         dst->inputs.push_back(std::move(edge));
       }
     }
@@ -1042,6 +1167,23 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
            &OperatorMetrics::frame_copies},
           {"neptune_batch_dispatches_total", "Batches dispatched to on_batch() as views",
            &OperatorMetrics::batch_dispatches},
+          {"neptune_packets_shed_total",
+           "Best-effort packets dropped by admission control / load shedding",
+           &OperatorMetrics::packets_shed},
+          {"neptune_shed_bytes_total", "Serialized bytes the shed packets would have sent",
+           &OperatorMetrics::shed_bytes},
+          {"neptune_shed_gaps_total",
+           "Packets a receiver observed missing on lossy (best-effort) edges",
+           &OperatorMetrics::shed_gaps},
+          {"neptune_packets_quarantined_total",
+           "Poison packets / batch remainders captured to the dead-letter queue",
+           &OperatorMetrics::packets_quarantined},
+          {"neptune_deadline_overruns_total",
+           "Dispatches that exceeded the configured per-packet deadline",
+           &OperatorMetrics::deadline_overruns},
+          {"neptune_watchdog_stalls_detected_total",
+           "Watchdog stall detections attributed to this instance",
+           &OperatorMetrics::watchdog_stalls},
       };
       for (const CounterSpec& c : kCounters) {
         job->telemetry_.push_back(reg.register_series(
@@ -1088,6 +1230,20 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
               return h.count() == 0 ? 0.0 : static_cast<double>(h.percentile(99)) * 1e-9;
             }));
       }
+    }
+    if (job->dead_letters_) {
+      job->telemetry_.push_back(reg.register_series(
+          {"neptune_dead_letter_entries",
+           {{"job", job_name}},
+           obs::SeriesKind::kGauge,
+           "Entries retained in the job's dead-letter queue (memory + spilled)"},
+          [dlq = job->dead_letters_] { return static_cast<double>(dlq->size()); }));
+      job->telemetry_.push_back(reg.register_series(
+          {"neptune_dead_letter_dropped_total",
+           {{"job", job_name}},
+           obs::SeriesKind::kCounter,
+           "Quarantined entries discarded by the dead-letter queue's bounds"},
+          [dlq = job->dead_letters_] { return static_cast<double>(dlq->dropped()); }));
     }
   }
 

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fault/dead_letter.hpp"
 #include "fault/supervised_channel.hpp"
 #include "granules/resource.hpp"
 #include "neptune/graph.hpp"
@@ -86,6 +87,16 @@ class Job {
   /// Record a permanent failure and fire the handler (first call only).
   void report_failure(const std::string& what);
 
+  // --- overload resilience -----------------------------------------------
+
+  /// The job's dead-letter queue, or nullptr when quarantine is disabled
+  /// (RuntimeOptions::quarantine). Drain it to inspect/replay poison data.
+  const std::shared_ptr<fault::DeadLetterQueue>& dead_letters() const { return dead_letters_; }
+
+  /// Watchdog hook: count a stall detection against the named instance's
+  /// metrics (no-op for unknown ids).
+  void note_watchdog_stall(const std::string& op_id, uint32_t instance);
+
   JobMetricsSnapshot metrics() const;
   const std::string& name() const { return name_; }
 
@@ -103,6 +114,7 @@ class Job {
   std::function<void(const std::string&)> failure_handler_;
   std::string failure_reason_;
   std::atomic<bool> failed_{false};
+  std::shared_ptr<fault::DeadLetterQueue> dead_letters_;  // null = quarantine off
   std::vector<std::shared_ptr<detail::InstanceRuntime>> instances_;
   // Telemetry registrations for this job's operators and edges. Samplers
   // capture shared_ptrs, so ordering vs instances_ is not load-bearing;
@@ -139,6 +151,20 @@ struct ObsOptions {
   obs::SamplerOptions sampler;
 };
 
+/// Poison-pill quarantine (overload-resilience subsystem). When enabled,
+/// an operator dispatch that throws — or a malformed batch past the CRC
+/// layer — captures the offending packet(s) to the job's DeadLetterQueue
+/// and the pipeline keeps running. Disabled (the default), such faults are
+/// permanent failures exactly as before.
+struct QuarantinePolicy {
+  bool enabled = false;
+  /// > 0: a dispatch slower than this is counted in deadline_overruns.
+  /// (Detection only — interrupting user code mid-dispatch is not safe;
+  /// pair with the watchdog to escalate dispatches that never return.)
+  int64_t packet_deadline_ns = 0;
+  fault::DeadLetterConfig dead_letter;
+};
+
 struct RuntimeOptions {
   EdgeTransport cross_resource_transport = EdgeTransport::kInproc;
 
@@ -156,6 +182,10 @@ struct RuntimeOptions {
   /// Optional fault-injection schedule applied to every edge (inproc and
   /// TCP). Shared so tests/benches can inspect injector stats afterwards.
   std::shared_ptr<fault::FaultInjector> fault_injector;
+
+  // --- overload resilience --------------------------------------------------
+  /// Poison-pill quarantine into a per-job dead-letter queue.
+  QuarantinePolicy quarantine;
 };
 
 /// Owns a set of Granules resources (the "cluster" within this process) and

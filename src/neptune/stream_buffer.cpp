@@ -4,17 +4,37 @@
 
 namespace neptune {
 
+const char* qos_class_name(QosClass q) {
+  switch (q) {
+    case QosClass::kCritical: return "critical";
+    case QosClass::kBestEffort: return "best_effort";
+  }
+  return "?";
+}
+
+const char* shed_policy_name(ShedPolicy p) {
+  switch (p) {
+    case ShedPolicy::kNone: return "none";
+    case ShedPolicy::kDropNewest: return "drop-newest";
+    case ShedPolicy::kDropOldest: return "drop-oldest";
+    case ShedPolicy::kProbabilistic: return "probabilistic";
+  }
+  return "?";
+}
+
 StreamBuffer::StreamBuffer(uint32_t link_id, uint32_t src_instance,
                            std::shared_ptr<ChannelSender> sender,
                            std::shared_ptr<SelectiveCodec> codec, StreamBufferConfig config,
-                           OperatorMetrics* metrics, const Clock* clock)
+                           OperatorMetrics* metrics, const Clock* clock, ShedConfig shed)
     : link_id_(link_id),
       src_instance_(src_instance),
       sender_(std::move(sender)),
       codec_(std::move(codec)),
       config_(config),
       metrics_(metrics),
-      clock_(clock) {
+      clock_(clock),
+      shed_(shed),
+      shed_rng_(shed.seed ^ (uint64_t{link_id} << 32) ^ src_instance) {
   accum_.reserve(config_.capacity_bytes + 4096);
 }
 
@@ -54,6 +74,10 @@ bool StreamBuffer::finish_add_locked() {
 
 bool StreamBuffer::add(const StreamPacket& packet) {
   std::lock_guard lk(mu_);
+  if (shed_.policy != ShedPolicy::kNone && admission_shed_locked(packet.serialized_size())) {
+    // Shed replaces backpressure on this edge: the producer keeps running.
+    return true;
+  }
   prepare_batch_locked();
   packet.serialize(accum_);
   return finish_add_locked();
@@ -61,9 +85,83 @@ bool StreamBuffer::add(const StreamPacket& packet) {
 
 bool StreamBuffer::add_raw(std::span<const uint8_t> packet_bytes) {
   std::lock_guard lk(mu_);
+  if (shed_.policy != ShedPolicy::kNone && admission_shed_locked(packet_bytes.size())) {
+    return true;
+  }
   prepare_batch_locked();
   accum_.write_bytes(packet_bytes);
   return finish_add_locked();
+}
+
+bool StreamBuffer::pending_overstayed_locked(int64_t now) const {
+  return pending_ && pending_since_ns_ != 0 && shed_.max_queue_wait_ns > 0 &&
+         now - pending_since_ns_ > shed_.max_queue_wait_ns;
+}
+
+void StreamBuffer::count_admission_shed_locked(size_t packet_bytes) {
+  shed_packets_ += 1;
+  shed_bytes_ += packet_bytes;
+  if (metrics_) {
+    metrics_->packets_shed.fetch_add(1, std::memory_order_relaxed);
+    metrics_->shed_bytes.fetch_add(packet_bytes, std::memory_order_relaxed);
+  }
+}
+
+void StreamBuffer::shed_pending_locked() {
+  if (!pending_) return;
+  shed_batches_ += 1;
+  shed_packets_ += pending_count_;
+  shed_bytes_ += pending_.size();
+  if (metrics_) {
+    metrics_->batches_shed.fetch_add(1, std::memory_order_relaxed);
+    metrics_->packets_shed.fetch_add(pending_count_, std::memory_order_relaxed);
+    metrics_->shed_bytes.fetch_add(pending_.size(), std::memory_order_relaxed);
+  }
+  // Dropping the ref recycles the pooled frame — no payload bytes move on
+  // the shed path (the zero-copy invariant holds here too).
+  pending_.reset();
+  pending_count_ = 0;
+  pending_since_ns_ = 0;
+  settle_blocked_locked();
+}
+
+bool StreamBuffer::admission_shed_locked(size_t packet_bytes) {
+  const int64_t now = clock_->now_ns();
+  const size_t hard_cap =
+      shed_.max_buffered_bytes != 0 ? shed_.max_buffered_bytes : 2 * config_.capacity_bytes;
+  const bool over_cap = accum_.size() + packet_bytes > hard_cap + BatchHeader::kSize;
+  // Watermark signal: flow control already refused a frame, or the channel
+  // reports the accumulating batch could not be sent right now.
+  const bool watermark =
+      blocked_ || !sender_->writable(accum_.size() + packet_bytes + BatchHeader::kSize);
+  const bool queue_wait = pending_overstayed_locked(now);
+
+  switch (shed_.policy) {
+    case ShedPolicy::kNone:
+      return false;
+    case ShedPolicy::kDropNewest:
+      if (watermark || queue_wait || over_cap) {
+        count_admission_shed_locked(packet_bytes);
+        return true;
+      }
+      return false;
+    case ShedPolicy::kProbabilistic:
+      if (over_cap) {
+        count_admission_shed_locked(packet_bytes);
+        return true;
+      }
+      if ((watermark || queue_wait) && shed_rng_.next_double() < shed_.drop_probability) {
+        count_admission_shed_locked(packet_bytes);
+        return true;
+      }
+      return false;
+    case ShedPolicy::kDropOldest:
+      // Never refuses the incoming packet; instead release the oldest
+      // parked frame once it overstays queue-wait, so fresh data wins.
+      if (queue_wait) shed_pending_locked();
+      return false;
+  }
+  return false;
 }
 
 bool StreamBuffer::flush_locked() {
@@ -87,6 +185,8 @@ bool StreamBuffer::flush_locked() {
 
   pending_ = FrameBufPool::global().acquire();
   encode_frame(h, codec_scratch_, pending_->buffer());
+  pending_count_ = accum_count_;
+  pending_since_ns_ = clock_->now_ns();
 
   accum_.clear();
   accum_count_ = 0;
@@ -105,6 +205,8 @@ bool StreamBuffer::retry_pending_locked() {
     case SendStatus::kOk:
       if (metrics_) metrics_->bytes_out.fetch_add(pending_.size(), std::memory_order_relaxed);
       pending_.reset();
+      pending_count_ = 0;
+      pending_since_ns_ = 0;
       settle_blocked_locked();
       return true;
     case SendStatus::kBlocked:
@@ -117,6 +219,8 @@ bool StreamBuffer::retry_pending_locked() {
     case SendStatus::kClosed:
       // Downstream is gone; drop the frame to avoid wedging shutdown.
       pending_.reset();
+      pending_count_ = 0;
+      pending_since_ns_ = 0;
       settle_blocked_locked();
       return true;
   }
@@ -135,11 +239,24 @@ void StreamBuffer::settle_blocked_locked() {
 void StreamBuffer::on_timer() {
   std::lock_guard lk(mu_);
   if (pending_) {
-    retry_pending_locked();
-    return;
+    if (!retry_pending_locked()) {
+      // Still flow-controlled. On a drop-oldest edge the queue-wait signal
+      // runs from the timer too, so shedding progresses even when the
+      // producer has been descheduled by backpressure.
+      if (shed_.policy == ShedPolicy::kDropOldest &&
+          pending_overstayed_locked(clock_->now_ns())) {
+        shed_pending_locked();
+      } else {
+        return;
+      }
+    } else {
+      return;
+    }
   }
   if (accum_count_ == 0 || config_.flush_interval_ns <= 0) return;
-  if (clock_->now_ns() - first_packet_ns_ < config_.flush_interval_ns) return;
+  if (clock_->now_ns() - first_packet_ns_ < config_.flush_interval_ns &&
+      accum_.size() < config_.capacity_bytes + BatchHeader::kSize)
+    return;
   if (metrics_) metrics_->timer_flushes.fetch_add(1, std::memory_order_relaxed);
   flush_locked();
 }
@@ -181,6 +298,21 @@ size_t StreamBuffer::buffered_bytes() const {
 uint64_t StreamBuffer::next_seq() const {
   std::lock_guard lk(mu_);
   return next_seq_;
+}
+
+uint64_t StreamBuffer::shed_packets() const {
+  std::lock_guard lk(mu_);
+  return shed_packets_;
+}
+
+uint64_t StreamBuffer::shed_batches() const {
+  std::lock_guard lk(mu_);
+  return shed_batches_;
+}
+
+uint64_t StreamBuffer::shed_bytes_total() const {
+  std::lock_guard lk(mu_);
+  return shed_bytes_;
 }
 
 }  // namespace neptune

@@ -19,6 +19,7 @@
 
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 #include "compress/selective.hpp"
 #include "net/channel.hpp"
 #include "neptune/metrics.hpp"
@@ -33,6 +34,46 @@ struct StreamBufferConfig {
   /// Soft latency bound: flush this long after the first buffered packet
   /// even if under capacity. 0 disables timer flushing (tests).
   int64_t flush_interval_ns = 5'000'000;  // 5 ms
+};
+
+/// Per-stream delivery priority, declared per link in the topology. The
+/// default preserves the paper's lossless contract; best-effort links may
+/// shed under overload according to their ShedConfig.
+enum class QosClass : uint8_t {
+  kCritical,    ///< lossless: backpressure only, never shed
+  kBestEffort,  ///< sheddable under overload per the link's ShedConfig
+};
+
+/// What to drop when a best-effort edge is overloaded.
+enum class ShedPolicy : uint8_t {
+  kNone,           ///< never shed (the only legal policy for critical links)
+  kDropNewest,     ///< admission control: refuse incoming packets while overloaded
+  kDropOldest,     ///< release the parked (oldest) frame once it overstays queue-wait
+  kProbabilistic,  ///< drop incoming packets with `drop_probability` while overloaded
+};
+
+const char* qos_class_name(QosClass q);
+const char* shed_policy_name(ShedPolicy p);
+
+/// Shedding parameters for one best-effort edge. Overload is detected from
+/// two signals the buffer already has: the channel watermark (flow control
+/// refusing frames, or writable() reporting the next flush would block) and
+/// queue wait (a parked frame older than `max_queue_wait_ns`).
+struct ShedConfig {
+  ShedPolicy policy = ShedPolicy::kNone;
+  /// Hard local bound on the accumulating batch. Admission drops
+  /// unconditionally past this, whatever the policy's normal lane decides.
+  /// 0 derives 2x the buffer capacity.
+  size_t max_buffered_bytes = 0;
+  /// Queue-wait signal: a parked frame older than this is stuck behind a
+  /// saturated channel. Drop-oldest releases it; the admission policies
+  /// treat it as an overload indicator.
+  int64_t max_queue_wait_ns = 20'000'000;  // 20 ms
+  /// Drop probability for kProbabilistic while overloaded.
+  double drop_probability = 0.5;
+  /// Seed for the probabilistic lane (mixed with link/instance ids, so DST
+  /// runs shed deterministically).
+  uint64_t seed = 0x5eed5eedULL;
 };
 
 /// Per-edge batch header carried inside every frame payload, ahead of the
@@ -58,7 +99,8 @@ class StreamBuffer {
  public:
   StreamBuffer(uint32_t link_id, uint32_t src_instance, std::shared_ptr<ChannelSender> sender,
                std::shared_ptr<SelectiveCodec> codec, StreamBufferConfig config,
-               OperatorMetrics* metrics, const Clock* clock = &SteadyClock::instance());
+               OperatorMetrics* metrics, const Clock* clock = &SteadyClock::instance(),
+               ShedConfig shed = {});
 
   StreamBuffer(const StreamBuffer&) = delete;
   StreamBuffer& operator=(const StreamBuffer&) = delete;
@@ -107,6 +149,15 @@ class StreamBuffer {
   uint32_t src_instance() const { return src_instance_; }
   uint64_t next_seq() const;
 
+  // --- shedding ----------------------------------------------------------------
+  const ShedConfig& shed_config() const { return shed_; }
+  /// True when this edge may drop packets (receivers treat seq gaps as
+  /// sheds, not contract violations).
+  bool lossy() const { return shed_.policy != ShedPolicy::kNone; }
+  uint64_t shed_packets() const;
+  uint64_t shed_batches() const;
+  uint64_t shed_bytes_total() const;
+
  private:
   /// Batch-start bookkeeping shared by add()/add_raw(). Pre: lock held.
   void prepare_batch_locked();
@@ -119,6 +170,17 @@ class StreamBuffer {
   bool retry_pending_locked();
   /// Clear the blocked flag, folding the completed stall into blocked_ns.
   void settle_blocked_locked();
+  /// Admission decision for one incoming packet of `packet_bytes` wire
+  /// bytes. Returns true when the packet must be dropped (already counted).
+  /// For kDropOldest this never drops the incoming packet but may release
+  /// an overstayed parked frame to make room. Pre: lock held.
+  bool admission_shed_locked(size_t packet_bytes);
+  /// Release the parked frame back to the pool without sending (zero-copy
+  /// shed) and count it. Pre: lock held.
+  void shed_pending_locked();
+  void count_admission_shed_locked(size_t packet_bytes);
+  /// True when the parked frame has waited past the queue-wait bound.
+  bool pending_overstayed_locked(int64_t now) const;
 
   const uint32_t link_id_;
   const uint32_t src_instance_;
@@ -137,10 +199,18 @@ class StreamBuffer {
   /// an in-process channel takes its own ref instead of copying, so the
   /// flush -> receive path moves zero payload bytes.
   FrameBufRef pending_;
+  uint32_t pending_count_ = 0;    // packets inside pending_
+  int64_t pending_since_ns_ = 0;  // when pending_ was framed (queue-wait signal)
   std::vector<uint8_t> codec_scratch_;
   bool blocked_ = false;
   int64_t blocked_since_ns_ = 0;   // when blocked_ last became true
   obs::TraceContext batch_trace_;  // trace attached to the accumulating batch
+
+  const ShedConfig shed_;
+  Xoshiro256 shed_rng_;
+  uint64_t shed_packets_ = 0;  // under mu_; mirrored into metrics_
+  uint64_t shed_batches_ = 0;
+  uint64_t shed_bytes_ = 0;
 };
 
 }  // namespace neptune

@@ -2,6 +2,7 @@
 
 #include "common/clock.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 namespace neptune::workload {
@@ -70,6 +71,73 @@ bool BytesSource::next(Emitter& out, size_t budget) {
     if (out.emit(std::move(p)) == EmitStatus::kBackpressured) break;
   }
   return total_packets_ == 0 || emitted < quota_;
+}
+
+// --- PacedSource --------------------------------------------------------------
+
+PacedSource::PacedSource(PacedSourceConfig config)
+    : config_(config), rng_(config.seed ? config.seed : 1) {}
+
+void PacedSource::open(uint32_t instance, uint32_t parallelism) {
+  instance_rate_ = config_.rate_pps / parallelism;
+  if (config_.total_packets == 0) {
+    quota_ = 0;
+  } else {
+    uint64_t base = config_.total_packets / parallelism;
+    quota_ = base + (instance < config_.total_packets % parallelism ? 1 : 0);
+  }
+  rng_ = Xoshiro256(rng_.next_u64() ^ (0x9E3779B97F4A7C15ULL * (instance + 1)));
+  payload_.resize(config_.payload_bytes);
+  for (auto& b : payload_) b = static_cast<uint8_t>(rng_.next_u64());
+  epoch_ns_ = 0;
+}
+
+uint64_t PacedSource::entitlement(int64_t elapsed_ns) const {
+  // Piecewise integral of the offered rate: steady `instance_rate_` outside
+  // the overload window, `instance_rate_ * overload_factor` inside it.
+  const double rate = instance_rate_;
+  const int64_t t0 = config_.overload_start_ns;
+  const int64_t t1 =
+      config_.overload_duration_ns > 0 ? t0 + config_.overload_duration_ns : INT64_MAX;
+  double packets = 0;
+  int64_t steady_ns = std::min(elapsed_ns, t0);
+  if (steady_ns > 0) packets += rate * steady_ns / 1e9;
+  if (elapsed_ns > t0 && config_.overload_factor != 1.0) {
+    int64_t hot_ns = std::min(elapsed_ns, t1) - t0;
+    packets += rate * config_.overload_factor * hot_ns / 1e9;
+    if (elapsed_ns > t1) packets += rate * (elapsed_ns - t1) / 1e9;
+  } else if (elapsed_ns > t0) {
+    packets += rate * (elapsed_ns - t0) / 1e9;
+  }
+  return static_cast<uint64_t>(packets);
+}
+
+bool PacedSource::in_overload() const {
+  if (epoch_ns_ == 0 || config_.overload_factor == 1.0) return false;
+  int64_t elapsed = now_ns() - epoch_ns_;
+  if (elapsed < config_.overload_start_ns) return false;
+  return config_.overload_duration_ns == 0 ||
+         elapsed < config_.overload_start_ns + config_.overload_duration_ns;
+}
+
+bool PacedSource::next(Emitter& out, size_t budget) {
+  if (epoch_ns_ == 0) epoch_ns_ = now_ns();
+  uint64_t emitted = emitted_.load(std::memory_order_relaxed);
+  if (quota_ != 0 && emitted >= quota_) return false;
+  uint64_t due = entitlement(now_ns() - epoch_ns_);
+  if (quota_ != 0) due = std::min(due, quota_);
+  uint64_t lag = due > emitted ? due - emitted : 0;
+  backlog_.store(lag, std::memory_order_relaxed);
+  size_t n = static_cast<size_t>(std::min<uint64_t>(lag, budget));
+  for (size_t i = 0; i < n; ++i) {
+    StreamPacket p;
+    p.set_event_time_ns(now_ns());
+    p.add_i64(static_cast<int64_t>(emitted));
+    p.add_bytes(payload_);
+    emitted_.store(++emitted, std::memory_order_relaxed);
+    if (out.emit(std::move(p)) == EmitStatus::kBackpressured) break;
+  }
+  return quota_ == 0 || emitted < quota_;
 }
 
 // --- RelayProcessor / CountingSink --------------------------------------------

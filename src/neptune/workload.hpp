@@ -100,6 +100,48 @@ class CountingSink final : public StreamProcessor, public Checkpointable {
   std::atomic<uint64_t> count_{0};
 };
 
+/// Source that paces emission against the wall clock: a token bucket filled
+/// at `rate_pps` packets/sec, optionally multiplied by `overload_factor`
+/// inside a time window — the offered-load generator of the overload bench
+/// (bench/overload_shedding) and the overload-resilience tests. The window
+/// is relative to the first next() call; duration 0 with factor > 1 means
+/// sustained overload once the window opens.
+struct PacedSourceConfig {
+  double rate_pps = 10'000;
+  double overload_factor = 1.0;
+  int64_t overload_start_ns = 0;
+  int64_t overload_duration_ns = 0;  ///< 0 = sustained once started
+  size_t payload_bytes = 64;
+  uint64_t total_packets = 0;  ///< 0 = unbounded
+  uint64_t seed = 1;
+};
+
+class PacedSource final : public StreamSource {
+ public:
+  explicit PacedSource(PacedSourceConfig config);
+
+  void open(uint32_t instance, uint32_t parallelism) override;
+  bool next(Emitter& out, size_t budget) override;
+
+  uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  /// Packets the pacing clock entitled us to emit but backpressure blocked.
+  uint64_t backlogged() const { return backlog_.load(std::memory_order_relaxed); }
+  bool in_overload() const;
+
+ private:
+  /// Packets the schedule entitles this instance to by elapsed time `t`.
+  uint64_t entitlement(int64_t elapsed_ns) const;
+
+  PacedSourceConfig config_;
+  double instance_rate_ = 0;  ///< per-instance share of rate_pps
+  Xoshiro256 rng_;
+  uint64_t quota_ = 0;
+  int64_t epoch_ns_ = 0;  ///< first next() call
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> backlog_{0};
+  std::vector<uint8_t> payload_;
+};
+
 /// Figure 3's stage C: processing rate varies over time. The per-packet
 /// sleep cycles through `sleep_steps_ns` (paper: 0, 1, 2, 3 ms), advancing
 /// either every `step_every_packets` packets or — when `step_every_ns` is

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -19,7 +20,10 @@ namespace neptune::obs {
 namespace {
 
 std::string make_response(int status, const char* content_type, const std::string& body) {
-  const char* reason = status == 200 ? "OK" : status == 404 ? "Not Found" : "Bad Request";
+  const char* reason = status == 200   ? "OK"
+                       : status == 404 ? "Not Found"
+                       : status == 408 ? "Request Timeout"
+                                       : "Bad Request";
   char head[256];
   std::snprintf(head, sizeof head,
                 "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
@@ -41,8 +45,9 @@ bool write_all(int fd, const std::string& data) {
 }  // namespace
 
 MetricsHttpServer::MetricsHttpServer(uint16_t port, TelemetryRegistry* registry,
-                                     TelemetrySampler* sampler, TraceCollector* traces)
-    : registry_(registry), sampler_(sampler), traces_(traces) {
+                                     TelemetrySampler* sampler, TraceCollector* traces,
+                                     HttpServerOptions options)
+    : registry_(registry), sampler_(sampler), traces_(traces), options_(options) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("MetricsHttpServer: socket() failed");
   int one = 1;
@@ -95,17 +100,32 @@ void MetricsHttpServer::serve() {
 }
 
 void MetricsHttpServer::handle_connection(int fd) {
-  // Read until the end of the request head (or a small cap / timeout).
+  // Read until the end of the request head, bounded by the configured read
+  // deadline and header-size cap (HttpServerOptions).
   std::string req;
   char buf[2048];
-  int64_t deadline = now_ns() + 1'000'000'000;
-  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192 &&
-         now_ns() < deadline && !stop_.load(std::memory_order_acquire)) {
+  bool closed = false;
+  int64_t deadline = now_ns() + options_.read_deadline_ns;
+  while (req.find("\r\n\r\n") == std::string::npos &&
+         req.size() < options_.max_header_bytes && !stop_.load(std::memory_order_acquire)) {
+    int64_t left_ms = (deadline - now_ns()) / 1'000'000;
+    if (left_ms <= 0) break;
     pollfd pfd{fd, POLLIN, 0};
-    if (::poll(&pfd, 1, 100) <= 0) continue;
+    if (::poll(&pfd, 1, static_cast<int>(std::min<int64_t>(left_ms, 100))) <= 0) continue;
     ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) break;
+    if (n <= 0) {
+      closed = true;
+      break;
+    }
     req.append(buf, static_cast<size_t>(n));
+  }
+  if (req.find("\r\n\r\n") == std::string::npos) {
+    // Half-sent request: the deadline expired, the header cap was hit, or
+    // the peer hung up mid-head. Cut the connection loose so the next
+    // scraper isn't stuck behind it.
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    if (!closed) write_all(fd, make_response(408, "text/plain", "request timeout\n"));
+    return;
   }
   // "GET <path> HTTP/..." — anything else is a 400.
   std::string path;

@@ -23,6 +23,15 @@
 
 namespace neptune::obs {
 
+/// Per-connection hardening knobs. The accept thread is single-threaded, so
+/// a client that dribbles bytes (or never sends the blank line) would wedge
+/// every other scraper for as long as we let it — the deadline bounds that,
+/// and the header cap bounds memory a hostile client can pin.
+struct HttpServerOptions {
+  int64_t read_deadline_ns = 1'000'000'000;  ///< slowloris cutoff per request
+  size_t max_header_bytes = 8192;            ///< request head size cap
+};
+
 class MetricsHttpServer {
  public:
   /// Binds 127.0.0.1:`port` (0 picks a free port; see port()) and starts
@@ -32,13 +41,16 @@ class MetricsHttpServer {
   explicit MetricsHttpServer(uint16_t port,
                              TelemetryRegistry* registry = &TelemetryRegistry::global(),
                              TelemetrySampler* sampler = nullptr,
-                             TraceCollector* traces = nullptr);
+                             TraceCollector* traces = nullptr,
+                             HttpServerOptions options = {});
   ~MetricsHttpServer();
   MetricsHttpServer(const MetricsHttpServer&) = delete;
   MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
 
   uint16_t port() const { return port_; }
   uint64_t requests_served() const { return requests_.load(std::memory_order_relaxed); }
+  /// Connections cut off by the read deadline or the header-size cap.
+  uint64_t requests_timed_out() const { return timeouts_.load(std::memory_order_relaxed); }
 
   void stop();
 
@@ -50,11 +62,13 @@ class MetricsHttpServer {
   TelemetryRegistry* registry_;
   TelemetrySampler* sampler_;
   TraceCollector* traces_;
+  HttpServerOptions options_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> timeouts_{0};
   std::thread thread_;
 };
 

@@ -46,6 +46,8 @@ struct DstInEdge {
   uint32_t src_instance = 0;
   size_t src_index = 0;  ///< global index of the sending instance
   bool drained = false;
+  bool lossy = false;               ///< edge declares a shed policy
+  uint64_t shed_gap_packets = 0;    ///< seq positions skipped over (shed upstream)
 };
 
 struct DstOutBuffer {
@@ -241,7 +243,16 @@ class DstInstance : public Emitter {
       return;
     }
     if (base_seq > e.expected_seq) {
-      metrics.seq_violations.fetch_add(1, std::memory_order_relaxed);
+      // Mirrors InstanceRuntime::ingest_frame: a gap on a lossy edge is the
+      // sender shedding (accounted, legal); on a lossless edge it is a
+      // contract violation.
+      if (e.lossy) {
+        uint64_t gap = base_seq - e.expected_seq;
+        e.shed_gap_packets += gap;
+        metrics.shed_gaps.fetch_add(gap, std::memory_order_relaxed);
+      } else {
+        metrics.seq_violations.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     uint32_t skip =
         base_seq < e.expected_seq ? static_cast<uint32_t>(e.expected_seq - base_seq) : 0;
@@ -434,7 +445,7 @@ void DstJob::deploy() {
         DstInstance& dst = *instances_[dst_index];
         auto channel = std::make_shared<InprocChannel>(graph_.config().channel);
         auto buffer = std::make_unique<StreamBuffer>(l.link_id, s, channel, codec, buf_cfg,
-                                                     &src.metrics, &clock_);
+                                                     &src.metrics, &clock_, l.shed);
         size_t src_index = src.index;
         channel->set_data_callback([this, dst_index, ep] {
           if (ep == epoch_) notify(dst_index);
@@ -443,7 +454,8 @@ void DstJob::deploy() {
           if (ep == epoch_) notify(src_index);
         });
         dst.inputs.push_back(detail::DstInEdge{channel, FrameDecoder{}, 0, l.link_id, s,
-                                               src_index, false});
+                                               src_index, false,
+                                               l.shed.policy != ShedPolicy::kNone, 0});
         out.dst.push_back(detail::DstOutBuffer{std::move(buffer), channel, dst_index, d});
 
         EdgeProbe probe;
@@ -458,6 +470,8 @@ void DstJob::deploy() {
         probe.channel = channel.get();
         probe.buffer_config = buf_cfg;
         probe.channel_config = graph_.config().channel;
+        probe.lossy = l.shed.policy != ShedPolicy::kNone;
+        probe.shed_config = l.shed;
         view_.edges.push_back(std::move(probe));
         edge_locs_.push_back(
             EdgeLoc{src_index, l.output_index, out.dst.size() - 1, dst_index,
@@ -605,6 +619,8 @@ void DstJob::refresh_view() {
     DstInstance& dst = *instances_[loc.dst];
     e.sent_seq = src.outputs[loc.link].dst[loc.pos].buffer->next_seq();
     e.received_seq = dst.inputs[loc.in_pos].expected_seq;
+    e.shed_gap_packets = dst.inputs[loc.in_pos].shed_gap_packets;
+    e.shed_packets = src.outputs[loc.link].dst[loc.pos].buffer->shed_packets();
     e.receiver_drained = dst.inputs[loc.in_pos].drained;
     e.sender_scheduled = src.scheduled;
     e.sender_done = src.done;

@@ -102,8 +102,12 @@ struct EdgeProbe {
   const InprocChannel* channel = nullptr;
   StreamBufferConfig buffer_config;
   ChannelConfig channel_config;
+  bool lossy = false;  ///< link declares a shed policy (best-effort)
+  ShedConfig shed_config;
   uint64_t sent_seq = 0;      ///< sender-side next_seq (packets buffered so far)
   uint64_t received_seq = 0;  ///< receiver-side expected_seq (packets accepted)
+  uint64_t shed_gap_packets = 0;  ///< receiver: seq positions skipped (shed upstream)
+  uint64_t shed_packets = 0;      ///< sender: packets the buffer shed
   bool receiver_drained = false;
   bool sender_scheduled = false;
   bool sender_done = false;

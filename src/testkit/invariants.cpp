@@ -47,7 +47,19 @@ class SequenceChecker final : public InvariantChecker {
   void on_finish(const DstView& view, std::vector<std::string>& out) override {
     if (!view.completed) return;
     for (const auto& e : view.edges) {
-      if (e.received_seq != e.sent_seq) {
+      if (e.lossy) {
+        // A best-effort edge may end short of the sender position, but only
+        // by packets the sender actually shed. (Admission drops never get a
+        // sequence number; drop-oldest sheds after assignment, so the
+        // deficit is bounded by the buffer's shed count.)
+        uint64_t deficit = e.sent_seq - e.received_seq;
+        if (e.received_seq > e.sent_seq || deficit > e.shed_packets) {
+          out.push_back(edge_name(e) + ": completed with receiver at " +
+                        std::to_string(e.received_seq) + " of " + std::to_string(e.sent_seq) +
+                        " sent but only " + std::to_string(e.shed_packets) +
+                        " shed (unaccounted loss)");
+        }
+      } else if (e.received_seq != e.sent_seq) {
         out.push_back(edge_name(e) + ": completed with receiver at " +
                       std::to_string(e.received_seq) + " of " + std::to_string(e.sent_seq) +
                       " sent (lost packets)");
@@ -71,7 +83,9 @@ class ConservationChecker final : public InvariantChecker {
     // each processor must have consumed exactly the packets its input edges
     // accepted.
     std::vector<uint64_t> inbound(view.instances.size(), 0);
-    for (const auto& e : view.edges) inbound[e.dst_index] += e.received_seq;
+    // received_seq is a *position*: on a lossy edge it advances over shed
+    // gaps, which carried no packets — subtract them to get delivered count.
+    for (const auto& e : view.edges) inbound[e.dst_index] += e.received_seq - e.shed_gap_packets;
     for (const auto& i : view.instances) {
       if (i.is_source) continue;
       uint64_t consumed = i.metrics->packets_in.load(std::memory_order_relaxed);
@@ -142,6 +156,53 @@ class BackpressureChecker final : public InvariantChecker {
   }
 };
 
+/// Overload-resilience properties: critical (lossless) edges never shed a
+/// packet no matter the pressure, best-effort edges keep their buffered
+/// bytes under the shed hard cap (bounded memory under overload), and shed
+/// accounting is conservative — a receiver can never observe more missing
+/// sequence positions than its sender actually shed.
+class OverloadChecker final : public InvariantChecker {
+ public:
+  explicit OverloadChecker(CapacityLimits limits) : limits_(limits) {}
+  const char* name() const override { return "overload"; }
+
+  void on_step(const DstView& view, std::vector<std::string>& out) override {
+    for (const auto& e : view.edges) {
+      if (!e.lossy) {
+        if (e.shed_packets > 0 || e.shed_gap_packets > 0) {
+          out.push_back(edge_name(e) + ": critical edge shed packets (shed=" +
+                        std::to_string(e.shed_packets) +
+                        " gaps=" + std::to_string(e.shed_gap_packets) + ")");
+        }
+        continue;
+      }
+      if (e.shed_gap_packets > e.shed_packets) {
+        out.push_back(edge_name(e) + ": receiver observed " +
+                      std::to_string(e.shed_gap_packets) +
+                      " shed packets but sender only shed " + std::to_string(e.shed_packets));
+      }
+      // Bounded memory: admission control must hold the accumulating batch
+      // under the hard cap, modulo one execution slice of overshoot (the
+      // producer is stopped at slice granularity) plus the parked frame.
+      size_t cap = e.shed_config.max_buffered_bytes != 0
+                       ? e.shed_config.max_buffered_bytes
+                       : 2 * e.buffer_config.capacity_bytes;
+      size_t slice = limits_.source_batch_budget * limits_.max_packet_bytes;
+      size_t parked = e.buffer_config.capacity_bytes + BatchHeader::kSize +
+                      limits_.max_packet_bytes + FrameHeader::kSize + 64;
+      if (e.buffer->buffered_bytes() > cap + slice + parked) {
+        out.push_back(edge_name(e) + ": best-effort edge holds " +
+                      std::to_string(e.buffer->buffered_bytes()) + " bytes > shed cap " +
+                      std::to_string(cap) + " + slack " + std::to_string(slice + parked) +
+                      " (shedding failed to bound memory)");
+      }
+    }
+  }
+
+ private:
+  CapacityLimits limits_;
+};
+
 class ExactlyOnceChecker final : public InvariantChecker {
  public:
   explicit ExactlyOnceChecker(JobSnapshot expected) : expected_(std::move(expected)) {}
@@ -195,6 +256,10 @@ std::unique_ptr<InvariantChecker> make_capacity_checker(CapacityLimits limits) {
 
 std::unique_ptr<InvariantChecker> make_backpressure_checker() {
   return std::make_unique<BackpressureChecker>();
+}
+
+std::unique_ptr<InvariantChecker> make_overload_checker(CapacityLimits limits) {
+  return std::make_unique<OverloadChecker>(limits);
 }
 
 std::unique_ptr<InvariantChecker> make_exactly_once_checker(JobSnapshot expected) {

@@ -13,6 +13,9 @@
 //                  execute event pending, or the channel's writable wakeup
 //                  still armed. Catches lost-wakeup bugs that deadlock the
 //                  threaded runtime non-deterministically.
+//   overload     — critical edges never shed; best-effort edges bound their
+//                  buffered bytes under the shed hard cap; receivers never
+//                  observe more missing packets than senders shed.
 //   exactly-once — Checkpointable state at completion equals a reference
 //                  snapshot (used by crash/recovery tests).
 #pragma once
@@ -38,6 +41,9 @@ std::unique_ptr<InvariantChecker> make_sequence_checker(bool allow_duplicates = 
 std::unique_ptr<InvariantChecker> make_conservation_checker();
 std::unique_ptr<InvariantChecker> make_capacity_checker(CapacityLimits limits = {});
 std::unique_ptr<InvariantChecker> make_backpressure_checker();
+/// Overload resilience: critical edges never shed, best-effort edges keep
+/// buffered bytes under the shed hard cap, shed accounting is conservative.
+std::unique_ptr<InvariantChecker> make_overload_checker(CapacityLimits limits = {});
 /// Asserts the job's Checkpointable state at completion equals `expected`
 /// (e.g. the state of a fault-free reference run of the same workload).
 std::unique_ptr<InvariantChecker> make_exactly_once_checker(JobSnapshot expected);

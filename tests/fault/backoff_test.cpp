@@ -1,0 +1,82 @@
+// Reconnect backoff schedule of the supervised channel: exponential growth,
+// jitter bounded within [base, cap], and deterministic for a seeded RNG.
+#include <gtest/gtest.h>
+
+#include "fault/supervised_channel.hpp"
+
+namespace neptune::fault {
+namespace {
+
+SupervisorConfig config_with(int64_t base, int64_t cap, double jitter) {
+  SupervisorConfig cfg;
+  cfg.reconnect_backoff_ns = base;
+  cfg.reconnect_backoff_max_ns = cap;
+  cfg.reconnect_jitter = jitter;
+  return cfg;
+}
+
+TEST(ReconnectBackoff, StaysWithinBaseAndCapAcrossAttempts) {
+  SupervisorConfig cfg = config_with(10'000'000, 500'000'000, 0.2);
+  Xoshiro256 rng(1234);
+  for (uint32_t attempt = 1; attempt <= 64; ++attempt) {
+    for (int rep = 0; rep < 50; ++rep) {
+      int64_t ns = compute_reconnect_backoff_ns(cfg, attempt, rng);
+      EXPECT_GE(ns, cfg.reconnect_backoff_ns) << "attempt " << attempt;
+      EXPECT_LE(ns, cfg.reconnect_backoff_max_ns) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(ReconnectBackoff, GrowsExponentiallyWithoutJitter) {
+  SupervisorConfig cfg = config_with(1'000'000, 1'000'000'000, 0.0);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(compute_reconnect_backoff_ns(cfg, 1, rng), 1'000'000);
+  EXPECT_EQ(compute_reconnect_backoff_ns(cfg, 2, rng), 2'000'000);
+  EXPECT_EQ(compute_reconnect_backoff_ns(cfg, 3, rng), 4'000'000);
+  EXPECT_EQ(compute_reconnect_backoff_ns(cfg, 4, rng), 8'000'000);
+}
+
+TEST(ReconnectBackoff, SaturatesAtTheCap) {
+  SupervisorConfig cfg = config_with(1'000'000, 16'000'000, 0.0);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(compute_reconnect_backoff_ns(cfg, 10, rng), 16'000'000);
+  EXPECT_EQ(compute_reconnect_backoff_ns(cfg, 63, rng), 16'000'000);
+}
+
+TEST(ReconnectBackoff, JitterActuallyVariesTheDelay) {
+  SupervisorConfig cfg = config_with(100'000'000, 500'000'000, 0.25);
+  Xoshiro256 rng(99);
+  int64_t first = compute_reconnect_backoff_ns(cfg, 2, rng);
+  bool varied = false;
+  for (int i = 0; i < 32 && !varied; ++i)
+    varied = compute_reconnect_backoff_ns(cfg, 2, rng) != first;
+  EXPECT_TRUE(varied);
+}
+
+TEST(ReconnectBackoff, DeterministicForSeededRng) {
+  SupervisorConfig cfg = config_with(10'000'000, 500'000'000, 0.2);
+  std::vector<int64_t> a, b;
+  {
+    Xoshiro256 rng(42);
+    for (uint32_t i = 1; i <= 20; ++i) a.push_back(compute_reconnect_backoff_ns(cfg, i, rng));
+  }
+  {
+    Xoshiro256 rng(42);
+    for (uint32_t i = 1; i <= 20; ++i) b.push_back(compute_reconnect_backoff_ns(cfg, i, rng));
+  }
+  EXPECT_EQ(a, b);
+  Xoshiro256 other(43);
+  std::vector<int64_t> c;
+  for (uint32_t i = 1; i <= 20; ++i) c.push_back(compute_reconnect_backoff_ns(cfg, i, other));
+  EXPECT_NE(a, c) << "different seeds should give different jitter schedules";
+}
+
+TEST(ReconnectBackoff, DegenerateCapBelowBaseClampsSafely) {
+  SupervisorConfig cfg = config_with(10'000'000, 1'000'000, 0.2);
+  Xoshiro256 rng(7);
+  int64_t ns = compute_reconnect_backoff_ns(cfg, 3, rng);
+  EXPECT_GE(ns, 10'000'000);  // base wins when the cap is misconfigured below it
+}
+
+}  // namespace
+}  // namespace neptune::fault

@@ -1,0 +1,128 @@
+// Crash-safe snapshot persistence: atomic save (tmp + fsync + rename),
+// CRC32-footer validation, and fallback to the previous good snapshot when
+// the current file is torn or bit-flipped.
+#include "fault/snapshot_store.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace neptune::fault {
+namespace {
+
+namespace fs = std::filesystem;
+
+JobSnapshot make_snapshot(uint8_t tag) {
+  JobSnapshot s;
+  s.put("op-a", 0, std::vector<uint8_t>{tag, 1, 2, 3});
+  s.put("op-a", 1, std::vector<uint8_t>(64, tag));
+  s.put("op-b", 0, std::vector<uint8_t>{tag});
+  return s;
+}
+
+struct SnapshotStoreTest : ::testing::Test {
+  void SetUp() override {
+    dir = fs::temp_directory_path() /
+          ("neptune_snap_" + std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir);
+  }
+  void TearDown() override { fs::remove_all(dir); }
+
+  std::vector<uint8_t> read_file(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in), {});
+  }
+  void write_file(const fs::path& p, const std::vector<uint8_t>& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir;
+};
+
+TEST_F(SnapshotStoreTest, SaveLoadRoundTrip) {
+  SnapshotStore store(dir.string());
+  ASSERT_TRUE(store.save(make_snapshot(7)));
+
+  auto loaded = store.load();
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 3u);
+  const auto* a1 = loaded->find("op-a", 1);
+  ASSERT_NE(a1, nullptr);
+  EXPECT_EQ(*a1, std::vector<uint8_t>(64, 7));
+  EXPECT_FALSE(store.current_is_corrupt());
+}
+
+TEST_F(SnapshotStoreTest, LoadWithNoFilesReturnsNothing) {
+  SnapshotStore store(dir.string());
+  EXPECT_FALSE(store.load().has_value());
+}
+
+TEST_F(SnapshotStoreTest, SecondSaveRotatesPrevious) {
+  SnapshotStore store(dir.string());
+  ASSERT_TRUE(store.save(make_snapshot(1)));
+  ASSERT_TRUE(store.save(make_snapshot(2)));
+  EXPECT_TRUE(fs::exists(store.previous_path()));
+
+  auto loaded = store.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ((*loaded->find("op-b", 0))[0], 2);
+}
+
+TEST_F(SnapshotStoreTest, TruncatedCurrentFallsBackToPrevious) {
+  SnapshotStore store(dir.string());
+  ASSERT_TRUE(store.save(make_snapshot(1)));
+  ASSERT_TRUE(store.save(make_snapshot(2)));
+
+  // Tear the current file: chop off the trailing half (simulated crash
+  // mid-write that somehow survived the atomic-rename protocol).
+  auto bytes = read_file(store.current_path());
+  bytes.resize(bytes.size() / 2);
+  write_file(store.current_path(), bytes);
+
+  auto loaded = store.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ((*loaded->find("op-b", 0))[0], 1) << "should load the previous good snapshot";
+  EXPECT_TRUE(store.current_is_corrupt());
+}
+
+TEST_F(SnapshotStoreTest, BitFlippedCurrentFallsBackToPrevious) {
+  SnapshotStore store(dir.string());
+  ASSERT_TRUE(store.save(make_snapshot(1)));
+  ASSERT_TRUE(store.save(make_snapshot(2)));
+
+  auto bytes = read_file(store.current_path());
+  ASSERT_GT(bytes.size(), 20u);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one bit in the body
+  write_file(store.current_path(), bytes);
+
+  auto loaded = store.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ((*loaded->find("op-b", 0))[0], 1);
+  EXPECT_TRUE(store.current_is_corrupt());
+}
+
+TEST_F(SnapshotStoreTest, BothFilesCorruptLoadsNothing) {
+  SnapshotStore store(dir.string());
+  ASSERT_TRUE(store.save(make_snapshot(1)));
+  ASSERT_TRUE(store.save(make_snapshot(2)));
+  write_file(store.current_path(), {0xDE, 0xAD});
+  write_file(store.previous_path(), {0xBE, 0xEF});
+  EXPECT_FALSE(store.load().has_value());
+}
+
+TEST_F(SnapshotStoreTest, TruncatedFooterOnlyFileIsRejected) {
+  SnapshotStore store(dir.string());
+  ASSERT_TRUE(store.save(make_snapshot(1)));
+  // Leave fewer bytes than one footer.
+  write_file(store.current_path(), {1, 2, 3});
+  EXPECT_FALSE(store.load().has_value());
+}
+
+}  // namespace
+}  // namespace neptune::fault

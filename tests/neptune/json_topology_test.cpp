@@ -152,6 +152,90 @@ TEST(JsonTopology, RejectsMalformedJson) {
   EXPECT_THROW(graph_from_json(R"({"name": "x"})", standard_registry()), JsonError);
 }
 
+// --- validation: actionable configuration errors ----------------------------
+
+/// The error must be a GraphError whose message names the offending field —
+/// "something was wrong" is not actionable.
+void expect_graph_error(const std::string& json, const std::string& needle) {
+  try {
+    graph_from_json(std::string_view(json), standard_registry());
+    FAIL() << "descriptor was accepted; expected GraphError mentioning '" << needle << "'";
+  } catch (const GraphError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error message '" << e.what() << "' does not mention '" << needle << "'";
+  }
+}
+
+std::string two_op_descriptor(const std::string& config, const std::string& link_extra) {
+  return R"({
+    "name": "validate",)" +
+         (config.empty() ? "" : "\n    \"config\": " + config + ",") + R"(
+    "operators": [
+      {"id": "s", "type": "bytes-source", "kind": "source"},
+      {"id": "p", "type": "counting-sink", "kind": "processor"}
+    ],
+    "links": [{"from": "s", "to": "p")" +
+         (link_extra.empty() ? "" : ", " + link_extra) + R"(}]
+  })";
+}
+
+TEST(JsonTopologyValidation, RejectsNonPositiveCapacities) {
+  expect_graph_error(two_op_descriptor(R"({"buffer_bytes": 0})", ""), "buffer_bytes");
+  expect_graph_error(two_op_descriptor(R"({"buffer_bytes": -4096})", ""), "buffer_bytes");
+  expect_graph_error(two_op_descriptor(R"({"channel_bytes": 0})", ""), "channel_bytes");
+  expect_graph_error(two_op_descriptor("", R"("buffer_bytes": -1)"), "buffer_bytes");
+}
+
+TEST(JsonTopologyValidation, RejectsFlushIntervalBelowTimerResolution) {
+  // 0.1 ms = 100 us, under the 500 us timer tick: silently degrades, so it
+  // must be rejected — while 0 (timer flushing off) stays legal.
+  expect_graph_error(two_op_descriptor(R"({"flush_interval_ms": 0.1})", ""),
+                     "flush_interval_ms");
+  auto g = graph_from_json(std::string_view(two_op_descriptor(R"({"flush_interval_ms": 0})", "")),
+                           standard_registry());
+  EXPECT_EQ(g.config().buffer.flush_interval_ns, 0);
+}
+
+TEST(JsonTopologyValidation, RejectsUnknownQosClassNamingTheValue) {
+  expect_graph_error(two_op_descriptor("", R"("qos": "bulk")"), "bulk");
+}
+
+TEST(JsonTopologyValidation, RejectsUnknownShedPolicy) {
+  expect_graph_error(
+      two_op_descriptor("", R"("qos": "best_effort", "shed_policy": "random")"),
+      "shed_policy");
+}
+
+TEST(JsonTopologyValidation, RejectsDropProbabilityOutsideUnitInterval) {
+  expect_graph_error(two_op_descriptor("", R"("qos": "best_effort",
+      "shed_policy": "probabilistic", "shed_drop_probability": 1.5)"),
+                     "shed_drop_probability");
+  expect_graph_error(two_op_descriptor("", R"("qos": "best_effort",
+      "shed_policy": "probabilistic", "shed_drop_probability": -0.25)"),
+                     "shed_drop_probability");
+}
+
+TEST(JsonTopologyValidation, RejectsShedOnCriticalLink) {
+  // graph.connect enforces the QoS contract: a critical link may never
+  // carry a shed policy.
+  expect_graph_error(two_op_descriptor("", R"("shed_policy": "drop_oldest")"), "critical");
+}
+
+TEST(JsonTopologyValidation, ParsesBestEffortShedConfig) {
+  auto g = graph_from_json(std::string_view(two_op_descriptor("", R"("qos": "best_effort",
+      "shed_policy": "drop_newest", "shed_max_buffered_bytes": 32768,
+      "shed_max_queue_wait_ms": 5, "shed_drop_probability": 0.25, "shed_seed": 7)")),
+                           standard_registry());
+  ASSERT_EQ(g.links().size(), 1u);
+  const LinkDecl& l = g.links()[0];
+  EXPECT_EQ(l.qos, QosClass::kBestEffort);
+  EXPECT_EQ(l.shed.policy, ShedPolicy::kDropNewest);
+  EXPECT_EQ(l.shed.max_buffered_bytes, 32768u);
+  EXPECT_EQ(l.shed.max_queue_wait_ns, 5'000'000);
+  EXPECT_DOUBLE_EQ(l.shed.drop_probability, 0.25);
+  EXPECT_EQ(l.shed.seed, 7u);
+}
+
 TEST(OperatorRegistryTest, LookupSemantics) {
   auto reg = standard_registry();
   EXPECT_NE(reg.find_source("bytes-source"), nullptr);

@@ -1,6 +1,10 @@
 #include "obs/http_server.hpp"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <string>
 
@@ -85,6 +89,67 @@ TEST_F(HttpFixture, StopIsIdempotentAndFinal) {
   server->stop();
   server->stop();
   EXPECT_FALSE(http_get("127.0.0.1", server->port(), "/healthz", 200).has_value());
+}
+
+// --- slow-client hardening ---------------------------------------------------
+
+/// Connect and send `head` without ever completing the request, then block
+/// on the server's response (or connection close). Returns what the server
+/// sent back.
+std::string send_partial_request(uint16_t port, const std::string& head) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  (void)::send(fd, head.data(), head.size(), 0);
+  // Never send the terminating blank line; just wait for the server.
+  std::string response;
+  char buf[512];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServer, HalfSentRequestTimesOutInsteadOfWedging) {
+  TelemetryRegistry reg;
+  HttpServerOptions opt;
+  opt.read_deadline_ns = 100'000'000;  // 100 ms
+  MetricsHttpServer server(0, &reg, nullptr, nullptr, opt);
+
+  // The head never completes: no blank line. A server without the deadline
+  // would sit in recv() forever and starve every later scraper.
+  std::string response = send_partial_request(server.port(), "GET /healthz HTTP/1.0\r\n");
+  EXPECT_NE(response.find("408"), std::string::npos) << "got: " << response;
+  EXPECT_EQ(server.requests_timed_out(), 1u);
+
+  // The accept loop moved on: a well-formed request still succeeds.
+  auto body = http_get("127.0.0.1", server.port(), "/healthz");
+  ASSERT_TRUE(body.has_value());
+  EXPECT_NE(body->find("ok"), std::string::npos);
+}
+
+TEST(MetricsHttpServer, OversizedRequestHeadIsCutOff) {
+  TelemetryRegistry reg;
+  HttpServerOptions opt;
+  opt.read_deadline_ns = 2'000'000'000;
+  opt.max_header_bytes = 256;  // tiny cap; the deadline must not be what saves us
+  MetricsHttpServer server(0, &reg, nullptr, nullptr, opt);
+
+  std::string head = "GET /healthz HTTP/1.0\r\nX-Junk: " + std::string(4096, 'a') + "\r\n";
+  std::string response = send_partial_request(server.port(), head);
+  EXPECT_NE(response.find("408"), std::string::npos) << "got: " << response;
+  EXPECT_GE(server.requests_timed_out(), 1u);
+  EXPECT_TRUE(http_get("127.0.0.1", server.port(), "/healthz").has_value());
 }
 
 TEST(MetricsHttpServer, TwoServersOnEphemeralPortsCoexist) {
