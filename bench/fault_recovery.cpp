@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "fault/recovery.hpp"
 #include "obs/exporter.hpp"
+#include "obs/incident.hpp"
 #include "obs/telemetry.hpp"
 
 using namespace neptune;
@@ -41,6 +42,13 @@ class SharedCountSink : public StreamProcessor, public Checkpointable {
 int main(int argc, char** argv) {
   const int duration_s = argc > 1 ? std::atoi(argv[1]) : 25;
   const int failure_period_s = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  // Incident bundles land next to the bench JSON so CI archives them; every
+  // injected recovery below fires the global reporter (rate-limited).
+  BenchReport report("fault_recovery");
+  const std::string incident_dir = report.sibling("incidents");
+  auto reporter = obs::IncidentReporter::configure_global(
+      {.dir = incident_dir, .min_interval_ns = 1'000'000'000});
 
   auto injector = std::make_shared<fault::FaultInjector>();
   RuntimeOptions rt_opt;
@@ -118,7 +126,6 @@ int main(int argc, char** argv) {
   coord.stop();
   sampler.stop();
 
-  BenchReport report("fault_recovery");
   print_row({"second", "pkts/s", ""});
   uint64_t steady_peak = 0;
   for (size_t s = 0; s < per_second.size(); ++s) {
@@ -165,7 +172,14 @@ int main(int argc, char** argv) {
   report.set("dup_frames_dropped", m.total(&OperatorMetricsSnapshot::dup_frames_dropped));
   report.set("seq_violations", m.total(&OperatorMetricsSnapshot::seq_violations));
   report.set("timeline", timeline_path);
+  report.set("incident_dir", incident_dir);
+  report.set("incident_bundles", reporter->bundles_written());
+  report.set("last_incident_bundle", reporter->last_bundle_path());
   report.write();
+  if (reporter->bundles_written() > 0)
+    std::printf("wrote %llu incident bundle(s), last: %s\n",
+                static_cast<unsigned long long>(reporter->bundles_written()),
+                reporter->last_bundle_path().c_str());
 
   std::printf("\ncorrectness: seq_violations %s zero across %d failures\n",
               m.total(&OperatorMetricsSnapshot::seq_violations) == 0 ? "stayed" : "DID NOT stay",

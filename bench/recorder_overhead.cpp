@@ -1,0 +1,95 @@
+// Flight-recorder overhead guard: the recorder must be cheap enough to leave
+// on in production. Runs the Figure-1 relay (100 B payloads) with the
+// recorder disabled and enabled in alternating order (so drift hits both
+// sides equally), compares median throughput, and fails when the enabled
+// side loses more than the threshold (default 3%, NEPTUNE_RECORDER_BUDGET_PCT
+// to override).
+//
+//   recorder_overhead [packets=300000] [rounds=5]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/flight_recorder.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+
+namespace {
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t packets = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300'000;
+  int rounds = argc > 2 ? std::atoi(argv[2]) : 5;
+  double budget_pct = 3.0;
+  if (const char* env = std::getenv("NEPTUNE_RECORDER_BUDGET_PCT"); env && *env) {
+    budget_pct = std::atof(env);
+  }
+
+  RelayOptions opt;
+  opt.packets = packets;
+  opt.payload_bytes = 100;
+
+  print_header("flight recorder overhead (100 B relay)");
+  std::printf("packets=%llu rounds=%d budget=%.1f%%\n\n",
+              static_cast<unsigned long long>(packets), rounds, budget_pct);
+
+  // Warm-up run (recorder off) so allocator/page-cache effects don't land on
+  // whichever side happens to run first.
+  obs::FlightRecorder::set_enabled(false);
+  run_relay(opt);
+
+  BenchReport report("recorder_overhead");
+  std::vector<double> off_pps, on_pps;
+  print_row({"round", "recorder", "pps", "p99_ms"});
+  for (int round = 0; round < rounds; ++round) {
+    for (int enabled = 0; enabled < 2; ++enabled) {
+      obs::FlightRecorder::set_enabled(enabled != 0);
+      RelayResult r = run_relay(opt);
+      (enabled ? on_pps : off_pps).push_back(r.throughput_pps);
+      print_row({fmt("%.0f", round), enabled ? "on" : "off", fmt("%.0f", r.throughput_pps),
+                 fmt("%.3f", r.latency.p99_ms)});
+      JsonObject row = relay_row(r);
+      row["recorder"] = JsonValue(std::string(enabled ? "on" : "off"));
+      row["round"] = JsonValue(static_cast<int64_t>(round));
+      report.add_row(std::move(row));
+    }
+  }
+  obs::FlightRecorder::set_enabled(true);
+
+  double off_med = median(off_pps);
+  double on_med = median(on_pps);
+  double delta_pct = off_med > 0 ? (off_med - on_med) / off_med * 100.0 : 0.0;
+  auto& fr = obs::FlightRecorder::global();
+  uint64_t events_recorded = fr.events_recorded();
+
+  std::printf("\nmedian off: %.0f pps   median on: %.0f pps   delta: %+.2f%%\n", off_med, on_med,
+              delta_pct);
+  std::printf("events recorded: %llu across %zu rings\n",
+              static_cast<unsigned long long>(events_recorded), fr.rings_created());
+
+  report.set("packets", packets);
+  report.set("rounds", static_cast<int64_t>(rounds));
+  report.set("median_off_pps", off_med);
+  report.set("median_on_pps", on_med);
+  report.set("delta_pct", delta_pct);
+  report.set("budget_pct", budget_pct);
+  report.set("events_recorded", events_recorded);
+  report.write();
+
+  if (delta_pct > budget_pct) {
+    std::fprintf(stderr, "FAIL: recorder overhead %.2f%% exceeds budget %.1f%%\n", delta_pct,
+                 budget_pct);
+    return 1;
+  }
+  std::printf("PASS: recorder overhead %.2f%% within budget %.1f%%\n", delta_pct, budget_pct);
+  return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "common/bytes.hpp"
 #include "common/crc32.hpp"
+#include "obs/incident.hpp"
 
 namespace neptune::fault {
 
@@ -48,6 +49,12 @@ bool deserialize_entry(ByteReader& r, DeadLetterEntry& e) {
 DeadLetterQueue::DeadLetterQueue(DeadLetterConfig cfg) : cfg_(std::move(cfg)) {}
 
 void DeadLetterQueue::quarantine(DeadLetterEntry entry) {
+  // Outside mu_: the reporter samples telemetry whose closures read this
+  // queue's counters (and take mu_). Rate-limited inside the reporter, so a
+  // poison storm costs one bundle, not one per packet.
+  obs::IncidentReporter::trigger_global(
+      "quarantine",
+      entry.op_id + "[" + std::to_string(entry.instance) + "]: " + entry.reason);
   std::lock_guard lk(mu_);
   ++total_;
   if (mem_.size() + spilled_ >= cfg_.max_entries) {

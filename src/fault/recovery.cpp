@@ -2,6 +2,8 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/incident.hpp"
 
 namespace neptune::fault {
 
@@ -154,6 +156,9 @@ bool RecoveryCoordinator::take_checkpoint(const std::shared_ptr<Job>& job) {
       have_snapshot_ = true;
     }
     checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    obs::FlightRecorder::record(
+        obs::FlightRecorder::register_actor("job " + graph_.name()),
+        obs::FlightEventType::kCheckpoint, checkpoints_.load(std::memory_order_relaxed));
   }
   job->resume();
   return healthy;
@@ -247,6 +252,13 @@ void RecoveryCoordinator::recover() {
   NEPTUNE_LOG_WARN("recovery: job '%s' failed (%s) — restoring from %s", old->name().c_str(),
                    old->failed() ? old->failure_reason().c_str() : "resource down",
                    from_snapshot ? "latest checkpoint" : "scratch (no checkpoint yet)");
+  // Bundle the wreck before teardown wipes the evidence.
+  obs::FlightRecorder::record(
+      obs::FlightRecorder::register_actor("job " + graph_.name()),
+      obs::FlightEventType::kRecovery, recoveries_.load(std::memory_order_relaxed) + 1);
+  obs::IncidentReporter::trigger_global(
+      "recovery", old->name() + ": " +
+                      (old->failed() ? old->failure_reason() : "resource down"));
 
   // Tear the wreck down (best effort — dead resources never run the stop
   // notifications, which is fine; the runtime keeps the old job's carcass

@@ -6,6 +6,7 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace neptune::fault {
 namespace {
@@ -242,6 +243,11 @@ bool SupervisedTcpSender::attempt_connect() {
   if (was_reconnect) {
     NEPTUNE_LOG_INFO("supervised edge %s: reconnected", edge_.to_string().c_str());
     if (reconnect_counter_) reconnect_counter_->fetch_add(1, std::memory_order_relaxed);
+    obs::FlightRecorder::record(
+        obs::FlightRecorder::register_actor("edge " + edge_.to_string()),
+        obs::FlightEventType::kReconnect,
+        reconnect_counter_ ? reconnect_counter_->load(std::memory_order_relaxed) : 0,
+        edge_.link_id);
   }
   // Set via the (possibly fault-wrapped) data path so a stall decorator can
   // re-fire the callback when its stall expires; it forwards to the

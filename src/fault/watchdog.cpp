@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "common/clock.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/incident.hpp"
 
 namespace neptune::fault {
 
@@ -50,21 +52,31 @@ void OperatorWatchdog::watch() {
       }
 
       bool stuck = false;
+      int64_t stalled_ms = 0;
       std::string what;
       if (op.exec_begin_ns != 0 && now - op.exec_begin_ns > options_.stall_timeout_ns) {
         stuck = true;
+        stalled_ms = (now - op.exec_begin_ns) / 1'000'000;
         what = "watchdog: " + key + " stuck inside a dispatch for " +
-               std::to_string((now - op.exec_begin_ns) / 1'000'000) + " ms";
+               std::to_string(stalled_ms) + " ms";
       } else if (op.inbound_ready_batches > 0 &&
                  now - p.last_change_ns > options_.stall_timeout_ns) {
         stuck = true;
+        stalled_ms = (now - p.last_change_ns) / 1'000'000;
         what = "watchdog: " + key + " made no progress for " +
-               std::to_string((now - p.last_change_ns) / 1'000'000) + " ms with " +
+               std::to_string(stalled_ms) + " ms with " +
                std::to_string(op.inbound_ready_batches) + " batches pending";
       }
       if (stuck && !p.flagged) {
         p.flagged = true;
         stalls_.fetch_add(1, std::memory_order_relaxed);
+        // Stamp the timeline, then snapshot it: the bundle written by the
+        // trigger below contains this very event as its newest entry.
+        obs::FlightRecorder::record(
+            obs::FlightRecorder::register_actor(op.operator_id + "[" +
+                                                std::to_string(op.instance) + "]"),
+            obs::FlightEventType::kWatchdogStall, static_cast<uint64_t>(stalled_ms));
+        obs::IncidentReporter::trigger_global("watchdog_stall", what);
         job_->note_watchdog_stall(op.operator_id, op.instance);
         on_stall_(what);
       }

@@ -11,7 +11,11 @@
 #include "net/frame.hpp"
 #include "net/inproc_transport.hpp"
 #include "net/tcp_transport.hpp"
+#include "common/json.hpp"
+#include "obs/build_info.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/http_server.hpp"
+#include "obs/incident.hpp"
 #include "obs/trace.hpp"
 
 namespace neptune {
@@ -88,6 +92,7 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
         job_(job),
         batch_pool_(ObjectPool<Batch>::create(/*max_idle=*/64)) {
     task_name_ = op_id_ + "[" + std::to_string(instance_) + "]";
+    flight_actor_ = obs::FlightRecorder::register_actor(task_name_);
   }
 
   // --- wiring (called by Runtime::submit, before start) ----------------------
@@ -105,6 +110,7 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
 
   OperatorMetrics& metrics() { return metrics_; }
   const OperatorMetrics& metrics() const { return metrics_; }
+  uint32_t flight_actor() const { return flight_actor_; }
   const std::string& op_id() const { return op_id_; }
   uint32_t instance_index() const { return instance_; }
   void request_stop() { stop_requested_.store(true, std::memory_order_release); }
@@ -208,10 +214,17 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
     // Watchdog gauge: non-zero while inside this execution. A dispatch that
     // never returns leaves it set, which is exactly the stuck signal.
     metrics_.exec_begin_ns.store(now_ns(), std::memory_order_relaxed);
+    obs::FlightRecorder::record(flight_actor_, obs::FlightEventType::kDispatchBegin,
+                                metrics_.executions.load(std::memory_order_relaxed));
     struct ExecGuard {
       OperatorMetrics& m;
-      ~ExecGuard() { m.exec_begin_ns.store(0, std::memory_order_relaxed); }
-    } exec_guard{metrics_};
+      uint32_t actor;
+      ~ExecGuard() {
+        m.exec_begin_ns.store(0, std::memory_order_relaxed);
+        obs::FlightRecorder::record(actor, obs::FlightEventType::kDispatchEnd,
+                                    m.executions.load(std::memory_order_relaxed));
+      }
+    } exec_guard{metrics_, flight_actor_};
     if (stop_requested_.load(std::memory_order_acquire)) {
       finalize(ctx, /*discard=*/true);
       return;
@@ -477,6 +490,8 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
     entry.packet_bytes.assign(span.begin(), span.end());
     dlq->quarantine(std::move(entry));
     metrics_.packets_quarantined.fetch_add(count, std::memory_order_relaxed);
+    obs::FlightRecorder::record(flight_actor_, obs::FlightEventType::kQuarantine, count,
+                                b.trace_link);
     NEPTUNE_LOG_WARN("%s: quarantined %u packet(s) from link %u to the dead-letter queue: %s",
                      task_name_.c_str(), count, b.trace_link, reason.c_str());
   }
@@ -698,6 +713,7 @@ class InstanceRuntime : public granules::ComputationalTask, public Emitter {
 
   const std::string op_id_;
   std::string task_name_;
+  uint32_t flight_actor_ = 0;
   const uint32_t instance_;
   const uint32_t parallelism_;
   const OperatorKind kind_;
@@ -903,6 +919,24 @@ Runtime::Runtime(size_t resources, granules::ResourceConfig base_config, Runtime
     resources_.back()->start();
   }
 
+  // Build identity on /metrics for every runtime, however it's scraped.
+  obs::ensure_build_info_registered();
+
+  // Incident reporter ("black box" dumps): explicit dir via options, or
+  // opt-in through the NEPTUNE_INCIDENT_DIR env var. First configurer wins
+  // so a bench spawning several runtimes keeps one bundle directory.
+  std::string incident_dir = options_.obs.incident_dir;
+  if (incident_dir.empty()) {
+    if (const char* env = std::getenv("NEPTUNE_INCIDENT_DIR")) incident_dir = env;
+  }
+  if (!incident_dir.empty() && obs::IncidentReporter::active() == nullptr) {
+    obs::IncidentOptions inc;
+    inc.dir = incident_dir;
+    inc.max_bundles = options_.obs.incident_max_bundles;
+    obs::IncidentReporter::configure_global(std::move(inc));
+    NEPTUNE_LOG_INFO("incident reporter writing to %s", incident_dir.c_str());
+  }
+
   // Observability endpoint: explicit port via options, or opt-in through the
   // NEPTUNE_METRICS_PORT env var so any bench/example can be scraped without
   // code changes. A failed bind degrades to "no endpoint", never to a crash.
@@ -1014,6 +1048,31 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
   graph.validate();
   const GraphConfig& cfg = graph.config();
 
+  // Topology descriptor for incident bundles: flightdump joins flush events
+  // (link id) to downstream dispatches through the links' "to" field.
+  if (auto reporter = obs::IncidentReporter::active()) {
+    JsonObject topo;
+    topo["job"] = JsonValue(graph.name());
+    JsonArray ops;
+    for (const OperatorDecl& op : graph.operators()) {
+      JsonObject o;
+      o["id"] = JsonValue(op.id);
+      o["parallelism"] = JsonValue(static_cast<int64_t>(op.parallelism));
+      ops.push_back(JsonValue(std::move(o)));
+    }
+    topo["operators"] = JsonValue(std::move(ops));
+    JsonArray links;
+    for (const LinkDecl& link : graph.links()) {
+      JsonObject l;
+      l["id"] = JsonValue(static_cast<int64_t>(link.link_id));
+      l["from"] = JsonValue(graph.operators()[link.from_op].id);
+      l["to"] = JsonValue(graph.operators()[link.to_op].id);
+      links.push_back(JsonValue(std::move(l)));
+    }
+    topo["links"] = JsonValue(std::move(links));
+    reporter->note_topology(JsonValue(std::move(topo)));
+  }
+
   auto job = std::shared_ptr<Job>(new Job());
   job->name_ = graph.name();
   for (auto& r : resources_) job->resources_.push_back(r.get());
@@ -1068,8 +1127,11 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
         // on an empty edge, notify the *receiving* task. Raw pointers are
         // safe: both instances are owned by the Job that owns the channel.
         detail::InstanceRuntime* src_raw = src.get();
-        pipe.sender->set_writable_callback(
-            [src_raw] { src_raw->resource->notify_data(src_raw->task_id); });
+        pipe.sender->set_writable_callback([src_raw] {
+          obs::FlightRecorder::record(src_raw->flight_actor(),
+                                      obs::FlightEventType::kWatermarkLow);
+          src_raw->resource->notify_data(src_raw->task_id);
+        });
         detail::InstanceRuntime* dst_raw = dst.get();
         pipe.receiver->set_data_callback(
             [dst_raw] { dst_raw->resource->notify_data(dst_raw->task_id); });

@@ -149,6 +149,13 @@ struct ObsOptions {
   /// Ring/interval for the background sampler feeding /telemetry.json.
   /// The sampler runs whenever the HTTP endpoint is enabled.
   obs::SamplerOptions sampler;
+  /// Non-empty: install the process-global IncidentReporter writing JSONL
+  /// bundles (and raw crash dumps) into this directory. Empty: only enabled
+  /// when the NEPTUNE_INCIDENT_DIR env var is set. Idempotent — the first
+  /// Runtime to configure it wins; later Runtimes leave it alone.
+  std::string incident_dir;
+  /// Rotation bound for the incident directory.
+  size_t incident_max_bundles = 16;
 };
 
 /// Poison-pill quarantine (overload-resilience subsystem). When enabled,

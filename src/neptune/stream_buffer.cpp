@@ -1,6 +1,7 @@
 #include "neptune/stream_buffer.hpp"
 
 #include "net/frame.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace neptune {
 
@@ -36,6 +37,8 @@ StreamBuffer::StreamBuffer(uint32_t link_id, uint32_t src_instance,
       shed_(shed),
       shed_rng_(shed.seed ^ (uint64_t{link_id} << 32) ^ src_instance) {
   accum_.reserve(config_.capacity_bytes + 4096);
+  flight_actor_ = obs::FlightRecorder::register_actor(
+      "edge L" + std::to_string(link_id_) + " s" + std::to_string(src_instance_));
 }
 
 void StreamBuffer::prepare_batch_locked() {
@@ -101,6 +104,13 @@ bool StreamBuffer::pending_overstayed_locked(int64_t now) const {
 void StreamBuffer::count_admission_shed_locked(size_t packet_bytes) {
   shed_packets_ += 1;
   shed_bytes_ += packet_bytes;
+  // Coalesced 1-in-64: an overload burst sheds tens of thousands of packets
+  // per second, which would wrap the ring and evict the events that explain
+  // the burst. The cumulative count rides in `a`.
+  if ((shed_packets_ & 63) == 1) {
+    obs::FlightRecorder::record(flight_actor_, obs::FlightEventType::kShed, shed_packets_,
+                                link_id_);
+  }
   if (metrics_) {
     metrics_->packets_shed.fetch_add(1, std::memory_order_relaxed);
     metrics_->shed_bytes.fetch_add(packet_bytes, std::memory_order_relaxed);
@@ -108,6 +118,8 @@ void StreamBuffer::count_admission_shed_locked(size_t packet_bytes) {
 }
 
 void StreamBuffer::shed_pending_locked() {
+  obs::FlightRecorder::record(flight_actor_, obs::FlightEventType::kShed,
+                              shed_packets_ + pending_count_, link_id_);
   if (!pending_) return;
   shed_batches_ += 1;
   shed_packets_ += pending_count_;
@@ -192,6 +204,8 @@ bool StreamBuffer::flush_locked() {
   accum_count_ = 0;
   first_packet_ns_ = 0;
   if (metrics_) metrics_->flushes.fetch_add(1, std::memory_order_relaxed);
+  obs::FlightRecorder::record(flight_actor_, obs::FlightEventType::kFlush, pending_.size(),
+                              link_id_);
 
   return retry_pending_locked();
 }
@@ -214,6 +228,8 @@ bool StreamBuffer::retry_pending_locked() {
         blocked_ = true;
         blocked_since_ns_ = clock_->now_ns();
         if (metrics_) metrics_->blocked_sends.fetch_add(1, std::memory_order_relaxed);
+        obs::FlightRecorder::record(flight_actor_, obs::FlightEventType::kBlock, pending_.size(),
+                                    link_id_);
       }
       return false;
     case SendStatus::kClosed:
@@ -233,6 +249,8 @@ void StreamBuffer::settle_blocked_locked() {
     int64_t stalled = clock_->now_ns() - blocked_since_ns_;
     if (metrics_ && stalled > 0)
       metrics_->blocked_ns.fetch_add(static_cast<uint64_t>(stalled), std::memory_order_relaxed);
+    obs::FlightRecorder::record(flight_actor_, obs::FlightEventType::kUnblock,
+                                stalled > 0 ? static_cast<uint64_t>(stalled) : 0, link_id_);
   }
 }
 

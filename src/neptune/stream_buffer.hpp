@@ -184,6 +184,7 @@ class StreamBuffer {
 
   const uint32_t link_id_;
   const uint32_t src_instance_;
+  uint32_t flight_actor_ = 0;  ///< flight-recorder actor for this edge
   std::shared_ptr<ChannelSender> sender_;
   std::shared_ptr<SelectiveCodec> codec_;
   const StreamBufferConfig config_;

@@ -1,0 +1,64 @@
+#include "obs/build_info.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "common/clock.hpp"
+
+// The CMake lists stamp these onto the obs library; fall back to something
+// honest when building outside the tree (e.g. a bare compiler invocation).
+#ifndef NEPTUNE_VERSION_STRING
+#define NEPTUNE_VERSION_STRING "0.0.0-untracked"
+#endif
+#ifndef NEPTUNE_GIT_SHA
+#define NEPTUNE_GIT_SHA "unknown"
+#endif
+#ifndef NEPTUNE_SANITIZE_STRING
+#define NEPTUNE_SANITIZE_STRING "none"
+#endif
+
+namespace neptune::obs {
+
+namespace {
+
+// Stamped at first use so uptime covers (almost) the whole process life;
+// every entry point into the obs layer funnels through here early.
+const int64_t g_process_start_ns = now_ns();
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{NEPTUNE_VERSION_STRING, NEPTUNE_GIT_SHA,
+                              std::string(NEPTUNE_SANITIZE_STRING).empty()
+                                  ? "none"
+                                  : NEPTUNE_SANITIZE_STRING};
+  return info;
+}
+
+double process_uptime_seconds() {
+  return static_cast<double>(now_ns() - g_process_start_ns) * 1e-9;
+}
+
+void ensure_build_info_registered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const BuildInfo& info = build_info();
+    TelemetryRegistry& reg = TelemetryRegistry::global();
+    // Leaked handles: build identity is process-scoped, never unregistered.
+    static std::vector<TelemetryRegistry::Handle> handles;
+    handles.push_back(reg.register_series(
+        {"neptune_build_info",
+         {{"version", info.version}, {"git_sha", info.git_sha}, {"sanitizers", info.sanitizers}},
+         SeriesKind::kGauge,
+         "Constant 1; build identity carried in the labels"},
+        [] { return 1.0; }));
+    handles.push_back(reg.register_series(
+        {"neptune_uptime_seconds_total",
+         {},
+         SeriesKind::kCounter,
+         "Seconds since process start (steady clock)"},
+        [] { return process_uptime_seconds(); }));
+  });
+}
+
+}  // namespace neptune::obs

@@ -1,0 +1,31 @@
+// Build identity (version, git sha, sanitizer flags) surfaced three ways:
+// the `neptune_build_info` gauge on /metrics, the /healthz.json status
+// route, and the header line of every incident bundle — so an artifact can
+// always be matched back to the binary that produced it.
+#pragma once
+
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace neptune::obs {
+
+struct BuildInfo {
+  std::string version;     ///< NEPTUNE_VERSION_STRING compile definition
+  std::string git_sha;     ///< configure-time `git rev-parse`, "unknown" outside a checkout
+  std::string sanitizers;  ///< NEPTUNE_SANITIZE cmake option value, "none" when off
+};
+
+/// The compiled-in identity of this binary.
+const BuildInfo& build_info();
+
+/// Seconds since the process first touched the obs layer (steady clock).
+double process_uptime_seconds();
+
+/// Idempotently register `neptune_build_info` (gauge, constant 1, identity
+/// as labels) and `neptune_uptime_seconds_total` in the global registry.
+/// Handles are retained for the process lifetime; safe to call from every
+/// Runtime constructor.
+void ensure_build_info_registered();
+
+}  // namespace neptune::obs

@@ -1,0 +1,106 @@
+// Offline decoding + latency attribution for flight-recorder journals
+// (observability layer, part 4). Consumed by tools/flightdump.cpp and the
+// obs tests; lives in the library so both share one parser.
+//
+// Two input formats:
+//  - JSONL incident bundles (IncidentReporter) — full fidelity: header,
+//    topology descriptors, telemetry snapshot, spans, actors, events.
+//  - Raw binary crash dumps ("NEPFR01\n", FlightRecorder::raw_dump) —
+//    events + actors only, written from a signal handler.
+//
+// Attribution reconstructs, from the merged timeline alone, what the PR 2
+// tracer could only sample: per-operator execute intervals (dispatch
+// begin→end), per-edge blocked intervals (block→unblock, joined via the
+// blocked-ns payload so cross-thread pairs still match), per-edge
+// queue-wait (flush → next dispatch of the destination operator, mapped
+// through the topology descriptor), and the bottleneck operator per time
+// slice — the operator with the largest execute share of the slice.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace neptune::obs {
+
+struct JournalEvent {
+  int64_t ts_ns = 0;
+  uint32_t ring = 0;
+  uint32_t tid = 0;
+  uint32_t actor = 0;
+  FlightEventType type = FlightEventType::kNone;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+struct Journal {
+  JsonValue header;                 ///< bundle header line; synthesized for raw dumps
+  JsonArray topologies;             ///< "topology" lines (empty for raw dumps)
+  JsonValue telemetry;              ///< "telemetry" line snapshot (null when absent)
+  std::vector<JsonValue> spans;     ///< "span" lines
+  std::vector<std::string> actors;  ///< index == actor id
+  std::vector<JournalEvent> events; ///< sorted by ts_ns ascending
+  int signal = 0;                   ///< raw dumps: the signal that fired (0 = explicit)
+
+  const std::string& actor_name(uint32_t id) const;
+
+  /// Parse a JSONL incident bundle. Throws std::runtime_error on malformed
+  /// input (missing header, unparseable line).
+  static Journal from_bundle(const std::string& path);
+  /// Parse a raw binary crash dump. Tolerates a truncated tail (the
+  /// process died mid-write): everything fully written is returned.
+  static Journal from_raw(const std::string& path);
+  /// Sniff the magic and dispatch to from_bundle / from_raw.
+  static Journal from_file(const std::string& path);
+};
+
+/// Per-actor accounting within one time slice.
+struct ActorSliceStats {
+  double execute_s = 0;  ///< dispatch begin→end overlap with the slice
+  double blocked_s = 0;  ///< block→unblock overlap (edge actors)
+  uint64_t dispatches = 0;
+  uint64_t flushes = 0;
+  uint64_t sheds = 0;
+};
+
+struct SliceAttribution {
+  int64_t begin_ns = 0;
+  int64_t end_ns = 0;
+  std::string bottleneck;              ///< operator actor name, or "idle"
+  double bottleneck_busy_fraction = 0; ///< its execute_s / slice length
+  std::map<std::string, ActorSliceStats> actors;
+};
+
+/// Cut the journal into `slice_ns` slices and name the bottleneck operator
+/// of each: the actor with the largest execute share (edge actors — names
+/// starting "edge " — never win; they report blocked time instead). Slices
+/// where no operator reaches 1% busy are "idle".
+std::vector<SliceAttribution> attribute_latency(const Journal& journal, int64_t slice_ns);
+
+/// Per-edge roll-up over the whole journal. Queue-wait samples need a
+/// topology descriptor (link id → destination operator) to join flushes to
+/// downstream dispatches; without one only flush/shed/blocked accounting
+/// is filled in.
+struct EdgeLatency {
+  uint64_t link = 0;
+  std::string dst_op;      ///< from topology; "" when unknown
+  uint64_t flushes = 0;
+  uint64_t sheds = 0;
+  uint64_t blocks = 0;
+  double blocked_s = 0;
+  uint64_t queue_wait_samples = 0;
+  double queue_wait_mean_s = 0;
+  double queue_wait_max_s = 0;
+};
+std::vector<EdgeLatency> edge_latency(const Journal& journal);
+
+/// The single worst actor across the whole journal (most total execute
+/// time); "" when the journal has no dispatch events. flightdump's
+/// headline verdict and the fig4 acceptance check.
+std::string overall_bottleneck(const Journal& journal, int64_t slice_ns = 100'000'000);
+
+}  // namespace neptune::obs

@@ -1,0 +1,419 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/clock.hpp"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
+
+namespace neptune::obs {
+
+namespace {
+
+constexpr char kRawMagic[8] = {'N', 'E', 'P', 'F', 'R', '0', '1', '\n'};
+constexpr uint64_t kRingMarker = 0x474E4952;  // "RING"
+
+uint32_t current_tid() {
+#if defined(__linux__)
+  return static_cast<uint32_t>(::syscall(SYS_gettid));
+#else
+  return static_cast<uint32_t>(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+#endif
+}
+
+size_t round_up_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// AS-safe write loop (EINTR-tolerant). Returns false on any other error.
+bool write_all_fd(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool write_u64(int fd, uint64_t v) { return write_all_fd(fd, &v, sizeof v); }
+
+// AS-safe unsigned decimal formatter; returns chars written.
+size_t format_u64(char* out, uint64_t v) {
+  char tmp[24];
+  size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+}  // namespace
+
+const char* flight_event_name(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kNone: return "none";
+    case FlightEventType::kDispatchBegin: return "dispatch_begin";
+    case FlightEventType::kDispatchEnd: return "dispatch_end";
+    case FlightEventType::kFlush: return "flush";
+    case FlightEventType::kBlock: return "block";
+    case FlightEventType::kUnblock: return "unblock";
+    case FlightEventType::kShed: return "shed";
+    case FlightEventType::kQuarantine: return "quarantine";
+    case FlightEventType::kReconnect: return "reconnect";
+    case FlightEventType::kCheckpoint: return "checkpoint";
+    case FlightEventType::kRecovery: return "recovery";
+    case FlightEventType::kWatchdogStall: return "watchdog_stall";
+    case FlightEventType::kWatermarkLow: return "watermark_low";
+    case FlightEventType::kIncident: return "incident";
+    case FlightEventType::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+FlightEventType flight_event_from_name(std::string_view name) {
+  for (int i = 0; i <= static_cast<int>(FlightEventType::kMark); ++i) {
+    auto t = static_cast<FlightEventType>(i);
+    if (name == flight_event_name(t)) return t;
+  }
+  return FlightEventType::kNone;
+}
+
+// One per-thread ring: `capacity * 4` relaxed atomic words (ts, actor|type,
+// a, b per slot) plus a single monotonically increasing cursor. The writer
+// owns head exclusively; readers use acquire loads on it.
+struct FlightRecorder::ThreadRing {
+  uint32_t index = 0;
+  std::atomic<uint32_t> tid{0};
+  size_t capacity = 0;  // power of two, immutable after creation
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint64_t>* words = nullptr;  // never freed
+
+  void push(int64_t ts_ns, uint32_t actor, FlightEventType type, uint64_t a, uint64_t b) {
+    uint64_t h = head.load(std::memory_order_relaxed);
+    std::atomic<uint64_t>* slot = words + (h & (capacity - 1)) * 4;
+    slot[0].store(static_cast<uint64_t>(ts_ns), std::memory_order_relaxed);
+    slot[1].store(static_cast<uint64_t>(actor) |
+                      (static_cast<uint64_t>(static_cast<uint8_t>(type)) << 32),
+                  std::memory_order_relaxed);
+    slot[2].store(a, std::memory_order_relaxed);
+    slot[3].store(b, std::memory_order_relaxed);
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  static FlightEvent decode_slot(const std::atomic<uint64_t>* slot) {
+    FlightEvent ev;
+    ev.ts_ns = static_cast<int64_t>(slot[0].load(std::memory_order_relaxed));
+    uint64_t meta = slot[1].load(std::memory_order_relaxed);
+    ev.actor = static_cast<uint32_t>(meta & 0xFFFFFFFFu);
+    ev.type = static_cast<FlightEventType>((meta >> 32) & 0xFF);
+    ev.a = slot[2].load(std::memory_order_relaxed);
+    ev.b = slot[3].load(std::memory_order_relaxed);
+    return ev;
+  }
+};
+
+namespace {
+
+// Free list of retired rings, reusable by new threads. Cold path only.
+std::mutex g_ring_mu;
+std::vector<FlightRecorder::ThreadRing*> g_free_rings;
+std::mutex g_actor_mu;
+
+// TLS lease: retires the ring when the thread exits so a long-lived process
+// spawning short-lived threads stays bounded by *peak* concurrency. If some
+// later-destroyed thread_local records after this runs, it simply acquires
+// a fresh ring that is never retired — bounded by kMaxRings.
+struct RingLease {
+  FlightRecorder::ThreadRing* ring = nullptr;
+  ~RingLease() {
+    if (ring != nullptr) {
+      FlightRecorder::global().retire_ring(ring);
+      ring = nullptr;
+    }
+  }
+};
+thread_local RingLease t_lease;
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() {
+  static_assert(sizeof(std::atomic<uint64_t>) == sizeof(uint64_t),
+                "crash dump writes the atomic word array verbatim");
+  std::snprintf(actor_names_[0], kActorNameBytes, "?");
+  actor_count_.store(1, std::memory_order_release);
+  if (const char* env = std::getenv("NEPTUNE_FLIGHT_RECORDER")) {
+    std::string_view v(env);
+    if (v == "0" || v == "off" || v == "false") enabled_.store(false, std::memory_order_relaxed);
+  }
+}
+
+FlightRecorder& FlightRecorder::global() {
+  // Leaked on purpose: crash handlers may fire during static destruction.
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+bool FlightRecorder::enabled() {
+  return global().enabled_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_enabled(bool on) {
+  global().enabled_.store(on, std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_ring_capacity(size_t events) {
+  ring_capacity_.store(round_up_pow2(std::max<size_t>(events, 8)), std::memory_order_relaxed);
+}
+
+uint32_t FlightRecorder::register_actor(std::string_view name) {
+  FlightRecorder& self = global();
+  std::lock_guard<std::mutex> lock(g_actor_mu);
+  uint32_t count = self.actor_count_.load(std::memory_order_relaxed);
+  char truncated[kActorNameBytes] = {};
+  std::memcpy(truncated, name.data(), std::min(name.size(), kActorNameBytes - 1));
+  for (uint32_t i = 0; i < count; ++i) {
+    if (std::strncmp(self.actor_names_[i], truncated, kActorNameBytes) == 0) return i;
+  }
+  if (count >= kMaxActors) return 0;
+  std::memcpy(self.actor_names_[count], truncated, kActorNameBytes);
+  self.actor_count_.store(count + 1, std::memory_order_release);
+  return count;
+}
+
+const char* FlightRecorder::actor_name(uint32_t id) const {
+  uint32_t count = actor_count_.load(std::memory_order_acquire);
+  if (id >= count) return "?";
+  return actor_names_[id];
+}
+
+std::vector<std::string> FlightRecorder::actor_names() const {
+  uint32_t count = actor_count_.load(std::memory_order_acquire);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) out.emplace_back(actor_names_[i]);
+  return out;
+}
+
+FlightRecorder::ThreadRing* FlightRecorder::acquire_ring() {
+  std::lock_guard<std::mutex> lock(g_ring_mu);
+  if (!g_free_rings.empty()) {
+    ThreadRing* ring = g_free_rings.back();
+    g_free_rings.pop_back();
+    ring->head.store(0, std::memory_order_release);
+    ring->tid.store(current_tid(), std::memory_order_release);
+    return ring;
+  }
+  uint32_t index = ring_count_.load(std::memory_order_relaxed);
+  if (index >= kMaxRings) {
+    ring_overflows_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  size_t capacity = ring_capacity_.load(std::memory_order_relaxed);
+  auto* ring = new ThreadRing();
+  ring->index = index;
+  ring->tid.store(current_tid(), std::memory_order_relaxed);
+  ring->capacity = capacity;
+  ring->words = new std::atomic<uint64_t>[capacity * 4]();
+  rings_[index].store(ring, std::memory_order_release);
+  ring_count_.store(index + 1, std::memory_order_release);
+  return ring;
+}
+
+void FlightRecorder::retire_ring(ThreadRing* ring) {
+  std::lock_guard<std::mutex> lock(g_ring_mu);
+  g_free_rings.push_back(ring);
+}
+
+void FlightRecorder::record(uint32_t actor, FlightEventType type, uint64_t a, uint64_t b) {
+  FlightRecorder& self = global();
+  if (!self.enabled_.load(std::memory_order_relaxed)) return;
+  self.record_impl(actor, type, a, b);
+}
+
+void FlightRecorder::record_impl(uint32_t actor, FlightEventType type, uint64_t a, uint64_t b) {
+  ThreadRing* ring = t_lease.ring;
+  if (ring == nullptr) {
+    ring = acquire_ring();
+    if (ring == nullptr) return;
+    t_lease.ring = ring;
+  }
+  ring->push(now_ns(), actor, type, a, b);
+}
+
+std::vector<MergedFlightEvent> FlightRecorder::snapshot_merged() const {
+  std::vector<MergedFlightEvent> out;
+  uint32_t ring_count = ring_count_.load(std::memory_order_acquire);
+  for (uint32_t r = 0; r < ring_count; ++r) {
+    const ThreadRing* ring = rings_[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    uint64_t h1 = ring->head.load(std::memory_order_acquire);
+    size_t n = static_cast<size_t>(std::min<uint64_t>(h1, ring->capacity));
+    std::vector<FlightEvent> copied;
+    copied.reserve(n);
+    for (uint64_t seq = h1 - n; seq < h1; ++seq) {
+      copied.push_back(ThreadRing::decode_slot(ring->words + (seq & (ring->capacity - 1)) * 4));
+    }
+    // The writer may have lapped us while we copied: slots at the *old* end
+    // of the window are untrustworthy. Drop exactly that many.
+    uint64_t h2 = ring->head.load(std::memory_order_acquire);
+    uint64_t lapped = h2 - h1;
+    size_t skip = static_cast<size_t>(std::min<uint64_t>(lapped, n));
+    uint32_t tid = ring->tid.load(std::memory_order_relaxed);
+    for (size_t i = skip; i < copied.size(); ++i) {
+      out.push_back(MergedFlightEvent{copied[i], r, tid});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const MergedFlightEvent& a, const MergedFlightEvent& b) {
+    return a.event.ts_ns < b.event.ts_ns;
+  });
+  return out;
+}
+
+size_t FlightRecorder::rings_created() const {
+  return ring_count_.load(std::memory_order_acquire);
+}
+
+size_t FlightRecorder::rings_free() const {
+  std::lock_guard<std::mutex> lock(g_ring_mu);
+  return g_free_rings.size();
+}
+
+uint64_t FlightRecorder::events_recorded() const {
+  uint64_t total = 0;
+  uint32_t ring_count = ring_count_.load(std::memory_order_acquire);
+  for (uint32_t r = 0; r < ring_count; ++r) {
+    const ThreadRing* ring = rings_[r].load(std::memory_order_acquire);
+    if (ring != nullptr) total += ring->head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t FlightRecorder::ring_table_overflows() const {
+  return ring_overflows_.load(std::memory_order_relaxed);
+}
+
+size_t FlightRecorder::actors_registered() const {
+  return actor_count_.load(std::memory_order_acquire);
+}
+
+// Raw binary journal, async-signal-safe. Layout (all native-endian u64/i64):
+//   char[8]  magic "NEPFR01\n"
+//   u64      version (1)
+//   u64      signal number (0 = explicit dump)
+//   i64      steady clock now_ns at dump time
+//   i64      CLOCK_REALTIME ns at dump time
+//   u64      actor_count, then actor_count * 64 raw name bytes
+//   u64      ring_count, then per ring:
+//     u64 marker "RING", u64 index, u64 tid, u64 capacity, u64 head,
+//     capacity * 4 u64 slot words verbatim
+void FlightRecorder::raw_dump(int fd, int signal) const {
+  if (!write_all_fd(fd, kRawMagic, sizeof kRawMagic)) return;
+  timespec wall{};
+  clock_gettime(CLOCK_REALTIME, &wall);
+  write_u64(fd, 1);
+  write_u64(fd, static_cast<uint64_t>(signal));
+  write_u64(fd, static_cast<uint64_t>(now_ns()));
+  write_u64(fd, static_cast<uint64_t>(wall.tv_sec) * 1'000'000'000ull +
+                    static_cast<uint64_t>(wall.tv_nsec));
+  uint32_t actors = actor_count_.load(std::memory_order_acquire);
+  write_u64(fd, actors);
+  write_all_fd(fd, actor_names_, static_cast<size_t>(actors) * kActorNameBytes);
+  uint32_t ring_count = ring_count_.load(std::memory_order_acquire);
+  // Count non-null slots first so the decoder can trust the count.
+  uint64_t present = 0;
+  for (uint32_t r = 0; r < ring_count; ++r) {
+    if (rings_[r].load(std::memory_order_acquire) != nullptr) ++present;
+  }
+  write_u64(fd, present);
+  for (uint32_t r = 0; r < ring_count; ++r) {
+    const ThreadRing* ring = rings_[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    write_u64(fd, kRingMarker);
+    write_u64(fd, ring->index);
+    write_u64(fd, ring->tid.load(std::memory_order_relaxed));
+    write_u64(fd, ring->capacity);
+    write_u64(fd, ring->head.load(std::memory_order_acquire));
+    // Benign race: a live writer may overwrite the oldest slot mid-write.
+    // The decoder orders slots by the head we just recorded and the torn
+    // record (if any) is the oldest one — acceptable for a crash artifact.
+    write_all_fd(fd, ring->words, ring->capacity * 4 * sizeof(uint64_t));
+  }
+}
+
+bool FlightRecorder::raw_dump_to_file(const char* path, int signal) const {
+  int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  raw_dump(fd, signal);
+  ::close(fd);
+  return true;
+}
+
+namespace {
+
+char g_crash_dir[512] = {};
+
+extern "C" void neptune_flight_crash_handler(int sig) {
+  // Async-signal-safe only: open/write/close plus fixed pre-published
+  // tables inside raw_dump. Path: "<dir>/crash-<pid>-sig<n>.nfr".
+  char path[640];
+  size_t off = 0;
+  size_t dir_len = ::strnlen(g_crash_dir, sizeof g_crash_dir);
+  std::memcpy(path, g_crash_dir, dir_len);
+  off = dir_len;
+  const char kPrefix[] = "/crash-";
+  std::memcpy(path + off, kPrefix, sizeof kPrefix - 1);
+  off += sizeof kPrefix - 1;
+  off += format_u64(path + off, static_cast<uint64_t>(::getpid()));
+  const char kSig[] = "-sig";
+  std::memcpy(path + off, kSig, sizeof kSig - 1);
+  off += sizeof kSig - 1;
+  off += format_u64(path + off, static_cast<uint64_t>(sig));
+  const char kExt[] = ".nfr";
+  std::memcpy(path + off, kExt, sizeof kExt);  // includes NUL
+  int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    FlightRecorder::global().raw_dump(fd, sig);
+    ::close(fd);
+  }
+  // SA_RESETHAND restored the default disposition; re-raise to die with
+  // the original signal so exit status / core dumps behave normally.
+  ::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecorder::install_crash_handler(const char* dir) {
+  global();  // force construction before any signal can fire
+  std::memset(g_crash_dir, 0, sizeof g_crash_dir);
+  std::strncpy(g_crash_dir, dir, sizeof g_crash_dir - 1);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = neptune_flight_crash_handler;
+  sa.sa_flags = SA_RESETHAND | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace neptune::obs

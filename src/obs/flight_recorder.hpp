@@ -1,0 +1,162 @@
+// Always-on flight recorder (observability layer, part 4).
+//
+// A black box for the data path: every thread that touches a packet gets a
+// fixed-size ring of compact 32-byte events (dispatch begin/end, flush,
+// block/unblock, shed, quarantine, reconnect, checkpoint, watermark
+// crossings). The hot path is one TLS pointer load, four relaxed atomic
+// stores into the ring slot, and a single release cursor bump — no locks,
+// no allocation, cheap enough to leave enabled in production. The PR 2
+// tracer samples 1-in-N batches; the recorder keeps the *last N events of
+// every thread*, so transient incidents (a 200 ms stall, a shed burst) are
+// reconstructable after the fact.
+//
+// Rings are never freed: each ring is published into a fixed atomic slot
+// array so a crash handler can walk them with async-signal-safe code only.
+// Exiting threads retire their ring to a free list and the next new thread
+// re-stamps it, which bounds memory by peak thread count, not by the total
+// number of threads ever started.
+//
+// Concurrency notes:
+//  - Ring slots are stored as 4 relaxed atomic u64 words (not a struct
+//    memcpy) so concurrent merge/dump reads are data-race-free under TSan.
+//  - A reader that races a wrap can observe torn *oldest* slots; the merge
+//    path re-reads the cursor after copying and drops exactly the slots
+//    that may have been overwritten. The crash dump path accepts the race
+//    (the process is dying; the decoder tolerates a torn oldest record).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace neptune::obs {
+
+enum class FlightEventType : uint8_t {
+  kNone = 0,
+  kDispatchBegin = 1,   ///< operator actor; a = batch packet count
+  kDispatchEnd = 2,     ///< operator actor; a = batch packet count
+  kFlush = 3,           ///< edge actor; a = frame bytes, b = link id
+  kBlock = 4,           ///< edge actor; a = pending bytes, b = link id
+  kUnblock = 5,         ///< edge actor; a = blocked ns, b = link id
+  kShed = 6,            ///< edge actor; a = sheds so far, b = link id
+  kQuarantine = 7,      ///< operator actor; a = packets quarantined, b = link id
+  kReconnect = 8,       ///< edge actor; a = reconnects so far
+  kCheckpoint = 9,      ///< job actor; a = checkpoints so far
+  kRecovery = 10,       ///< job actor; a = recoveries so far
+  kWatchdogStall = 11,  ///< operator actor; a = stalled ms
+  kWatermarkLow = 12,   ///< operator actor; channel drained, producer resumed
+  kIncident = 13,       ///< reporter actor; an incident bundle was written
+  kMark = 14,           ///< free-form annotation (tests, benches)
+};
+
+/// Stable lowercase name ("dispatch_begin", "flush", ...) for bundles and
+/// the flightdump CLI. Unknown values render as "unknown".
+const char* flight_event_name(FlightEventType type);
+/// Inverse of flight_event_name; kNone when the name is unknown.
+FlightEventType flight_event_from_name(std::string_view name);
+
+/// One decoded ring record. `a` and `b` are event-type-specific payloads
+/// (see the enum comments); ts_ns is the steady clock (common/clock.hpp).
+struct FlightEvent {
+  int64_t ts_ns = 0;
+  uint32_t actor = 0;
+  FlightEventType type = FlightEventType::kNone;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+/// A merged-timeline record: FlightEvent plus which ring (and OS thread)
+/// produced it.
+struct MergedFlightEvent {
+  FlightEvent event;
+  uint32_t ring = 0;
+  uint32_t tid = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kMaxRings = 512;
+  static constexpr size_t kMaxActors = 2048;
+  static constexpr size_t kActorNameBytes = 64;  ///< incl. NUL, fixed slot
+  static constexpr size_t kDefaultRingEvents = 8192;
+
+  /// Process-wide instance (never destroyed; rings must outlive any crash
+  /// handler invocation).
+  static FlightRecorder& global();
+
+  /// Recording master switch. Defaults to on; NEPTUNE_FLIGHT_RECORDER=0
+  /// (or "off"/"false") disables it at startup. Toggling is safe at any
+  /// time; record() becomes a single relaxed load + branch when off.
+  static bool enabled();
+  static void set_enabled(bool on);
+
+  /// Intern `name` (truncated to 63 bytes) and return its actor id.
+  /// Dedupes: the same name always maps to the same id. Cold path (mutex).
+  /// Returns 0 ("?") once the fixed actor table is full.
+  static uint32_t register_actor(std::string_view name);
+
+  /// Hot path: append one event to the calling thread's ring. Lazily
+  /// acquires a ring on first use per thread (cold). No-op when disabled
+  /// or when the ring table is exhausted.
+  static void record(uint32_t actor, FlightEventType type, uint64_t a = 0, uint64_t b = 0);
+
+  /// Cold: copy every ring and merge by timestamp (non-decreasing ts_ns).
+  /// Safe against concurrent writers; slots that may have been overwritten
+  /// mid-copy are dropped rather than returned torn.
+  std::vector<MergedFlightEvent> snapshot_merged() const;
+
+  /// Registered actor names, index == actor id (index 0 is "?").
+  std::vector<std::string> actor_names() const;
+  const char* actor_name(uint32_t id) const;  ///< AS-safe, never nullptr
+
+  /// Ring size (in events, rounded up to a power of two) for rings created
+  /// *after* this call; existing rings keep their size. Test knob.
+  void set_ring_capacity(size_t events);
+
+  // ---- health / stats (relaxed; for /healthz.json) -----------------------
+  size_t rings_created() const;
+  size_t rings_free() const;       ///< retired by exited threads, reusable
+  uint64_t events_recorded() const;  ///< sum of ring cursors (approximate)
+  uint64_t ring_table_overflows() const;
+  size_t actors_registered() const;
+
+  /// Async-signal-safe: write the raw binary journal (magic "NEPFR01\n",
+  /// actor table, every ring verbatim) to `fd` using only write(2).
+  /// `signal` is stamped into the header (0 = explicit dump).
+  void raw_dump(int fd, int signal) const;
+  /// Cold convenience wrapper: open/trunc `path` and raw_dump into it.
+  bool raw_dump_to_file(const char* path, int signal = 0) const;
+
+  /// Install SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL handlers that raw_dump
+  /// the rings to "<dir>/crash-<pid>-sig<n>.nfr" and then re-raise with the
+  /// default disposition. `dir` is copied into static storage (truncated to
+  /// 512 bytes) and must exist. Async-signal-safe by construction: the
+  /// handler uses only open/write/close and pre-published fixed tables.
+  static void install_crash_handler(const char* dir);
+
+  // Internal (used by the TLS ring lease on thread exit).
+  struct ThreadRing;
+  void retire_ring(ThreadRing* ring);
+
+ private:
+  FlightRecorder();
+  ThreadRing* acquire_ring();
+  void record_impl(uint32_t actor, FlightEventType type, uint64_t a, uint64_t b);
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<size_t> ring_capacity_{kDefaultRingEvents};
+
+  std::atomic<ThreadRing*> rings_[kMaxRings] = {};
+  std::atomic<uint32_t> ring_count_{0};
+  std::atomic<uint64_t> ring_overflows_{0};
+
+  char actor_names_[kMaxActors][kActorNameBytes] = {};
+  std::atomic<uint32_t> actor_count_{0};
+
+  friend struct FlightRecorderTestPeer;
+};
+
+}  // namespace neptune::obs

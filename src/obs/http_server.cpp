@@ -12,8 +12,12 @@
 #include <stdexcept>
 
 #include "common/clock.hpp"
+#include "common/json.hpp"
 #include "common/thread_util.hpp"
+#include "obs/build_info.hpp"
 #include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/incident.hpp"
 
 namespace neptune::obs {
 
@@ -23,6 +27,7 @@ std::string make_response(int status, const char* content_type, const std::strin
   const char* reason = status == 200   ? "OK"
                        : status == 404 ? "Not Found"
                        : status == 408 ? "Request Timeout"
+                       : status == 503 ? "Service Unavailable"
                                        : "Bad Request";
   char head[256];
   std::snprintf(head, sizeof head,
@@ -127,18 +132,37 @@ void MetricsHttpServer::handle_connection(int fd) {
     if (!closed) write_all(fd, make_response(408, "text/plain", "request timeout\n"));
     return;
   }
-  // "GET <path> HTTP/..." — anything else is a 400.
-  std::string path;
-  if (req.rfind("GET ", 0) == 0) {
-    size_t end = req.find(' ', 4);
-    if (end != std::string::npos) path = req.substr(4, end - 4);
+  // "<METHOD> <path> HTTP/..." — only GET and POST are served.
+  std::string method, path;
+  size_t method_end = req.find(' ');
+  if (method_end != std::string::npos && method_end > 0) {
+    method = req.substr(0, method_end);
+    size_t path_end = req.find(' ', method_end + 1);
+    if (path_end != std::string::npos) {
+      path = req.substr(method_end + 1, path_end - method_end - 1);
+    }
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
-  write_all(fd, respond(path));
+  write_all(fd, respond(method, path));
 }
 
-std::string MetricsHttpServer::respond(const std::string& path) const {
+std::string MetricsHttpServer::respond(const std::string& method, const std::string& path) const {
   if (path.empty()) return make_response(400, "text/plain", "bad request\n");
+  if (method == "POST") {
+    if (path != "/debug/incident") {
+      return make_response(404, "text/plain", "not found; POST /debug/incident\n");
+    }
+    std::shared_ptr<IncidentReporter> reporter = IncidentReporter::active();
+    if (reporter == nullptr) {
+      return make_response(503, "text/plain", "no incident reporter configured\n");
+    }
+    std::string bundle = reporter->report("http", "POST /debug/incident");
+    JsonObject o;
+    o["bundle"] = JsonValue(bundle);
+    o["suppressed"] = JsonValue(bundle.empty());
+    return make_response(200, "application/json", JsonValue(std::move(o)).dump() + "\n");
+  }
+  if (method != "GET") return make_response(400, "text/plain", "bad request\n");
   if (path == "/metrics") {
     return make_response(200, "text/plain; version=0.0.4",
                          registry_->render_prometheus());
@@ -166,11 +190,65 @@ std::string MetricsHttpServer::respond(const std::string& path) const {
     return make_response(200, "application/json", JsonValue(std::move(arr)).dump() + "\n");
   }
   if (path == "/healthz") return make_response(200, "text/plain", "ok\n");
+  if (path == "/healthz.json") return make_response(200, "application/json", health_json());
   return make_response(404, "text/plain", "not found; try /metrics\n");
+}
+
+std::string MetricsHttpServer::health_json() const {
+  JsonObject o;
+  o["status"] = JsonValue(std::string("ok"));
+  const BuildInfo& info = build_info();
+  JsonObject build;
+  build["version"] = JsonValue(info.version);
+  build["git_sha"] = JsonValue(info.git_sha);
+  build["sanitizers"] = JsonValue(info.sanitizers);
+  o["build"] = JsonValue(std::move(build));
+  o["uptime_seconds"] = JsonValue(process_uptime_seconds());
+
+  const FlightRecorder& recorder = FlightRecorder::global();
+  JsonObject rec;
+  rec["enabled"] = JsonValue(FlightRecorder::enabled());
+  rec["rings"] = JsonValue(recorder.rings_created());
+  rec["rings_free"] = JsonValue(recorder.rings_free());
+  rec["events_recorded"] = JsonValue(recorder.events_recorded());
+  rec["ring_table_overflows"] = JsonValue(recorder.ring_table_overflows());
+  rec["actors"] = JsonValue(recorder.actors_registered());
+  o["flight_recorder"] = JsonValue(std::move(rec));
+
+  JsonObject samp;
+  samp["attached"] = JsonValue(sampler_ != nullptr);
+  if (sampler_ != nullptr) {
+    samp["snapshots"] = JsonValue(sampler_->snapshots().size());
+  }
+  o["sampler"] = JsonValue(std::move(samp));
+
+  JsonObject traces;
+  traces["attached"] = JsonValue(traces_ != nullptr);
+  if (traces_ != nullptr) {
+    traces["spans"] = JsonValue(traces_->spans().size());
+  }
+  o["traces"] = JsonValue(std::move(traces));
+
+  JsonObject incident;
+  std::shared_ptr<IncidentReporter> reporter = IncidentReporter::active();
+  incident["configured"] = JsonValue(reporter != nullptr);
+  if (reporter != nullptr) {
+    incident["dir"] = JsonValue(reporter->options().dir);
+    incident["bundles_written"] = JsonValue(reporter->bundles_written());
+    incident["triggers_suppressed"] = JsonValue(reporter->triggers_suppressed());
+    incident["last_bundle"] = JsonValue(reporter->last_bundle_path());
+  }
+  o["incident_reporter"] = JsonValue(std::move(incident));
+  return JsonValue(std::move(o)).dump() + "\n";
 }
 
 std::optional<std::string> http_get(const std::string& host, uint16_t port,
                                     const std::string& path, int timeout_ms) {
+  return http_request("GET", host, port, path, timeout_ms);
+}
+
+std::optional<std::string> http_request(const std::string& method, const std::string& host,
+                                        uint16_t port, const std::string& path, int timeout_ms) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::nullopt;
   sockaddr_in addr{};
@@ -184,7 +262,8 @@ std::optional<std::string> http_get(const std::string& host, uint16_t port,
   }
   timeval tv{timeout_ms / 1000, (timeout_ms % 1000) * 1000};
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-  std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  std::string req = method + " " + path + " HTTP/1.0\r\nHost: " + host +
+                    "\r\nContent-Length: 0\r\n\r\n";
   if (!write_all(fd, req)) {
     ::close(fd);
     return std::nullopt;

@@ -7,10 +7,14 @@
 // IO thread can still be observed.
 //
 // Routes:
-//   /metrics         Prometheus text exposition of the attached registry
-//   /telemetry.json  JSON array of the attached sampler's snapshot ring
-//   /spans.json      JSON array of the attached trace collector's spans
-//   /healthz         "ok"
+//   /metrics              Prometheus text exposition of the attached registry
+//   /telemetry.json       JSON array of the attached sampler's snapshot ring
+//   /spans.json           JSON array of the attached trace collector's spans
+//   /healthz              "ok"
+//   /healthz.json         subsystem status: build identity, uptime, flight
+//                         recorder / sampler / tracer / incident reporter
+//   POST /debug/incident  trigger the global IncidentReporter; returns the
+//                         bundle path (503 when none is configured)
 #pragma once
 
 #include <atomic>
@@ -57,7 +61,9 @@ class MetricsHttpServer {
  private:
   void serve();
   void handle_connection(int fd);
-  std::string respond(const std::string& path) const;  // full HTTP response bytes
+  // Full HTTP response bytes for `method path`.
+  std::string respond(const std::string& method, const std::string& path) const;
+  std::string health_json() const;
 
   TelemetryRegistry* registry_;
   TelemetrySampler* sampler_;
@@ -76,5 +82,10 @@ class MetricsHttpServer {
 /// response body, or nullopt on connect/parse failure. Test + neptop helper.
 std::optional<std::string> http_get(const std::string& host, uint16_t port,
                                     const std::string& path, int timeout_ms = 2000);
+
+/// Same transport, any method ("POST" for /debug/incident).
+std::optional<std::string> http_request(const std::string& method, const std::string& host,
+                                        uint16_t port, const std::string& path,
+                                        int timeout_ms = 2000);
 
 }  // namespace neptune::obs

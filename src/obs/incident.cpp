@@ -1,0 +1,238 @@
+#include "obs/incident.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+#include "obs/build_info.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace neptune::obs {
+
+namespace {
+
+std::mutex g_global_mu;
+std::shared_ptr<IncidentReporter> g_global;
+
+int64_t wall_unix_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+std::vector<std::string> list_bundles(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.rfind("incident-", 0) == 0 && name.size() > 6 &&
+        name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      names.push_back(std::move(name));
+    }
+  }
+  ::closedir(d);
+  // Names embed a zero-padded sequence + wall-clock ms, so lexicographic
+  // order is chronological order.
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+IncidentReporter::IncidentReporter(IncidentOptions options) : options_(std::move(options)) {
+  if (options_.registry == nullptr) options_.registry = &TelemetryRegistry::global();
+  if (options_.traces == nullptr) options_.traces = &TraceCollector::global();
+  ::mkdir(options_.dir.c_str(), 0755);  // best-effort; report() surfaces real failures
+  actor_ = FlightRecorder::register_actor("incident_reporter");
+  if (options_.install_crash_handler) {
+    FlightRecorder::install_crash_handler(options_.dir.c_str());
+  }
+}
+
+void IncidentReporter::note_topology(JsonValue topology) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string job = topology.is_object() ? topology.string_or("job", "") : "";
+  // Replace a resubmitted job's descriptor instead of accumulating.
+  if (!job.empty()) {
+    topologies_.erase(std::remove_if(topologies_.begin(), topologies_.end(),
+                                     [&](const JsonValue& v) {
+                                       return v.is_object() && v.string_or("job", "") == job;
+                                     }),
+                      topologies_.end());
+  }
+  topologies_.push_back(std::move(topology));
+  while (topologies_.size() > 8) topologies_.erase(topologies_.begin());
+}
+
+std::string IncidentReporter::report(const std::string& trigger, const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = now_ns();
+  if (last_trigger_ns_ != 0 && now - last_trigger_ns_ < options_.min_interval_ns) {
+    ++suppressed_;
+    return "";
+  }
+  last_trigger_ns_ = now;
+  std::string path = write_bundle(trigger, detail);
+  if (!path.empty()) {
+    ++bundles_;
+    last_path_ = path;
+    FlightRecorder::record(actor_, FlightEventType::kIncident, bundles_);
+    NEPTUNE_LOG_INFO("incident bundle written: %s (trigger=%s)", path.c_str(), trigger.c_str());
+  }
+  return path;
+}
+
+std::string IncidentReporter::write_bundle(const std::string& trigger, const std::string& detail) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  ++seq_;
+  char stem[128];
+  std::snprintf(stem, sizeof stem, "incident-%06llu-%lld",
+                static_cast<unsigned long long>(seq_),
+                static_cast<long long>(wall_unix_ns() / 1'000'000));
+  std::string final_path = options_.dir + "/" + stem + ".jsonl";
+  std::string tmp_path = options_.dir + "/." + stem + ".tmp";
+
+  std::ofstream out(tmp_path, std::ios::trunc);
+  if (!out.is_open()) return "";
+
+  {
+    JsonObject header;
+    header["kind"] = JsonValue(std::string("header"));
+    header["bundle"] = JsonValue(std::string("neptune-incident"));
+    header["version"] = JsonValue(static_cast<int64_t>(1));
+    header["trigger"] = JsonValue(trigger);
+    header["detail"] = JsonValue(detail);
+    header["pid"] = JsonValue(static_cast<int64_t>(::getpid()));
+    header["steady_ns"] = JsonValue(now_ns());
+    header["wall_unix_ns"] = JsonValue(wall_unix_ns());
+    const BuildInfo& info = build_info();
+    JsonObject build;
+    build["version"] = JsonValue(info.version);
+    build["git_sha"] = JsonValue(info.git_sha);
+    build["sanitizers"] = JsonValue(info.sanitizers);
+    header["build"] = JsonValue(std::move(build));
+    header["uptime_seconds"] = JsonValue(process_uptime_seconds());
+    out << JsonValue(std::move(header)).dump() << "\n";
+  }
+
+  for (const JsonValue& topo : topologies_) {
+    JsonObject line;
+    line["kind"] = JsonValue(std::string("topology"));
+    line["topology"] = topo;
+    out << JsonValue(std::move(line)).dump() << "\n";
+  }
+
+  {
+    // One fresh snapshot of every registered series at trigger time.
+    TelemetrySnapshot snap = options_.registry->sample();
+    JsonValue snap_json = snapshot_to_json(*options_.registry, snap);
+    JsonObject line;
+    line["kind"] = JsonValue(std::string("telemetry"));
+    line["snapshot"] = std::move(snap_json);
+    out << JsonValue(std::move(line)).dump() << "\n";
+  }
+
+  for (const TraceSpan& s : options_.traces->spans()) {
+    JsonObject line;
+    line["kind"] = JsonValue(std::string("span"));
+    line["trace_id"] = JsonValue(static_cast<int64_t>(s.trace_id));
+    line["link"] = JsonValue(static_cast<int64_t>(s.link_id));
+    line["dst_operator"] = JsonValue(s.dst_operator);
+    line["buffer_wait_ns"] = JsonValue(s.buffer_wait_ns());
+    line["wire_ns"] = JsonValue(s.wire_ns());
+    line["queue_wait_ns"] = JsonValue(s.queue_wait_ns());
+    line["execute_ns"] = JsonValue(s.execute_ns());
+    line["total_ns"] = JsonValue(s.total_ns());
+    out << JsonValue(std::move(line)).dump() << "\n";
+  }
+
+  std::vector<std::string> actors = recorder.actor_names();
+  for (size_t i = 0; i < actors.size(); ++i) {
+    JsonObject line;
+    line["kind"] = JsonValue(std::string("actor"));
+    line["id"] = JsonValue(static_cast<int64_t>(i));
+    line["name"] = JsonValue(actors[i]);
+    out << JsonValue(std::move(line)).dump() << "\n";
+  }
+
+  for (const MergedFlightEvent& ev : recorder.snapshot_merged()) {
+    JsonObject line;
+    line["kind"] = JsonValue(std::string("event"));
+    line["ts_ns"] = JsonValue(ev.event.ts_ns);
+    line["ring"] = JsonValue(static_cast<int64_t>(ev.ring));
+    line["tid"] = JsonValue(static_cast<int64_t>(ev.tid));
+    line["actor"] = JsonValue(static_cast<int64_t>(ev.event.actor));
+    line["type"] = JsonValue(std::string(flight_event_name(ev.event.type)));
+    line["a"] = JsonValue(static_cast<int64_t>(ev.event.a));
+    line["b"] = JsonValue(static_cast<int64_t>(ev.event.b));
+    out << JsonValue(std::move(line)).dump() << "\n";
+  }
+
+  out.flush();
+  if (!out.good()) {
+    out.close();
+    std::remove(tmp_path.c_str());
+    return "";
+  }
+  out.close();
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return "";
+  }
+
+  // Rotate: keep the newest max_bundles, delete the rest.
+  std::vector<std::string> existing = list_bundles(options_.dir);
+  if (existing.size() > options_.max_bundles) {
+    size_t excess = existing.size() - options_.max_bundles;
+    for (size_t i = 0; i < excess; ++i) {
+      std::remove((options_.dir + "/" + existing[i]).c_str());
+    }
+  }
+  return final_path;
+}
+
+uint64_t IncidentReporter::bundles_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bundles_;
+}
+
+uint64_t IncidentReporter::triggers_suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_;
+}
+
+std::string IncidentReporter::last_bundle_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_path_;
+}
+
+std::shared_ptr<IncidentReporter> IncidentReporter::configure_global(IncidentOptions options) {
+  auto reporter = std::make_shared<IncidentReporter>(std::move(options));
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global = reporter;
+  return reporter;
+}
+
+std::shared_ptr<IncidentReporter> IncidentReporter::active() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  return g_global;
+}
+
+std::string IncidentReporter::trigger_global(const std::string& trigger,
+                                             const std::string& detail) {
+  std::shared_ptr<IncidentReporter> reporter = active();
+  if (reporter == nullptr) return "";
+  return reporter->report(trigger, detail);
+}
+
+}  // namespace neptune::obs

@@ -1,0 +1,81 @@
+// Incident bundles (observability layer, part 4).
+//
+// An IncidentReporter turns "something just went wrong" into a single
+// self-contained JSONL artifact: header (trigger, build identity, clocks),
+// topology descriptors, a fresh telemetry snapshot, the collected trace
+// spans, the flight-recorder actor table, and the merged event timeline of
+// every thread ring sorted by timestamp. Bundles are written atomically
+// (tmp + rename) into a bounded directory — the oldest bundles rotate out —
+// and triggers are rate-limited so a quarantine storm can't turn the
+// incident directory into a second failure.
+//
+// Triggers (see ISSUE 7): OperatorWatchdog escalation, DeadLetterQueue
+// quarantine, RecoveryCoordinator restart, `POST /debug/incident`, and —
+// via FlightRecorder::install_crash_handler, which writes the *raw binary*
+// journal instead (JSON is not async-signal-safe) — SIGSEGV/SIGABRT.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace neptune::obs {
+
+struct IncidentOptions {
+  std::string dir;                            ///< created if missing; must be non-empty
+  size_t max_bundles = 16;                    ///< oldest bundles beyond this are deleted
+  int64_t min_interval_ns = 2'000'000'000;    ///< triggers inside the window are suppressed
+  TelemetryRegistry* registry = nullptr;      ///< defaults to TelemetryRegistry::global()
+  TraceCollector* traces = nullptr;           ///< defaults to TraceCollector::global()
+  bool install_crash_handler = true;          ///< raw-dump SIGSEGV/SIGABRT into `dir`
+};
+
+class IncidentReporter {
+ public:
+  explicit IncidentReporter(IncidentOptions options);
+
+  /// Write a bundle now. Returns the bundle path, or "" when suppressed by
+  /// the rate limit or on I/O failure. Thread-safe; concurrent triggers
+  /// serialize on an internal mutex.
+  std::string report(const std::string& trigger, const std::string& detail);
+
+  /// Remember a topology descriptor (opaque JSON from the runtime) to embed
+  /// in future bundles. Bounded: the last 8 descriptors are kept, keyed by
+  /// the "job" field so a resubmitted job replaces its old entry.
+  void note_topology(JsonValue topology);
+
+  uint64_t bundles_written() const;
+  uint64_t triggers_suppressed() const;
+  std::string last_bundle_path() const;
+  const IncidentOptions& options() const { return options_; }
+
+  // ---- process-global reporter ------------------------------------------
+  /// Install `options` as the process-global reporter (replacing any
+  /// previous one). The runtime calls this when ObsOptions::incident_dir or
+  /// NEPTUNE_INCIDENT_DIR is set; tests call it directly.
+  static std::shared_ptr<IncidentReporter> configure_global(IncidentOptions options);
+  static std::shared_ptr<IncidentReporter> active();  ///< nullptr when unconfigured
+  /// Fire-and-forget trigger against the global reporter; no-op ("") when
+  /// none is configured. Safe to call from fault-path threads.
+  static std::string trigger_global(const std::string& trigger, const std::string& detail);
+
+ private:
+  std::string write_bundle(const std::string& trigger, const std::string& detail);
+
+  IncidentOptions options_;
+  mutable std::mutex mu_;
+  JsonArray topologies_;
+  int64_t last_trigger_ns_ = 0;
+  uint64_t bundles_ = 0;
+  uint64_t suppressed_ = 0;
+  uint64_t seq_ = 0;
+  std::string last_path_;
+  uint32_t actor_ = 0;  ///< flight-recorder actor for kIncident self-markers
+};
+
+}  // namespace neptune::obs

@@ -1,0 +1,222 @@
+// Incident bundles: JSONL schema round-trip through the decoder, trigger
+// rate-limiting, directory rotation, the SIGABRT raw-dump path (exercised in
+// a forked child so the test binary survives), and latency attribution over
+// a synthetic journal.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/flight_decode.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/incident.hpp"
+#include "obs/telemetry.hpp"
+
+namespace neptune::obs {
+namespace {
+
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/nep_incident_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir ? dir : "/tmp";
+}
+
+std::vector<std::string> dir_entries(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;
+    out.push_back(e->d_name);
+  }
+  ::closedir(d);
+  return out;
+}
+
+void remove_tree(const std::string& dir) {
+  for (const std::string& name : dir_entries(dir)) std::remove((dir + "/" + name).c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(Incident, BundleSchemaRoundTripsThroughDecoder) {
+  std::string dir = make_temp_dir();
+  IncidentReporter reporter(
+      {.dir = dir, .min_interval_ns = 0, .install_crash_handler = false});
+
+  // Seed the journal with recognizable events and a topology descriptor.
+  uint32_t op = FlightRecorder::register_actor("bundle-op[0]");
+  for (uint64_t i = 0; i < 5; ++i) {
+    FlightRecorder::record(op, FlightEventType::kDispatchBegin, 10 + i, 0);
+    FlightRecorder::record(op, FlightEventType::kDispatchEnd, 10 + i, 0);
+  }
+  JsonObject topo;
+  topo["job"] = JsonValue(std::string("bundle-job"));
+  JsonArray links;
+  JsonObject link;
+  link["id"] = JsonValue(static_cast<int64_t>(1));
+  link["from"] = JsonValue(std::string("a"));
+  link["to"] = JsonValue(std::string("bundle-op"));
+  links.push_back(JsonValue(std::move(link)));
+  topo["links"] = JsonValue(std::move(links));
+  reporter.note_topology(JsonValue(std::move(topo)));
+
+  std::string path = reporter.report("unit_test", "schema round-trip");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(reporter.bundles_written(), 1u);
+  EXPECT_EQ(reporter.last_bundle_path(), path);
+
+  Journal journal = Journal::from_bundle(path);
+  EXPECT_EQ(journal.header.string_or("trigger", ""), "unit_test");
+  EXPECT_EQ(journal.header.string_or("detail", ""), "schema round-trip");
+  ASSERT_TRUE(journal.header.contains("build"));
+  EXPECT_FALSE(journal.header.at("build").string_or("version", "").empty());
+  ASSERT_EQ(journal.topologies.size(), 1u);
+  EXPECT_EQ(journal.topologies[0].string_or("job", ""), "bundle-job");
+  EXPECT_TRUE(journal.telemetry.is_object());
+
+  // Actor table and events made it across, in timestamp order.
+  ASSERT_LT(op, journal.actors.size());
+  EXPECT_EQ(journal.actors[op], "bundle-op[0]");
+  uint64_t dispatches = 0;
+  for (const JournalEvent& ev : journal.events) {
+    if (ev.actor == op && ev.type == FlightEventType::kDispatchBegin) ++dispatches;
+  }
+  EXPECT_EQ(dispatches, 5u);
+  for (size_t i = 1; i < journal.events.size(); ++i) {
+    EXPECT_GE(journal.events[i].ts_ns, journal.events[i - 1].ts_ns);
+  }
+  // from_file sniffs JSONL just as well as the explicit entry point.
+  EXPECT_EQ(Journal::from_file(path).events.size(), journal.events.size());
+  remove_tree(dir);
+}
+
+TEST(Incident, TriggersInsideTheWindowAreSuppressed) {
+  std::string dir = make_temp_dir();
+  IncidentReporter reporter({.dir = dir,
+                             .min_interval_ns = 60'000'000'000,  // 60 s: nothing gets through twice
+                             .install_crash_handler = false});
+  EXPECT_FALSE(reporter.report("first", "").empty());
+  EXPECT_TRUE(reporter.report("second", "").empty());
+  EXPECT_TRUE(reporter.report("third", "").empty());
+  EXPECT_EQ(reporter.bundles_written(), 1u);
+  EXPECT_EQ(reporter.triggers_suppressed(), 2u);
+  remove_tree(dir);
+}
+
+TEST(Incident, DirectoryRotationIsBounded) {
+  std::string dir = make_temp_dir();
+  IncidentReporter reporter(
+      {.dir = dir, .max_bundles = 3, .min_interval_ns = 0, .install_crash_handler = false});
+  std::vector<std::string> paths;
+  for (int i = 0; i < 6; ++i) paths.push_back(reporter.report("rotate", std::to_string(i)));
+  EXPECT_EQ(reporter.bundles_written(), 6u);
+  auto entries = dir_entries(dir);
+  EXPECT_EQ(entries.size(), 3u);
+  // The newest bundle survived rotation; the oldest did not.
+  struct stat st;
+  EXPECT_EQ(::stat(paths.back().c_str(), &st), 0);
+  EXPECT_NE(::stat(paths.front().c_str(), &st), 0);
+  remove_tree(dir);
+}
+
+TEST(Incident, GlobalReporterRoutesTriggers) {
+  std::string dir = make_temp_dir();
+  auto reporter = IncidentReporter::configure_global(
+      {.dir = dir, .min_interval_ns = 0, .install_crash_handler = false});
+  ASSERT_EQ(IncidentReporter::active(), reporter);
+  std::string path = IncidentReporter::trigger_global("global_test", "detail");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(reporter->bundles_written(), 1u);
+  remove_tree(dir);
+}
+
+TEST(Incident, SigabrtProducesParseableCrashDump) {
+  std::string dir = make_temp_dir();
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: record events, arm the crash handler, die by SIGABRT. The
+    // handler raw-dumps every ring and re-raises with default disposition.
+    uint32_t actor = FlightRecorder::register_actor("crash-op[0]");
+    for (uint64_t i = 0; i < 20; ++i) {
+      FlightRecorder::record(actor, FlightEventType::kDispatchBegin, i, 0);
+      FlightRecorder::record(actor, FlightEventType::kDispatchEnd, i, 0);
+    }
+    FlightRecorder::install_crash_handler(dir.c_str());
+    ::raise(SIGABRT);
+    ::_exit(0);  // unreachable
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child should die by signal, status=" << status;
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  auto entries = dir_entries(dir);
+  ASSERT_EQ(entries.size(), 1u) << "exactly one crash dump expected";
+  EXPECT_NE(entries[0].find("sig6"), std::string::npos) << entries[0];
+
+  Journal journal = Journal::from_raw(dir + "/" + entries[0]);
+  EXPECT_EQ(journal.signal, SIGABRT);
+  uint32_t actor = 0;
+  for (uint32_t i = 0; i < journal.actors.size(); ++i) {
+    if (journal.actors[i] == "crash-op[0]") actor = i;
+  }
+  ASSERT_NE(actor, 0u) << "child's actor table missing from dump";
+  uint64_t dispatches = 0;
+  for (const JournalEvent& ev : journal.events) {
+    if (ev.actor == actor && ev.type == FlightEventType::kDispatchBegin) ++dispatches;
+  }
+  EXPECT_EQ(dispatches, 20u);
+  remove_tree(dir);
+}
+
+TEST(Incident, AttributionNamesTheBusiestOperator) {
+  // Synthetic journal: "slow[0]" executes 80% of every slice, "fast[0]"
+  // 10%, with edge actors around them that must never win.
+  Journal journal;
+  journal.actors = {"?", "fast[0]", "slow[0]", "edge L1 s0"};
+  auto push = [&](int64_t ts_ms, uint32_t actor, FlightEventType type, uint64_t a = 1,
+                  uint64_t b = 0) {
+    JournalEvent ev;
+    ev.ts_ns = ts_ms * 1'000'000;
+    ev.ring = 1;
+    ev.actor = actor;
+    ev.type = type;
+    ev.a = a;
+    ev.b = b;
+    journal.events.push_back(ev);
+  };
+  for (int64_t slice = 0; slice < 3; ++slice) {
+    int64_t base = slice * 100;
+    push(base + 0, 2, FlightEventType::kDispatchBegin);
+    push(base + 80, 2, FlightEventType::kDispatchEnd);
+    push(base + 81, 1, FlightEventType::kDispatchBegin);
+    push(base + 91, 1, FlightEventType::kDispatchEnd);
+    push(base + 92, 3, FlightEventType::kFlush, 4096, 1);
+  }
+
+  auto slices = attribute_latency(journal, 100'000'000);
+  ASSERT_GE(slices.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(slices[i].bottleneck, "slow[0]") << "slice " << i;
+    EXPECT_NEAR(slices[i].bottleneck_busy_fraction, 0.8, 0.05) << "slice " << i;
+  }
+  EXPECT_EQ(overall_bottleneck(journal), "slow[0]");
+}
+
+}  // namespace
+}  // namespace neptune::obs

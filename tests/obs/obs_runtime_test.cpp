@@ -9,6 +9,7 @@
 #include "common/json.hpp"
 #include "neptune/runtime.hpp"
 #include "neptune/workload.hpp"
+#include "obs/build_info.hpp"
 #include "obs/http_server.hpp"
 #include "obs/trace.hpp"
 
@@ -68,6 +69,10 @@ TEST(ObsRuntime, MetricsEndpointServesJobCounters) {
 TEST(ObsRuntime, SeriesUnregisterOnJobDestruction) {
   RuntimeOptions opts;
   opts.obs.metrics_port = 0;
+  // Process-scoped identity series (neptune_build_info, uptime) register on
+  // first Runtime construction and never unregister; fold them into the
+  // baseline so only job-scoped series are measured.
+  obs::ensure_build_info_registered();
   size_t before = obs::TelemetryRegistry::global().active_series();
   {
     Runtime rt(2, {.worker_threads = 1, .io_threads = 1}, opts);

@@ -1,0 +1,204 @@
+// flightdump — decode flight-recorder journals and attribute latency.
+//
+//   flightdump <bundle.jsonl | crash.nfr> [options]
+//     --slice-ms N   attribution slice length (default 100)
+//     --events N     print the last N timeline events (default 30, 0 = none)
+//     --edges        print the per-edge latency roll-up
+//     --json         machine-readable output (attribution + edges)
+//
+// Accepts both incident bundles (IncidentReporter JSONL) and raw binary
+// crash dumps (FlightRecorder::raw_dump, magic "NEPFR01\n"); the format is
+// sniffed from the first bytes. The headline verdict names the bottleneck
+// operator — the one holding the most execute time across the journal.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/flight_decode.hpp"
+
+using neptune::JsonArray;
+using neptune::JsonObject;
+using neptune::JsonValue;
+using namespace neptune::obs;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <bundle.jsonl | crash.nfr> [--slice-ms N] [--events N] "
+               "[--edges] [--json]\n",
+               argv0);
+  return 2;
+}
+
+void print_header(const Journal& journal) {
+  const JsonValue& h = journal.header;
+  std::printf("journal: %s", h.string_or("bundle", "?").c_str());
+  std::printf("  trigger=%s", h.string_or("trigger", "?").c_str());
+  if (journal.signal != 0) std::printf("  signal=%d", journal.signal);
+  std::string detail = h.string_or("detail", "");
+  if (!detail.empty()) std::printf("  detail=\"%s\"", detail.c_str());
+  std::printf("\n");
+  if (h.contains("build")) {
+    const JsonValue& b = h.at("build");
+    std::printf("build:   version=%s git=%s sanitizers=%s\n",
+                b.string_or("version", "?").c_str(), b.string_or("git_sha", "?").c_str(),
+                b.string_or("sanitizers", "?").c_str());
+  }
+  std::printf("events:  %zu across %zu actors, %zu spans, %zu topologies\n",
+              journal.events.size(), journal.actors.size(), journal.spans.size(),
+              journal.topologies.size());
+}
+
+void print_events(const Journal& journal, size_t last_n) {
+  if (last_n == 0 || journal.events.empty()) return;
+  size_t begin = journal.events.size() > last_n ? journal.events.size() - last_n : 0;
+  int64_t t0 = journal.events.front().ts_ns;
+  std::printf("\n%-14s %-6s %-28s %-15s %12s %8s\n", "T+ms", "ring", "actor", "type", "a", "b");
+  for (size_t i = begin; i < journal.events.size(); ++i) {
+    const JournalEvent& ev = journal.events[i];
+    std::printf("%-14.3f %-6u %-28s %-15s %12llu %8llu\n",
+                static_cast<double>(ev.ts_ns - t0) * 1e-6, ev.ring,
+                journal.actor_name(ev.actor).c_str(), flight_event_name(ev.type),
+                static_cast<unsigned long long>(ev.a), static_cast<unsigned long long>(ev.b));
+  }
+}
+
+void print_attribution(const std::vector<SliceAttribution>& slices, int64_t base_ns) {
+  std::printf("\n%-10s %-24s %-8s  %s\n", "slice", "bottleneck", "busy", "top actors (execute ms / blocked ms)");
+  for (const SliceAttribution& s : slices) {
+    std::string detail;
+    int listed = 0;
+    for (const auto& [name, stats] : s.actors) {
+      if (stats.execute_s <= 0 && stats.blocked_s <= 0) continue;
+      if (listed++ == 4) {
+        detail += " ...";
+        break;
+      }
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "%s%s %.1f/%.1f", listed > 1 ? "  " : "", name.c_str(),
+                    stats.execute_s * 1e3, stats.blocked_s * 1e3);
+      detail += buf;
+    }
+    std::printf("%-10.0f %-24s %6.1f%%  %s\n",
+                static_cast<double>(s.begin_ns - base_ns) * 1e-6, s.bottleneck.c_str(),
+                s.bottleneck_busy_fraction * 100.0, detail.c_str());
+  }
+}
+
+void print_edges(const std::vector<EdgeLatency>& edges) {
+  if (edges.empty()) return;
+  std::printf("\n%-6s %-16s %8s %8s %8s %10s %14s %14s\n", "link", "dst", "flushes", "sheds",
+              "blocks", "blocked_s", "qwait_mean_ms", "qwait_max_ms");
+  for (const EdgeLatency& e : edges) {
+    std::printf("%-6llu %-16s %8llu %8llu %8llu %10.3f %14.3f %14.3f\n",
+                static_cast<unsigned long long>(e.link), e.dst_op.empty() ? "?" : e.dst_op.c_str(),
+                static_cast<unsigned long long>(e.flushes),
+                static_cast<unsigned long long>(e.sheds),
+                static_cast<unsigned long long>(e.blocks), e.blocked_s,
+                e.queue_wait_mean_s * 1e3, e.queue_wait_max_s * 1e3);
+  }
+}
+
+JsonValue attribution_json(const std::vector<SliceAttribution>& slices,
+                           const std::vector<EdgeLatency>& edges,
+                           const std::string& bottleneck) {
+  JsonObject root;
+  root["bottleneck"] = JsonValue(bottleneck);
+  JsonArray slice_arr;
+  for (const SliceAttribution& s : slices) {
+    JsonObject o;
+    o["begin_ns"] = JsonValue(s.begin_ns);
+    o["end_ns"] = JsonValue(s.end_ns);
+    o["bottleneck"] = JsonValue(s.bottleneck);
+    o["busy_fraction"] = JsonValue(s.bottleneck_busy_fraction);
+    JsonObject actors;
+    for (const auto& [name, stats] : s.actors) {
+      JsonObject a;
+      a["execute_s"] = JsonValue(stats.execute_s);
+      a["blocked_s"] = JsonValue(stats.blocked_s);
+      a["dispatches"] = JsonValue(stats.dispatches);
+      a["flushes"] = JsonValue(stats.flushes);
+      a["sheds"] = JsonValue(stats.sheds);
+      actors[name] = JsonValue(std::move(a));
+    }
+    o["actors"] = JsonValue(std::move(actors));
+    slice_arr.push_back(JsonValue(std::move(o)));
+  }
+  root["slices"] = JsonValue(std::move(slice_arr));
+  JsonArray edge_arr;
+  for (const EdgeLatency& e : edges) {
+    JsonObject o;
+    o["link"] = JsonValue(e.link);
+    o["dst_op"] = JsonValue(e.dst_op);
+    o["flushes"] = JsonValue(e.flushes);
+    o["sheds"] = JsonValue(e.sheds);
+    o["blocks"] = JsonValue(e.blocks);
+    o["blocked_s"] = JsonValue(e.blocked_s);
+    o["queue_wait_samples"] = JsonValue(e.queue_wait_samples);
+    o["queue_wait_mean_s"] = JsonValue(e.queue_wait_mean_s);
+    o["queue_wait_max_s"] = JsonValue(e.queue_wait_max_s);
+    edge_arr.push_back(JsonValue(std::move(o)));
+  }
+  root["edges"] = JsonValue(std::move(edge_arr));
+  return JsonValue(std::move(root));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  int64_t slice_ms = 100;
+  size_t events = 30;
+  bool edges_flag = false;
+  bool json_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--slice-ms" && i + 1 < argc) {
+      slice_ms = std::atoll(argv[++i]);
+    } else if (arg == "--events" && i + 1 < argc) {
+      events = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--edges") {
+      edges_flag = true;
+    } else if (arg == "--json") {
+      json_flag = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty() || slice_ms <= 0) return usage(argv[0]);
+
+  Journal journal;
+  try {
+    journal = Journal::from_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "flightdump: %s\n", e.what());
+    return 1;
+  }
+
+  std::vector<SliceAttribution> slices = attribute_latency(journal, slice_ms * 1'000'000);
+  std::vector<EdgeLatency> edges = edge_latency(journal);
+  std::string bottleneck = overall_bottleneck(journal, slice_ms * 1'000'000);
+
+  if (json_flag) {
+    std::printf("%s\n", attribution_json(slices, edges, bottleneck).dump(2).c_str());
+    return 0;
+  }
+
+  print_header(journal);
+  print_events(journal, events);
+  print_attribution(slices, journal.events.empty() ? 0 : journal.events.front().ts_ns);
+  if (edges_flag) print_edges(edges);
+  if (!bottleneck.empty()) {
+    std::printf("\nverdict: bottleneck operator is %s\n", bottleneck.c_str());
+  } else {
+    std::printf("\nverdict: no dispatch activity in journal\n");
+  }
+  return 0;
+}

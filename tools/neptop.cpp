@@ -83,6 +83,10 @@ struct OpAgg {
   double blocked_seconds = 0, blocked_sends = 0, executions = 0;
   double buffered_bytes = 0, ready_batches = 0;
   double sink_p99_s = -1;
+  // QoS / fault series (overload-resilience subsystem).
+  double shed = 0, shed_gaps = 0, quarantined = 0, overruns = 0, stalls = 0;
+
+  double qos_total() const { return shed + shed_gaps + quarantined + overruns + stalls; }
 };
 
 std::map<std::string, OpAgg> aggregate(const std::vector<Sample>& samples) {
@@ -103,6 +107,11 @@ std::map<std::string, OpAgg> aggregate(const std::vector<Sample>& samples) {
     else if (s.name == "neptune_ready_batches") a.ready_batches += s.value;
     else if (s.name == "neptune_sink_latency_p99_seconds")
       a.sink_p99_s = std::max(a.sink_p99_s, s.value);
+    else if (s.name == "neptune_packets_shed_total") a.shed += s.value;
+    else if (s.name == "neptune_shed_gaps_total") a.shed_gaps += s.value;
+    else if (s.name == "neptune_packets_quarantined_total") a.quarantined += s.value;
+    else if (s.name == "neptune_deadline_overruns_total") a.overruns += s.value;
+    else if (s.name == "neptune_watchdog_stalls_detected_total") a.stalls += s.value;
   }
   return ops;
 }
@@ -132,6 +141,59 @@ void draw(const std::string& endpoint, double dt_s, const std::vector<Sample>& s
                 rate(&OpAgg::packets_in), rate(&OpAgg::packets_out),
                 rate(&OpAgg::bytes_out) / 1e6, rate(&OpAgg::flushes), blocked_pct,
                 a.buffered_bytes / 1024.0, a.ready_batches, p99);
+  }
+
+  // QoS / faults: shedding, quarantine and watchdog per operator. Shown
+  // whenever any operator has ever shed/quarantined/stalled so an overload
+  // that ended a minute ago is still visible on the console.
+  bool qos_header = false;
+  for (const auto& [key, a] : cur) {
+    if (a.qos_total() <= 0) continue;
+    if (!qos_header) {
+      std::printf("\n%-24s %10s %8s %8s %9s %7s\n", "QOS/FAULTS", "shed/s", "gaps/s",
+                  "quar/s", "overrun/s", "stalls");
+      qos_header = true;
+    }
+    const OpAgg* p = nullptr;
+    if (auto it = prev.find(key); it != prev.end()) p = &it->second;
+    auto rate = [&](double OpAgg::*f) {
+      return p && dt_s > 0 ? std::max(0.0, (a.*f - p->*f) / dt_s) : 0.0;
+    };
+    std::printf("%-24s %10.0f %8.1f %8.1f %9.1f %7.0f\n", key.c_str(), rate(&OpAgg::shed),
+                rate(&OpAgg::shed_gaps), rate(&OpAgg::quarantined), rate(&OpAgg::overruns),
+                a.stalls);
+  }
+
+  // Job-level fault series: dead-letter queue depth and the recovery
+  // coordinator's checkpoint/restore counters (totals, not rates — these
+  // move rarely and the absolute numbers are what matter).
+  struct JobFaults {
+    double dl_entries = -1, dl_dropped = 0;
+    double checkpoints = -1, recoveries = 0, snapshots = 0, recovery_s = 0;
+  };
+  std::map<std::string, JobFaults> jobs;
+  for (const auto& s : samples) {
+    auto job = s.labels.find("job");
+    if (job == s.labels.end()) continue;
+    JobFaults& f = jobs[job->second];
+    if (s.name == "neptune_dead_letter_entries") f.dl_entries = std::max(f.dl_entries, 0.0) + s.value;
+    else if (s.name == "neptune_dead_letter_dropped_total") f.dl_dropped += s.value;
+    else if (s.name == "neptune_checkpoints_total") f.checkpoints = std::max(f.checkpoints, 0.0) + s.value;
+    else if (s.name == "neptune_recoveries_total") f.recoveries += s.value;
+    else if (s.name == "neptune_snapshots_persisted_total") f.snapshots += s.value;
+    else if (s.name == "neptune_recovery_seconds_total") f.recovery_s += s.value;
+  }
+  bool job_header = false;
+  for (const auto& [job, f] : jobs) {
+    if (f.dl_entries < 0 && f.checkpoints < 0) continue;  // job has neither subsystem
+    if (!job_header) {
+      std::printf("\n%-24s %8s %8s %8s %8s %8s %10s\n", "JOB FAULTS", "dlq", "dropped",
+                  "ckpts", "recov", "snaps", "recov-ms");
+      job_header = true;
+    }
+    std::printf("%-24s %8.0f %8.0f %8.0f %8.0f %8.0f %10.1f\n", job.c_str(),
+                std::max(f.dl_entries, 0.0), f.dl_dropped, std::max(f.checkpoints, 0.0),
+                f.recoveries, f.snapshots, f.recovery_s * 1e3);
   }
 
   // Edge in-flight bytes: where backpressure is queueing right now.
