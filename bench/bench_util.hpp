@@ -116,8 +116,56 @@ struct LatencySummary {
   double mean_ms = 0;
   double p50_ms = 0;
   double p99_ms = 0;
+  double p999_ms = 0;
   double max_ms = 0;
+  uint64_t count = 0;
 };
+
+/// The named operator's metrics within a snapshot, or nullptr.
+inline const OperatorMetricsSnapshot* find_op(const JobMetricsSnapshot& m, const std::string& id) {
+  for (const auto& op : m.operators)
+    if (op.operator_id == id) return &op;
+  return nullptr;
+}
+
+/// Sink-latency percentiles of the named operator (zeros when the operator
+/// is missing or recorded no samples).
+inline LatencySummary latency_of(const JobMetricsSnapshot& m, const std::string& op_id) {
+  LatencySummary l;
+  const OperatorMetricsSnapshot* op = find_op(m, op_id);
+  if (op == nullptr || op->sink_latency_count == 0) return l;
+  l.mean_ms = op->sink_latency_mean_ns * 1e-6;
+  l.p50_ms = static_cast<double>(op->sink_latency_p50_ns) * 1e-6;
+  l.p99_ms = static_cast<double>(op->sink_latency_p99_ns) * 1e-6;
+  l.p999_ms = static_cast<double>(op->sink_latency_p999_ns) * 1e-6;
+  l.max_ms = static_cast<double>(op->sink_latency_max_ns) * 1e-6;
+  l.count = op->sink_latency_count;
+  return l;
+}
+
+/// Append the standard latency fields ("<prefix>mean_ms", "<prefix>p50_ms",
+/// "<prefix>p99_ms", "<prefix>p999_ms", "<prefix>max_ms") to a report row.
+inline void add_latency_fields(JsonObject& row, const LatencySummary& l,
+                               const std::string& prefix = "latency_") {
+  row[prefix + "mean_ms"] = JsonValue(l.mean_ms);
+  row[prefix + "p50_ms"] = JsonValue(l.p50_ms);
+  row[prefix + "p99_ms"] = JsonValue(l.p99_ms);
+  row[prefix + "p999_ms"] = JsonValue(l.p999_ms);
+  row[prefix + "max_ms"] = JsonValue(l.max_ms);
+}
+
+/// Process peak resident set (VmHWM) in kB; 0 when /proc is unavailable.
+inline uint64_t peak_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %lu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
 
 struct RelayResult {
   double seconds = 0;
@@ -187,14 +235,7 @@ inline RelayResult run_relay(const RelayOptions& opt) {
   r.blocked_sends = m.total(&OperatorMetricsSnapshot::blocked_sends);
   r.seq_violations = m.total(&OperatorMetricsSnapshot::seq_violations);
 
-  for (const auto& op : m.operators) {
-    if (op.operator_id == "receiver" && op.sink_latency_count > 0) {
-      r.latency.mean_ms = op.sink_latency_mean_ns * 1e-6;
-      r.latency.p50_ms = static_cast<double>(op.sink_latency_p50_ns) * 1e-6;
-      r.latency.p99_ms = static_cast<double>(op.sink_latency_p99_ns) * 1e-6;
-      r.latency.max_ms = static_cast<double>(op.sink_latency_max_ns) * 1e-6;
-    }
-  }
+  r.latency = latency_of(m, "receiver");
   return r;
 }
 
@@ -206,10 +247,7 @@ inline JsonObject relay_row(const RelayResult& r) {
   row["throughput_pps"] = JsonValue(r.throughput_pps);
   row["goodput_bytes_per_s"] = JsonValue(r.goodput_bytes_per_s);
   row["wire_bytes_per_s"] = JsonValue(r.wire_bytes_per_s);
-  row["latency_mean_ms"] = JsonValue(r.latency.mean_ms);
-  row["latency_p50_ms"] = JsonValue(r.latency.p50_ms);
-  row["latency_p99_ms"] = JsonValue(r.latency.p99_ms);
-  row["latency_max_ms"] = JsonValue(r.latency.max_ms);
+  add_latency_fields(row, r.latency);
   row["flushes"] = JsonValue(static_cast<int64_t>(r.flushes));
   row["timer_flushes"] = JsonValue(static_cast<int64_t>(r.timer_flushes));
   row["blocked_sends"] = JsonValue(static_cast<int64_t>(r.blocked_sends));

@@ -64,10 +64,7 @@ RunOutcome run_once(bool low_entropy, CompressionMode mode, uint64_t seed) {
   double wire = static_cast<double>(m.total(&OperatorMetricsSnapshot::bytes_out)) / 2.0;
   out.wire_mb_s = wire / secs / 1e6;
   out.wire_bytes_per_packet = wire / static_cast<double>(delivered);
-  for (const auto& op : m.operators) {
-    if (op.operator_id == "receiver" && op.sink_latency_count > 0)
-      out.latency_mean_ms = op.sink_latency_mean_ns * 1e-6;
-  }
+  out.latency_mean_ms = latency_of(m, "receiver").mean_ms;
   return out;
 }
 

@@ -61,14 +61,9 @@ int main() {
     job->start();
     job->wait(std::chrono::minutes(2));
     auto m = job->metrics();
-    double p50 = 0, p99 = 0;
-    for (const auto& op : m.operators) {
-      if (op.operator_id == "receiver" && op.sink_latency_count > 0) {
-        p50 = static_cast<double>(op.sink_latency_p50_ns) * 1e-6;
-        p99 = static_cast<double>(op.sink_latency_p99_ns) * 1e-6;
-      }
-    }
-    print_row({fmt("%.0f", static_cast<double>(flush_ms)), fmt("%.2f", p50), fmt("%.2f", p99),
+    LatencySummary l = latency_of(m, "receiver");
+    print_row({fmt("%.0f", static_cast<double>(flush_ms)), fmt("%.2f", l.p50_ms),
+               fmt("%.2f", l.p99_ms),
                fmt("%.0f", static_cast<double>(
                                m.total(&OperatorMetricsSnapshot::timer_flushes)))});
   }

@@ -59,24 +59,6 @@ class Tee : public StreamProcessor {
   }
 };
 
-uint64_t peak_rss_kb() {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0;
-  char line[256];
-  uint64_t kb = 0;
-  while (std::fgets(line, sizeof line, f) != nullptr) {
-    if (std::sscanf(line, "VmHWM: %lu kB", &kb) == 1) break;
-  }
-  std::fclose(f);
-  return kb;
-}
-
-const OperatorMetricsSnapshot* find_op(const JobMetricsSnapshot& m, const std::string& id) {
-  for (const auto& op : m.operators)
-    if (op.operator_id == id) return &op;
-  return nullptr;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -1,0 +1,157 @@
+// RIoTBench-style scenario suite bench: runs the ETL / STATS / PRED
+// scenarios over every transport (fastlane, inproc, tcp), prints a
+// paper-style table and writes BENCH_scenario_suite.json with one row per
+// (scenario, transport). Digests must agree across transports — the bench
+// doubles as a cross-transport correctness gate and exits nonzero on any
+// mismatch, golden failure, or sequence violation.
+//
+//   scenario_suite [--short] [--events N] [--transport name]
+//
+// --short caps every trace at 5000 events (nightly CI smoke); an explicit
+// --events wins. Full-size runs (no override) also enforce the baked golden
+// expectations from the scenario files.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "../bench_util.hpp"
+#include "scenarios/scenario.hpp"
+
+using namespace neptune;
+using namespace neptune::bench;
+using namespace neptune::scenarios;
+
+namespace {
+
+const char* const kScenarios[] = {"etl_taxi", "stats_grid", "pred_air"};
+const Transport kTransports[] = {Transport::kFastlane, Transport::kInproc, Transport::kTcp};
+
+std::string scenario_path(const char* name) {
+  return std::string(NEPTUNE_SCENARIO_DIR) + "/" + name + ".json";
+}
+
+/// The sink whose latency the row reports: the busiest one (most packets),
+/// i.e. the scenario's full-rate output rather than a low-rate aggregate.
+std::string primary_sink(const ScenarioResult& r) {
+  std::string best;
+  uint64_t most = 0;
+  for (const auto& [id, sink] : r.sinks) {
+    if (sink.packets >= most) {
+      most = sink.packets;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t events_override = 0;
+  std::string only_transport;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      if (events_override == 0) events_override = 5000;
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      events_override = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+      only_transport = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--short] [--events N] [--transport name]\n", argv[0]);
+      return 2;
+    }
+  }
+  const bool golden = events_override == 0;  // overrides invalidate baked digests
+
+  BenchReport report("scenario_suite");
+  report.set("events_override", events_override);
+  report.set("golden_checked", std::string(golden ? "yes" : "no"));
+
+  print_header("IoT scenario suite");
+  print_row({"scenario", "transport", "events", "seconds", "kpkts/s", "p50 ms", "p99 ms",
+             "p999 ms", "shed", "quar"});
+
+  bool failed = false;
+  for (const char* name : kScenarios) {
+    ScenarioSpec spec = load_scenario(scenario_path(name));
+    // Digests per sink per transport; all transports must agree.
+    std::map<std::string, std::map<std::string, std::string>> digests;
+    for (Transport t : kTransports) {
+      if (!only_transport.empty() && only_transport != transport_name(t)) continue;
+      RunOptions opts;
+      opts.transport = t;
+      opts.events_override = events_override;
+      ScenarioResult r = run_scenario(spec, opts);
+
+      if (golden) {
+        std::string err = r.check(spec);
+        if (!err.empty()) {
+          std::fprintf(stderr, "FAIL %s/%s: %s\n", name, transport_name(t), err.c_str());
+          failed = true;
+        }
+      } else if (r.timed_out || !r.failure.empty()) {
+        std::fprintf(stderr, "FAIL %s/%s: %s\n", name, transport_name(t),
+                     r.timed_out ? "timed out" : r.failure.c_str());
+        failed = true;
+      }
+      uint64_t seq = r.metrics.total(&OperatorMetricsSnapshot::seq_violations);
+      if (seq != 0) {
+        std::fprintf(stderr, "FAIL %s/%s: %llu sequence violations\n", name, transport_name(t),
+                     static_cast<unsigned long long>(seq));
+        failed = true;
+      }
+      for (const auto& [id, sink] : r.sinks) digests[id][transport_name(t)] = sink.digest;
+
+      double kpps = r.seconds > 0 ? static_cast<double>(r.events) / r.seconds / 1e3 : 0;
+      LatencySummary lat = latency_of(r.metrics, primary_sink(r));
+      uint64_t shed = r.metrics.total(&OperatorMetricsSnapshot::packets_shed);
+      uint64_t quarantined = r.metrics.total(&OperatorMetricsSnapshot::packets_quarantined);
+      print_row({name, transport_name(t), std::to_string(r.events), fmt("%.3f", r.seconds),
+                 fmt("%.1f", kpps), fmt("%.3f", lat.p50_ms), fmt("%.3f", lat.p99_ms),
+                 fmt("%.3f", lat.p999_ms), std::to_string(shed), std::to_string(quarantined)});
+
+      JsonObject row;
+      row["scenario"] = JsonValue(std::string(name));
+      row["transport"] = JsonValue(std::string(transport_name(t)));
+      row["events"] = JsonValue(static_cast<int64_t>(r.events));
+      row["seconds"] = JsonValue(r.seconds);
+      row["throughput_pps"] = JsonValue(kpps * 1e3);
+      add_latency_fields(row, lat);
+      row["shed"] = JsonValue(static_cast<int64_t>(shed));
+      row["quarantined"] = JsonValue(static_cast<int64_t>(quarantined));
+      row["seq_violations"] = JsonValue(static_cast<int64_t>(seq));
+      JsonObject sink_digests;
+      for (const auto& [id, sink] : r.sinks) {
+        sink_digests[id] = JsonValue(sink.digest);
+        row[id + "_packets"] = JsonValue(static_cast<int64_t>(sink.packets));
+      }
+      row["digests"] = JsonValue(std::move(sink_digests));
+      report.add_row(std::move(row));
+    }
+
+    for (const auto& [sink, by_transport] : digests) {
+      for (const auto& [transport, digest] : by_transport) {
+        if (digest != by_transport.begin()->second) {
+          std::fprintf(stderr, "FAIL %s: sink '%s' digest on %s (%s) != %s (%s)\n", name,
+                       sink.c_str(), transport.c_str(), digest.c_str(),
+                       by_transport.begin()->first.c_str(),
+                       by_transport.begin()->second.c_str());
+          failed = true;
+        }
+      }
+    }
+  }
+
+  report.set("peak_rss_kb", peak_rss_kb());
+  report.set("status", std::string(failed ? "fail" : "ok"));
+  report.write();
+  if (failed) {
+    std::fprintf(stderr, "scenario suite: FAILED\n");
+    return 1;
+  }
+  std::printf("scenario suite: all digests agree across transports\n");
+  return 0;
+}

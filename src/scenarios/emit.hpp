@@ -1,0 +1,24 @@
+#pragma once
+
+#include "neptune/operators.hpp"
+#include "neptune/packet.hpp"
+
+namespace neptune::scenarios {
+
+/// Broadcast a packet to every output link (copy to links 1.., move to 0).
+/// The scenario sources and the scorer use this so a fan-out declared in
+/// the topology JSON ("src" -> two aggregators) behaves as a reader would
+/// expect: each downstream branch sees the whole stream.
+inline EmitStatus emit_all(Emitter& out, StreamPacket&& packet) {
+  EmitStatus status = EmitStatus::kOk;
+  for (size_t link = 1; link < out.output_link_count(); ++link) {
+    StreamPacket copy = packet;
+    if (out.emit(link, std::move(copy)) == EmitStatus::kBackpressured)
+      status = EmitStatus::kBackpressured;
+  }
+  if (out.emit(0, std::move(packet)) == EmitStatus::kBackpressured)
+    status = EmitStatus::kBackpressured;
+  return status;
+}
+
+}  // namespace neptune::scenarios

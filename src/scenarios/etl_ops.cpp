@@ -1,0 +1,113 @@
+#include "scenarios/etl_ops.hpp"
+
+#include <cstdio>
+
+#include "neptune/window.hpp"
+#include "neptune/workload.hpp"
+
+namespace neptune::scenarios {
+
+// --- CsvParseProcessor -----------------------------------------------------
+
+void CsvParseProcessor::process(StreamPacket& packet, Emitter& out) {
+  if (packet.field_count() != 1 || value_type(packet.field(0)) != FieldType::kString) {
+    ++parse_errors_;
+    return;
+  }
+  StreamPacket parsed;
+  try {
+    parsed = workload::parse_csv_row(packet.str(0), schema_);
+  } catch (const PacketFormatError&) {
+    ++parse_errors_;
+    return;
+  }
+  parsed.set_event_time_ns(packet.event_time_ns());
+  out.emit(std::move(parsed));
+}
+
+// --- RangeFilterProcessor --------------------------------------------------
+
+RangeFilterProcessor::RangeFilterProcessor(std::vector<RangeRule> rules, double missing_sentinel)
+    : rules_(std::move(rules)), sentinel_(missing_sentinel) {}
+
+void RangeFilterProcessor::process(StreamPacket& packet, Emitter& out) {
+  for (const RangeRule& r : rules_) {
+    if (r.field >= packet.field_count()) {
+      ++dropped_;
+      return;
+    }
+    double v = window::numeric_field(packet, r.field);
+    if (v == sentinel_) continue;  // missing, not corrupt
+    if (v < r.lo || v > r.hi) {
+      ++dropped_;
+      return;
+    }
+  }
+  StreamPacket copy = packet;
+  out.emit(std::move(copy));
+}
+
+// --- InterpolateProcessor --------------------------------------------------
+
+InterpolateProcessor::InterpolateProcessor(size_t value_field, size_t key_field,
+                                           double missing_sentinel)
+    : value_field_(value_field), key_field_(key_field), sentinel_(missing_sentinel) {}
+
+void InterpolateProcessor::process(StreamPacket& packet, Emitter& out) {
+  if (value_field_ >= packet.field_count() || key_field_ >= packet.field_count()) {
+    ++dropped_;
+    return;
+  }
+  const std::string& key = packet.str(key_field_);
+  double v = window::numeric_field(packet, value_field_);
+  if (v == sentinel_) {
+    auto it = last_good_.find(key);
+    if (it == last_good_.end()) {
+      ++dropped_;
+      return;
+    }
+    packet.field(value_field_) = Value(it->second);
+    ++repaired_;
+  } else {
+    last_good_[key] = v;
+  }
+  StreamPacket copy = packet;
+  out.emit(std::move(copy));
+}
+
+// --- AnnotateProcessor -----------------------------------------------------
+
+AnnotateProcessor::AnnotateProcessor(size_t key_field, std::map<std::string, std::string> table)
+    : key_field_(key_field), table_(std::move(table)) {}
+
+void AnnotateProcessor::process(StreamPacket& packet, Emitter& out) {
+  StreamPacket annotated = packet;
+  std::string zone = "zone-unknown";
+  if (key_field_ < packet.field_count() &&
+      value_type(packet.field(key_field_)) == FieldType::kString) {
+    auto it = table_.find(packet.str(key_field_));
+    if (it != table_.end())
+      zone = it->second;
+    else
+      ++misses_;
+  } else {
+    ++misses_;
+  }
+  annotated.add_string(std::move(zone));
+  out.emit(std::move(annotated));
+}
+
+std::map<std::string, std::string> make_zone_table(const std::string& prefix, uint32_t devices,
+                                                   uint32_t zones) {
+  if (zones == 0) zones = 1;
+  std::map<std::string, std::string> table;
+  char id[48], zone[32];
+  for (uint32_t i = 0; i < devices; ++i) {
+    std::snprintf(id, sizeof id, "%s-%04u", prefix.c_str(), i);
+    std::snprintf(zone, sizeof zone, "zone-%02u", i % zones);
+    table.emplace(id, zone);
+  }
+  return table;
+}
+
+}  // namespace neptune::scenarios

@@ -1,0 +1,105 @@
+// ETL-pipeline operators (the RIoTBench ETL dataflow, PAPERS.md): parse raw
+// device rows into typed packets, repair missing readings, drop corrupt
+// ones, and annotate with reference metadata. All per-key state is
+// deterministic given per-key in-order delivery, which the scenario
+// topologies guarantee by routing with fields-hash partitioning from a
+// single upstream instance — that's what makes golden digests possible
+// downstream of these stages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "neptune/operators.hpp"
+#include "neptune/packet.hpp"
+
+namespace neptune::scenarios {
+
+/// Parses a one-string-field CSV packet into typed fields per `schema`.
+/// Malformed rows are dropped and counted — an ETL stage must survive dirty
+/// ingest, not poison the pipeline.
+class CsvParseProcessor final : public StreamProcessor {
+ public:
+  explicit CsvParseProcessor(Schema schema) : schema_(std::move(schema)) {}
+
+  void process(StreamPacket& packet, Emitter& out) override;
+
+  uint64_t parse_errors() const { return parse_errors_; }
+
+ private:
+  Schema schema_;
+  uint64_t parse_errors_ = 0;
+};
+
+/// One plausibility rule: numeric field must land in [lo, hi].
+struct RangeRule {
+  size_t field = 0;
+  double lo = 0;
+  double hi = 0;
+};
+
+/// Drops packets violating any range rule (counted). The sentinel for
+/// missing readings passes through untouched — repairing those is the
+/// interpolator's job, so filter placement relative to it is flexible.
+class RangeFilterProcessor final : public StreamProcessor {
+ public:
+  RangeFilterProcessor(std::vector<RangeRule> rules, double missing_sentinel);
+
+  void process(StreamPacket& packet, Emitter& out) override;
+
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<RangeRule> rules_;
+  double sentinel_;
+  uint64_t dropped_ = 0;
+};
+
+/// Repairs missing readings (value_field == sentinel) with the device's
+/// last good value. A missing reading with no history yet is dropped
+/// (counted) — there is nothing to interpolate from.
+class InterpolateProcessor final : public StreamProcessor {
+ public:
+  InterpolateProcessor(size_t value_field, size_t key_field, double missing_sentinel);
+
+  void process(StreamPacket& packet, Emitter& out) override;
+
+  uint64_t repaired() const { return repaired_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  const size_t value_field_;
+  const size_t key_field_;
+  const double sentinel_;
+  std::map<std::string, double> last_good_;
+  uint64_t repaired_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// Static-reference-table join: appends the device's zone (a string field)
+/// looked up by key. Unknown devices annotate as "zone-unknown" (counted) —
+/// a real fleet always has devices the metadata lags behind.
+class AnnotateProcessor final : public StreamProcessor {
+ public:
+  AnnotateProcessor(size_t key_field, std::map<std::string, std::string> table);
+
+  void process(StreamPacket& packet, Emitter& out) override;
+
+  uint64_t misses() const { return misses_; }
+
+ private:
+  const size_t key_field_;
+  std::map<std::string, std::string> table_;
+  uint64_t misses_ = 0;
+};
+
+/// Deterministic zone table for a synthetic fleet: device ids built like the
+/// trace generator's ("<prefix>-0000" ..) map round-robin onto `zones`
+/// zones. The annotate stage of every scenario uses this as its reference
+/// metadata.
+std::map<std::string, std::string> make_zone_table(const std::string& prefix, uint32_t devices,
+                                                   uint32_t zones);
+
+}  // namespace neptune::scenarios

@@ -1,0 +1,96 @@
+#include "scenarios/pred_ops.hpp"
+
+#include <stdexcept>
+
+#include "neptune/window.hpp"
+#include "scenarios/emit.hpp"
+
+namespace neptune::scenarios {
+
+DecisionTree DecisionTree::from_json(const JsonValue& doc) {
+  DecisionTree tree;
+  const JsonArray& nodes = doc.at("nodes").as_array();
+  if (nodes.empty()) throw std::runtime_error("decision tree: empty node list");
+  tree.nodes_.reserve(nodes.size());
+  for (const JsonValue& n : nodes) {
+    Node node;
+    if (n.contains("label")) {
+      node.label = static_cast<int32_t>(n.at("label").as_int());
+    } else {
+      node.field = static_cast<size_t>(n.at("field").as_int());
+      node.threshold = n.at("threshold").as_number();
+      node.left = static_cast<int32_t>(n.at("left").as_int());
+      node.right = static_cast<int32_t>(n.at("right").as_int());
+      // Children must point strictly forward in the array: that rules out
+      // cycles and bounds every score() walk by node_count.
+      int32_t self = static_cast<int32_t>(tree.nodes_.size());
+      if (node.left <= self || node.right <= self ||
+          node.left >= static_cast<int32_t>(nodes.size()) ||
+          node.right >= static_cast<int32_t>(nodes.size()))
+        throw std::runtime_error("decision tree: child index must point forward");
+    }
+    tree.nodes_.push_back(node);
+  }
+  return tree;
+}
+
+int32_t DecisionTree::score(const StreamPacket& packet) const {
+  size_t i = 0;
+  while (nodes_[i].left >= 0) {
+    const Node& n = nodes_[i];
+    double v = 0;
+    if (n.field < packet.field_count()) {
+      try {
+        v = window::numeric_field(packet, n.field);
+      } catch (const PacketFormatError&) {
+        v = n.threshold;  // non-numeric feature: route left
+      }
+    } else {
+      v = n.threshold;
+    }
+    i = static_cast<size_t>(v <= n.threshold ? n.left : n.right);
+  }
+  return nodes_[i].label;
+}
+
+DecisionTreeScorer::DecisionTreeScorer(DecisionTree model, DecisionTree reference)
+    : model_(std::move(model)), reference_(std::move(reference)) {}
+
+void DecisionTreeScorer::process(StreamPacket& packet, Emitter& out) {
+  int32_t pred = model_.score(packet);
+  int32_t ref = reference_.score(packet);
+  ++scored_;
+  if (pred != ref) ++disagreements_;
+  StreamPacket scored = packet;
+  scored.add_i32(pred);
+  scored.add_i32(ref);
+  scored.add_bool(pred == ref);
+  emit_all(out, std::move(scored));
+}
+
+// Air schema: [ts_ms, station_id, pm25, pm10, ozone_ppb, temp_c] — the
+// trees below classify severity 0/1/2 from pm25 (field 2) and ozone
+// (field 4).
+JsonValue default_air_model_json() {
+  return JsonValue::parse(R"({"nodes": [
+    {"field": 2, "threshold": 35.0, "left": 1, "right": 2},
+    {"field": 4, "threshold": 70.0, "left": 3, "right": 4},
+    {"field": 2, "threshold": 55.0, "left": 5, "right": 6},
+    {"label": 0},
+    {"label": 1},
+    {"label": 1},
+    {"label": 2}
+  ]})");
+}
+
+JsonValue default_air_reference_json() {
+  // Coarser single-split reference: agrees away from the pm25 boundary,
+  // disagrees in the 35..55 band and wherever ozone drives the decision.
+  return JsonValue::parse(R"({"nodes": [
+    {"field": 2, "threshold": 45.0, "left": 1, "right": 2},
+    {"label": 0},
+    {"label": 2}
+  ]})");
+}
+
+}  // namespace neptune::scenarios

@@ -1,0 +1,73 @@
+// Predictive-analytics operators (the RIoTBench PRED dataflow, PAPERS.md):
+// score each reading against a decision-tree model and compare against a
+// reference model, emitting per-packet agreement so a downstream window can
+// aggregate model-drift statistics. Trees are loaded from the scenario's
+// JSON descriptor — models are data, not code, so scenario files can swap
+// them without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "neptune/operators.hpp"
+#include "neptune/packet.hpp"
+
+namespace neptune::scenarios {
+
+/// Binary decision tree over numeric packet fields. Nodes are stored in a
+/// flat array; internal nodes route on `field <= threshold` (left) else
+/// right, leaves carry an i32 class label.
+class DecisionTree {
+ public:
+  struct Node {
+    size_t field = 0;    ///< feature field index (internal nodes)
+    double threshold = 0;
+    int32_t left = -1;   ///< node index, or -1 when leaf
+    int32_t right = -1;
+    int32_t label = 0;   ///< class label (leaves)
+  };
+
+  /// Parses `{"nodes": [{"field":..,"threshold":..,"left":..,"right":..} |
+  /// {"label":..}, ...]}`; node 0 is the root. Throws std::runtime_error on
+  /// malformed trees (bad child index, cycle-prone layout, empty).
+  static DecisionTree from_json(const JsonValue& doc);
+
+  /// Classifies a packet; non-numeric/missing features route left, so a
+  /// malformed packet still yields a deterministic label.
+  int32_t score(const StreamPacket& packet) const;
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// Scores each packet with a primary and a reference model and appends
+/// three fields: pred (i32), ref_pred (i32), agree (bool). The agreement
+/// stream is what PRED scenarios window downstream.
+class DecisionTreeScorer final : public StreamProcessor {
+ public:
+  DecisionTreeScorer(DecisionTree model, DecisionTree reference);
+
+  void process(StreamPacket& packet, Emitter& out) override;
+
+  uint64_t scored() const { return scored_; }
+  uint64_t disagreements() const { return disagreements_; }
+
+ private:
+  DecisionTree model_;
+  DecisionTree reference_;
+  uint64_t scored_ = 0;
+  uint64_t disagreements_ = 0;
+};
+
+/// Built-in air-quality models used when a scenario doesn't embed its own:
+/// a 7-node PM2.5/ozone severity tree, and a deliberately coarser reference
+/// tree that disagrees near the class boundaries.
+JsonValue default_air_model_json();
+JsonValue default_air_reference_json();
+
+}  // namespace neptune::scenarios

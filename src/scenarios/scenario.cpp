@@ -1,0 +1,209 @@
+#include "scenarios/scenario.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "neptune/window.hpp"
+#include "scenarios/etl_ops.hpp"
+#include "scenarios/pred_ops.hpp"
+
+namespace neptune::scenarios {
+
+namespace {
+
+const char* device_prefix(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kTaxi: return "taxi";
+    case TraceKind::kGrid: return "meter";
+    case TraceKind::kAir: return "station";
+  }
+  return "device";
+}
+
+window::WindowConfig window_config_of(const JsonValue& op, const TraceSpec& trace) {
+  window::WindowConfig w;
+  w.window_ms = static_cast<int64_t>(op.number_or("window_ms", 1000));
+  w.time_field = static_cast<size_t>(op.number_or("time_field", 0));
+  w.value_field =
+      static_cast<size_t>(op.number_or("value_field", double(trace_primary_field(trace.kind))));
+  w.key_field = static_cast<int>(op.number_or("key_field", -1));
+  return w;
+}
+
+}  // namespace
+
+const char* transport_name(Transport t) {
+  switch (t) {
+    case Transport::kFastlane: return "fastlane";
+    case Transport::kInproc: return "inproc";
+    case Transport::kTcp: return "tcp";
+  }
+  return "?";
+}
+
+ScenarioSpec scenario_from_json(const JsonValue& doc) {
+  ScenarioSpec spec;
+  spec.name = doc.at("name").as_string();
+  spec.trace = trace_from_json(doc.at("trace"));
+  spec.topology = doc.at("topology");
+  if (doc.contains("expect")) {
+    for (const auto& [id, e] : doc.at("expect").at("sinks").as_object()) {
+      SinkExpect x;
+      x.packets = static_cast<uint64_t>(e.number_or("packets", 0));
+      x.digest = e.string_or("digest", "");
+      spec.expect.emplace(id, std::move(x));
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open scenario file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return scenario_from_json(JsonValue::parse(buf.str()));
+}
+
+StreamGraph build_scenario_graph(const ScenarioSpec& spec, const TraceSpec& trace,
+                                 ScenarioContext& ctx, bool fastlane) {
+  JsonValue doc = spec.topology;
+  if (!doc.contains("name")) doc.as_object()["name"] = JsonValue(spec.name);
+
+  OperatorRegistry registry;
+  for (JsonValue& entry : doc.as_object().at("operators").as_array()) {
+    const std::string id = entry.at("id").as_string();
+    const std::string type = entry.at("type").as_string();
+    const std::string bound = type + "@" + id;
+
+    if (type == "trace-source") {
+      registry.register_source(bound,
+                               [trace]() { return std::make_unique<TraceSource>(trace); });
+    } else if (type == "csv-parse") {
+      Schema schema = trace_schema(trace.kind);
+      registry.register_processor(
+          bound, [schema]() { return std::make_unique<CsvParseProcessor>(schema); });
+    } else if (type == "interpolate") {
+      size_t value_field =
+          static_cast<size_t>(entry.number_or("value_field", double(trace_primary_field(trace.kind))));
+      size_t key_field = static_cast<size_t>(entry.number_or("key_field", 1));
+      registry.register_processor(bound, [value_field, key_field]() {
+        return std::make_unique<InterpolateProcessor>(value_field, key_field, kMissingValue);
+      });
+    } else if (type == "range-filter") {
+      std::vector<RangeRule> rules;
+      if (entry.contains("rules")) {
+        for (const JsonValue& r : entry.at("rules").as_array()) {
+          RangeRule rule;
+          rule.field = static_cast<size_t>(r.at("field").as_int());
+          rule.lo = r.at("lo").as_number();
+          rule.hi = r.at("hi").as_number();
+          rules.push_back(rule);
+        }
+      }
+      registry.register_processor(bound, [rules]() {
+        return std::make_unique<RangeFilterProcessor>(rules, kMissingValue);
+      });
+    } else if (type == "annotate") {
+      size_t key_field = static_cast<size_t>(entry.number_or("key_field", 1));
+      uint32_t zones = static_cast<uint32_t>(entry.number_or("zones", 8));
+      auto table = make_zone_table(device_prefix(trace.kind), trace.devices, zones);
+      registry.register_processor(bound, [key_field, table]() {
+        return std::make_unique<AnnotateProcessor>(key_field, table);
+      });
+    } else if (type == "tumbling-agg") {
+      window::WindowConfig w = window_config_of(entry, trace);
+      registry.register_processor(
+          bound, [w]() { return std::make_unique<window::TumblingAggregator>(w); });
+    } else if (type == "sliding-agg") {
+      window::WindowConfig w = window_config_of(entry, trace);
+      registry.register_processor(
+          bound, [w]() { return std::make_unique<window::SlidingAggregator>(w); });
+    } else if (type == "count-window") {
+      uint64_t count = static_cast<uint64_t>(entry.number_or("count", 100));
+      size_t value_field =
+          static_cast<size_t>(entry.number_or("value_field", double(trace_primary_field(trace.kind))));
+      int key_field = static_cast<int>(entry.number_or("key_field", -1));
+      registry.register_processor(bound, [count, value_field, key_field]() {
+        return std::make_unique<window::CountWindowAggregator>(count, value_field, key_field);
+      });
+    } else if (type == "dtree-score") {
+      DecisionTree model = DecisionTree::from_json(
+          entry.contains("model") ? entry.at("model") : default_air_model_json());
+      DecisionTree reference = DecisionTree::from_json(
+          entry.contains("reference") ? entry.at("reference") : default_air_reference_json());
+      registry.register_processor(bound, [model, reference]() {
+        return std::make_unique<DecisionTreeScorer>(model, reference);
+      });
+    } else if (type == "digest-sink") {
+      auto acc = std::make_shared<DigestAccumulator>();
+      ctx.sinks[id] = acc;
+      registry.register_processor(bound, [acc]() { return std::make_unique<DigestSink>(acc); });
+    } else {
+      throw JsonError("scenario: unknown operator type '" + type + "' (operator '" + id + "')");
+    }
+
+    entry.as_object()["type"] = JsonValue(bound);
+    if (fastlane) entry.as_object()["resource"] = JsonValue(0);
+  }
+
+  return graph_from_json(doc, registry);
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
+  TraceSpec trace = spec.trace;
+  if (opts.events_override > 0) trace.events = opts.events_override;
+
+  const bool fastlane = opts.transport == Transport::kFastlane;
+  ScenarioContext ctx;
+  StreamGraph graph = build_scenario_graph(spec, trace, ctx, fastlane);
+
+  granules::ResourceConfig base;
+  base.worker_threads = opts.worker_threads;
+  RuntimeOptions ro;
+  ro.cross_resource_transport =
+      opts.transport == Transport::kTcp ? EdgeTransport::kTcp : EdgeTransport::kInproc;
+
+  Runtime runtime(fastlane ? 1 : 2, base, ro);
+  auto job = runtime.submit(graph);
+
+  auto t0 = std::chrono::steady_clock::now();
+  job->start();
+  ScenarioResult result;
+  if (!job->wait(std::chrono::duration_cast<std::chrono::nanoseconds>(opts.timeout))) {
+    result.timed_out = true;
+    job->stop();
+  }
+  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.failure = job->failure_reason();
+  result.metrics = job->metrics();
+  result.events = trace.events;
+  for (const auto& [id, acc] : ctx.sinks)
+    result.sinks.emplace(id, SinkResult{acc->count(), acc->digest()});
+  runtime.shutdown();
+  return result;
+}
+
+std::string ScenarioResult::check(const ScenarioSpec& spec) const {
+  if (timed_out) return "scenario '" + spec.name + "' timed out";
+  if (!failure.empty()) return "scenario '" + spec.name + "' failed: " + failure;
+  uint64_t violations = metrics.total(&OperatorMetricsSnapshot::seq_violations);
+  if (violations != 0)
+    return "scenario '" + spec.name + "': " + std::to_string(violations) + " seq violations";
+  for (const auto& [id, want] : spec.expect) {
+    auto it = sinks.find(id);
+    if (it == sinks.end()) return "scenario '" + spec.name + "': no sink '" + id + "'";
+    if (want.packets != 0 && it->second.packets != want.packets)
+      return "scenario '" + spec.name + "' sink '" + id + "': got " +
+             std::to_string(it->second.packets) + " packets, want " +
+             std::to_string(want.packets);
+    if (!want.digest.empty() && it->second.digest != want.digest)
+      return "scenario '" + spec.name + "' sink '" + id + "': digest " + it->second.digest +
+             " != expected " + want.digest;
+  }
+  return "";
+}
+
+}  // namespace neptune::scenarios

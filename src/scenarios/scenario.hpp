@@ -1,0 +1,121 @@
+// Scenario = trace spec + JSON topology + expected sink digests, in one
+// file. The same scenario runs three ways — golden correctness test (fixed
+// seed, exact digests), bench (throughput + latency percentiles), CLI tool —
+// and over three transports (single-resource fast lane, cross-resource
+// inproc channels, loopback TCP). The digests must agree everywhere: that IS
+// the test.
+//
+// Scenario file shape (docs/TESTING.md has the full reference):
+// {
+//   "name": "etl_taxi",
+//   "trace": { "kind": "taxi", "devices": 50, "events": 20000, ... },
+//   "topology": { "operators": [...], "links": [...] },
+//   "expect": { "sinks": { "sink": { "packets": 19000,
+//                                    "digest": "n19000-s...-x..." } } }
+// }
+//
+// Operator entries carry their per-operator config inline (extra keys are
+// ignored by the core descriptor parser); build_scenario_graph() pre-binds
+// each entry's config into a per-operator factory registered under a
+// synthesized "type@id" name, then hands the rewritten descriptor to
+// graph_from_json. The type vocabulary:
+//
+//   trace-source   the scenario's TraceSource (golden runs pin parallelism 1)
+//   csv-parse      CsvParseProcessor over trace_schema(kind)
+//   interpolate    InterpolateProcessor    {"value_field":., "key_field":.}
+//   range-filter   RangeFilterProcessor    {"rules":[{"field","lo","hi"}]}
+//   annotate       AnnotateProcessor       {"zones": 8}
+//   tumbling-agg   window::TumblingAggregator {"window_ms","value_field","key_field"}
+//   sliding-agg    window::SlidingAggregator  {"window_ms","value_field"}
+//   count-window   window::CountWindowAggregator {"count","value_field","key_field"}
+//   dtree-score    DecisionTreeScorer      {"model":{...},"reference":{...}}
+//   digest-sink    DigestSink into the scenario's per-sink accumulator
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/json.hpp"
+#include "neptune/json_topology.hpp"
+#include "neptune/metrics.hpp"
+#include "neptune/runtime.hpp"
+#include "scenarios/digest.hpp"
+#include "scenarios/trace.hpp"
+
+namespace neptune::scenarios {
+
+/// What a scenario expects of one sink after a full golden run.
+struct SinkExpect {
+  uint64_t packets = 0;
+  std::string digest;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  TraceSpec trace;
+  JsonValue topology;  ///< the core descriptor doc (operators/links/config)
+  std::map<std::string, SinkExpect> expect;  ///< sink op id -> expectation
+};
+
+/// Parse a scenario document. Throws JsonError on malformed input.
+ScenarioSpec scenario_from_json(const JsonValue& doc);
+
+/// Read + parse a scenario file. Throws std::runtime_error when unreadable.
+ScenarioSpec load_scenario(const std::string& path);
+
+/// How to deploy the scenario.
+enum class Transport {
+  kFastlane,  ///< one resource: every edge takes the same-resource SPSC lane
+  kInproc,    ///< two resources, cross-resource edges on inproc channels
+  kTcp,       ///< two resources, cross-resource edges on loopback TCP
+};
+const char* transport_name(Transport t);
+
+struct RunOptions {
+  Transport transport = Transport::kInproc;
+  /// > 0 caps the trace's event count (bench --short); 0 keeps the spec's.
+  uint64_t events_override = 0;
+  /// Worker threads per resource (0 = library default).
+  size_t worker_threads = 0;
+  std::chrono::seconds timeout{180};
+};
+
+/// Per-sink observed outcome.
+struct SinkResult {
+  uint64_t packets = 0;
+  std::string digest;
+};
+
+struct ScenarioResult {
+  std::map<std::string, SinkResult> sinks;
+  JobMetricsSnapshot metrics;  ///< full per-operator counters + latency
+  double seconds = 0;          ///< wall-clock job time
+  uint64_t events = 0;         ///< trace events this run generated
+  bool timed_out = false;
+  std::string failure;         ///< permanent-failure reason, empty if none
+
+  /// Digest mismatch / missing sink / timeout check against `spec.expect`.
+  /// Returns an empty string when everything matches.
+  std::string check(const ScenarioSpec& spec) const;
+};
+
+/// Digest accumulators for one run, keyed by sink operator id. A fresh
+/// context is created per run; accumulators are shared with the sink
+/// instances so results survive job teardown.
+struct ScenarioContext {
+  std::map<std::string, std::shared_ptr<DigestAccumulator>> sinks;
+};
+
+/// Build the graph for one run: binds per-operator configs, registers
+/// "type@id" factories, rewrites the descriptor and defers to
+/// graph_from_json. `fastlane` pins every operator to resource 0.
+StreamGraph build_scenario_graph(const ScenarioSpec& spec, const TraceSpec& trace,
+                                 ScenarioContext& ctx, bool fastlane);
+
+/// Deploy and drain the scenario on a fresh Runtime. Throws on graph or
+/// runtime errors; timeouts are reported via ScenarioResult::timed_out.
+ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts);
+
+}  // namespace neptune::scenarios

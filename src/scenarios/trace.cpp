@@ -1,0 +1,361 @@
+#include "scenarios/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "scenarios/emit.hpp"
+
+namespace neptune::scenarios {
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kTaxi: return "taxi";
+    case TraceKind::kGrid: return "grid";
+    case TraceKind::kAir: return "air";
+  }
+  return "?";
+}
+
+TraceKind trace_kind_from_name(const std::string& name) {
+  if (name == "taxi") return TraceKind::kTaxi;
+  if (name == "grid") return TraceKind::kGrid;
+  if (name == "air") return TraceKind::kAir;
+  throw JsonError("unknown trace kind '" + name + "' (expected taxi, grid or air)");
+}
+
+namespace {
+
+double fraction_field(const JsonValue& doc, const char* key, double fallback) {
+  double f = doc.number_or(key, fallback);
+  if (!(f >= 0.0) || f > 1.0) throw JsonError(std::string(key) + " must be in [0, 1]");
+  return f;
+}
+
+int64_t pos_int_field(const JsonValue& doc, const char* key, int64_t fallback, int64_t lo = 0) {
+  double d = doc.number_or(key, static_cast<double>(fallback));
+  if (!(d >= static_cast<double>(lo)) || d > 1e15)
+    throw JsonError(std::string(key) + " out of range");
+  return static_cast<int64_t>(d);
+}
+
+}  // namespace
+
+TraceSpec trace_from_json(const JsonValue& doc) {
+  TraceSpec s;
+  s.kind = trace_kind_from_name(doc.string_or("kind", "taxi"));
+  s.devices = static_cast<uint32_t>(pos_int_field(doc, "devices", s.devices, 1));
+  s.events = static_cast<uint64_t>(pos_int_field(doc, "events", static_cast<int64_t>(s.events), 1));
+  s.seed = static_cast<uint64_t>(pos_int_field(doc, "seed", static_cast<int64_t>(s.seed)));
+  s.start_ms = pos_int_field(doc, "start_ms", s.start_ms);
+  s.tick_ms = pos_int_field(doc, "tick_ms", s.tick_ms, 1);
+  s.events_per_tick = doc.number_or("events_per_tick", s.events_per_tick);
+  if (!(s.events_per_tick > 0)) throw JsonError("events_per_tick must be positive");
+  s.diurnal_amplitude = fraction_field(doc, "diurnal_amplitude", s.diurnal_amplitude);
+  s.diurnal_period_ms = pos_int_field(doc, "diurnal_period_ms", s.diurnal_period_ms, 1);
+  s.burst_factor = doc.number_or("burst_factor", s.burst_factor);
+  if (!(s.burst_factor >= 1.0)) throw JsonError("burst_factor must be >= 1");
+  s.burst_every_ms = pos_int_field(doc, "burst_every_ms", s.burst_every_ms);
+  s.burst_duration_ms = pos_int_field(doc, "burst_duration_ms", s.burst_duration_ms);
+  s.zipf_s = doc.number_or("zipf_s", s.zipf_s);
+  if (!(s.zipf_s >= 0.0) || s.zipf_s > 4.0) throw JsonError("zipf_s must be in [0, 4]");
+  s.jitter_ms = pos_int_field(doc, "jitter_ms", s.jitter_ms);
+  s.missing_fraction = fraction_field(doc, "missing_fraction", s.missing_fraction);
+  s.corrupt_fraction = fraction_field(doc, "corrupt_fraction", s.corrupt_fraction);
+  s.csv_payload = doc.bool_or("csv_payload", doc.bool_or("csv", s.csv_payload));
+  return s;
+}
+
+Schema trace_schema(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kTaxi:
+      return Schema{{"ts_ms", FieldType::kI64},   {"taxi_id", FieldType::kString},
+                    {"lat", FieldType::kF64},     {"lon", FieldType::kF64},
+                    {"speed_kmh", FieldType::kF64}, {"occupied", FieldType::kBool},
+                    {"fare_cents", FieldType::kI32}};
+    case TraceKind::kGrid:
+      return Schema{{"ts_ms", FieldType::kI64},     {"meter_id", FieldType::kString},
+                    {"power_kw", FieldType::kF64},  {"voltage", FieldType::kF64},
+                    {"cum_kwh", FieldType::kF64}};
+    case TraceKind::kAir:
+      return Schema{{"ts_ms", FieldType::kI64},  {"station_id", FieldType::kString},
+                    {"pm25", FieldType::kF64},   {"pm10", FieldType::kF64},
+                    {"ozone_ppb", FieldType::kF64}, {"temp_c", FieldType::kF64}};
+  }
+  throw std::invalid_argument("bad TraceKind");
+}
+
+size_t trace_primary_field(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kTaxi: return 4;  // speed_kmh
+    case TraceKind::kGrid: return 2;  // power_kw
+    case TraceKind::kAir: return 2;   // pm25
+  }
+  return 2;
+}
+
+// --- ZipfSampler -----------------------------------------------------------
+
+ZipfSampler::ZipfSampler(uint32_t n, double s) {
+  cdf_.resize(n == 0 ? 1 : n);
+  double acc = 0;
+  for (uint32_t r = 0; r < cdf_.size(); ++r) {
+    acc += s == 0.0 ? 1.0 : std::pow(static_cast<double>(r + 1), -s);
+    cdf_[r] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+uint32_t ZipfSampler::sample(Xoshiro256& rng) const {
+  double u = rng.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+// --- rate profile ----------------------------------------------------------
+
+double rate_multiplier(const TraceSpec& spec, int64_t t_ms) {
+  constexpr double kPi = 3.14159265358979323846;
+  double m = 1.0;
+  if (spec.diurnal_amplitude > 0) {
+    double phase = static_cast<double>(t_ms % spec.diurnal_period_ms) /
+                   static_cast<double>(spec.diurnal_period_ms);
+    m *= 1.0 + spec.diurnal_amplitude * std::sin(2.0 * kPi * phase);
+  }
+  if (spec.burst_every_ms > 0 && spec.burst_duration_ms > 0 && spec.burst_factor > 1.0) {
+    if (t_ms % spec.burst_every_ms < spec.burst_duration_ms) m *= spec.burst_factor;
+  }
+  return m;
+}
+
+// --- TraceGenerator --------------------------------------------------------
+
+TraceGenerator::TraceGenerator(const TraceSpec& spec)
+    : spec_(spec), rng_(spec.seed), zipf_(spec.devices, spec.zipf_s) {
+  dev_.resize(spec_.devices);
+  ids_.reserve(spec_.devices);
+  const char* prefix = spec_.kind == TraceKind::kTaxi  ? "taxi"
+                       : spec_.kind == TraceKind::kGrid ? "meter"
+                                                        : "station";
+  char buf[32];
+  for (uint32_t i = 0; i < spec_.devices; ++i) {
+    std::snprintf(buf, sizeof buf, "%s-%04u", prefix, i);
+    ids_.emplace_back(buf);
+    DeviceState& d = dev_[i];
+    switch (spec_.kind) {
+      case TraceKind::kTaxi:
+        d.a = 40.0 + rng_.next_range(0.0, 0.4);    // lat
+        d.b = -74.2 + rng_.next_range(0.0, 0.4);   // lon
+        d.c = rng_.next_range(10.0, 60.0);         // speed
+        d.d = 0;                                   // fare accumulator
+        break;
+      case TraceKind::kGrid:
+        d.a = rng_.next_range(0.2, 2.0);   // baseline household load, kW
+        d.b = 230.0 + rng_.next_range(-2.0, 2.0);  // voltage
+        d.c = rng_.next_range(0.0, 100.0);         // cumulative kWh
+        break;
+      case TraceKind::kAir:
+        d.a = rng_.next_range(5.0, 35.0);   // pm2.5 baseline
+        d.b = rng_.next_range(10.0, 60.0);  // pm10 baseline
+        d.c = rng_.next_range(10.0, 50.0);  // ozone baseline
+        d.d = rng_.next_range(-5.0, 25.0);  // temperature
+        break;
+    }
+  }
+}
+
+double TraceGenerator::apply_quality(double value, double plausible_hi) {
+  double u = rng_.next_double();
+  if (u < spec_.missing_fraction) return kMissingValue;
+  if (u < spec_.missing_fraction + spec_.corrupt_fraction)
+    // Far out of range: a stuck ADC / unit bug, the RangeFilter's prey.
+    return plausible_hi * rng_.next_range(10.0, 100.0);
+  return value;
+}
+
+void TraceGenerator::fill_taxi(StreamPacket& out, uint32_t device, int64_t ts_ms) {
+  DeviceState& d = dev_[device];
+  d.a += rng_.next_range(-0.0005, 0.0005);
+  d.b += rng_.next_range(-0.0005, 0.0005);
+  d.c = std::clamp(d.c + rng_.next_range(-8.0, 8.0), 0.0, 110.0);
+  bool occupied = rng_.next_bool(0.6);
+  if (occupied) d.d += d.c * 0.02;
+  out.add_i64(ts_ms);
+  out.add_string(ids_[device]);
+  out.add_f64(d.a);
+  out.add_f64(d.b);
+  out.add_f64(apply_quality(d.c, 110.0));
+  out.add_bool(occupied);
+  out.add_i32(static_cast<int32_t>(d.d));
+}
+
+void TraceGenerator::fill_grid(StreamPacket& out, uint32_t device, int64_t ts_ms) {
+  DeviceState& d = dev_[device];
+  // Demand follows the same diurnal profile as arrivals plus noise.
+  double load = d.a * rate_multiplier(spec_, ts_ms) + rng_.next_range(0.0, 0.3);
+  d.b = std::clamp(d.b + rng_.next_range(-0.2, 0.2), 220.0, 240.0);
+  d.c += load * static_cast<double>(spec_.tick_ms) / 3'600'000.0;
+  out.add_i64(ts_ms);
+  out.add_string(ids_[device]);
+  out.add_f64(apply_quality(load, 20.0));
+  out.add_f64(d.b);
+  out.add_f64(d.c);
+}
+
+void TraceGenerator::fill_air(StreamPacket& out, uint32_t device, int64_t ts_ms) {
+  DeviceState& d = dev_[device];
+  d.a = std::clamp(d.a + rng_.next_range(-1.5, 1.5), 0.0, 400.0);
+  d.b = std::clamp(d.b + rng_.next_range(-2.0, 2.0), 0.0, 600.0);
+  d.c = std::clamp(d.c + rng_.next_range(-1.0, 1.0), 0.0, 200.0);
+  d.d += rng_.next_range(-0.1, 0.1);
+  out.add_i64(ts_ms);
+  out.add_string(ids_[device]);
+  out.add_f64(apply_quality(d.a, 400.0));
+  out.add_f64(d.b);
+  out.add_f64(d.c);
+  out.add_f64(d.d);
+}
+
+void TraceGenerator::fill_reading(StreamPacket& out, uint32_t device, int64_t ts_ms) {
+  switch (spec_.kind) {
+    case TraceKind::kTaxi: fill_taxi(out, device, ts_ms); break;
+    case TraceKind::kGrid: fill_grid(out, device, ts_ms); break;
+    case TraceKind::kAir: fill_air(out, device, ts_ms); break;
+  }
+}
+
+void TraceGenerator::encode_csv(StreamPacket& inout) {
+  std::string row;
+  row.reserve(96);
+  char buf[48];
+  for (size_t i = 0; i < inout.field_count(); ++i) {
+    if (i > 0) row.push_back(',');
+    const Value& v = inout.field(i);
+    switch (value_type(v)) {
+      case FieldType::kI32:
+        std::snprintf(buf, sizeof buf, "%d", std::get<int32_t>(v));
+        row += buf;
+        break;
+      case FieldType::kI64:
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(std::get<int64_t>(v)));
+        row += buf;
+        break;
+      case FieldType::kF64:
+        std::snprintf(buf, sizeof buf, "%.4f", std::get<double>(v));
+        row += buf;
+        break;
+      case FieldType::kBool: row += std::get<bool>(v) ? '1' : '0'; break;
+      case FieldType::kString: row += std::get<std::string>(v); break;
+      default: break;  // no f32/bytes fields in trace schemas
+    }
+  }
+  inout.clear();
+  inout.add_string(std::move(row));
+}
+
+bool TraceGenerator::next(StreamPacket& out) {
+  if (emitted_ >= spec_.events) return false;
+  while (done_this_tick_ >= due_this_tick_) {
+    // Advance to the next tick with arrivals due. The deterministic
+    // fractional carry turns the continuous rate profile into integer
+    // per-tick counts with no long-run rounding bias.
+    if (done_this_tick_ > 0 || due_this_tick_ > 0) ++tick_;
+    int64_t t = spec_.start_ms + tick_ * spec_.tick_ms;
+    carry_ += spec_.events_per_tick * rate_multiplier(spec_, t);
+    due_this_tick_ = static_cast<uint64_t>(carry_);
+    carry_ -= static_cast<double>(due_this_tick_);
+    done_this_tick_ = 0;
+    if (due_this_tick_ == 0 && tick_ > static_cast<int64_t>(spec_.events) * 4 + 16) {
+      // Degenerate spec (rate rounds to zero forever); force one event per
+      // tick rather than spinning.
+      due_this_tick_ = 1;
+    }
+  }
+  ++done_this_tick_;
+  ++emitted_;
+
+  int64_t ts = spec_.start_ms + tick_ * spec_.tick_ms;
+  if (spec_.jitter_ms > 0)
+    ts += static_cast<int64_t>(rng_.next_below(static_cast<uint64_t>(spec_.jitter_ms) + 1));
+  uint32_t device = zipf_.sample(rng_);
+
+  out.clear();
+  fill_reading(out, device, ts);
+  if (spec_.csv_payload) encode_csv(out);
+  return true;
+}
+
+// --- TraceSource -----------------------------------------------------------
+
+TraceSource::TraceSource(TraceSpec spec) : spec_(spec) {}
+
+void TraceSource::open(uint32_t instance, uint32_t parallelism) {
+  instance_ = instance;
+  parallelism_ = parallelism == 0 ? 1 : parallelism;
+  gen_ = std::make_unique<TraceGenerator>(spec_);
+  cursor_ = 0;
+}
+
+bool TraceSource::next(Emitter& out, size_t budget) {
+  if (!gen_) open(0, 1);
+  StreamPacket p;
+  size_t produced = 0;
+  while (produced < budget) {
+    if (!gen_->next(p)) return false;
+    uint64_t index = cursor_++;
+    if (index % parallelism_ != instance_) continue;
+    if (emitted_ < resume_from_) {
+      // restored from a checkpoint: regenerate and skip already-delivered
+      // events so recovery neither loses nor duplicates
+      ++emitted_;
+      continue;
+    }
+    ++emitted_;
+    ++produced;
+    if (emit_all(out, std::move(p)) == EmitStatus::kBackpressured) break;
+    p = StreamPacket();
+  }
+  return true;
+}
+
+void TraceSource::snapshot_state(ByteBuffer& out) const { out.write_varint(emitted_); }
+
+void TraceSource::restore_state(ByteReader& in) {
+  resume_from_ = in.read_varint();
+  emitted_ = 0;
+  gen_.reset();  // re-open regenerates from the start and skips
+  cursor_ = 0;
+}
+
+// --- ReplaySource ----------------------------------------------------------
+
+ReplaySource::ReplaySource(std::shared_ptr<const std::vector<StreamPacket>> packets)
+    : packets_(std::move(packets)) {}
+
+void ReplaySource::open(uint32_t instance, uint32_t parallelism) {
+  instance_ = instance;
+  parallelism_ = parallelism == 0 ? 1 : parallelism;
+  cursor_ = 0;
+}
+
+bool ReplaySource::next(Emitter& out, size_t budget) {
+  size_t produced = 0;
+  while (produced < budget) {
+    if (cursor_ >= packets_->size()) return false;
+    uint64_t index = cursor_++;
+    if (index % parallelism_ != instance_) continue;
+    StreamPacket copy = (*packets_)[index];
+    ++produced;
+    if (emit_all(out, std::move(copy)) == EmitStatus::kBackpressured) break;
+  }
+  return cursor_ < packets_->size();
+}
+
+void ReplaySource::snapshot_state(ByteBuffer& out) const { out.write_varint(cursor_); }
+
+void ReplaySource::restore_state(ByteReader& in) { cursor_ = in.read_varint(); }
+
+}  // namespace neptune::scenarios

@@ -1,0 +1,193 @@
+// Seeded synthetic IoT device traces for the RIoTBench-style scenario suite
+// (Shukla & Simmhan, PAPERS.md): three sensing domains the paper's target
+// deployments actually look like —
+//
+//   taxi  — fleet GPS probes: position random walk, speed, occupancy, fare
+//   grid  — smart-meter readings: diurnal household load, voltage wobble,
+//           cumulative energy counter
+//   air   — city air-quality stations: PM2.5/PM10/ozone with weather drift
+//
+// All generation is a pure function of (TraceSpec, seed): no wall clock, no
+// global state. The same spec replays byte-identical value streams forever,
+// which is what makes golden scenario tests (exact sink digests) possible.
+// Realism knobs model what production IoT ingest actually does to a stream
+// processor: diurnal rate ramps, periodic arrival bursts, Zipf-skewed device
+// activity (hot keys), bounded timestamp jitter, and dirty data (missing /
+// out-of-range readings) for the ETL stages to repair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "neptune/operators.hpp"
+#include "neptune/packet.hpp"
+#include "neptune/state.hpp"
+
+namespace neptune::scenarios {
+
+enum class TraceKind { kTaxi, kGrid, kAir };
+
+const char* trace_kind_name(TraceKind k);
+TraceKind trace_kind_from_name(const std::string& name);
+
+/// Everything that determines the event stream. Event time is synthetic
+/// (milliseconds from start_ms) and carried in data field 0; the packet
+/// header's event_time_ns is left to the runtime's ingest stamp so sink
+/// latency percentiles stay meaningful.
+struct TraceSpec {
+  TraceKind kind = TraceKind::kTaxi;
+  uint32_t devices = 100;
+  uint64_t events = 10'000;  ///< total packets the generator produces
+  uint64_t seed = 1;
+
+  // --- arrival process (event time) ----------------------------------------
+  int64_t start_ms = 0;
+  int64_t tick_ms = 100;          ///< arrival bucket granularity
+  double events_per_tick = 32.0;  ///< base arrival rate per tick
+  /// Rate swings base*(1 ± amplitude) sinusoidally over the period — the
+  /// diurnal ramp, compressed so a test run spans several "days".
+  double diurnal_amplitude = 0.5;
+  int64_t diurnal_period_ms = 60'000;
+  /// Every burst_every_ms, the rate multiplies by burst_factor for
+  /// burst_duration_ms (0 disables) — flash-crowd arrivals.
+  double burst_factor = 3.0;
+  int64_t burst_every_ms = 20'000;
+  int64_t burst_duration_ms = 2'000;
+  /// Zipf exponent for device activity; 0 = uniform. s in [0.8, 1.4] is the
+  /// usual IoT hot-key regime.
+  double zipf_s = 1.1;
+  /// Per-event timestamp jitter within [0, jitter_ms] — bounded disorder, so
+  /// event-time windows >= tick_ms + jitter_ms never see late drops.
+  int64_t jitter_ms = 0;
+
+  // --- data quality (ETL fodder) -------------------------------------------
+  /// Fraction of readings whose primary value is missing (kMissingValue
+  /// sentinel) — repaired by InterpolateProcessor.
+  double missing_fraction = 0.0;
+  /// Fraction of readings whose primary value is corrupt (far out of the
+  /// plausible range) — dropped by RangeFilterProcessor.
+  double corrupt_fraction = 0.0;
+
+  /// Emit each reading as one CSV string field instead of typed fields, so
+  /// an ETL pipeline pays a real parse stage.
+  bool csv_payload = false;
+};
+
+/// Parse a spec from a scenario file's "trace" object. Unknown kinds and
+/// out-of-range values throw JsonError.
+TraceSpec trace_from_json(const JsonValue& doc);
+
+/// Missing-reading sentinel in the primary value field.
+inline constexpr double kMissingValue = -1.0;
+
+/// Typed layout of one reading, by kind. Field 0 is always the event
+/// timestamp (i64 ms), field 1 the device id (string). The "primary value"
+/// (speed / power / pm25) is the field the quality knobs dirty.
+Schema trace_schema(TraceKind kind);
+/// Index of the primary value field within trace_schema(kind).
+size_t trace_primary_field(TraceKind kind);
+
+/// Zipf(s) sampler over ranks [0, n) via inverse-CDF binary search.
+/// Deterministic given the caller's RNG; rank 0 is the hottest device.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double s);
+  uint32_t sample(Xoshiro256& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Arrival-rate multiplier (diurnal * burst) at event time t_ms.
+double rate_multiplier(const TraceSpec& spec, int64_t t_ms);
+
+/// Deterministic event iterator: packets come out in nondecreasing tick
+/// order (timestamps may be jittered within a tick). One generator produces
+/// the whole stream; parallel sources each run their own generator and take
+/// an index-striped share.
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(const TraceSpec& spec);
+
+  /// Fill `out` (cleared first) with the next reading. Returns false once
+  /// spec.events have been produced.
+  bool next(StreamPacket& out);
+
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  void fill_reading(StreamPacket& out, uint32_t device, int64_t ts_ms);
+  void fill_taxi(StreamPacket& out, uint32_t device, int64_t ts_ms);
+  void fill_grid(StreamPacket& out, uint32_t device, int64_t ts_ms);
+  void fill_air(StreamPacket& out, uint32_t device, int64_t ts_ms);
+  double apply_quality(double value, double plausible_hi);
+  void encode_csv(StreamPacket& inout);
+
+  TraceSpec spec_;
+  Xoshiro256 rng_;
+  ZipfSampler zipf_;
+  uint64_t emitted_ = 0;
+  int64_t tick_ = 0;        ///< current tick index
+  double carry_ = 0;        ///< fractional events carried across ticks
+  uint64_t due_this_tick_ = 0;
+  uint64_t done_this_tick_ = 0;
+
+  // per-device state, so consecutive readings of one device are correlated
+  // (low-entropy streams, like real telemetry)
+  struct DeviceState {
+    double a = 0, b = 0, c = 0, d = 0;
+  };
+  std::vector<DeviceState> dev_;
+  std::vector<std::string> ids_;
+};
+
+/// Stream source over a TraceGenerator. Parallel instances stripe the event
+/// index space (event i belongs to instance i % parallelism), so the union
+/// across the group is exactly the spec's stream and each instance emits an
+/// in-order subsequence. Checkpointable: replay position only.
+class TraceSource final : public StreamSource, public Checkpointable {
+ public:
+  explicit TraceSource(TraceSpec spec);
+
+  void open(uint32_t instance, uint32_t parallelism) override;
+  bool next(Emitter& out, size_t budget) override;
+
+  uint64_t emitted() const { return emitted_; }
+
+  void snapshot_state(ByteBuffer& out) const override;
+  void restore_state(ByteReader& in) override;
+
+ private:
+  TraceSpec spec_;
+  std::unique_ptr<TraceGenerator> gen_;
+  uint32_t instance_ = 0;
+  uint32_t parallelism_ = 1;
+  uint64_t cursor_ = 0;    ///< next global event index to generate
+  uint64_t emitted_ = 0;   ///< events this instance has emitted
+  uint64_t resume_from_ = 0;
+};
+
+/// Replays a fixed packet vector (instance-striped like TraceSource). The
+/// property/DST tests use it to drive hand-built event sequences through
+/// real topologies deterministically.
+class ReplaySource final : public StreamSource, public Checkpointable {
+ public:
+  explicit ReplaySource(std::shared_ptr<const std::vector<StreamPacket>> packets);
+
+  void open(uint32_t instance, uint32_t parallelism) override;
+  bool next(Emitter& out, size_t budget) override;
+
+  void snapshot_state(ByteBuffer& out) const override;
+  void restore_state(ByteReader& in) override;
+
+ private:
+  std::shared_ptr<const std::vector<StreamPacket>> packets_;
+  uint32_t instance_ = 0;
+  uint32_t parallelism_ = 1;
+  uint64_t cursor_ = 0;
+};
+
+}  // namespace neptune::scenarios

@@ -1,0 +1,88 @@
+// Data-driven golden scenario tests. Every *.json under
+// tests/scenarios/data/ is one case: a seeded trace, a topology, and the
+// expected per-sink packet counts + digests. The driver runs each scenario
+// twice on inproc (run-to-run determinism) and once on TCP (transport
+// independence) and requires byte-identical digests everywhere, matching
+// the baked expectation. Regenerate expectations with
+//   scenario_run tests/scenarios/data/<name>.json --rebase
+// after an intentional change to traces, operators, or hashing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "scenarios/scenario.hpp"
+
+using namespace neptune;
+using namespace neptune::scenarios;
+
+namespace {
+
+std::vector<std::string> discover_scenarios() {
+  std::vector<std::string> files;
+  for (const auto& e : std::filesystem::directory_iterator(NEPTUNE_SCENARIO_DIR)) {
+    if (e.path().extension() == ".json") files.push_back(e.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string case_name(const testing::TestParamInfo<std::string>& info) {
+  return std::filesystem::path(info.param).stem().string();
+}
+
+class ScenarioGolden : public testing::TestWithParam<std::string> {};
+
+}  // namespace
+
+TEST_P(ScenarioGolden, DigestsStableAcrossRunsAndTransports) {
+  ScenarioSpec spec = load_scenario(GetParam());
+  ASSERT_FALSE(spec.expect.empty())
+      << GetParam() << " has no expect block; run scenario_run --rebase to bake one";
+
+  RunOptions inproc;
+  inproc.transport = Transport::kInproc;
+  ScenarioResult first = run_scenario(spec, inproc);
+  EXPECT_EQ(first.check(spec), "");
+
+  ScenarioResult second = run_scenario(spec, inproc);
+  EXPECT_EQ(second.check(spec), "");
+  for (const auto& [id, sink] : first.sinks) {
+    ASSERT_TRUE(second.sinks.count(id));
+    EXPECT_EQ(sink.digest, second.sinks.at(id).digest)
+        << "sink '" << id << "' digest changed between two identical runs";
+  }
+
+  RunOptions tcp;
+  tcp.transport = Transport::kTcp;
+  ScenarioResult over_tcp = run_scenario(spec, tcp);
+  EXPECT_EQ(over_tcp.check(spec), "");
+  for (const auto& [id, sink] : first.sinks) {
+    ASSERT_TRUE(over_tcp.sinks.count(id));
+    EXPECT_EQ(sink.digest, over_tcp.sinks.at(id).digest)
+        << "sink '" << id << "' digest differs between inproc and tcp";
+  }
+}
+
+TEST_P(ScenarioGolden, FastlaneMatchesGolden) {
+  ScenarioSpec spec = load_scenario(GetParam());
+  RunOptions opts;
+  opts.transport = Transport::kFastlane;
+  ScenarioResult r = run_scenario(spec, opts);
+  EXPECT_EQ(r.check(spec), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(DataDir, ScenarioGolden, testing::ValuesIn(discover_scenarios()),
+                         case_name);
+
+TEST(ScenarioSuite, DiscoversTheThreeCoreScenarios) {
+  // The suite ships with at least ETL, STATS and PRED; a data-dir misconfig
+  // would otherwise skip every golden silently.
+  std::vector<std::string> names;
+  for (const auto& f : discover_scenarios())
+    names.push_back(std::filesystem::path(f).stem().string());
+  EXPECT_NE(std::find(names.begin(), names.end(), "etl_taxi"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "stats_grid"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pred_air"), names.end());
+}

@@ -1,0 +1,250 @@
+// Unit tests for the seeded IoT trace generators: bitwise determinism,
+// instance striping, Zipf key skew, arrival-rate shaping, data-quality
+// knobs, CSV round-trip, and TraceSource checkpoint/restore.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "neptune/workload.hpp"
+#include "scenarios/digest.hpp"
+#include "scenarios/trace.hpp"
+
+using namespace neptune;
+using namespace neptune::scenarios;
+
+namespace {
+
+std::vector<StreamPacket> generate(const TraceSpec& spec) {
+  TraceGenerator gen(spec);
+  std::vector<StreamPacket> out;
+  StreamPacket p;
+  while (gen.next(p)) {
+    out.push_back(p);
+    p = StreamPacket();
+  }
+  return out;
+}
+
+/// Collects everything a source emits (all links).
+struct Collector : Emitter {
+  std::vector<StreamPacket> packets;
+  EmitStatus emit(StreamPacket&& p) override {
+    packets.push_back(std::move(p));
+    return EmitStatus::kOk;
+  }
+  EmitStatus emit(size_t, StreamPacket&& p) override { return emit(std::move(p)); }
+  size_t output_link_count() const override { return 1; }
+  uint32_t instance() const override { return 0; }
+  uint64_t packets_emitted() const override { return packets.size(); }
+};
+
+}  // namespace
+
+TEST(TraceGenerator, SameSpecSameStream) {
+  TraceSpec spec;
+  spec.kind = TraceKind::kGrid;
+  spec.events = 5000;
+  spec.seed = 99;
+  spec.jitter_ms = 7;
+  spec.missing_fraction = 0.05;
+  auto a = generate(spec);
+  auto b = generate(spec);
+  ASSERT_EQ(a.size(), spec.events);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(packet_content_hash(a[i]), packet_content_hash(b[i])) << "at event " << i;
+}
+
+TEST(TraceGenerator, DifferentSeedDifferentStream) {
+  TraceSpec spec;
+  spec.events = 1000;
+  spec.seed = 1;
+  auto a = generate(spec);
+  spec.seed = 2;
+  auto b = generate(spec);
+  size_t same = 0;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (packet_content_hash(a[i]) == packet_content_hash(b[i])) ++same;
+  EXPECT_LT(same, a.size() / 10);
+}
+
+TEST(TraceGenerator, TimestampsNondecreasingPerTick) {
+  TraceSpec spec;
+  spec.events = 4000;
+  spec.jitter_ms = 0;  // without jitter timestamps are fully ordered
+  auto packets = generate(spec);
+  int64_t last = INT64_MIN;
+  for (const auto& p : packets) {
+    int64_t ts = std::get<int64_t>(p.field(0));
+    EXPECT_GE(ts, last);
+    last = ts;
+  }
+}
+
+TEST(TraceGenerator, ZipfSkewsDeviceActivity) {
+  TraceSpec spec;
+  spec.devices = 50;
+  spec.events = 20000;
+  spec.zipf_s = 1.2;
+  auto packets = generate(spec);
+  std::map<std::string, uint64_t> counts;
+  for (const auto& p : packets) ++counts[p.str(1)];
+  uint64_t hottest = 0;
+  for (const auto& [id, n] : counts) hottest = std::max(hottest, n);
+  // Uniform share would be 400; Zipf(1.2) concentrates far more on the head.
+  EXPECT_GT(hottest, 4 * spec.events / spec.devices);
+}
+
+TEST(TraceGenerator, QualityKnobsDirtyTheStream) {
+  TraceSpec spec;
+  spec.kind = TraceKind::kTaxi;
+  spec.events = 20000;
+  spec.missing_fraction = 0.1;
+  spec.corrupt_fraction = 0.05;
+  auto packets = generate(spec);
+  size_t field = trace_primary_field(spec.kind);
+  uint64_t missing = 0, corrupt = 0;
+  for (const auto& p : packets) {
+    double v = std::get<double>(p.field(field));
+    if (v == kMissingValue)
+      ++missing;
+    else if (v > 200.0)  // plausible taxi speed tops out at 110
+      ++corrupt;
+  }
+  double mf = static_cast<double>(missing) / static_cast<double>(spec.events);
+  double cf = static_cast<double>(corrupt) / static_cast<double>(spec.events);
+  EXPECT_NEAR(mf, 0.1, 0.02);
+  EXPECT_NEAR(cf, 0.05, 0.02);
+}
+
+TEST(TraceGenerator, RateMultiplierShapesArrivals) {
+  TraceSpec spec;
+  spec.diurnal_amplitude = 0.5;
+  spec.diurnal_period_ms = 60'000;
+  spec.burst_factor = 3.0;
+  spec.burst_every_ms = 20'000;
+  spec.burst_duration_ms = 2'000;
+  // Inside a burst the multiplier carries the burst factor.
+  double inside = rate_multiplier(spec, 20'500);
+  double outside = rate_multiplier(spec, 15'000);
+  EXPECT_GT(inside, outside);
+  EXPECT_GE(inside, spec.burst_factor * 0.5);
+  // Diurnal swing alone stays within [1-a, 1+a].
+  spec.burst_factor = 1.0;
+  for (int64_t t = 0; t < spec.diurnal_period_ms; t += 1000) {
+    double m = rate_multiplier(spec, t);
+    EXPECT_GE(m, 1.0 - spec.diurnal_amplitude - 1e-9);
+    EXPECT_LE(m, 1.0 + spec.diurnal_amplitude + 1e-9);
+  }
+}
+
+TEST(TraceGenerator, CsvPayloadRoundTripsThroughSchema) {
+  TraceSpec spec;
+  spec.kind = TraceKind::kAir;
+  spec.events = 500;
+  spec.csv_payload = true;
+  auto rows = generate(spec);
+  Schema schema = trace_schema(spec.kind);
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.field_count(), 1u);
+    StreamPacket typed = workload::parse_csv_row(row.str(0), schema);
+    ASSERT_EQ(typed.field_count(), schema.field_count());
+    EXPECT_EQ(value_type(typed.field(0)), FieldType::kI64);
+    EXPECT_EQ(value_type(typed.field(1)), FieldType::kString);
+  }
+}
+
+TEST(TraceSource, InstanceStripingCoversTheWholeStream) {
+  TraceSpec spec;
+  spec.events = 3000;
+  spec.seed = 5;
+
+  DigestAccumulator whole;
+  for (const auto& p : generate(spec)) whole.add(packet_content_hash(p));
+
+  const uint32_t parallelism = 3;
+  DigestAccumulator striped;
+  uint64_t total = 0;
+  for (uint32_t inst = 0; inst < parallelism; ++inst) {
+    TraceSource src(spec);
+    src.open(inst, parallelism);
+    Collector sink;
+    while (src.next(sink, 128)) {
+    }
+    total += sink.packets.size();
+    for (const auto& p : sink.packets) striped.add(packet_content_hash(p));
+  }
+  EXPECT_EQ(total, spec.events);
+  EXPECT_EQ(striped.digest(), whole.digest());
+}
+
+TEST(TraceSource, CheckpointRestoreResumesWithoutLossOrDuplication) {
+  TraceSpec spec;
+  spec.events = 1000;
+  spec.seed = 11;
+
+  // Reference: the uninterrupted stream.
+  TraceSource ref(spec);
+  ref.open(0, 1);
+  Collector all;
+  while (ref.next(all, 64)) {
+  }
+  ASSERT_EQ(all.packets.size(), spec.events);
+
+  // Interrupted: emit ~half, snapshot, restore into a fresh source.
+  TraceSource first(spec);
+  first.open(0, 1);
+  Collector head;
+  for (int i = 0; i < 7; ++i) first.next(head, 64);
+  ByteBuffer snap;
+  first.snapshot_state(snap);
+
+  TraceSource resumed(spec);
+  ByteReader reader(snap.data(), snap.size());
+  resumed.restore_state(reader);
+  resumed.open(0, 1);
+  Collector tail;
+  while (resumed.next(tail, 64)) {
+  }
+
+  ASSERT_EQ(head.packets.size() + tail.packets.size(), spec.events);
+  for (size_t i = 0; i < head.packets.size(); ++i)
+    EXPECT_EQ(packet_content_hash(head.packets[i]), packet_content_hash(all.packets[i]));
+  for (size_t i = 0; i < tail.packets.size(); ++i)
+    EXPECT_EQ(packet_content_hash(tail.packets[i]),
+              packet_content_hash(all.packets[head.packets.size() + i]));
+}
+
+TEST(TraceSpecJson, ParsesAndValidates) {
+  TraceSpec s = trace_from_json(JsonValue::parse(
+      R"({"kind":"grid","devices":12,"events":500,"seed":3,"csv_payload":true})"));
+  EXPECT_EQ(s.kind, TraceKind::kGrid);
+  EXPECT_EQ(s.devices, 12u);
+  EXPECT_EQ(s.events, 500u);
+  EXPECT_TRUE(s.csv_payload);
+
+  EXPECT_THROW(trace_from_json(JsonValue::parse(R"({"kind":"volcano"})")), JsonError);
+  EXPECT_THROW(trace_from_json(JsonValue::parse(R"({"events":0})")), JsonError);
+  EXPECT_THROW(trace_from_json(JsonValue::parse(R"({"missing_fraction":1.5})")), JsonError);
+}
+
+TEST(DigestAccumulator, OrderInsensitiveAndValueSensitive) {
+  StreamPacket a, b;
+  a.add_i64(1).add_string("x").add_f64(2.5);
+  b.add_i64(2).add_string("y").add_f64(7.25);
+
+  DigestAccumulator fwd, rev;
+  fwd.add(packet_content_hash(a));
+  fwd.add(packet_content_hash(b));
+  rev.add(packet_content_hash(b));
+  rev.add(packet_content_hash(a));
+  EXPECT_EQ(fwd.digest(), rev.digest());
+
+  StreamPacket c = a;
+  c.field(2) = Value(2.5000001);
+  DigestAccumulator changed;
+  changed.add(packet_content_hash(c));
+  changed.add(packet_content_hash(b));
+  EXPECT_NE(fwd.digest(), changed.digest());
+}

@@ -1,0 +1,146 @@
+// scenario_run — run a scenario file from the IoT scenario suite and print
+// its sink digests, counters and latency percentiles.
+//
+//   scenario_run <scenario.json> [--transport fastlane|inproc|tcp]
+//                [--events N] [--rebase] [--check]
+//
+// --rebase runs the scenario (inproc) and rewrites the file's "expect"
+// block with the observed sink packet counts and digests — how the golden
+// expectations in tests/scenarios/data/ are (re)generated.
+// --check exits nonzero unless the observed results match "expect".
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "scenarios/scenario.hpp"
+
+using namespace neptune;
+using namespace neptune::scenarios;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scenario_run <scenario.json> [--transport fastlane|inproc|tcp]\n"
+               "                    [--events N] [--rebase] [--check]\n");
+  return 2;
+}
+
+void print_result(const ScenarioSpec& spec, const RunOptions& opts, const ScenarioResult& r) {
+  std::printf("scenario   %s\n", spec.name.c_str());
+  std::printf("transport  %s\n", transport_name(opts.transport));
+  std::printf("events     %llu\n", static_cast<unsigned long long>(r.events));
+  std::printf("seconds    %.3f\n", r.seconds);
+  std::printf("throughput %.0f events/s\n", static_cast<double>(r.events) / r.seconds);
+  for (const auto& [id, sink] : r.sinks) {
+    std::printf("sink %-14s %8llu packets  %s\n", id.c_str(),
+                static_cast<unsigned long long>(sink.packets), sink.digest.c_str());
+    const OperatorMetricsSnapshot* op = nullptr;
+    for (const auto& o : r.metrics.operators)
+      if (o.operator_id == id) op = &o;
+    if (op != nullptr && op->sink_latency_count > 0)
+      std::printf("  latency p50 %.3f ms  p99 %.3f ms  p999 %.3f ms\n",
+                  static_cast<double>(op->sink_latency_p50_ns) * 1e-6,
+                  static_cast<double>(op->sink_latency_p99_ns) * 1e-6,
+                  static_cast<double>(op->sink_latency_p999_ns) * 1e-6);
+  }
+  std::printf("%-16s %10s %10s %8s %8s\n", "operator", "in", "out", "shed", "quar");
+  for (const auto& o : r.metrics.operators)
+    std::printf("%-16s %10llu %10llu %8llu %8llu\n", o.operator_id.c_str(),
+                static_cast<unsigned long long>(o.packets_in),
+                static_cast<unsigned long long>(o.packets_out),
+                static_cast<unsigned long long>(o.packets_shed),
+                static_cast<unsigned long long>(o.packets_quarantined));
+  std::printf("shed %llu  quarantined %llu  seq_violations %llu\n",
+              static_cast<unsigned long long>(
+                  r.metrics.total(&OperatorMetricsSnapshot::packets_shed)),
+              static_cast<unsigned long long>(
+                  r.metrics.total(&OperatorMetricsSnapshot::packets_quarantined)),
+              static_cast<unsigned long long>(
+                  r.metrics.total(&OperatorMetricsSnapshot::seq_violations)));
+}
+
+int rebase(const std::string& path, const ScenarioSpec& spec, const ScenarioResult& r) {
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  JsonValue doc = JsonValue::parse(text);
+  JsonObject sinks;
+  for (const auto& [id, sink] : r.sinks) {
+    JsonObject e;
+    e["packets"] = JsonValue(static_cast<int64_t>(sink.packets));
+    e["digest"] = JsonValue(sink.digest);
+    sinks[id] = JsonValue(std::move(e));
+  }
+  JsonObject expect;
+  expect["sinks"] = JsonValue(std::move(sinks));
+  doc.as_object()["expect"] = JsonValue(std::move(expect));
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot rewrite %s\n", path.c_str());
+    return 1;
+  }
+  out << doc.dump(2) << "\n";
+  std::printf("rebased expect block of %s (%zu sinks)\n", path.c_str(), r.sinks.size());
+  (void)spec;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  RunOptions opts;
+  bool do_rebase = false, do_check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+      std::string t = argv[++i];
+      if (t == "fastlane")
+        opts.transport = Transport::kFastlane;
+      else if (t == "inproc")
+        opts.transport = Transport::kInproc;
+      else if (t == "tcp")
+        opts.transport = Transport::kTcp;
+      else
+        return usage();
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      opts.events_override = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rebase") == 0) {
+      do_rebase = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      do_check = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) return usage();
+
+  try {
+    ScenarioSpec spec = load_scenario(path);
+    ScenarioResult r = run_scenario(spec, opts);
+    print_result(spec, opts, r);
+    if (r.timed_out) {
+      std::fprintf(stderr, "scenario timed out\n");
+      return 1;
+    }
+    if (!r.failure.empty()) {
+      std::fprintf(stderr, "scenario failed: %s\n", r.failure.c_str());
+      return 1;
+    }
+    if (do_rebase) return rebase(path, spec, r);
+    if (do_check) {
+      std::string err = r.check(spec);
+      if (!err.empty()) {
+        std::fprintf(stderr, "CHECK FAILED: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf("check ok\n");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario_run: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
