@@ -178,6 +178,7 @@ struct RelayResult {
   uint64_t timer_flushes = 0;
   uint64_t blocked_sends = 0;
   uint64_t seq_violations = 0;
+  uint64_t frame_copies = 0;  ///< inbound frames the runtime had to copy (0 = zero-copy held)
 };
 
 struct RelayOptions {
@@ -189,6 +190,12 @@ struct RelayOptions {
   workload::PayloadKind payload_kind = workload::PayloadKind::kText;
   CompressionPolicy compression = {};
   size_t resources = 2;  ///< sender+receiver on res 0, relay on res 1 (paper's layout)
+  /// Cross-resource transport for the relay edges (kTcp = loopback TCP).
+  EdgeTransport transport = EdgeTransport::kInproc;
+  /// When the transport is TCP: carry edges over the supervised channel
+  /// (heartbeats/acks/retransmit) as the runtime does by default, or the
+  /// raw epoll transport when false.
+  bool supervise_tcp = true;
 };
 
 /// Run the Figure-1 relay (source -> relay -> sink) on the real runtime and
@@ -203,7 +210,10 @@ inline RelayResult run_relay(const RelayOptions& opt) {
   cfg.channel.capacity_bytes = opt.channel_bytes;
   cfg.channel.low_watermark_bytes = opt.channel_bytes / 4;
 
-  Runtime rt(opt.resources, {.worker_threads = 1, .io_threads = 1});
+  RuntimeOptions ro;
+  ro.cross_resource_transport = opt.transport;
+  ro.supervise_tcp = opt.supervise_tcp;
+  Runtime rt(opt.resources, {.worker_threads = 1, .io_threads = 1}, ro);
   StreamGraph g("relay-bench", cfg);
   uint64_t total = opt.packets;
   size_t payload = opt.payload_bytes;
@@ -234,6 +244,7 @@ inline RelayResult run_relay(const RelayOptions& opt) {
   r.timer_flushes = m.total(&OperatorMetricsSnapshot::timer_flushes);
   r.blocked_sends = m.total(&OperatorMetricsSnapshot::blocked_sends);
   r.seq_violations = m.total(&OperatorMetricsSnapshot::seq_violations);
+  r.frame_copies = m.total(&OperatorMetricsSnapshot::frame_copies);
 
   r.latency = latency_of(m, "receiver");
   return r;
@@ -252,6 +263,7 @@ inline JsonObject relay_row(const RelayResult& r) {
   row["timer_flushes"] = JsonValue(static_cast<int64_t>(r.timer_flushes));
   row["blocked_sends"] = JsonValue(static_cast<int64_t>(r.blocked_sends));
   row["seq_violations"] = JsonValue(static_cast<int64_t>(r.seq_violations));
+  row["frame_copies"] = JsonValue(static_cast<int64_t>(r.frame_copies));
   return row;
 }
 

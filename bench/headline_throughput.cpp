@@ -56,6 +56,28 @@ int main() {
     report.add_row(std::move(row));
   }
 
+  // TCP rows: the same relay carried over loopback TCP (supervised, the
+  // runtime default) — the config the zero-copy transport work targets.
+  for (size_t payload : {size_t{50}, size_t{100}}) {
+    print_header("single node (real runtime): TCP relay, " + std::to_string(payload) +
+                 " B packets, 1 MB buffers");
+    RelayOptions opt;
+    opt.payload_bytes = payload;
+    opt.buffer_bytes = 1 << 20;
+    opt.packets = 1'000'000;
+    opt.transport = EdgeTransport::kTcp;
+    auto r = run_relay(opt);
+    print_row({"kpkt/s", "MB/s-wire", "lat-p50-ms", "lat-p99-ms", "frame-copies"});
+    print_row({fmt("%.0f", r.throughput_pps / 1e3), fmt("%.1f", r.wire_bytes_per_s / 1e6),
+               fmt("%.2f", r.latency.p50_ms), fmt("%.2f", r.latency.p99_ms),
+               fmt("%.0f", static_cast<double>(r.frame_copies))});
+    JsonObject row = relay_row(r);
+    row["config"] = JsonValue("tcp_relay_" + std::to_string(payload) + "B_1MB");
+    row["payload_bytes"] = JsonValue(static_cast<int64_t>(opt.payload_bytes));
+    row["buffer_bytes"] = JsonValue(static_cast<int64_t>(opt.buffer_bytes));
+    report.add_row(std::move(row));
+  }
+
   {
     print_header("99p latency with 10 KB packets, throughput-optimized config");
     RelayOptions opt;

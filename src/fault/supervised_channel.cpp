@@ -22,20 +22,31 @@ void loop_barrier(EventLoop* loop) {
   fut.wait_for(std::chrono::milliseconds(500));
 }
 
-std::shared_ptr<std::vector<uint8_t>> encode_control(uint8_t flags, uint32_t link_id,
-                                                     uint64_t ack_value, bool with_payload) {
+/// Control frames (heartbeats, acks, EOF) are encoded into pooled buffers
+/// and sent through the zero-copy ref path, so the steady-state ack stream
+/// is allocation-free once the pool is warm.
+FrameBufRef encode_control(uint8_t flags, uint32_t link_id, uint64_t ack_value,
+                           bool with_payload) {
   FrameHeader h;
   h.flags = flags;
   h.link_id = link_id;
-  ByteBuffer buf;
+  FrameBufRef buf = FrameBufPool::global().acquire();
   if (with_payload) {
-    ByteBuffer payload;
-    payload.write_u64(ack_value);
-    encode_frame(h, payload.contents(), buf);
+    uint8_t payload[8];
+    for (int i = 0; i < 8; ++i) payload[i] = static_cast<uint8_t>(ack_value >> (8 * i));
+    encode_frame(h, payload, buf->buffer());
   } else {
-    encode_frame(h, {}, buf);
+    encode_frame(h, {}, buf->buffer());
   }
-  return std::make_shared<std::vector<uint8_t>>(buf.contents().begin(), buf.contents().end());
+  return buf;
+}
+
+/// The transport config for a supervised link's connections: the stream is
+/// all wire frames, so the connection carves them at the socket and both
+/// directions ride pooled views end to end.
+ChannelConfig framed(ChannelConfig c) {
+  c.framed_rx = true;
+  return c;
 }
 
 void detach_connection(const std::shared_ptr<TcpConnection>& conn) {
@@ -99,18 +110,26 @@ SupervisedTcpSender::~SupervisedTcpSender() {
 }
 
 SendStatus SupervisedTcpSender::try_send(std::span<const uint8_t> frame) {
+  // Legacy copying entry: stage into a pooled buffer, then share the
+  // zero-copy retention path.
+  FrameBufRef staged = FrameBufPool::global().acquire();
+  staged->buffer().write_bytes(frame);
+  return try_send(staged);
+}
+
+SendStatus SupervisedTcpSender::try_send(const FrameBufRef& frame) {
+  size_t size = frame.size();
   {
     std::lock_guard lk(mu_);
     if (shutdown_ || hard_failed_ || eof_enqueued_) return SendStatus::kClosed;
-    if (!retained_.empty() && retained_bytes_ + frame.size() > channel_config_.capacity_bytes) {
+    if (!retained_.empty() && retained_bytes_ + size > channel_config_.capacity_bytes) {
       blocked_ = true;
       return SendStatus::kBlocked;
     }
-    retained_.push_back(
-        {std::make_shared<std::vector<uint8_t>>(frame.begin(), frame.end()), false});
-    retained_bytes_ += frame.size();
+    retained_.push_back({frame, false});  // pins the caller's buffer
+    retained_bytes_ += size;
     ++total_enqueued_;
-    bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+    bytes_sent_.fetch_add(size, std::memory_order_relaxed);
   }
   pump();
   return SendStatus::kOk;
@@ -131,15 +150,9 @@ void SupervisedTcpSender::close() {
   {
     std::lock_guard lk(mu_);
     if (shutdown_ || eof_enqueued_) return;
-    FrameHeader h;
-    h.flags = FrameHeader::kFlagEof;
-    h.link_id = edge_.link_id;
-    ByteBuffer buf;
-    encode_frame(h, {}, buf);
-    retained_.push_back(
-        {std::make_shared<std::vector<uint8_t>>(buf.contents().begin(), buf.contents().end()),
-         /*control=*/true});
-    retained_bytes_ += buf.size();
+    FrameBufRef eof = encode_control(FrameHeader::kFlagEof, edge_.link_id, 0, false);
+    retained_bytes_ += eof.size();
+    retained_.push_back({std::move(eof), /*control=*/true});
     ++total_enqueued_;
     eof_enqueued_ = true;
   }
@@ -219,7 +232,7 @@ void SupervisedTcpSender::supervise() {
 bool SupervisedTcpSender::attempt_connect() {
   int fd = tcp_connect_blocking(port_, config_.connect_timeout_ms);
   if (fd < 0) return false;
-  auto conn = TcpConnection::create(loop_, fd, channel_config_);
+  auto conn = TcpConnection::create(loop_, fd, framed(channel_config_));
   conn->start();
   uint64_t inc;
   bool was_reconnect;
@@ -267,7 +280,7 @@ void SupervisedTcpSender::pump() {
   if (pumping_.exchange(true, std::memory_order_acquire)) return;
   for (;;) {
     std::shared_ptr<ChannelSender> path;
-    std::shared_ptr<std::vector<uint8_t>> bytes;
+    FrameBufRef frame;
     uint64_t idx = 0, inc = 0;
     bool have_work = false;
     {
@@ -278,7 +291,7 @@ void SupervisedTcpSender::pump() {
         size_t pos = static_cast<size_t>(idx - 1 - trimmed_);
         if (pos < retained_.size()) {
           const RetainedFrame& f = retained_[pos];
-          bytes = f.bytes;
+          frame = f.frame;  // extra ref: survives a concurrent ack trim
           path = f.control ? std::static_pointer_cast<ChannelSender>(conn_) : data_path_;
           inc = incarnation_;
           have_work = true;
@@ -296,7 +309,11 @@ void SupervisedTcpSender::pump() {
       if (pumping_.exchange(true, std::memory_order_acquire)) return;
       continue;
     }
-    SendStatus st = path->try_send(*bytes);
+    // The ref overload pins the same buffer in the connection's out queue —
+    // a retransmission after reconnect sends these exact bytes again, no
+    // copy at any hop. (A fault-decorated path falls back to the span
+    // adapter; that copy only exists under injection.)
+    SendStatus st = path->try_send(frame);
     if (st == SendStatus::kOk) {
       std::lock_guard lk(mu_);
       if (inc == incarnation_ && sent_through_ < idx) sent_through_ = idx;
@@ -323,20 +340,32 @@ void SupervisedTcpSender::drain_acks(uint64_t incarnation) {
     if (incarnation != incarnation_ || !conn_) return;
     conn = conn_;
   }
-  while (auto chunk = conn->try_receive()) {
+  while (auto chunk = conn->try_receive_buf()) {
     uint64_t acked = 0;
     bool got_ack = false;
     {
       std::lock_guard lk(mu_);
       if (incarnation != incarnation_) return;
       last_inbound_ns_ = now_ns();
-      ack_decoder_.feed(*chunk, [&](const FrameHeader& h, std::span<const uint8_t> payload) {
+      auto on_frame = [&](const FrameHeader& h, std::span<const uint8_t> payload) {
         if ((h.flags & FrameHeader::kFlagAck) != 0 && payload.size() >= 8) {
           uint64_t c = ByteReader(payload).read_u64();
           acked = std::max(acked, c);
           got_ack = true;
         }
-      });
+      };
+      std::span<const uint8_t> bytes = chunk->contents();
+      // framed_rx delivers exactly one frame per view — decode in place.
+      // Anything else (raw fallback, injector decorators) reassembles.
+      if (ack_decoder_.pending_bytes() == 0) {
+        if (auto f = decode_whole_frame(bytes)) {
+          on_frame(f->header, f->payload);
+        } else {
+          ack_decoder_.feed(bytes, on_frame);
+        }
+      } else {
+        ack_decoder_.feed(bytes, on_frame);
+      }
     }
     if (got_ack) handle_ack(acked, incarnation);
   }
@@ -358,8 +387,8 @@ void SupervisedTcpSender::handle_ack(uint64_t consumed, uint64_t incarnation) {
       do_pump = true;
     }
     while (trimmed_ < consumed && !retained_.empty()) {
-      retained_bytes_ -= retained_.front().bytes->size();
-      retained_.pop_front();
+      retained_bytes_ -= retained_.front().frame.size();
+      retained_.pop_front();  // releases the pin; the pool recycles the buffer
       ++trimmed_;
     }
     if (sent_through_ < trimmed_) sent_through_ = trimmed_;
@@ -398,8 +427,8 @@ void SupervisedTcpSender::send_heartbeat() {
     if (link_state_ == LinkState::kDisconnected || !conn_) return;
     conn = conn_;
   }
-  auto frame = encode_control(FrameHeader::kFlagHeartbeat, edge_.link_id, 0, false);
-  conn->try_send(*frame);  // best effort; a dead link is caught by the timeout
+  FrameBufRef frame = encode_control(FrameHeader::kFlagHeartbeat, edge_.link_id, 0, false);
+  conn->try_send(frame);  // best effort; a dead link is caught by the timeout
 }
 
 // --- SupervisedTcpReceiver ------------------------------------------------------
@@ -438,7 +467,7 @@ SupervisedTcpReceiver::~SupervisedTcpReceiver() {
 }
 
 void SupervisedTcpReceiver::on_accept(int fd) {
-  auto conn = TcpConnection::create(loop_, fd, channel_config_);
+  auto conn = TcpConnection::create(loop_, fd, framed(channel_config_));
   conn->start();
   std::shared_ptr<TcpConnection> old;
   uint64_t inc;
@@ -479,31 +508,54 @@ void SupervisedTcpReceiver::drain(uint64_t incarnation) {
   bool notify = false;
   std::function<void()> data_cb;
   while (!corrupt) {
-    auto chunk = rx->try_receive();
+    auto chunk = rx->try_receive_buf();
     if (!chunk) break;
     std::lock_guard lk(mu_);
     if (incarnation != incarnation_ || shutdown_) return;
     last_inbound_ns_ = now_ns();
     bytes_received_.fetch_add(chunk->size(), std::memory_order_relaxed);
     bool was_empty = queue_.empty();
-    FrameDecodeStatus s =
-        decoder_.feed(*chunk, [&](const FrameHeader& h, std::span<const uint8_t> payload) {
-          if ((h.flags & FrameHeader::kFlagHeartbeat) != 0) {
-            need_ack = true;
-          } else if ((h.flags & FrameHeader::kFlagAck) != 0) {
-            // Not expected on this side; ignore.
-          } else if ((h.flags & FrameHeader::kFlagEof) != 0) {
-            queue_.push_back({{}, /*eof=*/true});
-          } else {
-            // Re-encode the validated frame so the runtime's decoder sees a
-            // byte-exact wire frame (CRC recomputed over verified payload).
-            reencode_scratch_.clear();
-            encode_frame(h, payload, reencode_scratch_);
-            queue_.push_back({std::vector<uint8_t>(reencode_scratch_.contents().begin(),
-                                                   reencode_scratch_.contents().end()),
-                              /*eof=*/false});
-          }
-        });
+    auto classify = [&](const FrameHeader& h) -> int {
+      if ((h.flags & FrameHeader::kFlagHeartbeat) != 0) return 1;
+      if ((h.flags & FrameHeader::kFlagAck) != 0) return 2;  // not expected here; ignore
+      if ((h.flags & FrameHeader::kFlagEof) != 0) return 3;
+      return 0;  // data
+    };
+    FrameDecodeStatus s = FrameDecodeStatus::kNeedMore;
+    std::optional<DecodedFrame> whole;
+    // Fast path: framed_rx connections deliver exactly one CRC-checkable
+    // wire frame per view, so the view itself (still pinning the transport's
+    // recv chunk) is queued for the runtime — no reassembly, no re-encode.
+    // The FrameDecoder fallback covers raw-fallback streams and
+    // fault-decorated paths, re-encoding into a pooled buffer.
+    if (decoder_.pending_bytes() == 0 &&
+        (whole = decode_whole_frame(chunk->contents(), &s)).has_value()) {
+      switch (classify(whole->header)) {
+        case 1: need_ack = true; break;
+        case 2: break;
+        case 3: queue_.push_back({FrameBufRef{}, /*eof=*/true}); break;
+        default: queue_.push_back({std::move(*chunk), /*eof=*/false}); break;
+      }
+      s = FrameDecodeStatus::kFrame;
+    } else if (decoder_.pending_bytes() == 0 && s != FrameDecodeStatus::kNeedMore) {
+      // A whole-looking view with a corrupt header/CRC: fail without
+      // polluting the reassembler.
+    } else {
+      s = decoder_.feed(chunk->contents(),
+                        [&](const FrameHeader& h, std::span<const uint8_t> payload) {
+                          switch (classify(h)) {
+                            case 1: need_ack = true; break;
+                            case 2: break;
+                            case 3: queue_.push_back({FrameBufRef{}, /*eof=*/true}); break;
+                            default: {
+                              FrameBufRef reframed = FrameBufPool::global().acquire();
+                              encode_frame(h, payload, reframed->buffer());
+                              queue_.push_back({std::move(reframed), /*eof=*/false});
+                              break;
+                            }
+                          }
+                        });
+    }
     if (s == FrameDecodeStatus::kBadMagic || s == FrameDecodeStatus::kBadChecksum ||
         s == FrameDecodeStatus::kBadLength) {
       NEPTUNE_LOG_INFO("supervised edge %s: corrupt frame (status %d), dropping connection",
@@ -531,8 +583,8 @@ void SupervisedTcpReceiver::drain(uint64_t incarnation) {
   if (notify && data_cb) data_cb();
 }
 
-std::optional<std::vector<uint8_t>> SupervisedTcpReceiver::try_receive() {
-  std::optional<std::vector<uint8_t>> out;
+std::optional<FrameBufRef> SupervisedTcpReceiver::try_receive_buf() {
+  std::optional<FrameBufRef> out;
   bool ack = false;
   {
     std::lock_guard lk(mu_);
@@ -546,7 +598,7 @@ std::optional<std::vector<uint8_t>> SupervisedTcpReceiver::try_receive() {
         cv_.notify_all();
         continue;
       }
-      out = std::move(f.bytes);
+      out = std::move(f.frame);
       queue_.pop_front();
       ++consumed_;
       ack = true;
@@ -557,13 +609,27 @@ std::optional<std::vector<uint8_t>> SupervisedTcpReceiver::try_receive() {
   return out;
 }
 
-std::optional<std::vector<uint8_t>> SupervisedTcpReceiver::receive(
-    std::chrono::nanoseconds timeout) {
+std::optional<FrameBufRef> SupervisedTcpReceiver::receive_buf(std::chrono::nanoseconds timeout) {
   {
     std::unique_lock lk(mu_);
     cv_.wait_for(lk, timeout, [&] { return !queue_.empty() || shutdown_ || eof_consumed_; });
   }
-  return try_receive();
+  return try_receive_buf();
+}
+
+std::optional<std::vector<uint8_t>> SupervisedTcpReceiver::try_receive() {
+  auto buf = try_receive_buf();
+  if (!buf) return std::nullopt;
+  std::span<const uint8_t> bytes = buf->contents();
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<uint8_t>> SupervisedTcpReceiver::receive(
+    std::chrono::nanoseconds timeout) {
+  auto buf = receive_buf(timeout);
+  if (!buf) return std::nullopt;
+  std::span<const uint8_t> bytes = buf->contents();
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
 }
 
 void SupervisedTcpReceiver::set_data_callback(std::function<void()> cb) {
@@ -585,8 +651,8 @@ void SupervisedTcpReceiver::send_ack() {
     conn = conn_;
     consumed = consumed_;
   }
-  auto frame = encode_control(FrameHeader::kFlagAck, edge_.link_id, consumed, true);
-  conn->try_send(*frame);  // best effort; acks are cumulative
+  FrameBufRef frame = encode_control(FrameHeader::kFlagAck, edge_.link_id, consumed, true);
+  conn->try_send(frame);  // best effort; acks are cumulative
 }
 
 void SupervisedTcpReceiver::supervise() {

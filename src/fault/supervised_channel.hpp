@@ -93,6 +93,9 @@ class SupervisedTcpSender final : public ChannelSender {
   // frame and keeps the machinery alive until the receiver acks it (or the
   // sender is destroyed).
   SendStatus try_send(std::span<const uint8_t> frame) override;
+  /// Zero-copy path: the pooled frame is pinned in the retention window and
+  /// retransmitted from the same ref after a reconnect — never copied.
+  SendStatus try_send(const FrameBufRef& frame) override;
   void set_writable_callback(std::function<void()> cb) override;
   bool writable(size_t bytes) const override;
   void close() override;
@@ -107,7 +110,7 @@ class SupervisedTcpSender final : public ChannelSender {
   enum class LinkState { kDisconnected, kAwaitHello, kStreaming };
 
   struct RetainedFrame {
-    std::shared_ptr<std::vector<uint8_t>> bytes;
+    FrameBufRef frame;     ///< pinned wire frame; retransmits reuse this ref
     bool control = false;  ///< EOF: bypasses the fault decorator
   };
 
@@ -175,6 +178,10 @@ class SupervisedTcpReceiver final : public ChannelReceiver {
   // ChannelReceiver
   std::optional<std::vector<uint8_t>> receive(std::chrono::nanoseconds timeout) override;
   std::optional<std::vector<uint8_t>> try_receive() override;
+  /// Zero-copy path: yields the validated frame as the same pooled view the
+  /// transport carved from its recv chunk (the legacy vector methods copy).
+  std::optional<FrameBufRef> receive_buf(std::chrono::nanoseconds timeout) override;
+  std::optional<FrameBufRef> try_receive_buf() override;
   void set_data_callback(std::function<void()> cb) override;
   bool closed() const override;
   uint64_t bytes_received() const override {
@@ -186,7 +193,7 @@ class SupervisedTcpReceiver final : public ChannelReceiver {
 
  private:
   struct QueuedFrame {
-    std::vector<uint8_t> bytes;  ///< re-encoded wire frame (empty for EOF)
+    FrameBufRef frame;  ///< validated wire frame view (null for EOF)
     bool eof = false;
   };
 
@@ -216,7 +223,6 @@ class SupervisedTcpReceiver final : public ChannelReceiver {
   bool shutdown_ = false;
   int64_t last_inbound_ns_ = 0;
   std::function<void()> data_cb_;
-  ByteBuffer reencode_scratch_;
 
   std::atomic<uint64_t> bytes_received_{0};
   std::atomic<uint64_t> accepts_{0};

@@ -976,6 +976,58 @@ void Runtime::shutdown() {
   for (auto& r : resources_) r->stop();
 }
 
+namespace {
+
+/// Registers the process-wide TCP transport counters as telemetry series the
+/// first time a TCP edge is built. The stats object and the handles are both
+/// process-lifetime (leaked), matching TcpTransportStats::global().
+void register_tcp_transport_telemetry() {
+  static const bool once = [] {
+    obs::TelemetryRegistry& reg = obs::TelemetryRegistry::global();
+    TcpTransportStats& s = TcpTransportStats::global();
+    auto counter = [&](const char* name, const char* help,
+                       const std::atomic<uint64_t>& field) {
+      return reg.register_series({name, {}, obs::SeriesKind::kCounter, help},
+                                 [&field] {
+                                   return static_cast<double>(
+                                       field.load(std::memory_order_relaxed));
+                                 });
+    };
+    static std::vector<obs::TelemetryRegistry::Handle>* handles =
+        new std::vector<obs::TelemetryRegistry::Handle>();
+    handles->push_back(counter("neptune_tcp_tx_copies_total",
+                               "Outbound TCP frames staged via the copying span path",
+                               s.tx_copies));
+    handles->push_back(counter("neptune_tcp_rx_copies_total",
+                               "Partial-frame tails spliced across pooled recv chunks",
+                               s.rx_copies));
+    handles->push_back(counter("neptune_tcp_rx_splice_bytes_total",
+                               "Bytes moved by cross-chunk partial-frame splices",
+                               s.rx_splice_bytes));
+    handles->push_back(counter("neptune_tcp_tx_frames_total",
+                               "Frames enqueued on TCP connections", s.tx_frames));
+    handles->push_back(counter("neptune_tcp_rx_frames_total",
+                               "Whole frames carved from pooled recv chunks", s.rx_frames));
+    handles->push_back(counter("neptune_tcp_sendmsg_calls_total",
+                               "sendmsg() drain syscalls issued", s.sendmsg_calls));
+    handles->push_back(reg.register_series(
+        {"neptune_tcp_sendmsg_iovecs_avg",
+         {},
+         obs::SeriesKind::kGauge,
+         "Mean iovecs per sendmsg (scatter-gather batching factor)"},
+        [&s] {
+          uint64_t calls = s.sendmsg_calls.load(std::memory_order_relaxed);
+          if (calls == 0) return 0.0;
+          return static_cast<double>(s.sendmsg_iovecs.load(std::memory_order_relaxed)) /
+                 static_cast<double>(calls);
+        }));
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
 Runtime::EdgeChannel Runtime::make_edge_channel(granules::Resource* src, granules::Resource* dst,
                                                 const ChannelConfig& config,
                                                 const fault::EdgeId& edge,
@@ -999,6 +1051,7 @@ Runtime::EdgeChannel Runtime::make_edge_channel(granules::Resource* src, granule
     }
     return {sender, receiver};
   }
+  register_tcp_transport_telemetry();
   if (options_.supervise_tcp) {
     // Self-healing TCP edge: the receiver keeps a persistent listener so
     // the sender can reconnect after any failure; the injector (if any) is
@@ -1020,18 +1073,22 @@ Runtime::EdgeChannel Runtime::make_edge_channel(granules::Resource* src, granule
   // per edge on the destination resource's IO loop; the source resource
   // connects. The listener is discarded once the edge's connection is
   // accepted, so a dropped connection is unrecoverable.
+  // Runtime edges carry only wire frames, so the connection carves them at
+  // the socket (framed_rx) and the decode fast path stays zero-copy.
+  ChannelConfig tcp_cfg = config;
+  tcp_cfg.framed_rx = true;
   auto accepted = std::make_shared<std::promise<std::shared_ptr<TcpConnection>>>();
   auto accepted_future = accepted->get_future();
   EventLoop* dst_loop = dst->io_loop(0);
-  TcpListener listener(dst_loop, /*port=*/0, [accepted, dst_loop, config](int fd) {
-    auto conn = TcpConnection::create(dst_loop, fd, config);
+  TcpListener listener(dst_loop, /*port=*/0, [accepted, dst_loop, tcp_cfg](int fd) {
+    auto conn = TcpConnection::create(dst_loop, fd, tcp_cfg);
     conn->start();
     accepted->set_value(std::move(conn));
   });
 
   int fd = tcp_connect_blocking(listener.port());
   if (fd < 0) throw GraphError("TCP edge setup failed: connect()");
-  auto client = TcpConnection::create(src->io_loop(0), fd, config);
+  auto client = TcpConnection::create(src->io_loop(0), fd, tcp_cfg);
   client->start();
   if (accepted_future.wait_for(std::chrono::seconds(5)) != std::future_status::ready)
     throw GraphError("TCP edge setup failed: accept timeout");

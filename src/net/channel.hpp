@@ -107,6 +107,13 @@ struct ChannelConfig {
   bool spsc = false;
   /// Frame-slot capacity of the SPSC ring (rounded up to a power of two).
   size_t spsc_frames = 1024;
+  /// TCP receive path: when true the connection carves the byte stream into
+  /// whole wire frames at the socket (windowed views over pooled recv
+  /// chunks), so try_receive_buf() yields exactly-one-frame buffers and the
+  /// consumer's decode_whole_frame fast path never copies. When false
+  /// (default) the connection delivers raw per-recv chunks and consumers
+  /// reassemble with a FrameDecoder — required for non-frame byte streams.
+  bool framed_rx = false;
 };
 
 }  // namespace neptune

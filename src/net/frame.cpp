@@ -83,6 +83,15 @@ FrameBufPool& FrameBufPool::global() {
   return *pool;
 }
 
+FrameDecodeStatus peek_frame_extent(std::span<const uint8_t> bytes, size_t* extent) {
+  if (bytes.size() < FrameHeader::kSize) return FrameDecodeStatus::kNeedMore;
+  FrameHeader h;
+  FrameDecodeStatus s = parse_header(bytes.data(), h);
+  if (s != FrameDecodeStatus::kFrame) return s;
+  if (extent) *extent = FrameHeader::kSize + h.payload_size;
+  return FrameDecodeStatus::kFrame;
+}
+
 std::optional<DecodedFrame> decode_whole_frame(std::span<const uint8_t> bytes,
                                                FrameDecodeStatus* status) {
   auto f = decode_frame(bytes, status);

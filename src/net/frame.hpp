@@ -102,4 +102,12 @@ std::optional<DecodedFrame> decode_frame(std::span<const uint8_t> bytes,
 std::optional<DecodedFrame> decode_whole_frame(std::span<const uint8_t> bytes,
                                                FrameDecodeStatus* status = nullptr);
 
+/// Cheap frame-boundary probe for stream carving: when `bytes` starts with
+/// at least a header, set `*extent` to the full wire length (header +
+/// payload) of the frame beginning there and return kFrame. No CRC check —
+/// payload validation stays with the consumer's decode. Returns kNeedMore
+/// when fewer than FrameHeader::kSize bytes are available, or
+/// kBadMagic/kBadLength on a corrupt header.
+FrameDecodeStatus peek_frame_extent(std::span<const uint8_t> bytes, size_t* extent);
+
 }  // namespace neptune

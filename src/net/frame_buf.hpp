@@ -54,20 +54,37 @@ class FrameBuf {
   FrameBufPool* pool_ = nullptr;  ///< owning pool; null for unpooled bufs
 };
 
-/// Intrusive refcounted handle to a FrameBuf. Copy = ref++, cheap. When the
-/// last handle drops, the buffer is recycled into its pool (or deleted if
+/// Intrusive refcounted handle to a FrameBuf, optionally narrowed to a
+/// window of the underlying bytes. Copy = ref++, cheap. When the last
+/// handle drops, the buffer is recycled into its pool (or deleted if
 /// unpooled). Thread-safe in the shared_ptr sense: distinct handles to the
 /// same buffer may be used/dropped from different threads; one handle must
 /// not be mutated concurrently.
+///
+/// Windows are what make the TCP receive path copy-free: the socket reader
+/// recvs into one large pooled chunk and hands each complete wire frame
+/// upstream as `chunk_ref.slice(frame_off, frame_len)` — a view that pins
+/// the whole chunk but reads as exactly one frame. contents()/size() are
+/// window-relative; get()/operator-> expose the whole underlying buffer.
 class FrameBufRef {
  public:
+  static constexpr size_t kWholeBuf = static_cast<size_t>(-1);
+
   FrameBufRef() = default;
-  FrameBufRef(const FrameBufRef& o) noexcept : buf_(o.buf_) { retain(); }
-  FrameBufRef(FrameBufRef&& o) noexcept : buf_(o.buf_) { o.buf_ = nullptr; }
+  FrameBufRef(const FrameBufRef& o) noexcept : buf_(o.buf_), off_(o.off_), len_(o.len_) {
+    retain();
+  }
+  FrameBufRef(FrameBufRef&& o) noexcept : buf_(o.buf_), off_(o.off_), len_(o.len_) {
+    o.buf_ = nullptr;
+    o.off_ = 0;
+    o.len_ = kWholeBuf;
+  }
   FrameBufRef& operator=(const FrameBufRef& o) noexcept {
     if (this != &o) {
       release();
       buf_ = o.buf_;
+      off_ = o.off_;
+      len_ = o.len_;
       retain();
     }
     return *this;
@@ -76,7 +93,11 @@ class FrameBufRef {
     if (this != &o) {
       release();
       buf_ = o.buf_;
+      off_ = o.off_;
+      len_ = o.len_;
       o.buf_ = nullptr;
+      o.off_ = 0;
+      o.len_ = kWholeBuf;
     }
     return *this;
   }
@@ -87,14 +108,41 @@ class FrameBufRef {
   FrameBuf* operator->() const noexcept { return buf_; }
   explicit operator bool() const noexcept { return buf_ != nullptr; }
 
+  /// The visible bytes: the window when one is set, else the whole buffer.
   std::span<const uint8_t> contents() const noexcept {
-    return buf_ ? buf_->contents() : std::span<const uint8_t>{};
+    if (buf_ == nullptr) return {};
+    std::span<const uint8_t> all = buf_->contents();
+    if (off_ == 0 && len_ == kWholeBuf) return all;
+    size_t off = off_ < all.size() ? off_ : all.size();
+    size_t len = len_ < all.size() - off ? len_ : all.size() - off;
+    return all.subspan(off, len);
   }
-  size_t size() const noexcept { return buf_ ? buf_->size() : 0; }
+  size_t size() const noexcept { return contents().size(); }
+
+  /// True when this handle views a proper sub-range (not the whole buffer).
+  bool windowed() const noexcept { return off_ != 0 || len_ != kWholeBuf; }
+  /// Window start relative to the underlying buffer.
+  size_t offset() const noexcept { return off_; }
+
+  /// A new handle to the same buffer narrowed to [off, off+len) *relative to
+  /// this handle's window*. Shares the refcount (the underlying allocation
+  /// stays pinned until every slice drops).
+  FrameBufRef slice(size_t off, size_t len) const noexcept {
+    FrameBufRef r(*this);
+    size_t base = off_;
+    size_t limit = r.contents().size();
+    if (off > limit) off = limit;
+    if (len > limit - off) len = limit - off;
+    r.off_ = base + off;
+    r.len_ = len;
+    return r;
+  }
 
   void reset() noexcept {
     release();
     buf_ = nullptr;
+    off_ = 0;
+    len_ = kWholeBuf;
   }
 
  private:
@@ -107,6 +155,8 @@ class FrameBufRef {
   void release() noexcept;
 
   FrameBuf* buf_ = nullptr;
+  size_t off_ = 0;           ///< window start (bytes into the buffer)
+  size_t len_ = kWholeBuf;   ///< window length; kWholeBuf = to the end
 };
 
 /// Bounded free-list of FrameBufs. One process-wide pool (global()) serves

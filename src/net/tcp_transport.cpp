@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -14,6 +15,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "net/frame.hpp"
 
 namespace neptune {
 namespace {
@@ -28,7 +30,21 @@ void set_nodelay(int fd) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
+/// Pool for receive chunks, separate from FrameBufPool::global() so the
+/// large (kRxChunkBytes) socket-read buffers don't crowd the frame pool's
+/// free list. Leaky for the same reason as the global pool: views may be
+/// in flight on detached IO threads at exit.
+FrameBufPool& rx_chunk_pool() {
+  static FrameBufPool* pool = new FrameBufPool(/*max_idle=*/64);
+  return *pool;
+}
+
 }  // namespace
+
+TcpTransportStats& TcpTransportStats::global() {
+  static TcpTransportStats stats;
+  return stats;
+}
 
 std::shared_ptr<TcpConnection> TcpConnection::create(EventLoop* loop, int fd,
                                                      const ChannelConfig& config) {
@@ -61,14 +77,105 @@ void TcpConnection::handle_events(uint32_t events) {
     return;
   }
   if (events & EPOLLIN) handle_readable();
-  if (closed_.load()) return;
+  // Keep draining EPOLLOUT after close(): a graceful close flushes the
+  // remaining outbound queue before the fd is detached (detached_ is the
+  // loop-thread signal that the connection is truly gone).
+  if (detached_) return;
   if (events & EPOLLOUT) handle_writable();
 }
 
+bool TcpConnection::rx_ensure_chunk(size_t min_room) {
+  size_t cap = rx_buf_ ? rx_buf_->size() : 0;
+  if (rx_buf_ && cap - rx_filled_ >= min_room && cap > rx_filled_) return true;
+
+  // Need a fresh chunk. Size it to hold the pending partial frame when its
+  // header already names the extent (big frames get a dedicated exact-size
+  // buffer so they complete without further relocation).
+  size_t pending = rx_filled_ - rx_carved_;
+  size_t want = kRxChunkBytes;
+  if (config_.framed_rx && !rx_raw_fallback_ && pending >= FrameHeader::kSize) {
+    size_t extent = 0;
+    if (peek_frame_extent({rx_buf_->buffer().data() + rx_carved_, pending}, &extent) ==
+            FrameDecodeStatus::kFrame &&
+        extent > want) {
+      want = extent;
+    }
+  }
+  if (want < pending + min_room) want = pending + min_room;
+
+  FrameBufRef fresh = rx_chunk_pool().acquire();
+  fresh->buffer().resize(want);  // sized once; never reallocated after views exist
+  if (pending > 0) {
+    // Splice the partial tail forward — the only copy on the receive path,
+    // bounded by one chunk's worth of bytes per oversized frame.
+    std::memcpy(fresh->buffer().data(), rx_buf_->buffer().data() + rx_carved_, pending);
+    auto& stats = TcpTransportStats::global();
+    stats.rx_copies.fetch_add(1, std::memory_order_relaxed);
+    stats.rx_splice_bytes.fetch_add(pending, std::memory_order_relaxed);
+  }
+  TcpTransportStats::global().rx_chunks.fetch_add(1, std::memory_order_relaxed);
+  rx_buf_ = std::move(fresh);
+  rx_filled_ = pending;
+  rx_carved_ = 0;
+  return true;
+}
+
+void TcpConnection::rx_carve_frames(std::deque<FrameBufRef>& ready) {
+  auto& stats = TcpTransportStats::global();
+  const uint8_t* base = rx_buf_->buffer().data();
+  for (;;) {
+    size_t avail = rx_filled_ - rx_carved_;
+    if (avail < FrameHeader::kSize) break;
+    size_t extent = 0;
+    FrameDecodeStatus s = peek_frame_extent({base + rx_carved_, avail}, &extent);
+    if (s != FrameDecodeStatus::kFrame) {
+      // Corrupt header (bad magic/length): stop carving permanently and
+      // deliver the rest of the stream raw, so the consumer's FrameDecoder
+      // reports the corruption through its normal error path (supervised
+      // channels then drop the connection and force retransmission).
+      rx_raw_fallback_ = true;
+      break;
+    }
+    if (avail < extent) break;  // partial frame: wait for more bytes
+    ready.push_back(rx_buf_.slice(rx_carved_, extent));
+    rx_carved_ += extent;
+    stats.rx_frames.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (rx_raw_fallback_ && rx_filled_ > rx_carved_) {
+    ready.push_back(rx_buf_.slice(rx_carved_, rx_filled_ - rx_carved_));
+    rx_carved_ = rx_filled_;
+  }
+}
+
+void TcpConnection::rx_deliver(size_t n) {
+  size_t start = rx_filled_;
+  rx_filled_ += n;
+  std::deque<FrameBufRef> ready;
+  if (config_.framed_rx && !rx_raw_fallback_) {
+    rx_carve_frames(ready);
+  } else {
+    ready.push_back(rx_buf_.slice(start, n));
+    rx_carved_ = rx_filled_;
+  }
+  if (ready.empty()) return;  // only a partial frame arrived
+  std::function<void()> data_cb;
+  {
+    std::lock_guard lk(in_mu_);
+    bool was_empty = in_q_.empty();
+    for (auto& r : ready) {
+      in_bytes_ += r.size();
+      in_q_.push_back(std::move(r));
+    }
+    in_cv_.notify_one();
+    if (was_empty) data_cb = data_cb_;
+  }
+  if (data_cb) data_cb();
+}
+
 void TcpConnection::handle_readable() {
-  // Drain until EAGAIN or the inbound cap. Chunks preserve arrival order;
-  // frame reassembly happens in the consumer's FrameDecoder.
-  char buf[64 * 1024];
+  // Drain until EAGAIN or the inbound cap. recv() lands directly in the
+  // current pooled chunk; rx_deliver publishes views over the new bytes
+  // (whole carved frames in framed_rx mode, the raw range otherwise).
   for (;;) {
     {
       std::lock_guard lk(in_mu_);
@@ -82,19 +189,12 @@ void TcpConnection::handle_readable() {
         return;
       }
     }
-    ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    rx_ensure_chunk(/*min_room=*/1);
+    size_t room = rx_buf_->size() - rx_filled_;
+    ssize_t n = ::recv(fd_, rx_buf_->buffer().data() + rx_filled_, room, 0);
     if (n > 0) {
       bytes_received_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
-      std::function<void()> data_cb;
-      {
-        std::lock_guard lk(in_mu_);
-        bool was_empty = in_q_.empty();
-        in_q_.emplace_back(buf, buf + n);
-        in_bytes_ += static_cast<size_t>(n);
-        in_cv_.notify_one();
-        if (was_empty) data_cb = data_cb_;
-      }
-      if (data_cb) data_cb();
+      rx_deliver(static_cast<size_t>(n));
       continue;
     }
     if (n == 0) {  // orderly shutdown by peer
@@ -109,39 +209,77 @@ void TcpConnection::handle_readable() {
 }
 
 void TcpConnection::handle_writable() {
+  // Loop thread only. Gather up to kMaxIov queued frames into one sendmsg:
+  // the iovec snapshot is taken under out_mu_, the lock is *dropped* for
+  // the syscall (concurrent try_send callers never wait on a kernel write),
+  // then retaken to retire completed entries. Safe because only this
+  // thread pops out_q_ (out_draining_ marks the window) and try_send only
+  // appends — deque push_back never invalidates references to existing
+  // elements, and the iovecs point into pinned FrameBuf heap memory.
   std::function<void()> cb;
-  {
-    std::unique_lock lk(out_mu_);
-    while (!out_q_.empty()) {
-      auto& front = out_q_.front();
-      size_t len = front.size() - out_head_offset_;
-      ssize_t n = ::send(fd_, front.data() + out_head_offset_, len, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-        if (errno == EINTR) continue;
-        lk.unlock();
-        close_on_loop();
-        return;
-      }
-      bytes_sent_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
-      out_bytes_ -= static_cast<size_t>(n);
-      out_head_offset_ += static_cast<size_t>(n);
-      if (out_head_offset_ == front.size()) {
+  std::unique_lock lk(out_mu_);
+  if (out_draining_) return;
+  out_draining_ = true;
+  auto& stats = TcpTransportStats::global();
+  while (!out_q_.empty()) {
+    struct iovec iov[kMaxIov];
+    int iovcnt = 0;
+    for (auto it = out_q_.begin(); it != out_q_.end() && iovcnt < kMaxIov; ++it) {
+      std::span<const uint8_t> bytes = it->contents();
+      size_t off = iovcnt == 0 ? out_head_offset_ : 0;
+      iov[iovcnt].iov_base = const_cast<uint8_t*>(bytes.data() + off);
+      iov[iovcnt].iov_len = bytes.size() - off;
+      ++iovcnt;
+    }
+    lk.unlock();
+    struct msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    stats.sendmsg_calls.fetch_add(1, std::memory_order_relaxed);
+    stats.sendmsg_iovecs.fetch_add(static_cast<uint64_t>(iovcnt), std::memory_order_relaxed);
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    lk.lock();
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      out_draining_ = false;
+      lk.unlock();
+      close_on_loop();
+      return;
+    }
+    bytes_sent_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+    out_bytes_ -= static_cast<size_t>(n);
+    // Retire fully written frames (releasing their refs) and advance the
+    // partial-write offset into the new front.
+    size_t left = static_cast<size_t>(n);
+    while (left > 0) {
+      size_t remain = out_q_.front().size() - out_head_offset_;
+      if (left >= remain) {
+        left -= remain;
         out_q_.pop_front();
         out_head_offset_ = 0;
+      } else {
+        out_head_offset_ += left;
+        left = 0;
       }
     }
-    bool want_out = !out_q_.empty();
-    if (want_out != epollout_armed_) {
-      epollout_armed_ = want_out;
-      update_interest();
-    }
-    if (out_blocked_ && out_bytes_ <= config_.low_watermark_bytes) {
-      out_blocked_ = false;
-      cb = writable_cb_;
-    }
   }
+  out_draining_ = false;
+  bool finish_close = closing_ && out_q_.empty();
+  bool want_out = !out_q_.empty() && !detached_;
+  if (want_out != epollout_armed_ && !detached_) {
+    epollout_armed_ = want_out;
+    update_interest();
+  }
+  if (out_blocked_ && out_bytes_ <= config_.low_watermark_bytes) {
+    out_blocked_ = false;
+    cb = writable_cb_;
+  }
+  lk.unlock();
   if (cb) cb();
+  // Graceful close: the queue accepted before close() has fully reached the
+  // kernel — now the fd can go.
+  if (finish_close) detach_on_loop();
 }
 
 void TcpConnection::update_interest() {
@@ -152,21 +290,25 @@ void TcpConnection::update_interest() {
   loop_->mod_fd(fd_, events);
 }
 
-SendStatus TcpConnection::try_send(std::span<const uint8_t> frame) {
+SendStatus TcpConnection::enqueue_send(FrameBufRef&& frame) {
   if (closed_.load(std::memory_order_acquire)) return SendStatus::kClosed;
+  size_t size = frame.size();
   bool arm = false;
   {
     std::lock_guard lk(out_mu_);
     // Re-check under the lock: close() flips closed_ synchronously from any
     // thread, and bytes enqueued after that point would never be flushed.
     if (closed_.load(std::memory_order_acquire)) return SendStatus::kClosed;
-    if (out_bytes_ + frame.size() > config_.capacity_bytes && out_bytes_ > 0) {
+    if (out_bytes_ + size > config_.capacity_bytes && out_bytes_ > 0) {
       out_blocked_ = true;
       return SendStatus::kBlocked;
     }
-    out_q_.emplace_back(frame.begin(), frame.end());
-    out_bytes_ += frame.size();
-    if (!epollout_armed_) {
+    out_q_.push_back(std::move(frame));
+    out_bytes_ += size;
+    TcpTransportStats::global().tx_frames.fetch_add(1, std::memory_order_relaxed);
+    // No arming needed while a drain is mid-flight: its post-syscall pass
+    // sees this entry and re-arms EPOLLOUT itself if the kernel blocked.
+    if (!epollout_armed_ && !out_draining_) {
       epollout_armed_ = true;
       arm = true;
     }
@@ -187,6 +329,22 @@ SendStatus TcpConnection::try_send(std::span<const uint8_t> frame) {
   return SendStatus::kOk;
 }
 
+SendStatus TcpConnection::try_send(std::span<const uint8_t> frame) {
+  if (frame.empty()) return SendStatus::kOk;
+  if (closed_.load(std::memory_order_acquire)) return SendStatus::kClosed;
+  // Legacy copying path: stage the bytes in a pooled buffer so the outbound
+  // queue is uniformly pinned refs. Zero-copy callers use the ref overload.
+  FrameBufRef staged = FrameBufPool::global().acquire();
+  staged->buffer().write_bytes(frame);
+  TcpTransportStats::global().tx_copies.fetch_add(1, std::memory_order_relaxed);
+  return enqueue_send(std::move(staged));
+}
+
+SendStatus TcpConnection::try_send(const FrameBufRef& frame) {
+  if (!frame || frame.size() == 0) return SendStatus::kOk;
+  return enqueue_send(FrameBufRef(frame));  // pin our own ref
+}
+
 void TcpConnection::set_writable_callback(std::function<void()> cb) {
   std::lock_guard lk(out_mu_);
   writable_cb_ = std::move(cb);
@@ -203,14 +361,33 @@ void TcpConnection::close() {
   // kClosed instead of enqueueing bytes that would silently vanish with the
   // socket, and so blocked receive() calls wake immediately. The fd itself
   // is detached on the loop thread (detach_on_loop is idempotent, so a
-  // concurrent close_on_loop from an IO error is harmless).
+  // concurrent close_on_loop from an IO error is harmless) — but only after
+  // the outbound queue drains: bytes accepted with kOk before the close must
+  // reach the wire (the runtime's EOF frame rides behind the data tail).
   closed_.store(true, std::memory_order_release);
   {
     std::lock_guard lk(in_mu_);
     in_cv_.notify_all();
   }
   auto self = shared_from_this();
-  loop_->post([self] { self->detach_on_loop(); });
+  loop_->post([self] {
+    if (self->detached_) return;
+    bool pending;
+    {
+      std::lock_guard lk(self->out_mu_);
+      pending = !self->out_q_.empty() || self->out_draining_;
+      self->closing_ = pending;
+      if (pending && !self->epollout_armed_) {
+        self->epollout_armed_ = true;
+        self->update_interest();
+      }
+    }
+    if (pending) {
+      self->handle_writable();  // flush now; EPOLLOUT continues if it blocks
+    } else {
+      self->detach_on_loop();
+    }
+  });
 }
 
 void TcpConnection::close_on_loop() {
@@ -244,29 +421,43 @@ void TcpConnection::set_data_callback(std::function<void()> cb) {
 }
 
 std::optional<std::vector<uint8_t>> TcpConnection::receive(std::chrono::nanoseconds timeout) {
+  auto buf = receive_buf(timeout);
+  if (!buf) return std::nullopt;
+  std::span<const uint8_t> bytes = buf->contents();
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<uint8_t>> TcpConnection::try_receive() {
+  auto buf = try_receive_buf();
+  if (!buf) return std::nullopt;
+  std::span<const uint8_t> bytes = buf->contents();
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
+std::optional<FrameBufRef> TcpConnection::receive_buf(std::chrono::nanoseconds timeout) {
   std::unique_lock lk(in_mu_);
   if (!in_cv_.wait_for(lk, timeout, [&] { return !in_q_.empty() || closed_.load(); }))
     return std::nullopt;
   if (in_q_.empty()) return std::nullopt;
-  std::vector<uint8_t> chunk = std::move(in_q_.front());
+  FrameBufRef view = std::move(in_q_.front());
   in_q_.pop_front();
-  in_bytes_ -= chunk.size();
+  in_bytes_ -= view.size();
   bool resume = reading_paused_ && in_bytes_ <= config_.low_watermark_bytes;
   lk.unlock();
   if (resume) maybe_resume_reading();
-  return chunk;
+  return view;
 }
 
-std::optional<std::vector<uint8_t>> TcpConnection::try_receive() {
+std::optional<FrameBufRef> TcpConnection::try_receive_buf() {
   std::unique_lock lk(in_mu_);
   if (in_q_.empty()) return std::nullopt;
-  std::vector<uint8_t> chunk = std::move(in_q_.front());
+  FrameBufRef view = std::move(in_q_.front());
   in_q_.pop_front();
-  in_bytes_ -= chunk.size();
+  in_bytes_ -= view.size();
   bool resume = reading_paused_ && in_bytes_ <= config_.low_watermark_bytes;
   lk.unlock();
   if (resume) maybe_resume_reading();
-  return chunk;
+  return view;
 }
 
 void TcpConnection::maybe_resume_reading() {

@@ -6,10 +6,15 @@
 // resets, corrupt frames, partial writes and killed resources.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <mutex>
 #include <thread>
 
 #include "fault/recovery.hpp"
+#include "fault/supervised_channel.hpp"
+#include "net/frame.hpp"
+#include "net/tcp_transport.hpp"
 #include "neptune/runtime.hpp"
 #include "neptune/workload.hpp"
 
@@ -208,6 +213,97 @@ TEST(SupervisedTcp, ExhaustedReconnectBudgetReportsHardFailure) {
     EXPECT_EQ(sender.try_send(frame), SendStatus::kClosed);
   }
   EXPECT_EQ(failures.load(), 1);
+  loop.stop();
+  loop_thread.join();
+}
+
+TEST(SupervisedTcp, RetransmitsPinnedFramesAfterReconnect) {
+  // Forced-reconnect retransmission with NO fault injector in the path, so
+  // every frame — first transmission and retransmission alike — must ride
+  // the pinned-ref zero-copy path (tx_copies stays flat). The link is
+  // severed by a rogue connection to the receiver's listener: the receiver
+  // adopts it (detaching the sender's link) and the sender must time out,
+  // reconnect, learn the consumed mark from the hello ack, and retransmit
+  // the unacked tail from the very refs it retained.
+  EventLoop loop;
+  std::thread loop_thread([&] { loop.run(); });
+  fault::SupervisorConfig cfg;
+  cfg.heartbeat_interval_ns = 10'000'000;
+  cfg.peer_timeout_ns = 150'000'000;
+  cfg.reconnect_backoff_ns = 2'000'000;
+  cfg.reconnect_backoff_max_ns = 20'000'000;
+  cfg.jitter_seed = 7;
+
+  TcpTransportStats& ts = TcpTransportStats::global();
+  const uint64_t tx_copies0 = ts.tx_copies.load(std::memory_order_relaxed);
+
+  auto make_frame = [](uint32_t seq) {
+    std::vector<uint8_t> payload(64);
+    for (size_t i = 0; i < payload.size(); ++i)
+      payload[i] = static_cast<uint8_t>(seq * 131 + i);
+    FrameHeader h;
+    h.link_id = seq;
+    h.batch_count = 1;
+    h.raw_size = static_cast<uint32_t>(payload.size());
+    FrameBufRef wire = FrameBufPool::global().acquire();
+    encode_frame(h, payload, wire->buffer());
+    return wire;
+  };
+  auto expect_frame = [](const FrameBufRef& view, uint32_t seq) {
+    auto f = decode_whole_frame(view.contents());
+    ASSERT_TRUE(f.has_value()) << "frame " << seq << " not byte-exact";
+    EXPECT_EQ(f->header.link_id, seq);
+    ASSERT_EQ(f->payload.size(), 64u);
+    for (size_t i = 0; i < f->payload.size(); ++i)
+      ASSERT_EQ(f->payload[i], static_cast<uint8_t>(seq * 131 + i));
+  };
+
+  std::atomic<uint64_t> reconnects{0};
+  std::atomic<int> failures{0};
+  {
+    fault::SupervisedTcpReceiver rx(&loop, ChannelConfig{}, cfg, fault::EdgeId{}, nullptr,
+                                    nullptr);
+    fault::SupervisedTcpSender tx(&loop, rx.port(), ChannelConfig{}, cfg, fault::EdgeId{},
+                                  nullptr, &reconnects,
+                                  [&](const std::string&) { failures.fetch_add(1); });
+
+    constexpr uint32_t kFrames = 50;
+    for (uint32_t i = 0; i < kFrames; ++i) {
+      FrameBufRef frame = make_frame(i);
+      while (tx.try_send(frame) == SendStatus::kBlocked) std::this_thread::sleep_for(1ms);
+    }
+    // Consume a prefix so the ack window has a non-trivial consumed mark:
+    // the retransmit must resume from frame 10, not from 0.
+    for (uint32_t i = 0; i < 10; ++i) {
+      auto view = rx.receive_buf(5s);
+      ASSERT_TRUE(view.has_value()) << "timed out at frame " << i;
+      expect_frame(*view, i);
+    }
+
+    int rogue = tcp_connect_blocking(rx.port());
+    ASSERT_GE(rogue, 0);
+
+    // The remaining 40 frames arrive exactly once, in order, through the
+    // reconnect happening underneath.
+    for (uint32_t i = 10; i < kFrames; ++i) {
+      auto view = rx.receive_buf(5s);
+      ASSERT_TRUE(view.has_value()) << "timed out at frame " << i;
+      expect_frame(*view, i);
+    }
+
+    tx.close();  // EOF rides the same pinned path
+    for (int i = 0; i < 1000 && !tx.delivery_complete(); ++i) {
+      rx.try_receive_buf();  // consume the EOF so its ack flows
+      std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_TRUE(tx.delivery_complete());
+    EXPECT_GE(reconnects.load(), 1u);
+    EXPECT_EQ(failures.load(), 0);
+    ::close(rogue);
+  }
+  // No injector anywhere: nothing was allowed to fall back to the copying
+  // span path, retransmissions included.
+  EXPECT_EQ(ts.tx_copies.load(std::memory_order_relaxed) - tx_copies0, 0u);
   loop.stop();
   loop_thread.join();
 }
