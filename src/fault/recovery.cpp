@@ -37,6 +37,13 @@ RecoveryCoordinator::RecoveryCoordinator(Runtime& runtime, StreamGraph graph,
       [this] {
         return static_cast<double>(snapshots_persisted_.load(std::memory_order_relaxed));
       }));
+  telemetry_.push_back(reg.register_series(
+      {"neptune_checkpoint_quiesce_timeouts", labels, obs::SeriesKind::kCounter,
+       "Checkpoint attempts abandoned because the pipeline failed to drain "
+       "within the quiesce timeout"},
+      [this] {
+        return static_cast<double>(quiesce_timeouts_.load(std::memory_order_relaxed));
+      }));
 }
 
 RecoveryCoordinator::~RecoveryCoordinator() { stop(); }
@@ -143,6 +150,22 @@ bool RecoveryCoordinator::take_checkpoint(const std::shared_ptr<Job>& job) {
   if (job->failed() || job->completed() || any_resource_down()) return false;
   job->pause();
   bool quiet = job->quiesce(options_.quiesce_timeout);
+  if (!quiet) {
+    // A pipeline that cannot drain within the budget is a health signal in
+    // its own right (wedged operator, saturated edge, runaway backlog) —
+    // surface it instead of silently skipping the checkpoint.
+    quiesce_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    NEPTUNE_LOG_WARN("checkpoint: job '%s' failed to quiesce within %.1fs — skipping",
+                     job->name().c_str(),
+                     std::chrono::duration<double>(options_.quiesce_timeout).count());
+    obs::IncidentReporter::trigger_global(
+        "quiesce-timeout",
+        job->name() + ": pipeline failed to drain within " +
+            std::to_string(
+                std::chrono::duration_cast<std::chrono::milliseconds>(options_.quiesce_timeout)
+                    .count()) +
+            " ms; checkpoint skipped");
+  }
   bool healthy = quiet && !job->failed() && !any_resource_down() &&
                  !failure_flag_->load(std::memory_order_acquire);
   if (healthy) {

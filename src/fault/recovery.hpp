@@ -83,6 +83,10 @@ class RecoveryCoordinator {
   uint64_t recoveries() const { return recoveries_.load(std::memory_order_relaxed); }
   /// Stalls the watchdog escalated (0 when the watchdog is disabled).
   uint64_t watchdog_stalls() const { return watchdog_stalls_.load(std::memory_order_relaxed); }
+  /// Checkpoint attempts abandoned because quiesce timed out. Each one also
+  /// bumps the neptune_checkpoint_quiesce_timeouts series and triggers an
+  /// incident bundle — a pipeline that cannot drain is a health signal.
+  uint64_t quiesce_timeouts() const { return quiesce_timeouts_.load(std::memory_order_relaxed); }
   /// Checkpoints durably persisted to snapshot_dir (0 when not configured).
   uint64_t snapshots_persisted() const {
     return snapshots_persisted_.load(std::memory_order_relaxed);
@@ -130,6 +134,7 @@ class RecoveryCoordinator {
   std::atomic<int64_t> recovery_ns_{0};
   std::atomic<uint64_t> watchdog_stalls_{0};
   std::atomic<uint64_t> snapshots_persisted_{0};
+  std::atomic<uint64_t> quiesce_timeouts_{0};
   bool restored_from_disk_ = false;
   std::unique_ptr<SnapshotStore> store_;      // set iff options_.snapshot_dir
   std::unique_ptr<OperatorWatchdog> watchdog_;  // follows the current incarnation

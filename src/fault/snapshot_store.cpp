@@ -1,10 +1,14 @@
 #include "fault/snapshot_store.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 #include <vector>
 
 #include "common/crc32.hpp"
@@ -123,6 +127,65 @@ bool SnapshotStore::save(const JobSnapshot& snap) {
 std::optional<JobSnapshot> SnapshotStore::load() const {
   if (auto cur = load_validated(current_path())) return cur;
   return load_validated(previous_path());
+}
+
+std::string SnapshotStore::tagged_path(uint64_t epoch) const {
+  return dir_ + "/snapshot-" + std::to_string(epoch) + ".bin";
+}
+
+bool SnapshotStore::save_tagged(const JobSnapshot& snap, uint64_t epoch, size_t retain) {
+  ByteBuffer body;
+  snap.serialize(body);
+  uint8_t footer[kFooterSize];
+  store_u32(kFooterMagic, footer);
+  store_u32(static_cast<uint32_t>(body.size()), footer + 4);
+  store_u32(crc32(body.contents()), footer + 8);
+
+  const std::string tmp = temp_path();
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+            std::fwrite(footer, 1, kFooterSize, f) == kFooterSize &&
+            std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), tagged_path(epoch).c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  fsync_path(dir_, /*directory=*/true);
+
+  // Bounded retention: keep the newest `retain` epochs so a torn commit of
+  // epoch N can always roll back to a fully committed earlier epoch.
+  std::vector<uint64_t> epochs = tagged_epochs();
+  if (retain > 0 && epochs.size() > retain) {
+    for (size_t i = 0; i + retain < epochs.size(); ++i)
+      std::remove(tagged_path(epochs[i]).c_str());
+  }
+  return true;
+}
+
+std::optional<JobSnapshot> SnapshotStore::load_tagged(uint64_t epoch) const {
+  return load_validated(tagged_path(epoch));
+}
+
+std::vector<uint64_t> SnapshotStore::tagged_epochs() const {
+  std::vector<uint64_t> out;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return out;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string_view name(e->d_name);
+    if (!name.starts_with("snapshot-") || !name.ends_with(".bin")) continue;
+    std::string digits(name.substr(9, name.size() - 13));
+    if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    out.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 bool SnapshotStore::current_is_corrupt() const {

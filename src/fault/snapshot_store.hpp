@@ -35,9 +35,27 @@ class SnapshotStore {
   /// had to fall back (or found nothing). For tests and diagnostics.
   bool current_is_corrupt() const;
 
+  // --- epoch-tagged snapshots (coordinated multi-process checkpoints) ------
+  //
+  // A distributed deployment commits checkpoints in numbered epochs: every
+  // worker persists its slice under the same epoch, and the supervisor
+  // commits the epoch only after all slices are durable. Epoch files use
+  // the same tmp+fsync+rename protocol and CRC32 footer as save()/load().
+
+  /// Durably persist `snap` as `snapshot-<epoch>.bin`, then prune epochs
+  /// older than the newest `retain` (default 4). False on I/O failure.
+  bool save_tagged(const JobSnapshot& snap, uint64_t epoch, size_t retain = 4);
+
+  /// Validated snapshot for exactly `epoch`, or nullopt when missing/corrupt.
+  std::optional<JobSnapshot> load_tagged(uint64_t epoch) const;
+
+  /// Epochs with a file present (validity not checked), ascending.
+  std::vector<uint64_t> tagged_epochs() const;
+
   std::string current_path() const;
   std::string previous_path() const;
   std::string temp_path() const;
+  std::string tagged_path(uint64_t epoch) const;
 
  private:
   std::string dir_;

@@ -436,7 +436,8 @@ void SupervisedTcpSender::send_heartbeat() {
 SupervisedTcpReceiver::SupervisedTcpReceiver(EventLoop* loop, const ChannelConfig& channel_config,
                                              const SupervisorConfig& config, const EdgeId& edge,
                                              FaultInjector* injector,
-                                             std::atomic<uint64_t>* corrupt_counter)
+                                             std::atomic<uint64_t>* corrupt_counter,
+                                             uint16_t listen_port)
     : loop_(loop),
       channel_config_(channel_config),
       config_(config),
@@ -444,7 +445,7 @@ SupervisedTcpReceiver::SupervisedTcpReceiver(EventLoop* loop, const ChannelConfi
       injector_(injector),
       corrupt_counter_(corrupt_counter) {
   last_inbound_ns_ = now_ns();
-  listener_ = std::make_unique<TcpListener>(loop, /*port=*/0, [this](int fd) { on_accept(fd); });
+  listener_ = std::make_unique<TcpListener>(loop, listen_port, [this](int fd) { on_accept(fd); });
   supervisor_ = std::thread([this] { supervise(); });
 }
 

@@ -167,9 +167,13 @@ class SupervisedTcpSender final : public ChannelSender {
 /// frames, and acks consumption.
 class SupervisedTcpReceiver final : public ChannelReceiver {
  public:
+  /// `listen_port` 0 picks an ephemeral port (in-process deployments read it
+  /// back via port()); non-zero binds that exact port, which multi-process
+  /// deployments need so peers can compute the address without a handshake.
   SupervisedTcpReceiver(EventLoop* loop, const ChannelConfig& channel_config,
                         const SupervisorConfig& config, const EdgeId& edge,
-                        FaultInjector* injector, std::atomic<uint64_t>* corrupt_counter);
+                        FaultInjector* injector, std::atomic<uint64_t>* corrupt_counter,
+                        uint16_t listen_port = 0);
   ~SupervisedTcpReceiver() override;
 
   /// Port the sender must connect (and reconnect) to.

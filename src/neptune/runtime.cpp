@@ -1101,34 +1101,38 @@ Runtime::EdgeChannel Runtime::make_edge_channel(granules::Resource* src, granule
   return {sender, receiver};
 }
 
+// Topology descriptor for incident bundles: flightdump joins flush events
+// (link id) to downstream dispatches through the links' "to" field.
+void Runtime::note_topology_for_incidents(const StreamGraph& graph) {
+  auto reporter = obs::IncidentReporter::active();
+  if (!reporter) return;
+  JsonObject topo;
+  topo["job"] = JsonValue(graph.name());
+  JsonArray ops;
+  for (const OperatorDecl& op : graph.operators()) {
+    JsonObject o;
+    o["id"] = JsonValue(op.id);
+    o["parallelism"] = JsonValue(static_cast<int64_t>(op.parallelism));
+    ops.push_back(JsonValue(std::move(o)));
+  }
+  topo["operators"] = JsonValue(std::move(ops));
+  JsonArray links;
+  for (const LinkDecl& link : graph.links()) {
+    JsonObject l;
+    l["id"] = JsonValue(static_cast<int64_t>(link.link_id));
+    l["from"] = JsonValue(graph.operators()[link.from_op].id);
+    l["to"] = JsonValue(graph.operators()[link.to_op].id);
+    links.push_back(JsonValue(std::move(l)));
+  }
+  topo["links"] = JsonValue(std::move(links));
+  reporter->note_topology(JsonValue(std::move(topo)));
+}
+
 std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
   graph.validate();
   const GraphConfig& cfg = graph.config();
 
-  // Topology descriptor for incident bundles: flightdump joins flush events
-  // (link id) to downstream dispatches through the links' "to" field.
-  if (auto reporter = obs::IncidentReporter::active()) {
-    JsonObject topo;
-    topo["job"] = JsonValue(graph.name());
-    JsonArray ops;
-    for (const OperatorDecl& op : graph.operators()) {
-      JsonObject o;
-      o["id"] = JsonValue(op.id);
-      o["parallelism"] = JsonValue(static_cast<int64_t>(op.parallelism));
-      ops.push_back(JsonValue(std::move(o)));
-    }
-    topo["operators"] = JsonValue(std::move(ops));
-    JsonArray links;
-    for (const LinkDecl& link : graph.links()) {
-      JsonObject l;
-      l["id"] = JsonValue(static_cast<int64_t>(link.link_id));
-      l["from"] = JsonValue(graph.operators()[link.from_op].id);
-      l["to"] = JsonValue(graph.operators()[link.to_op].id);
-      links.push_back(JsonValue(std::move(l)));
-    }
-    topo["links"] = JsonValue(std::move(links));
-    reporter->note_topology(JsonValue(std::move(topo)));
-  }
+  note_topology_for_incidents(graph);
 
   auto job = std::shared_ptr<Job>(new Job());
   job->name_ = graph.name();
@@ -1248,9 +1252,21 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
     }
   }
 
-  // 4. Telemetry: register one set of series per operator instance plus one
-  //    in-flight gauge per edge. Samplers capture shared_ptrs, so the series
-  //    stay valid for exactly as long as the handles (owned by the Job) live.
+  // 4. Telemetry per instance, 5. flush timers (shared with submit_slice).
+  register_job_telemetry(job);
+  install_flush_timers(job, cfg);
+
+  {
+    std::lock_guard lk(jobs_mu_);
+    jobs_.push_back(job);
+  }
+  return job;
+}
+
+// Register one set of series per operator instance. Samplers capture
+// shared_ptrs, so the series stay valid for exactly as long as the handles
+// (owned by the Job) live.
+void Runtime::register_job_telemetry(const std::shared_ptr<Job>& job) {
   {
     obs::TelemetryRegistry& reg = obs::TelemetryRegistry::global();
     const std::string& job_name = job->name_;
@@ -1365,9 +1381,11 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
           [dlq = job->dead_letters_] { return static_cast<double>(dlq->dropped()); }));
     }
   }
+}
 
-  // 5. Flush timers: one periodic timer per instance on its resource's IO
-  //    loop (half the flush interval for Nyquist-ish timeliness).
+// Flush timers: one periodic timer per instance on its resource's IO loop
+// (half the flush interval for Nyquist-ish timeliness).
+void Runtime::install_flush_timers(const std::shared_ptr<Job>& job, const GraphConfig& cfg) {
   for (auto& inst : job->instances_) {
     int64_t interval = cfg.buffer.flush_interval_ns;
     if (interval > 0) {
@@ -1380,6 +1398,189 @@ std::shared_ptr<Job> Runtime::submit(const StreamGraph& graph) {
       job->timer_loops_.push_back(loop);
     }
   }
+}
+
+namespace {
+
+// Cross-process edges need a pre-agreed port; a missing entry means the
+// slice plan and the topology drifted apart — fail before any task runs.
+uint16_t slice_edge_port(const SliceOptions& slice, const fault::EdgeId& edge) {
+  auto it = slice.edge_ports.find({edge.link_id, edge.src_instance, edge.dst_instance});
+  if (it == slice.edge_ports.end())
+    throw GraphError("submit_slice: no port assigned for cross-process edge link=" +
+                     std::to_string(edge.link_id) + " src=" + std::to_string(edge.src_instance) +
+                     " dst=" + std::to_string(edge.dst_instance) +
+                     " — was the port plan built from the same topology?");
+  return it->second;
+}
+
+}  // namespace
+
+std::shared_ptr<Job> Runtime::submit_slice(const StreamGraph& graph, const SliceOptions& slice) {
+  graph.validate();
+  const GraphConfig& cfg = graph.config();
+  if (resources_.size() != 1)
+    throw GraphError("submit_slice: the worker Runtime must own exactly one resource "
+                     "(one OS process per resource)");
+  if (slice.total_resources == 0 || slice.local_resource >= slice.total_resources)
+    throw GraphError("submit_slice: local_resource " + std::to_string(slice.local_resource) +
+                     " out of range for " + std::to_string(slice.total_resources) + " resources");
+  // Multi-process placement must be explicit: round-robin placement would
+  // need every worker to agree on a cursor, which is exactly the kind of
+  // implicit coordination that breaks under recovery. topology_lint
+  // --slices N checks this statically.
+  for (const OperatorDecl& op : graph.operators()) {
+    if (op.resource < 0 || static_cast<size_t>(op.resource) >= slice.total_resources)
+      throw GraphError("submit_slice: operator '" + op.id +
+                       "' needs an explicit resource pin in [0, " +
+                       std::to_string(slice.total_resources) + ")");
+  }
+
+  note_topology_for_incidents(graph);
+
+  auto job = std::shared_ptr<Job>(new Job());
+  job->name_ = graph.name();
+  granules::Resource* local = resources_[0].get();
+  job->resources_.push_back(local);
+  if (options_.quarantine.enabled)
+    job->dead_letters_ = std::make_shared<fault::DeadLetterQueue>(options_.quarantine.dead_letter);
+
+  // 1. Instantiate only the local operators' instances; remote operators
+  //    keep empty slots so link wiring can index by op.
+  std::vector<std::vector<std::shared_ptr<detail::InstanceRuntime>>> op_instances(
+      graph.operators().size());
+  for (size_t oi = 0; oi < graph.operators().size(); ++oi) {
+    const OperatorDecl& op = graph.operators()[oi];
+    if (static_cast<size_t>(op.resource) != slice.local_resource) continue;
+    for (uint32_t inst = 0; inst < op.parallelism; ++inst) {
+      auto rt = std::make_shared<detail::InstanceRuntime>(op.id, inst, op.parallelism, op.kind,
+                                                          cfg, job.get());
+      if (op.kind == OperatorKind::kSource) {
+        rt->source = op.source_factory();
+      } else {
+        rt->processor = op.processor_factory();
+      }
+      rt->resource = local;
+      rt->dlq = job->dead_letters_;
+      rt->packet_deadline_ns = options_.quarantine.packet_deadline_ns;
+      op_instances[oi].push_back(std::move(rt));
+    }
+  }
+
+  // 2. Wire links. Three cases per link: both endpoints local (the in-process
+  //    channel, exactly as submit()), local sender -> remote receiver (a
+  //    supervised TCP sender connecting to the peer's pre-agreed port), and
+  //    remote sender -> local receiver (a supervised TCP receiver bound to
+  //    that port). Cross-process edges are always supervised: recovery
+  //    depends on their reconnect + exactly-once retransmission protocol.
+  fault::FaultInjector* injector = options_.fault_injector.get();
+  for (const LinkDecl& link : graph.links()) {
+    const OperatorDecl& from = graph.operators()[link.from_op];
+    const OperatorDecl& to = graph.operators()[link.to_op];
+    const bool src_local = static_cast<size_t>(from.resource) == slice.local_resource;
+    const bool dst_local = static_cast<size_t>(to.resource) == slice.local_resource;
+    if (!src_local && !dst_local) continue;
+    StreamBufferConfig buf_cfg = link.buffer_override.value_or(cfg.buffer);
+
+    if (src_local) {
+      auto& srcs = op_instances[link.from_op];
+      link.partitioning->prepare(static_cast<uint32_t>(srcs.size()));
+      for (auto& src : srcs) {
+        if (src->outputs.size() <= link.output_index) src->outputs.resize(link.output_index + 1);
+        detail::OutLink& out = src->outputs[link.output_index];
+        out.decl = &link;
+        out.partitioning = link.partitioning;
+        // out.dst must hold exactly `to.parallelism` buffers in destination-
+        // instance order — partitioning indexes into it by dst instance.
+        for (uint32_t di = 0; di < to.parallelism; ++di) {
+          fault::EdgeId edge_id{link.link_id, src->instance_index(), di};
+          std::shared_ptr<ChannelSender> sender;
+          detail::InstanceRuntime* src_raw = src.get();
+          if (dst_local) {
+            auto& dst = op_instances[link.to_op][di];
+            EdgeChannel pipe = make_edge_channel(local, local, cfg.channel, edge_id,
+                                                 &src->metrics(), &dst->metrics(), job);
+            sender = pipe.sender;
+            detail::InstanceRuntime* dst_raw = dst.get();
+            pipe.receiver->set_data_callback(
+                [dst_raw] { dst_raw->resource->notify_data(dst_raw->task_id); });
+            detail::InEdge edge;
+            edge.rx = pipe.receiver;
+            edge.link_id = link.link_id;
+            edge.src_instance = src->instance_index();
+            edge.lossy = link.shed.policy != ShedPolicy::kNone;
+            dst->inputs.push_back(std::move(edge));
+            job->telemetry_.push_back(obs::TelemetryRegistry::global().register_series(
+                {"neptune_edge_inflight_bytes",
+                 {{"job", job->name_},
+                  {"link", std::to_string(link.link_id)},
+                  {"src", std::to_string(src->instance_index())},
+                  {"dst", std::to_string(di)}},
+                 obs::SeriesKind::kGauge,
+                 "Bytes in flight on the edge (sent minus received)"},
+                [tx = pipe.sender, rx = pipe.receiver] {
+                  uint64_t sent = tx->bytes_sent();
+                  uint64_t recv = rx->bytes_received();
+                  return sent > recv ? static_cast<double>(sent - recv) : 0.0;
+                }));
+          } else {
+            register_tcp_transport_telemetry();
+            uint16_t port = slice_edge_port(slice, edge_id);
+            sender = std::make_shared<fault::SupervisedTcpSender>(
+                local->io_loop(0), port, cfg.channel, options_.supervisor, edge_id, injector,
+                &src->metrics().reconnects,
+                [weak_job = std::weak_ptr<Job>(job)](const std::string& what) {
+                  if (auto j = weak_job.lock()) j->report_failure(what);
+                });
+          }
+          sender->set_writable_callback([src_raw] {
+            obs::FlightRecorder::record(src_raw->flight_actor(),
+                                        obs::FlightEventType::kWatermarkLow);
+            src_raw->resource->notify_data(src_raw->task_id);
+          });
+          auto codec = std::make_shared<SelectiveCodec>(link.compression);
+          out.dst.push_back(std::make_unique<StreamBuffer>(link.link_id, src->instance_index(),
+                                                           sender, codec, buf_cfg,
+                                                           &src->metrics(),
+                                                           &SteadyClock::instance(), link.shed));
+        }
+      }
+    } else {
+      // Remote sender, local receiver(s): bind the pre-agreed port and wait
+      // for the peer process to connect. One receiver per (remote src
+      // instance, local dst instance) pair, mirroring the sender side.
+      register_tcp_transport_telemetry();
+      auto& dsts = op_instances[link.to_op];
+      for (uint32_t si = 0; si < from.parallelism; ++si) {
+        for (auto& dst : dsts) {
+          fault::EdgeId edge_id{link.link_id, si, dst->instance_index()};
+          uint16_t port = slice_edge_port(slice, edge_id);
+          auto receiver = std::make_shared<fault::SupervisedTcpReceiver>(
+              local->io_loop(0), cfg.channel, options_.supervisor, edge_id, injector,
+              &dst->metrics().corrupt_frames_dropped, port);
+          detail::InstanceRuntime* dst_raw = dst.get();
+          receiver->set_data_callback(
+              [dst_raw] { dst_raw->resource->notify_data(dst_raw->task_id); });
+          detail::InEdge edge;
+          edge.rx = receiver;
+          edge.link_id = link.link_id;
+          edge.src_instance = si;
+          edge.lossy = link.shed.policy != ShedPolicy::kNone;
+          dst->inputs.push_back(std::move(edge));
+        }
+      }
+    }
+  }
+
+  // 3. Deploy local tasks; 4./5. telemetry + flush timers as in submit().
+  for (auto& group : op_instances) {
+    for (auto& inst : group) {
+      inst->task_id = inst->resource->deploy(inst, granules::ScheduleSpec::on_data());
+      job->instances_.push_back(inst);
+    }
+  }
+  register_job_telemetry(job);
+  install_flush_timers(job, cfg);
 
   {
     std::lock_guard lk(jobs_mu_);

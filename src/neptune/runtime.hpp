@@ -195,6 +195,23 @@ struct RuntimeOptions {
   QuarantinePolicy quarantine;
 };
 
+/// Which slice of a multi-process deployment this Runtime owns, and how to
+/// reach the peers (Runtime::submit_slice). One OS process per resource:
+/// every operator pinned to `local_resource` is instantiated here; edges
+/// whose endpoints straddle processes ride supervised TCP channels on
+/// pre-agreed loopback ports, so peers need no port handshake — the
+/// supervisor allocates ports once and every worker derives the same
+/// edge→port mapping (proc::plan_slices).
+struct SliceOptions {
+  size_t local_resource = 0;
+  size_t total_resources = 1;
+  /// Port per cross-process edge, keyed by (link_id, src_instance,
+  /// dst_instance). The receiving process binds the port; the sending
+  /// process connects to it on 127.0.0.1. A cross-process edge with no
+  /// entry is a GraphError (fail fast, before any task runs).
+  std::map<std::tuple<uint32_t, uint32_t, uint32_t>, uint16_t> edge_ports;
+};
+
 /// Owns a set of Granules resources (the "cluster" within this process) and
 /// submits jobs onto them.
 class Runtime {
@@ -208,6 +225,15 @@ class Runtime {
 
   /// Validate, deploy and return the job (not yet started).
   std::shared_ptr<Job> submit(const StreamGraph& graph);
+
+  /// Deploy one resource's slice of `graph` into this Runtime (which must
+  /// own exactly one resource — the local one). Every operator needs an
+  /// explicit `resource` pin in [0, slice.total_resources); operators pinned
+  /// elsewhere are not instantiated, and the edges to/from them become
+  /// supervised TCP endpoints on the ports in `slice.edge_ports`. The
+  /// returned Job completes when all *local* instances drain — end-of-stream
+  /// propagates across processes via the supervised channels' EOF frames.
+  std::shared_ptr<Job> submit_slice(const StreamGraph& graph, const SliceOptions& slice);
 
   granules::Resource* resource(size_t i) { return resources_.at(i).get(); }
   size_t resource_count() const { return resources_.size(); }
@@ -234,6 +260,12 @@ class Runtime {
                                 const ChannelConfig& config, const fault::EdgeId& edge,
                                 OperatorMetrics* src_metrics, OperatorMetrics* dst_metrics,
                                 const std::shared_ptr<Job>& job);
+
+  // Shared tail of submit()/submit_slice(): per-instance telemetry series
+  // and periodic flush timers (statics — they only touch the Job).
+  static void note_topology_for_incidents(const StreamGraph& graph);
+  static void register_job_telemetry(const std::shared_ptr<Job>& job);
+  static void install_flush_timers(const std::shared_ptr<Job>& job, const GraphConfig& cfg);
 
   RuntimeOptions options_;
   std::vector<std::unique_ptr<granules::Resource>> resources_;

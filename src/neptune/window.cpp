@@ -165,6 +165,45 @@ void SlidingAggregator::process(StreamPacket& packet, Emitter& out) {
   out.emit(std::move(o));
 }
 
+namespace {
+
+void write_sample_deque(ByteBuffer& out, const std::deque<std::pair<int64_t, double>>& q) {
+  out.write_varint(q.size());
+  for (const auto& [t, v] : q) {
+    out.write_svarint(t);
+    out.write_f64(v);
+  }
+}
+
+void read_sample_deque(ByteReader& in, std::deque<std::pair<int64_t, double>>& q) {
+  q.clear();
+  uint64_t n = in.read_varint();
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t t = in.read_svarint();
+    double v = in.read_f64();
+    q.emplace_back(t, v);
+  }
+}
+
+}  // namespace
+
+// All three deques are serialized verbatim (not rebuilt from samples_):
+// with jittered event times the monotonic queues' content depends on the
+// full push/evict history, so reconstruction would not be byte-exact.
+void SlidingAggregator::snapshot_state(ByteBuffer& out) const {
+  write_sample_deque(out, samples_);
+  write_sample_deque(out, min_q_);
+  write_sample_deque(out, max_q_);
+  out.write_f64(sum_);
+}
+
+void SlidingAggregator::restore_state(ByteReader& in) {
+  read_sample_deque(in, samples_);
+  read_sample_deque(in, min_q_);
+  read_sample_deque(in, max_q_);
+  sum_ = in.read_f64();
+}
+
 // --- CountWindowAggregator --------------------------------------------------------
 
 CountWindowAggregator::CountWindowAggregator(uint64_t count, size_t value_field, int key_field)
@@ -210,6 +249,31 @@ void CountWindowAggregator::process(StreamPacket& packet, Emitter& out) {
 void CountWindowAggregator::close(Emitter& out) {
   for (auto& [key, b] : buckets_) {
     if (b.n > 0) emit_bucket(key, out);
+  }
+}
+
+void CountWindowAggregator::snapshot_state(ByteBuffer& out) const {
+  out.write_varint(buckets_.size());
+  for (const auto& [key, b] : buckets_) {
+    out.write_string(key);
+    out.write_varint(b.n);
+    out.write_f64(b.sum);
+    out.write_f64(b.min);
+    out.write_f64(b.max);
+  }
+}
+
+void CountWindowAggregator::restore_state(ByteReader& in) {
+  buckets_.clear();
+  uint64_t n = in.read_varint();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string key = in.read_string();
+    Bucket b;
+    b.n = in.read_varint();
+    b.sum = in.read_f64();
+    b.min = in.read_f64();
+    b.max = in.read_f64();
+    buckets_[key] = b;
   }
 }
 

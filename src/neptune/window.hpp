@@ -81,13 +81,18 @@ class TumblingAggregator : public StreamProcessor, public Checkpointable {
 ///   [event ms (i64), count (i64), sum (f64), mean (f64), min (f64), max (f64)]
 /// over the trailing `window_ms` of event time. O(1) amortized for
 /// count/sum/mean; min/max use a monotonic deque (O(1) amortized).
-class SlidingAggregator : public StreamProcessor {
+class SlidingAggregator : public StreamProcessor, public Checkpointable {
  public:
   explicit SlidingAggregator(WindowConfig config);
 
   void process(StreamPacket& packet, Emitter& out) override;
 
   uint64_t in_window() const { return samples_.size(); }
+
+  // Checkpointable: the trailing sample window survives restarts. The
+  // monotonic min/max queues are derived state, rebuilt from the samples.
+  void snapshot_state(ByteBuffer& out) const override;
+  void restore_state(ByteReader& in) override;
 
  private:
   void evict(int64_t now_ms);
@@ -103,12 +108,16 @@ class SlidingAggregator : public StreamProcessor {
 /// key_field >= 0), emits
 ///   [key (string), count (i64), sum (f64), mean (f64), min (f64), max (f64)]
 /// and resets. Partial windows flush on close().
-class CountWindowAggregator : public StreamProcessor {
+class CountWindowAggregator : public StreamProcessor, public Checkpointable {
  public:
   CountWindowAggregator(uint64_t count, size_t value_field, int key_field = -1);
 
   void process(StreamPacket& packet, Emitter& out) override;
   void close(Emitter& out) override;
+
+  // Checkpointable: partially filled buckets survive restarts.
+  void snapshot_state(ByteBuffer& out) const override;
+  void restore_state(ByteReader& in) override;
 
  private:
   std::string key_of(const StreamPacket& packet) const;

@@ -1,0 +1,85 @@
+#include "proc/control.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace neptune::proc {
+
+ControlChannel::ControlChannel(int fd, bool owns_fd) : fd_(fd), owns_fd_(owns_fd) {}
+
+ControlChannel::~ControlChannel() {
+  if (owns_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+bool ControlChannel::send(const JsonValue& msg) {
+  if (fd_ < 0 || eof_) return false;
+  std::string line = msg.dump();
+  line.push_back('\n');
+  size_t off = 0;
+  while (off < line.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as an error, not kill the
+    // process — worker death is exactly what the supervisor manages.
+    ssize_t n = ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        struct pollfd p{fd_, POLLOUT, 0};
+        ::poll(&p, 1, 100);
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::optional<JsonValue> ControlChannel::pop_message() {
+  for (;;) {
+    size_t nl = buf_.find('\n');
+    if (nl == std::string::npos) return std::nullopt;
+    std::string line = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    if (line.empty()) continue;
+    try {
+      return JsonValue::parse(line);
+    } catch (const JsonError&) {
+      continue;  // torn tail from a killed peer — drop and keep scanning
+    }
+  }
+}
+
+std::optional<JsonValue> ControlChannel::poll(int timeout_ms) {
+  if (auto msg = pop_message()) return msg;
+  if (fd_ < 0 || eof_) return std::nullopt;
+  for (;;) {
+    struct pollfd p{fd_, POLLIN, 0};
+    int rc = ::poll(&p, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return std::nullopt;  // timeout
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof_ = true;
+      return std::nullopt;
+    }
+    if (n == 0) {
+      eof_ = true;
+      return pop_message();
+    }
+    buf_.append(chunk, static_cast<size_t>(n));
+    if (auto msg = pop_message()) return msg;
+    timeout_ms = 0;  // drained a partial line; only keep reading what's ready
+  }
+}
+
+JsonValue control_message(const std::string& type) {
+  JsonObject o;
+  o["type"] = JsonValue(type);
+  return JsonValue(std::move(o));
+}
+
+}  // namespace neptune::proc

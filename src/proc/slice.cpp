@@ -1,0 +1,75 @@
+#include "proc/slice.hpp"
+
+namespace neptune::proc {
+
+std::vector<std::string> lint_slices(const StreamGraph& graph, size_t total_resources) {
+  std::vector<std::string> findings;
+  if (total_resources == 0) {
+    findings.push_back("deployment must have at least one resource");
+    return findings;
+  }
+  std::vector<bool> populated(total_resources, false);
+  for (const OperatorDecl& op : graph.operators()) {
+    if (op.resource < 0) {
+      findings.push_back("operator '" + op.id +
+                         "' has no resource pin — multi-process placement must be explicit");
+      continue;
+    }
+    if (static_cast<size_t>(op.resource) >= total_resources) {
+      findings.push_back("operator '" + op.id + "' pinned to resource " +
+                         std::to_string(op.resource) + ", but the deployment has only " +
+                         std::to_string(total_resources) + " resources");
+      continue;
+    }
+    populated[static_cast<size_t>(op.resource)] = true;
+  }
+  for (size_t r = 0; r < total_resources; ++r) {
+    if (!populated[r])
+      findings.push_back("resource " + std::to_string(r) +
+                         " hosts no operators (orphan process would idle forever)");
+  }
+  return findings;
+}
+
+SlicePlan plan_slices(const StreamGraph& graph, size_t total_resources) {
+  std::vector<std::string> findings = lint_slices(graph, total_resources);
+  if (!findings.empty()) {
+    std::string what = "plan_slices:";
+    for (const std::string& f : findings) what += "\n  " + f;
+    throw GraphError(what);
+  }
+  SlicePlan plan;
+  plan.total_resources = total_resources;
+  for (const LinkDecl& link : graph.links()) {
+    const OperatorDecl& from = graph.operators()[link.from_op];
+    const OperatorDecl& to = graph.operators()[link.to_op];
+    if (from.resource == to.resource) continue;
+    for (uint32_t si = 0; si < from.parallelism; ++si) {
+      for (uint32_t di = 0; di < to.parallelism; ++di) {
+        plan.cross_edges.push_back({link.link_id, si, di, static_cast<size_t>(from.resource),
+                                    static_cast<size_t>(to.resource)});
+      }
+    }
+  }
+  return plan;
+}
+
+SliceOptions slice_options_for(const SlicePlan& plan, size_t resource) {
+  if (resource >= plan.total_resources)
+    throw GraphError("slice_options_for: resource " + std::to_string(resource) +
+                     " out of range for " + std::to_string(plan.total_resources));
+  if (plan.ports.size() != plan.cross_edges.size())
+    throw GraphError("slice_options_for: " + std::to_string(plan.ports.size()) +
+                     " ports for " + std::to_string(plan.cross_edges.size()) +
+                     " cross edges — the port list must pair one-to-one with the plan");
+  SliceOptions slice;
+  slice.local_resource = resource;
+  slice.total_resources = plan.total_resources;
+  for (size_t i = 0; i < plan.cross_edges.size(); ++i) {
+    const CrossEdge& e = plan.cross_edges[i];
+    slice.edge_ports[{e.link_id, e.src_instance, e.dst_instance}] = plan.ports[i];
+  }
+  return slice;
+}
+
+}  // namespace neptune::proc

@@ -1,0 +1,55 @@
+// Slice planning for multi-process deployments (process-resilience
+// tentpole). A deployment runs one OS process per resource; every process
+// loads the same topology and must independently arrive at the same
+// decomposition: which operators are local, which edges cross process
+// boundaries, and which TCP port carries each cross edge. The planner here
+// is deliberately deterministic — cross edges are enumerated in graph link
+// order, then by source instance, then by destination instance — so the
+// supervisor can allocate one flat port list and every worker can map it
+// back to edges without any runtime handshake.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "neptune/graph.hpp"
+#include "neptune/runtime.hpp"
+
+namespace neptune::proc {
+
+/// One edge whose endpoints land in different processes.
+struct CrossEdge {
+  uint32_t link_id = 0;
+  uint32_t src_instance = 0;
+  uint32_t dst_instance = 0;
+  size_t src_resource = 0;
+  size_t dst_resource = 0;
+};
+
+/// Deterministic decomposition of a graph over `total_resources` processes.
+struct SlicePlan {
+  size_t total_resources = 0;
+  /// Cross-process edges in canonical enumeration order.
+  std::vector<CrossEdge> cross_edges;
+  /// ports[i] carries cross_edges[i]. Filled in by the supervisor (the only
+  /// party that can probe for free ports) and shipped to workers verbatim.
+  std::vector<uint16_t> ports;
+};
+
+/// Static placement problems that would make the graph undeployable across
+/// `total_resources` processes: unpinned operators, pins out of range, and
+/// resources with no operators at all (an orphan process would idle forever
+/// and stall completion). Returns human-readable findings; empty = clean.
+std::vector<std::string> lint_slices(const StreamGraph& graph, size_t total_resources);
+
+/// Enumerate the cross-process edges. Throws GraphError when lint_slices
+/// finds placement problems (joined into the message).
+SlicePlan plan_slices(const StreamGraph& graph, size_t total_resources);
+
+/// The SliceOptions for one process: local resource + the edge->port map
+/// derived from the plan. Throws GraphError when plan.ports does not pair
+/// one-to-one with plan.cross_edges or `resource` is out of range.
+SliceOptions slice_options_for(const SlicePlan& plan, size_t resource);
+
+}  // namespace neptune::proc

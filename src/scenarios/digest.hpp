@@ -16,6 +16,7 @@
 
 #include "neptune/operators.hpp"
 #include "neptune/packet.hpp"
+#include "neptune/state.hpp"
 
 namespace neptune::scenarios {
 
@@ -35,6 +36,8 @@ class DigestAccumulator {
   }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t xor_value() const { return xor_.load(std::memory_order_relaxed); }
 
   /// "n<count>-s<sum16hex>-x<xor16hex>" — stable, grep-friendly.
   std::string digest() const;
@@ -43,6 +46,16 @@ class DigestAccumulator {
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
     xor_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Overwrite the totals with absolute values (checkpoint restore). Unlike
+  /// add(), this is idempotent: parallel sink instances restoring the same
+  /// quiesced snapshot all store identical totals, so order and repetition
+  /// don't matter.
+  void store(uint64_t count, uint64_t sum, uint64_t xor_value) {
+    count_.store(count, std::memory_order_relaxed);
+    sum_.store(sum, std::memory_order_relaxed);
+    xor_.store(xor_value, std::memory_order_relaxed);
   }
 
  private:
@@ -54,12 +67,31 @@ class DigestAccumulator {
 /// Terminal stage folding every packet into a shared DigestAccumulator.
 /// Having no output links, the framework records end-to-end sink latency
 /// here — the scenario benches read their percentiles off this operator.
-class DigestSink final : public StreamProcessor {
+///
+/// Checkpointable so exactly-once digests survive a full-deployment restart
+/// (chaos recovery): the snapshot captures the accumulator's absolute totals
+/// at the quiesced cut, and restore *stores* them back rather than adding —
+/// idempotent across parallel instances sharing one accumulator, and correct
+/// under re-submit into the same process (the stale contribution of the old
+/// incarnation is overwritten, not doubled).
+class DigestSink final : public StreamProcessor, public Checkpointable {
  public:
   explicit DigestSink(std::shared_ptr<DigestAccumulator> acc) : acc_(std::move(acc)) {}
 
   void process(StreamPacket& packet, Emitter&) override {
     acc_->add(packet_content_hash(packet));
+  }
+
+  void snapshot_state(ByteBuffer& out) const override {
+    out.write_varint(acc_->count());
+    out.write_u64(acc_->sum());
+    out.write_u64(acc_->xor_value());
+  }
+  void restore_state(ByteReader& in) override {
+    uint64_t count = in.read_varint();
+    uint64_t sum = in.read_u64();
+    uint64_t x = in.read_u64();
+    acc_->store(count, sum, x);
   }
 
  private:

@@ -75,6 +75,27 @@ void InterpolateProcessor::process(StreamPacket& packet, Emitter& out) {
   out.emit(std::move(copy));
 }
 
+void InterpolateProcessor::snapshot_state(ByteBuffer& out) const {
+  out.write_varint(repaired_);
+  out.write_varint(dropped_);
+  out.write_varint(last_good_.size());
+  for (const auto& [key, v] : last_good_) {
+    out.write_string(key);
+    out.write_f64(v);
+  }
+}
+
+void InterpolateProcessor::restore_state(ByteReader& in) {
+  last_good_.clear();
+  repaired_ = in.read_varint();
+  dropped_ = in.read_varint();
+  uint64_t n = in.read_varint();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string key = in.read_string();
+    last_good_[key] = in.read_f64();
+  }
+}
+
 // --- AnnotateProcessor -----------------------------------------------------
 
 AnnotateProcessor::AnnotateProcessor(size_t key_field, std::map<std::string, std::string> table)

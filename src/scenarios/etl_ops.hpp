@@ -14,6 +14,7 @@
 
 #include "neptune/operators.hpp"
 #include "neptune/packet.hpp"
+#include "neptune/state.hpp"
 
 namespace neptune::scenarios {
 
@@ -60,7 +61,11 @@ class RangeFilterProcessor final : public StreamProcessor {
 /// Repairs missing readings (value_field == sentinel) with the device's
 /// last good value. A missing reading with no history yet is dropped
 /// (counted) — there is nothing to interpolate from.
-class InterpolateProcessor final : public StreamProcessor {
+///
+/// Checkpointable: the per-device last-good map *is* the operator's output
+/// function, so a restart that loses it would repair post-restart gaps with
+/// the wrong values (or drop them) and break golden digests.
+class InterpolateProcessor final : public StreamProcessor, public Checkpointable {
  public:
   InterpolateProcessor(size_t value_field, size_t key_field, double missing_sentinel);
 
@@ -68,6 +73,9 @@ class InterpolateProcessor final : public StreamProcessor {
 
   uint64_t repaired() const { return repaired_; }
   uint64_t dropped() const { return dropped_; }
+
+  void snapshot_state(ByteBuffer& out) const override;
+  void restore_state(ByteReader& in) override;
 
  private:
   const size_t value_field_;

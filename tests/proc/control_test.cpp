@@ -1,0 +1,106 @@
+// JSONL control-plane transport between supervisor and workers. The cases
+// that matter operationally: multi-message coalescing (two sends arriving
+// in one read), torn trailing lines from a worker killed mid-write (must be
+// dropped, not crash the parser), and EOF semantics (a closed peer is how
+// the supervisor tells a finished worker to exit, and how a worker's death
+// is distinguished from a quiet one).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "proc/control.hpp"
+
+namespace neptune::proc {
+namespace {
+
+struct Pair {
+  Pair() {
+    int sv[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    a = std::make_unique<ControlChannel>(sv[0]);
+    b = std::make_unique<ControlChannel>(sv[1]);
+  }
+  std::unique_ptr<ControlChannel> a, b;
+};
+
+TEST(ControlChannel, RoundTripsTypedMessages) {
+  Pair p;
+  JsonValue msg = control_message("hb");
+  msg.as_object()["in"] = JsonValue(int64_t(42));
+  msg.as_object()["busy"] = JsonValue(true);
+  ASSERT_TRUE(p.a->send(msg));
+
+  auto got = p.b->poll(1000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("type").as_string(), "hb");
+  EXPECT_EQ(got->at("in").as_int(), 42);
+  EXPECT_TRUE(got->at("busy").as_bool());
+}
+
+TEST(ControlChannel, CoalescedWritesSplitIntoMessages) {
+  Pair p;
+  ASSERT_TRUE(p.a->send(control_message("pause")));
+  ASSERT_TRUE(p.a->send(control_message("resume")));
+  auto first = p.b->poll(1000);
+  auto second = p.b->poll(1000);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->at("type").as_string(), "pause");
+  EXPECT_EQ(second->at("type").as_string(), "resume");
+}
+
+TEST(ControlChannel, TornTrailingLineIsDroppedNotFatal) {
+  Pair p;
+  // A worker SIGKILLed mid-write leaves a prefix with no newline, then the
+  // fd closes. The complete line before it must still parse.
+  const char raw[] = "{\"type\":\"hb\",\"in\":7}\n{\"type\":\"comp";
+  ASSERT_EQ(::send(p.a->fd(), raw, sizeof raw - 1, 0), ssize_t(sizeof raw - 1));
+  p.a.reset();  // close: the torn tail will never be completed
+
+  auto got = p.b->poll(1000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("in").as_int(), 7);
+  EXPECT_FALSE(p.b->poll(200).has_value());
+  EXPECT_TRUE(p.b->eof());
+}
+
+TEST(ControlChannel, GarbageLineIsSkipped) {
+  Pair p;
+  const char raw[] = "not json at all\n{\"type\":\"stop\"}\n";
+  ASSERT_EQ(::send(p.a->fd(), raw, sizeof raw - 1, 0), ssize_t(sizeof raw - 1));
+  auto got = p.b->poll(1000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("type").as_string(), "stop");
+}
+
+TEST(ControlChannel, PollTimesOutWithoutData) {
+  Pair p;
+  auto got = p.b->poll(50);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_FALSE(p.b->eof());
+}
+
+TEST(ControlChannel, SendToClosedPeerReturnsFalse) {
+  Pair p;
+  p.b.reset();
+  // First send may succeed into the kernel buffer; keep writing until the
+  // EPIPE surfaces. Must return false eventually, never raise SIGPIPE.
+  bool ok = true;
+  for (int i = 0; i < 64 && ok; ++i) ok = p.a->send(control_message("hb"));
+  EXPECT_FALSE(ok);
+}
+
+TEST(ControlChannel, EofAfterPeerClose) {
+  Pair p;
+  ASSERT_TRUE(p.a->send(control_message("hello")));
+  p.a.reset();
+  auto got = p.b->poll(1000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("type").as_string(), "hello");
+  EXPECT_FALSE(p.b->poll(1000).has_value());
+  EXPECT_TRUE(p.b->eof());
+}
+
+}  // namespace
+}  // namespace neptune::proc

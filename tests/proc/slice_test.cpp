@@ -1,0 +1,136 @@
+// Slice planning: the deterministic decomposition every process of a
+// multi-process deployment must independently agree on. The tests pin the
+// canonical cross-edge enumeration order (graph link order, then source
+// instance, then destination instance) — the supervisor's flat port list is
+// paired to it positionally, so any reordering is a wire-protocol break.
+#include <gtest/gtest.h>
+
+#include "neptune/workload.hpp"
+#include "proc/slice.hpp"
+
+namespace neptune::proc {
+namespace {
+
+using workload::BytesSource;
+using workload::RelayProcessor;
+
+StreamGraph pinned_graph() {
+  // src(2 instances, r0) -> mid(2 instances, r1) -> sink(1 instance, r0)
+  StreamGraph g("sliced");
+  g.add_source("src", [] { return std::make_unique<BytesSource>(10, 16); }, 2, 0);
+  g.add_processor("mid", [] { return std::make_unique<RelayProcessor>(); }, 2, 1);
+  g.add_processor("sink", [] { return std::make_unique<RelayProcessor>(); }, 1, 0);
+  g.connect("src", "mid");
+  g.connect("mid", "sink");
+  return g;
+}
+
+TEST(SlicePlan, EnumeratesCrossEdgesInCanonicalOrder) {
+  SlicePlan plan = plan_slices(pinned_graph(), 2);
+  // src->mid: 2x2 instances cross r0->r1; mid->sink: 2x1 cross r1->r0.
+  ASSERT_EQ(plan.cross_edges.size(), 6u);
+  ASSERT_EQ(plan.total_resources, 2u);
+
+  auto edge = [&](size_t i) { return plan.cross_edges[i]; };
+  // Link 0 first, source instance outer, destination instance inner.
+  EXPECT_EQ(edge(0).link_id, 0u);
+  EXPECT_EQ(edge(0).src_instance, 0u);
+  EXPECT_EQ(edge(0).dst_instance, 0u);
+  EXPECT_EQ(edge(1).src_instance, 0u);
+  EXPECT_EQ(edge(1).dst_instance, 1u);
+  EXPECT_EQ(edge(2).src_instance, 1u);
+  EXPECT_EQ(edge(2).dst_instance, 0u);
+  EXPECT_EQ(edge(3).src_instance, 1u);
+  EXPECT_EQ(edge(3).dst_instance, 1u);
+  EXPECT_EQ(edge(4).link_id, 1u);
+  EXPECT_EQ(edge(5).link_id, 1u);
+  EXPECT_EQ(edge(4).src_resource, 1u);
+  EXPECT_EQ(edge(4).dst_resource, 0u);
+
+  // Replanning from the same graph yields the identical enumeration — the
+  // property that lets N processes derive the port map with no handshake.
+  SlicePlan replan = plan_slices(pinned_graph(), 2);
+  ASSERT_EQ(replan.cross_edges.size(), plan.cross_edges.size());
+  for (size_t i = 0; i < plan.cross_edges.size(); ++i) {
+    EXPECT_EQ(replan.cross_edges[i].link_id, plan.cross_edges[i].link_id);
+    EXPECT_EQ(replan.cross_edges[i].src_instance, plan.cross_edges[i].src_instance);
+    EXPECT_EQ(replan.cross_edges[i].dst_instance, plan.cross_edges[i].dst_instance);
+  }
+}
+
+TEST(SlicePlan, LocalEdgesAreNotEnumerated) {
+  StreamGraph g("local");
+  g.add_source("src", [] { return std::make_unique<BytesSource>(10, 16); }, 2, 0);
+  g.add_processor("sink", [] { return std::make_unique<RelayProcessor>(); }, 2, 0);
+  g.connect("src", "sink");
+  // Single-process deployment: nothing crosses.
+  SlicePlan plan = plan_slices(g, 1);
+  EXPECT_TRUE(plan.cross_edges.empty());
+}
+
+TEST(SlicePlan, SliceOptionsMapPortsBackToEdges) {
+  SlicePlan plan = plan_slices(pinned_graph(), 2);
+  for (size_t i = 0; i < plan.cross_edges.size(); ++i)
+    plan.ports.push_back(static_cast<uint16_t>(20000 + i));
+
+  SliceOptions r0 = slice_options_for(plan, 0);
+  SliceOptions r1 = slice_options_for(plan, 1);
+  EXPECT_EQ(r0.local_resource, 0u);
+  EXPECT_EQ(r1.local_resource, 1u);
+  // Both processes see the *full* edge->port map (each needs its own side
+  // of every cross edge), keyed (link, src_instance, dst_instance).
+  ASSERT_EQ(r0.edge_ports.size(), 6u);
+  EXPECT_EQ(r0.edge_ports, r1.edge_ports);
+  EXPECT_EQ(r0.edge_ports.at({0, 0, 0}), 20000);
+  EXPECT_EQ(r0.edge_ports.at({0, 1, 1}), 20003);
+  EXPECT_EQ(r0.edge_ports.at({1, 1, 0}), 20005);
+}
+
+TEST(SlicePlan, PortCountMismatchThrows) {
+  SlicePlan plan = plan_slices(pinned_graph(), 2);
+  plan.ports = {20000, 20001};  // 6 edges, 2 ports
+  EXPECT_THROW(slice_options_for(plan, 0), GraphError);
+}
+
+TEST(SlicePlan, ResourceOutOfRangeThrows) {
+  SlicePlan plan = plan_slices(pinned_graph(), 2);
+  for (size_t i = 0; i < plan.cross_edges.size(); ++i)
+    plan.ports.push_back(static_cast<uint16_t>(20000 + i));
+  EXPECT_THROW(slice_options_for(plan, 2), GraphError);
+}
+
+TEST(SliceLint, FlagsUnpinnedOperators) {
+  StreamGraph g("unpinned");
+  g.add_source("src", [] { return std::make_unique<BytesSource>(10, 16); }, 1, 0);
+  g.add_processor("sink", [] { return std::make_unique<RelayProcessor>(); });  // no pin
+  g.connect("src", "sink");
+  auto findings = lint_slices(g, 2);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].find("sink"), std::string::npos);
+  EXPECT_THROW(plan_slices(g, 2), GraphError);
+}
+
+TEST(SliceLint, FlagsPinOutOfRange) {
+  StreamGraph g("outofrange");
+  g.add_source("src", [] { return std::make_unique<BytesSource>(10, 16); }, 1, 0);
+  g.add_processor("sink", [] { return std::make_unique<RelayProcessor>(); }, 1, 5);
+  g.connect("src", "sink");
+  auto findings = lint_slices(g, 2);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_THROW(plan_slices(g, 2), GraphError);
+}
+
+TEST(SliceLint, FlagsOrphanResources) {
+  // Deploying a 2-resource graph over 3 processes leaves resource 2 with no
+  // operators: that worker would idle forever and stall completion.
+  auto findings = lint_slices(pinned_graph(), 3);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].find("orphan"), std::string::npos);
+}
+
+TEST(SliceLint, CleanPlacementHasNoFindings) {
+  EXPECT_TRUE(lint_slices(pinned_graph(), 2).empty());
+}
+
+}  // namespace
+}  // namespace neptune::proc

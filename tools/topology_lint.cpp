@@ -4,14 +4,23 @@
 // Operator *types* are resolved permissively since implementations live in
 // application binaries.
 //
-// Usage: topology_lint <descriptor.json> [...]
+// --slices [N] additionally validates the multi-process decomposition: every
+// operator explicitly pinned to a resource in [0, N), no orphan resources
+// (a worker process with nothing to run would idle forever), and prints the
+// cross-process edge count. N defaults to max pin + 1 — the resource count
+// `neptuned --supervise` would derive.
+//
+// Usage: topology_lint [--dot] [--slices [N]] <descriptor.json> [...]
 // Exit status: 0 if all files pass, 1 otherwise.
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "neptune/json_topology.hpp"
 #include "neptune/workload.hpp"
+#include "proc/slice.hpp"
 
 namespace {
 
@@ -42,6 +51,29 @@ class PermissiveRegistry {
 };
 
 bool g_emit_dot = false;
+bool g_check_slices = false;
+long g_slices = 0;  // 0 = derive from max pin + 1
+
+/// Multi-process placement checks on top of the structural lint.
+bool lint_slices_of(const char* path, const StreamGraph& g) {
+  size_t total = static_cast<size_t>(g_slices);
+  if (total == 0) {
+    int max_pin = -1;
+    for (const auto& op : g.operators())
+      if (op.resource > max_pin) max_pin = op.resource;
+    total = static_cast<size_t>(max_pin + 1);
+  }
+  std::vector<std::string> findings = proc::lint_slices(g, total);
+  if (!findings.empty()) {
+    std::fprintf(stderr, "%s: INVALID for %zu-process deployment —\n", path, total);
+    for (const std::string& f : findings) std::fprintf(stderr, "  %s\n", f.c_str());
+    return false;
+  }
+  proc::SlicePlan plan = proc::plan_slices(g, total);
+  std::printf("%s: slices OK — %zu resources, %zu cross-process edge channels\n", path, total,
+              plan.cross_edges.size());
+  return true;
+}
 
 bool lint_file(const char* path) {
   std::ifstream in(path);
@@ -53,6 +85,12 @@ bool lint_file(const char* path) {
   ss << in.rdbuf();
   try {
     JsonValue doc = JsonValue::parse(ss.str());
+    // Scenario files wrap the descriptor under "topology"; unwrap so the
+    // linter runs on them directly.
+    if (!doc.contains("operators") && doc.contains("topology")) {
+      JsonValue topo = doc.at("topology");  // copy before overwriting the parent
+      doc = std::move(topo);
+    }
     OperatorRegistry reg = PermissiveRegistry::for_document(doc);
     StreamGraph g = graph_from_json(doc, reg);
     if (g_emit_dot) {
@@ -71,6 +109,7 @@ bool lint_file(const char* path) {
                   g.operators()[l.to_op].id.c_str(), l.partitioning->name(),
                   l.compression.mode == CompressionMode::kOff ? "" : ", compressed");
     }
+    if (g_check_slices) return lint_slices_of(path, g);
     return true;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: INVALID — %s\n", path, e.what());
@@ -82,13 +121,20 @@ bool lint_file(const char* path) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s [--dot] <descriptor.json> [...]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--dot] [--slices [N]] <descriptor.json> [...]\n", argv[0]);
     return 2;
   }
   bool all_ok = true;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--dot") {
       g_emit_dot = true;
+      continue;
+    }
+    if (std::string_view(argv[i]) == "--slices") {
+      g_check_slices = true;
+      // Optional numeric operand; without one the count is derived per file.
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0])))
+        g_slices = std::strtol(argv[++i], nullptr, 10);
       continue;
     }
     all_ok &= lint_file(argv[i]);
